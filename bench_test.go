@@ -1,0 +1,701 @@
+// Package seco's root benchmark suite: one benchmark per experiment of
+// EXPERIMENTS.md (the chapter's worked figures E1–E6 and measured claims
+// E7–E12), plus micro-benchmarks of the join executors and the engine.
+// Custom metrics (calls, inversions, plan costs) are attached with
+// b.ReportMetric so `go test -bench=.` regenerates the quantities the
+// experiment tables report.
+package seco
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"seco/internal/core"
+	"seco/internal/cost"
+	"seco/internal/join"
+	"seco/internal/mart"
+	"seco/internal/optimizer"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/synth"
+	"seco/internal/topk"
+	"seco/internal/types"
+	"seco/internal/wsms"
+)
+
+func movieRegistry(b *testing.B) *mart.Registry {
+	b.Helper()
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+func travelRegistry(b *testing.B) *mart.Registry {
+	b.Helper()
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+// BenchmarkE1_ConfTravelPlan annotates the Fig. 3 plan and reports its
+// expected output and request-responses.
+func BenchmarkE1_ConfTravelPlan(b *testing.B) {
+	reg := travelRegistry(b)
+	p, _, err := plan.TravelPlan(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var a *plan.Annotated
+	for i := 0; i < b.N; i++ {
+		a, err = plan.Annotate(p, map[string]int{"F": 2, "H": 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a.Output(), "results")
+	b.ReportMetric(a.TotalCalls(), "calls")
+}
+
+// BenchmarkE2_RunningExample annotates the Fig. 10 plan; the reported
+// metrics are the chapter's instantiation numbers.
+func BenchmarkE2_RunningExample(b *testing.B) {
+	reg := movieRegistry(b)
+	p, _, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var a *plan.Annotated
+	for i := 0; i < b.N; i++ {
+		a, err = plan.Annotate(p, plan.Fig10Fetches())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a.Ann["MS"].Candidates, "candidates")
+	b.ReportMetric(a.Output(), "results")
+	b.ReportMetric(a.TotalCalls(), "calls")
+}
+
+// BenchmarkE3_TopologyEnum enumerates the Fig. 9 topologies.
+func BenchmarkE3_TopologyEnum(b *testing.B) {
+	reg := movieRegistry(b)
+	q, err := query.RunningExample(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int
+	for i := 0; i < b.N; i++ {
+		tops, err := optimizer.EnumerateTopologies(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(tops)
+	}
+	b.ReportMetric(float64(n), "topologies")
+}
+
+// BenchmarkE4_NLvsMS traces the two Fig. 5 strategies.
+func BenchmarkE4_NLvsMS(b *testing.B) {
+	for _, s := range []join.Strategy{
+		{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 3},
+		{Invocation: join.MergeScan, Completion: join.Triangular},
+	} {
+		b.Run(s.String(), func(b *testing.B) {
+			var tiles int
+			for i := 0; i < b.N; i++ {
+				evs, err := join.Trace(s, 8, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tiles = len(join.CollectTiles(evs))
+			}
+			b.ReportMetric(float64(tiles), "tiles")
+		})
+	}
+}
+
+// benchJoinPair builds the E7 synthetic services.
+func benchJoinPair(b *testing.B, xScoring service.Scoring) (service.Invocation, service.Invocation) {
+	b.Helper()
+	xs, err := synth.NewRanked(synth.RankedConfig{
+		Name: "X", N: 300, KeyMod: 50, Shuffle: true, Seed: 1,
+		Stats: service.Stats{AvgCardinality: 300, ChunkSize: 10, Scoring: xScoring},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ys, err := synth.NewRanked(synth.RankedConfig{
+		Name: "Y", N: 300, KeyMod: 50, Shuffle: true, Seed: 2,
+		Stats: service.Stats{AvgCardinality: 300, ChunkSize: 10, Scoring: service.Linear(300)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xi, err := xs.Invoke(context.Background(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	yi, err := ys.Invoke(context.Background(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return xi, yi
+}
+
+// BenchmarkE7_StrategyCrossover measures calls to the k-th join result per
+// strategy and scoring shape.
+func BenchmarkE7_StrategyCrossover(b *testing.B) {
+	const k = 20
+	cases := []struct {
+		name    string
+		scoring service.Scoring
+		strat   join.Strategy
+	}{
+		{"step-h2/nested-loop", service.Step(20, 0.95, 0.05),
+			join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 2}},
+		{"step-h2/merge-scan", service.Step(20, 0.95, 0.05),
+			join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true}},
+		{"linear/nested-loop", service.Linear(300),
+			join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 2}},
+		{"linear/merge-scan", service.Linear(300),
+			join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var calls int
+			var quality float64
+			for i := 0; i < b.N; i++ {
+				xi, yi := benchJoinPair(b, c.scoring)
+				count, sum := 0, 0.0
+				stats, err := join.Parallel(context.Background(), xi, yi, c.strat,
+					join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}},
+					0, 0, func(p join.Pair) error {
+						count++
+						sum += p.RankProduct()
+						if count >= k {
+							return join.ErrStop
+						}
+						return nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = stats.TotalFetches()
+				if count > 0 {
+					quality = sum / float64(count)
+				}
+			}
+			b.ReportMetric(float64(calls), "calls-to-k")
+			b.ReportMetric(quality, "rank-quality")
+		})
+	}
+}
+
+// BenchmarkE8_ExtractionOptimality reports the Kendall-tau inversions of
+// each completion strategy's emission order.
+func BenchmarkE8_ExtractionOptimality(b *testing.B) {
+	const n = 8
+	tx := make([]float64, n)
+	for i := range tx {
+		tx[i] = 1 - float64(i)/n
+	}
+	r := join.TileRanker{TopX: tx, TopY: tx}
+	cases := []struct {
+		name   string
+		strat  join.Strategy
+		ranked bool
+	}{
+		{"ms-rect", join.Strategy{Invocation: join.MergeScan, Completion: join.Rectangular}, false},
+		{"ms-tri-geometric", join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}, false},
+		{"ms-tri-ranked", join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var inv int
+			for i := 0; i < b.N; i++ {
+				var (
+					evs []join.Event
+					err error
+				)
+				if c.ranked {
+					evs, err = join.TraceRanked(c.strat, n, n, r.Rank)
+				} else {
+					evs, err = join.Trace(c.strat, n, n)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				inv = join.Inversions(join.CollectTiles(evs), r)
+			}
+			b.ReportMetric(float64(inv), "inversions")
+		})
+	}
+}
+
+// BenchmarkE9_Heuristics optimizes the running example under each
+// heuristic pair, reporting the first-plan cost (anytime quality).
+func BenchmarkE9_Heuristics(b *testing.B) {
+	reg := movieRegistry(b)
+	for _, th := range []optimizer.TopologyHeuristic{optimizer.SelectiveFirst, optimizer.ParallelIsBetter} {
+		for _, fh := range []optimizer.FetchHeuristic{optimizer.Greedy, optimizer.SquareIsBetter} {
+			b.Run(fmt.Sprintf("%s/%s", th, fh), func(b *testing.B) {
+				var first float64
+				for i := 0; i < b.N; i++ {
+					q, err := query.RunningExample(reg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := optimizer.Optimize(q, reg, optimizer.Options{
+						K: 10, Metric: cost.ExecutionTime{},
+						Stats:      plan.RunningExampleStats(),
+						Heuristics: optimizer.Heuristics{Topology: th, Fetch: fh},
+						MaxPlans:   1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					first = res.Cost
+				}
+				b.ReportMetric(first, "first-plan-cost")
+			})
+		}
+	}
+}
+
+// BenchmarkE10_BnBvsExhaustive compares full search against pruning.
+func BenchmarkE10_BnBvsExhaustive(b *testing.B) {
+	reg := movieRegistry(b)
+	for _, pruned := range []bool{false, true} {
+		name := "exhaustive"
+		if pruned {
+			name = "branch-and-bound"
+		}
+		b.Run(name, func(b *testing.B) {
+			var explored int
+			for i := 0; i < b.N; i++ {
+				q, err := query.RunningExample(reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := optimizer.Optimize(q, reg, optimizer.Options{
+					K: 10, Metric: cost.ExecutionTime{},
+					Stats:          plan.RunningExampleStats(),
+					Heuristics:     optimizer.Heuristics{Topology: optimizer.ParallelIsBetter},
+					DisablePruning: !pruned,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				explored = res.Explored
+			}
+			b.ReportMetric(float64(explored), "plans-explored")
+		})
+	}
+}
+
+// BenchmarkE11_WSMSBaseline runs the baseline optimizer on random chains
+// and reports the stop-at-k call advantage on the running example.
+func BenchmarkE11_WSMSBaseline(b *testing.B) {
+	rng := rand.New(rand.NewSource(2009))
+	services := make([]wsms.Service, 5)
+	for j := range services {
+		services[j] = wsms.Service{
+			Name:        fmt.Sprintf("s%d", j),
+			Cost:        0.1 + rng.Float64()*5,
+			Selectivity: 0.1 + rng.Float64()*0.9,
+		}
+	}
+	b.Run("greedy", func(b *testing.B) {
+		var bn float64
+		for i := 0; i < b.N; i++ {
+			arr, err := wsms.GreedyChain(services)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bn = arr.Bottleneck
+		}
+		b.ReportMetric(bn, "bottleneck")
+	})
+	b.Run("optimal", func(b *testing.B) {
+		var bn float64
+		for i := 0; i < b.N; i++ {
+			arr, err := wsms.OptimalChain(services)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bn = arr.Bottleneck
+		}
+		b.ReportMetric(bn, "bottleneck")
+	})
+	b.Run("stop-at-k-gap", func(b *testing.B) {
+		reg := movieRegistry(b)
+		p, _, err := plan.RunningExamplePlan(reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			seco, err := plan.Annotate(p, plan.Fig10Fetches())
+			if err != nil {
+				b.Fatal(err)
+			}
+			full := p.Clone()
+			if n, ok := full.Node("MS"); ok {
+				n.Strategy.Completion = join.Rectangular
+			}
+			all, err := plan.Annotate(full, map[string]int{"M": 10, "T": 10, "R": 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = all.TotalCalls() / seco.TotalCalls()
+		}
+		b.ReportMetric(ratio, "call-reduction")
+	})
+}
+
+// BenchmarkE12_MetricShapes optimizes the running example per metric and
+// reports each winner's execution-time cost.
+func BenchmarkE12_MetricShapes(b *testing.B) {
+	reg := movieRegistry(b)
+	for _, m := range cost.All() {
+		b.Run(m.Name(), func(b *testing.B) {
+			var execTime float64
+			for i := 0; i < b.N; i++ {
+				q, err := query.RunningExample(reg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := optimizer.Optimize(q, reg, optimizer.Options{
+					K: 10, Metric: m, Stats: plan.RunningExampleStats(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				execTime = cost.ExecutionTime{}.Cost(res.Annotated)
+			}
+			b.ReportMetric(execTime, "exec-time-cost")
+		})
+	}
+}
+
+// BenchmarkE13_TopKvsApproximate compares the request-responses of the
+// guaranteed rank join against the approximate extraction-optimal method
+// stopped at the same k (the Section 3.2 trade-off).
+func BenchmarkE13_TopKvsApproximate(b *testing.B) {
+	const k = 10
+	pred := join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}}
+	b.Run("rank-join-exact", func(b *testing.B) {
+		var fetches int
+		for i := 0; i < b.N; i++ {
+			xi, yi := benchJoinPair(b, service.Linear(300))
+			_, stats, err := topk.Join(context.Background(), xi, yi, topk.Options{
+				K: k, Predicate: pred,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fetches = stats.TotalFetches()
+		}
+		b.ReportMetric(float64(fetches), "calls-to-k")
+	})
+	b.Run("extraction-optimal-approx", func(b *testing.B) {
+		var fetches int
+		for i := 0; i < b.N; i++ {
+			xi, yi := benchJoinPair(b, service.Linear(300))
+			count := 0
+			stats, err := join.Parallel(context.Background(), xi, yi,
+				join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true},
+				pred, 0, 0, func(join.Pair) error {
+					count++
+					if count >= k {
+						return join.ErrStop
+					}
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fetches = stats.TotalFetches()
+		}
+		b.ReportMetric(float64(fetches), "calls-to-k")
+	})
+}
+
+// BenchmarkAblation_Completion isolates the triangular-completion design
+// decision: on the Fig. 10 plan, switching the MS join to rectangular
+// doubles the candidate pairs the join must process.
+func BenchmarkAblation_Completion(b *testing.B) {
+	reg := movieRegistry(b)
+	base, _, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, completion := range []join.CompletionKind{join.Triangular, join.Rectangular} {
+		b.Run(completion.String(), func(b *testing.B) {
+			p := base.Clone()
+			n, _ := p.Node("MS")
+			n.Strategy.Completion = completion
+			var candidates float64
+			for i := 0; i < b.N; i++ {
+				a, err := plan.Annotate(p, plan.Fig10Fetches())
+				if err != nil {
+					b.Fatal(err)
+				}
+				candidates = a.Ann["MS"].Candidates
+			}
+			b.ReportMetric(candidates, "candidates")
+		})
+	}
+}
+
+// BenchmarkAblation_RankAwareTiles isolates the rank-aware tile selection:
+// inversions with and without the observed-rank ordering.
+func BenchmarkAblation_RankAwareTiles(b *testing.B) {
+	const n = 10
+	tx := make([]float64, n)
+	for i := range tx {
+		tx[i] = 1 - float64(i)/n
+	}
+	r := join.TileRanker{TopX: tx, TopY: tx}
+	strat := join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}
+	for _, ranked := range []bool{false, true} {
+		name := "geometric"
+		if ranked {
+			name = "rank-aware"
+		}
+		b.Run(name, func(b *testing.B) {
+			var inv int
+			for i := 0; i < b.N; i++ {
+				var (
+					evs []join.Event
+					err error
+				)
+				if ranked {
+					evs, err = join.TraceRanked(strat, n, n, r.Rank)
+				} else {
+					evs, err = join.Trace(strat, n, n)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				inv = join.Inversions(join.CollectTiles(evs), r)
+			}
+			b.ReportMetric(float64(inv), "inversions")
+		})
+	}
+}
+
+// BenchmarkAblation_CostRatio isolates the cost-driven inter-service
+// ratio: joining a slow service (120 ms/call) with a fast one (80 ms),
+// the 2:3 clock finishes the k-th result with less elapsed side-time than
+// the naive 1:1 alternation (elapsed ≈ max over sides of calls × latency,
+// since the sides fetch in parallel).
+func BenchmarkAblation_CostRatio(b *testing.B) {
+	const k = 20
+	latX, latY := 0.120, 0.080
+	pred := join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}}
+	run := func(b *testing.B, rx, ry int) float64 {
+		var elapsed float64
+		for i := 0; i < b.N; i++ {
+			xi, yi := benchJoinPair(b, service.Linear(300))
+			count := 0
+			stats, err := join.Parallel(context.Background(), xi, yi,
+				join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular,
+					RatioX: rx, RatioY: ry, FlushOnExhaust: true},
+				pred, 0, 0, func(join.Pair) error {
+					count++
+					if count >= k {
+						return join.ErrStop
+					}
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := float64(stats.FetchesX) * latX
+			ty := float64(stats.FetchesY) * latY
+			if tx > ty {
+				elapsed = tx
+			} else {
+				elapsed = ty
+			}
+		}
+		return elapsed
+	}
+	b.Run("ratio-1:1", func(b *testing.B) {
+		b.ReportMetric(run(b, 1, 1), "side-time-s")
+	})
+	b.Run("ratio-cost-driven", func(b *testing.B) {
+		rx, ry := join.RatioFromCosts(latX, latY, 4)
+		b.ReportMetric(run(b, rx, ry), "side-time-s")
+	})
+}
+
+// BenchmarkChunkSizeSweep measures how the services' chunk size affects
+// the request-responses needed for k join results: coarse chunks transfer
+// more tuples per call (fewer calls, more waste), fine chunks pay more
+// round trips — the granularity trade-off behind the chapter's
+// chunked-service model.
+func BenchmarkChunkSizeSweep(b *testing.B) {
+	const k = 20
+	pred := join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}}
+	for _, chunk := range []int{5, 10, 25, 50} {
+		b.Run(fmt.Sprintf("chunk-%d", chunk), func(b *testing.B) {
+			var calls, tuples int
+			for i := 0; i < b.N; i++ {
+				mk := func(name string, seed int64) service.Invocation {
+					tab, err := synth.NewRanked(synth.RankedConfig{
+						Name: name, N: 300, KeyMod: 50, Shuffle: true, Seed: seed,
+						Stats: service.Stats{AvgCardinality: 300, ChunkSize: chunk,
+							Scoring: service.Linear(300)},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					inv, err := tab.Invoke(context.Background(), nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return inv
+				}
+				count := 0
+				stats, err := join.Parallel(context.Background(), mk("X", 1), mk("Y", 2),
+					join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true},
+					pred, 0, 0, func(join.Pair) error {
+						count++
+						if count >= k {
+							return join.ErrStop
+						}
+						return nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = stats.TotalFetches()
+				tuples = stats.TotalFetches() * chunk
+			}
+			b.ReportMetric(float64(calls), "calls-to-k")
+			b.ReportMetric(float64(tuples), "tuples-transferred")
+		})
+	}
+}
+
+// BenchmarkTopKJoin measures the rank-join executor itself.
+func BenchmarkTopKJoin(b *testing.B) {
+	pred := join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}}
+	for i := 0; i < b.N; i++ {
+		xi, yi := benchJoinPair(b, service.Linear(300))
+		if _, _, err := topk.Join(context.Background(), xi, yi, topk.Options{
+			K: 25, Predicate: pred,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteRunningExample measures full end-to-end execution.
+func BenchmarkExecuteRunningExample(b *testing.B) {
+	sys, inputs, err := core.MovieNight(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sys.Parse(query.RunningExampleText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sys.Plan(q, core.PlanOptions{K: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		run, err := sys.Run(context.Background(), res, core.RunOptions{Inputs: inputs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls = run.TotalCalls()
+	}
+	b.ReportMetric(float64(calls), "calls")
+}
+
+// BenchmarkParallelJoin measures the tile-driven parallel join executor.
+func BenchmarkParallelJoin(b *testing.B) {
+	for _, s := range []join.Strategy{
+		{Invocation: join.MergeScan, Completion: join.Rectangular},
+		{Invocation: join.MergeScan, Completion: join.Triangular},
+	} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				xi, yi := benchJoinPair(b, service.Linear(300))
+				_, err := join.Parallel(context.Background(), xi, yi, s,
+					join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}},
+					10, 10, func(join.Pair) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipeJoin measures the per-tuple piped invocation path.
+func BenchmarkPipeJoin(b *testing.B) {
+	right, err := synth.NewKeyed("R", 16, 8, service.Stats{
+		AvgCardinality: 8, ChunkSize: 4, Scoring: service.Linear(8),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	left := make([]*types.Tuple, 32)
+	for i := range left {
+		t := types.NewTuple(1 - float64(i)/32)
+		t.Set("FKey", types.Int(int64(i%16)))
+		left[i] = t
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := join.Pipe(context.Background(), left, right, nil,
+			[]join.Binding{{FromPath: "FKey", ToInput: "Key"}}, 0,
+			func(join.Pair) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSession measures the liquid-query "more results" path.
+func BenchmarkEngineSession(b *testing.B) {
+	sys, inputs, err := core.MovieNight(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sys.Parse(query.RunningExampleText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sys.Plan(q, core.PlanOptions{K: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := sys.Session(res, core.RunOptions{Inputs: inputs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Next(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Next(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

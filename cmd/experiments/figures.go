@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"seco/internal/join"
+	"seco/internal/mart"
+	"seco/internal/optimizer"
+	"seco/internal/plan"
+	"seco/internal/query"
+)
+
+// runE1 reproduces the annotated travel plan of Fig. 3: Conference is
+// proliferative (20 tuples), Weather selective in the context of the query
+// via the >26°C selection.
+func runE1(w io.Writer) error {
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		return err
+	}
+	p, _, err := plan.TravelPlan(reg)
+	if err != nil {
+		return err
+	}
+	a, err := plan.Annotate(p, map[string]int{"F": 2, "H": 2})
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"node", "kind", "tin", "tout", "fetches", "calls"}}
+	order, _ := p.TopoSort()
+	for _, id := range order {
+		n, _ := p.Node(id)
+		ann := a.Ann[id]
+		t.add(id, n.Kind.String(), f2(ann.TIn), f2(ann.TOut), i0(ann.Fetches), f2(ann.Calls))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\n  paper: Conference avg cardinality 20; Weather selective in context.\n")
+	fmt.Fprintf(w, "  measured: Conference tout = %.0f; Weather+σ pass %.0f of %.0f tuples.\n",
+		a.Ann["C"].TOut, a.Ann["sigma"].TOut, a.Ann["W"].TIn)
+	return nil
+}
+
+// runE2 reproduces the Fig. 10 instantiation numbers.
+func runE2(w io.Writer) error {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		return err
+	}
+	p, _, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		return err
+	}
+	a, err := plan.Annotate(p, plan.Fig10Fetches())
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"quantity", "paper", "measured"}}
+	t.add("Movie tout (5 fetches × chunk 20)", "100", f2(a.Ann["M"].TOut))
+	t.add("Theatre tout (5 fetches × chunk 5)", "25", f2(a.Ann["T"].TOut))
+	t.add("MS candidates (triangular halves 2500)", "1250", f2(a.Ann["MS"].Candidates))
+	t.add("MS tout (× 2% Shows selectivity)", "25", f2(a.Ann["MS"].TOut))
+	t.add("Restaurant tin", "25", f2(a.Ann["R"].TIn))
+	t.add("Restaurant tout (× 40%, best per theatre)", "10", f2(a.Ann["R"].TOut))
+	t.add("plan output = K", "10", f2(a.Output()))
+	t.write(w)
+	req, err := plan.RequiredOutputs(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n  K back-propagation: req[R]=%.0f req[MS]=%.0f (paper: 10 and 25).\n",
+		req["R"], req["MS"])
+	return nil
+}
+
+// runE3 lists the topologies of Fig. 9.
+func runE3(w io.Writer) error {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		return err
+	}
+	q, err := query.RunningExample(reg)
+	if err != nil {
+		return err
+	}
+	tops, err := optimizer.EnumerateTopologies(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  paper: four alternative topologies (Fig. 9). enumerated: %d\n", len(tops))
+	for i, tp := range tops {
+		fmt.Fprintf(w, "  (%c) %s\n", 'a'+i, tp)
+	}
+	return nil
+}
+
+// traceString compacts an event stream for display.
+func traceString(evs []join.Event) string {
+	parts := make([]string, 0, len(evs))
+	for _, e := range evs {
+		if e.Kind == join.EventFetch {
+			parts = append(parts, "F"+e.Side.String())
+		} else {
+			parts = append(parts, fmt.Sprintf("(%d,%d)", e.Tile.X, e.Tile.Y))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// runE4 prints the Fig. 5 exploration traces.
+func runE4(w io.Writer) error {
+	nl, err := join.Trace(join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 3}, 3, 3)
+	if err != nil {
+		return err
+	}
+	ms, err := join.Trace(join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}, 3, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  Fig. 5a nested-loop (h=3):  %s\n", traceString(nl))
+	fmt.Fprintf(w, "  Fig. 5b merge-scan (1:1):   %s\n", traceString(ms))
+	return nil
+}
+
+// runE5 prints the Fig. 6 rectangular completion traces, including the
+// degenerate long-and-thin case.
+func runE5(w io.Writer) error {
+	rect, err := join.Trace(join.Strategy{Invocation: join.MergeScan, Completion: join.Rectangular}, 2, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  rectangular 2×4:            %s\n", traceString(rect))
+	// Degenerate: X exhausts after one chunk; every further I/O adds a
+	// single tile.
+	ex, err := join.NewExplorer(join.Strategy{Invocation: join.MergeScan, Completion: join.Rectangular}, 0, 5)
+	if err != nil {
+		return err
+	}
+	var evs []join.Event
+	for {
+		ev, ok := ex.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == join.EventFetch && ev.Side == join.SideX {
+			if nx, _ := ex.Fetched(); nx > 1 {
+				ex.ReportExhausted(join.SideX)
+				continue
+			}
+		}
+		evs = append(evs, ev)
+	}
+	fmt.Fprintf(w, "  degenerate (X exhausted):   %s\n", traceString(evs))
+	fmt.Fprintln(w, "  note: after exhaustion each I/O adds exactly one tile (the Fig. 6 pathology).")
+	return nil
+}
+
+// runE6 prints the Fig. 7 square exploration.
+func runE6(w io.Writer) error {
+	evs, err := join.Trace(join.Strategy{Invocation: join.MergeScan, Completion: join.Rectangular}, 3, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  merge-scan rectangular 1:1: %s\n", traceString(evs))
+	fmt.Fprintln(w, "  the processed region after 2f fetches is the f×f square of Fig. 7.")
+	return nil
+}

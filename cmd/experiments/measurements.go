@@ -1,0 +1,435 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"seco/internal/core"
+	"seco/internal/cost"
+	"seco/internal/join"
+	"seco/internal/mart"
+	"seco/internal/optimizer"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/synth"
+	"seco/internal/wsms"
+)
+
+// joinPair builds the two synthetic ranked services of the E7/E8 join
+// experiments: X with the given scoring, Y with linear decay.
+func joinPair(xScoring service.Scoring, n, keyMod, chunk int) (xs, ys *service.Table, err error) {
+	xs, err = synth.NewRanked(synth.RankedConfig{
+		Name: "X", N: n, KeyMod: keyMod, Shuffle: true, Seed: 1,
+		Stats: service.Stats{AvgCardinality: float64(n), ChunkSize: chunk, Scoring: xScoring},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ys, err = synth.NewRanked(synth.RankedConfig{
+		Name: "Y", N: n, KeyMod: keyMod, Shuffle: true, Seed: 2,
+		Stats: service.Stats{AvgCardinality: float64(n), ChunkSize: chunk, Scoring: service.Linear(n)},
+	})
+	return xs, ys, err
+}
+
+// measureStrategy runs a parallel join until k matches and reports the
+// request-responses spent and the mean rank product of the emitted pairs
+// (result quality).
+func measureStrategy(strat join.Strategy, xScoring service.Scoring, k int) (calls int, quality float64, err error) {
+	xs, ys, err := joinPair(xScoring, 300, 50, 10)
+	if err != nil {
+		return 0, 0, err
+	}
+	xi, err := xs.Invoke(context.Background(), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	yi, err := ys.Invoke(context.Background(), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	count, sum := 0, 0.0
+	stats, err := join.Parallel(context.Background(), xi, yi, strat,
+		join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}},
+		0, 0, func(p join.Pair) error {
+			count++
+			sum += p.RankProduct()
+			if count >= k {
+				return join.ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	if count == 0 {
+		return stats.TotalFetches(), 0, nil
+	}
+	return stats.TotalFetches(), sum / float64(count), nil
+}
+
+// runE7 sweeps the step sharpness of X's scoring function and compares
+// nested loop (tuned to the step) against merge-scan: who reaches k
+// results with fewer calls and better rank mass.
+func runE7(w io.Writer) error {
+	const k = 20
+	t := &table{header: []string{"X scoring", "strategy", "calls to k=20", "avg rank product"}}
+	for _, h := range []int{1, 2, 4} {
+		step := service.Step(h*10, 0.95, 0.05) // h chunks of 10 score high
+		nl := join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: h}
+		ms := join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true}
+		cNL, qNL, err := measureStrategy(nl, step, k)
+		if err != nil {
+			return err
+		}
+		cMS, qMS, err := measureStrategy(ms, step, k)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("step h=%d", h)
+		t.add(label, nl.String(), i0(cNL), f4(qNL))
+		t.add(label, ms.String(), i0(cMS), f4(qMS))
+	}
+	// Progressive scoring: merge-scan territory.
+	lin := service.Linear(300)
+	nl := join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 2}
+	ms := join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true}
+	cNL, qNL, err := measureStrategy(nl, lin, k)
+	if err != nil {
+		return err
+	}
+	cMS, qMS, err := measureStrategy(ms, lin, k)
+	if err != nil {
+		return err
+	}
+	t.add("linear", nl.String(), i0(cNL), f4(qNL))
+	t.add("linear", ms.String(), i0(cMS), f4(qMS))
+	t.write(w)
+	fmt.Fprintln(w, "\n  claim (§4.3): nested loop suits step scoring; merge-scan suits progressive scoring.")
+	return nil
+}
+
+// runE8 quantifies extraction-optimality: Kendall-tau inversions of the
+// tile emission order against the ideal descending-rank order.
+func runE8(w io.Writer) error {
+	const n = 8
+	tx := make([]float64, n)
+	ty := make([]float64, n)
+	for i := range tx {
+		tx[i] = 1 - float64(i)/n
+		ty[i] = 1 - float64(i)/n
+	}
+	r := join.TileRanker{TopX: tx, TopY: ty}
+	t := &table{header: []string{"method", "tiles", "inversions", "rank-sorted"}}
+	cases := []struct {
+		name   string
+		strat  join.Strategy
+		ranked bool
+	}{
+		{"merge-scan/rectangular", join.Strategy{Invocation: join.MergeScan, Completion: join.Rectangular}, false},
+		{"merge-scan/triangular (geometric)", join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}, false},
+		{"merge-scan/triangular (rank-aware)", join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}, true},
+		{"nested-loop/rectangular h=2", join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 2}, false},
+	}
+	for _, c := range cases {
+		var (
+			evs []join.Event
+			err error
+		)
+		if c.ranked {
+			evs, err = join.TraceRanked(c.strat, n, n, r.Rank)
+		} else {
+			evs, err = join.Trace(c.strat, n, n)
+		}
+		if err != nil {
+			return err
+		}
+		tiles := join.CollectTiles(evs)
+		t.add(c.name, i0(len(tiles)), i0(join.Inversions(tiles, r)),
+			fmt.Sprintf("%v", join.IsRankSorted(tiles, r)))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\n  claim (§4.4): triangular approximates extraction-optimality; rectangular is only locally optimal.")
+	return nil
+}
+
+// runE9 compares the optimizer heuristics: quality of the first plan found
+// (anytime behaviour) and work to complete the search.
+func runE9(w io.Writer) error {
+	scenarios := []struct {
+		name  string
+		query func() (*query.Query, *mart.Registry, map[string]service.Stats, error)
+	}{
+		{"running example", func() (*query.Query, *mart.Registry, map[string]service.Stats, error) {
+			reg, err := mart.MovieScenario()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			q, err := query.RunningExample(reg)
+			return q, reg, plan.RunningExampleStats(), err
+		}},
+		{"travel example", func() (*query.Query, *mart.Registry, map[string]service.Stats, error) {
+			reg, err := mart.TravelScenario()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			q, err := query.TravelExample(reg)
+			return q, reg, plan.TravelStats(), err
+		}},
+	}
+	t := &table{header: []string{"scenario", "topology heur.", "fetch heur.", "first-plan cost", "optimal cost", "explored", "pruned"}}
+	metric := cost.ExecutionTime{}
+	for _, sc := range scenarios {
+		for _, th := range []optimizer.TopologyHeuristic{optimizer.SelectiveFirst, optimizer.ParallelIsBetter} {
+			for _, fh := range []optimizer.FetchHeuristic{optimizer.Greedy, optimizer.SquareIsBetter} {
+				q, reg, stats, err := sc.query()
+				if err != nil {
+					return err
+				}
+				h := optimizer.Heuristics{Topology: th, Fetch: fh}
+				first, err := optimizer.Optimize(q, reg, optimizer.Options{
+					K: 10, Metric: metric, Stats: stats, Heuristics: h, MaxPlans: 1,
+				})
+				if err != nil {
+					return err
+				}
+				full, err := optimizer.Optimize(q, reg, optimizer.Options{
+					K: 10, Metric: metric, Stats: stats, Heuristics: h,
+				})
+				if err != nil {
+					return err
+				}
+				t.add(sc.name, th.String(), fh.String(),
+					f4(first.Cost), f4(full.Cost), i0(full.Explored), i0(full.Pruned))
+			}
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\n  claim (§5.2): the search is anytime; good heuristics find near-optimal plans first.")
+
+	// Random query graphs (3–6 services): average first-plan cost gap
+	// over the optimum, per heuristic pair.
+	type agg struct {
+		gap   float64
+		count int
+	}
+	gaps := map[string]*agg{}
+	for seed := int64(0); seed < 20; seed++ {
+		wl, err := synth.RandomWorkload(seed, 3+int(seed%4))
+		if err != nil {
+			return err
+		}
+		q, err := query.Parse(wl.QueryText)
+		if err != nil {
+			return err
+		}
+		if err := q.Analyze(wl.Registry); err != nil {
+			return err
+		}
+		for _, th := range []optimizer.TopologyHeuristic{optimizer.SelectiveFirst, optimizer.ParallelIsBetter} {
+			for _, fh := range []optimizer.FetchHeuristic{optimizer.Greedy, optimizer.SquareIsBetter} {
+				h := optimizer.Heuristics{Topology: th, Fetch: fh}
+				first, err := optimizer.Optimize(q, wl.Registry, optimizer.Options{
+					K: 10, Metric: metric, Stats: wl.Stats, Heuristics: h,
+					MaxPlans: 1, FixedInterfaces: true,
+				})
+				if err != nil {
+					return err
+				}
+				full, err := optimizer.Optimize(q, wl.Registry, optimizer.Options{
+					K: 10, Metric: metric, Stats: wl.Stats, Heuristics: h,
+					FixedInterfaces: true,
+				})
+				if err != nil {
+					return err
+				}
+				key := th.String() + " + " + fh.String()
+				a := gaps[key]
+				if a == nil {
+					a = &agg{}
+					gaps[key] = a
+				}
+				ratio := 1.0
+				if full.Cost > 0 {
+					ratio = first.Cost / full.Cost
+				}
+				a.gap += math.Log(ratio)
+				a.count++
+			}
+		}
+	}
+	t2 := &table{header: []string{"heuristic pair", "geo-mean first-plan / optimum (20 random graphs)"}}
+	for _, th := range []optimizer.TopologyHeuristic{optimizer.SelectiveFirst, optimizer.ParallelIsBetter} {
+		for _, fh := range []optimizer.FetchHeuristic{optimizer.Greedy, optimizer.SquareIsBetter} {
+			key := th.String() + " + " + fh.String()
+			a := gaps[key]
+			t2.add(key, f2(math.Exp(a.gap/float64(a.count))))
+		}
+	}
+	fmt.Fprintln(w)
+	t2.write(w)
+	return nil
+}
+
+// runE10 verifies that branch and bound reaches the exhaustive optimum
+// with fewer fully costed plans.
+func runE10(w io.Writer) error {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"metric", "exhaustive cost", "B&B cost", "exhaustive explored", "B&B explored", "pruned"}}
+	for _, m := range cost.All() {
+		q, err := query.RunningExample(reg)
+		if err != nil {
+			return err
+		}
+		ex, err := optimizer.Optimize(q, reg, optimizer.Options{
+			K: 10, Metric: m, Stats: plan.RunningExampleStats(), DisablePruning: true,
+		})
+		if err != nil {
+			return err
+		}
+		bb, err := optimizer.Optimize(q, reg, optimizer.Options{
+			K: 10, Metric: m, Stats: plan.RunningExampleStats(),
+			Heuristics: optimizer.Heuristics{Topology: optimizer.ParallelIsBetter},
+		})
+		if err != nil {
+			return err
+		}
+		t.add(m.Name(), f4(ex.Cost), f4(bb.Cost), i0(ex.Explored), i0(bb.Explored), i0(bb.Pruned))
+	}
+	t.write(w)
+	return nil
+}
+
+// runE11 reproduces the WSMS baseline: the greedy bottleneck arrangement
+// matches exhaustive search on random instances, and the retrieve-all
+// execution model it assumes pays far more request-responses than the
+// stop-at-k plans of this chapter.
+func runE11(w io.Writer) error {
+	rng := rand.New(rand.NewSource(2009))
+	match, trials := 0, 300
+	for i := 0; i < trials; i++ {
+		n := 2 + rng.Intn(4)
+		svcs := make([]wsms.Service, n)
+		for j := range svcs {
+			svcs[j] = wsms.Service{
+				Name:        fmt.Sprintf("s%d", j),
+				Cost:        0.1 + rng.Float64()*5,
+				Selectivity: 0.1 + rng.Float64()*0.9,
+			}
+		}
+		opt, err := wsms.OptimalChain(svcs)
+		if err != nil {
+			return err
+		}
+		greedy, err := wsms.GreedyChain(svcs)
+		if err != nil {
+			return err
+		}
+		if greedy.Bottleneck <= opt.Bottleneck*1.0001 {
+			match++
+		}
+	}
+	fmt.Fprintf(w, "  greedy arrangement optimal on %d/%d random selective instances.\n\n", match, trials)
+
+	// The stop-at-k gap on the running example.
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		return err
+	}
+	p, _, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		return err
+	}
+	seco, err := plan.Annotate(p, plan.Fig10Fetches())
+	if err != nil {
+		return err
+	}
+	// WSMS-style retrieve-everything: every chunk of both search services,
+	// rectangular completion (no triangular pruning).
+	full := p.Clone()
+	if n, ok := full.Node("MS"); ok {
+		n.Strategy.Completion = join.Rectangular
+	}
+	all, err := plan.Annotate(full, map[string]int{"M": 10, "T": 10, "R": 1})
+	if err != nil {
+		return err
+	}
+	t := &table{header: []string{"execution model", "request-responses", "results"}}
+	t.add("SeCo stop-at-k (Fig. 10 plan)", f2(seco.TotalCalls()), f2(seco.Output()))
+	t.add("WSMS retrieve-all", f2(all.TotalCalls()), f2(all.Output()))
+	t.write(w)
+	fmt.Fprintf(w, "\n  stop-at-k spends %.1f× fewer request-responses for the user's K=10.\n",
+		all.TotalCalls()/seco.TotalCalls())
+	return nil
+}
+
+// runE12 optimizes the running example under every metric and evaluates
+// each winner under all metrics (the cross matrix), then validates the
+// execution-time prediction with a wall-clock run under simulated latency.
+func runE12(w io.Writer) error {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		return err
+	}
+	metrics := cost.All()
+	t := &table{header: []string{"optimized for", "topology",
+		"execution-time", "sum", "request-response", "bottleneck", "time-to-screen"}}
+	winners := map[string]*optimizer.Result{}
+	for _, m := range metrics {
+		q, err := query.RunningExample(reg)
+		if err != nil {
+			return err
+		}
+		res, err := optimizer.Optimize(q, reg, optimizer.Options{
+			K: 10, Metric: m, Stats: plan.RunningExampleStats(), DisablePruning: true,
+		})
+		if err != nil {
+			return err
+		}
+		winners[m.Name()] = res
+		row := []string{m.Name(), res.Topology.String()}
+		for _, mm := range metrics {
+			row = append(row, f4(mm.Cost(res.Annotated)))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+
+	// Wall-clock validation: execute the execution-time winner and the
+	// request-response winner under live simulated latency; the predicted
+	// ordering must hold.
+	fmt.Fprintln(w, "\n  wall-clock validation (simulated latencies, K=5):")
+	for _, name := range []string{"execution-time", "request-response"} {
+		sys, inputs, err := core.MovieNight(7)
+		if err != nil {
+			return err
+		}
+		q, err := sys.Parse(query.RunningExampleText)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Plan(q, core.PlanOptions{K: 5, Metric: name})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		run, err := sys.Run(context.Background(), res, core.RunOptions{
+			Inputs: inputs, LiveLatency: true, Parallelism: 16,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "    %-17s topology %-14s predicted %ss  measured %v  (%d calls, %d results)\n",
+			name, res.Topology, f2(cost.ExecutionTime{}.Cost(res.Annotated)),
+			time.Since(start).Round(time.Millisecond), run.TotalCalls(), len(run.Combinations))
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command planviz emits Graphviz DOT for the chapter's worked plans and
+// for optimized plans of the built-in scenarios.
+//
+// Usage:
+//
+//	planviz -plan fig10      # the fully instantiated running-example plan
+//	planviz -plan fig3       # the Conference/Weather/Flight/Hotel plan
+//	planviz -plan optimized -scenario movienight -metric execution-time
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"seco/internal/core"
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/query"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "planviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("planviz", flag.ContinueOnError)
+	var (
+		which    = fs.String("plan", "fig10", "fig10, fig3, or optimized")
+		scenario = fs.String("scenario", "movienight", "scenario for -plan optimized")
+		metric   = fs.String("metric", "request-response", "metric for -plan optimized")
+		k        = fs.Int("k", 10, "requested combinations for -plan optimized")
+		format   = fs.String("format", "dot", "output format: dot or json")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *which {
+	case "fig10":
+		reg, err := mart.MovieScenario()
+		if err != nil {
+			return err
+		}
+		p, _, err := plan.RunningExamplePlan(reg)
+		if err != nil {
+			return err
+		}
+		a, err := plan.Annotate(p, plan.Fig10Fetches())
+		if err != nil {
+			return err
+		}
+		return render(out, *format, p, a)
+	case "fig3":
+		reg, err := mart.TravelScenario()
+		if err != nil {
+			return err
+		}
+		p, _, err := plan.TravelPlan(reg)
+		if err != nil {
+			return err
+		}
+		a, err := plan.Annotate(p, map[string]int{"F": 2, "H": 2})
+		if err != nil {
+			return err
+		}
+		return render(out, *format, p, a)
+	case "optimized":
+		var (
+			sys *core.System
+			src string
+			err error
+		)
+		switch *scenario {
+		case "movienight":
+			sys, _, err = core.MovieNight(7)
+			src = query.RunningExampleText
+		case "conftravel":
+			sys, _, err = core.ConfTravel(11)
+			src = query.TravelExampleText
+		default:
+			return fmt.Errorf("unknown scenario %q", *scenario)
+		}
+		if err != nil {
+			return err
+		}
+		q, err := sys.Parse(src)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Plan(q, core.PlanOptions{K: *k, Metric: *metric})
+		if err != nil {
+			return err
+		}
+		return render(out, *format, res.Plan, res.Annotated)
+	default:
+		return fmt.Errorf("unknown plan %q (want fig10, fig3 or optimized)", *which)
+	}
+}
+
+// render emits the plan in the requested format.
+func render(out io.Writer, format string, p *plan.Plan, a *plan.Annotated) error {
+	switch format {
+	case "dot":
+		fmt.Fprint(out, p.DOT(a))
+		return nil
+	case "json":
+		data, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(data, '\n'))
+		return err
+	default:
+		return fmt.Errorf("unknown format %q (want dot or json)", format)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanvizFig10(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-plan", "fig10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"digraph plan", "tout=100", "tout=25", "diamond"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("fig10 DOT missing %q", frag)
+		}
+	}
+}
+
+func TestPlanvizFig3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-plan", "fig3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tout=20") {
+		t.Errorf("fig3 DOT missing Conference annotation:\n%s", out.String())
+	}
+}
+
+func TestPlanvizOptimized(t *testing.T) {
+	for _, scenario := range []string{"movienight", "conftravel"} {
+		var out strings.Builder
+		if err := run([]string{"-plan", "optimized", "-scenario", scenario}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "digraph plan") {
+			t.Errorf("%s optimized DOT malformed", scenario)
+		}
+	}
+}
+
+func TestPlanvizJSONFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-plan", "fig10", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{`"k": 10`, `"interface": "Movie1"`, `"strategy"`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("JSON output missing %q", frag)
+		}
+	}
+}
+
+func TestPlanvizErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-plan", "nope"},
+		{"-plan", "optimized", "-scenario", "nope"},
+		{"-plan", "optimized", "-metric", "nope"},
+		{"-plan", "fig10", "-format", "nope"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

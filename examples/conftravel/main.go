@@ -1,0 +1,58 @@
+// Conftravel reproduces the plan of Figs. 2–3: find conferences on a
+// topic whose host city is warm (>26°C), then the cheapest flights there
+// and the best-rated hotels, joined by a parallel merge-scan. The example
+// contrasts two optimization metrics: execution time (parallelize after
+// the selective Weather stage) and request-response count.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seco/internal/core"
+	"seco/internal/query"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, metric := range []string{"execution-time", "request-response"} {
+		sys, inputs, err := core.ConfTravel(11)
+		if err != nil {
+			return err
+		}
+		q, err := sys.Parse(query.TravelExampleText)
+		if err != nil {
+			return err
+		}
+		res, err := sys.Plan(q, core.PlanOptions{K: 5, Metric: metric})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== optimized for %s ===\n", metric)
+		fmt.Printf("winning topology: %s (cost %.4g, %d plans explored, %d pruned)\n",
+			res.Topology, res.Cost, res.Explored, res.Pruned)
+
+		run, err := sys.Run(context.Background(), res, core.RunOptions{Inputs: inputs})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d combinations from %d request-responses:\n",
+			len(run.Combinations), run.TotalCalls())
+		for i, c := range run.Combinations {
+			conf := c.Components["C"]
+			f, h := c.Components["F"], c.Components["H"]
+			fmt.Printf("%d. %-18s in %-8s  flight €%-6.0f  %-16s (%.1f/10)  score %.3f\n",
+				i+1, conf.Get("Name").Str(), conf.Get("City").Str(),
+				f.Get("Price").FloatVal(), h.Get("Name").Str(),
+				h.Get("Rating").FloatVal(), c.Score)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Quickstart: define a mart, a search-service interface, load a synthetic
+// service, and run a ranked query end to end through the public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seco/internal/core"
+	"seco/internal/mart"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys := core.NewSystem()
+
+	// 1. Register a service mart: the conceptual schema of a source.
+	books := &mart.Mart{Name: "Book", Attributes: []mart.Attribute{
+		{Name: "Title", Kind: types.KindString},
+		{Name: "Topic", Kind: types.KindString},
+		{Name: "Rating", Kind: types.KindFloat},
+	}}
+	if err := sys.Registry().AddMart(books); err != nil {
+		return err
+	}
+
+	// 2. Register a service interface: Topic is an input (access
+	// limitation), Rating is the ranking measure — a search service.
+	bookSearch, err := mart.NewInterface("BookSearch", books, map[string]mart.Adornment{
+		"Topic":  mart.Input,
+		"Rating": mart.Ranked,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sys.Registry().AddInterface(bookSearch); err != nil {
+		return err
+	}
+
+	// 3. Bind a runtime service: an in-memory table returning books in
+	// rating order, chunk by chunk.
+	table, err := service.NewTable(bookSearch, service.Stats{
+		AvgCardinality: 12, ChunkSize: 5, Scoring: service.Linear(12),
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 12; i++ {
+		score := service.Linear(12).Score(i)
+		t := types.NewTuple(score)
+		t.Set("Title", types.String(fmt.Sprintf("Databases, vol. %d", i+1))).
+			Set("Topic", types.String("databases")).
+			Set("Rating", types.Float(score*5))
+		table.Add(t)
+	}
+	if err := sys.Bind(table); err != nil {
+		return err
+	}
+
+	// 4. Parse, optimize and execute a query.
+	q, err := sys.Parse(`Quickstart:
+		select BookSearch as B
+		where B.Topic = INPUT1
+		rank 1 B`)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Plan(q, core.PlanOptions{K: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Explain(res))
+
+	run, err := sys.Run(context.Background(), res, core.RunOptions{
+		Inputs: map[string]types.Value{"INPUT1": types.String("databases")},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d of %d calls:\n", len(run.Combinations), run.TotalCalls())
+	for i, c := range run.Combinations {
+		fmt.Printf("%d. %s (score %.2f)\n", i+1, c.Components["B"].Get("Title").Str(), c.Score)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Strategies renders the join-method explorations of Figs. 5–7 as ASCII
+// grids: for each invocation/completion combination it draws the order in
+// which the tiles of the search space are processed (numbers = processing
+// order, dots = never processed).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seco/internal/join"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const nx, ny = 5, 5
+	cases := []struct {
+		title string
+		strat join.Strategy
+	}{
+		{"Fig. 5a — nested loop (h=2), rectangular",
+			join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: 2}},
+		{"Fig. 5b — merge-scan 1:1, triangular",
+			join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular}},
+		{"Fig. 7 — merge-scan 1:1, rectangular (growing squares)",
+			join.Strategy{Invocation: join.MergeScan, Completion: join.Rectangular}},
+		{"merge-scan 1:2, triangular (asymmetric ratio)",
+			join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, RatioX: 1, RatioY: 2}},
+	}
+	for _, c := range cases {
+		evs, err := join.Trace(c.strat, nx, ny)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", c.title)
+		drawGrid(evs, nx, ny)
+		fmt.Println()
+	}
+	return nil
+}
+
+// drawGrid prints the tile grid with Y growing downwards (as in the
+// chapter's figures, the origin holds the best-ranked chunks).
+func drawGrid(evs []join.Event, nx, ny int) {
+	order := map[join.Tile]int{}
+	for _, t := range join.CollectTiles(evs) {
+		order[t] = len(order) + 1
+	}
+	fmt.Print("      ")
+	for x := 0; x < nx; x++ {
+		fmt.Printf("x%-3d", x)
+	}
+	fmt.Println("  (chunks of service X →)")
+	for y := 0; y < ny; y++ {
+		fmt.Printf("  y%-2d ", y)
+		for x := 0; x < nx; x++ {
+			if n, ok := order[join.Tile{X: x, Y: y}]; ok {
+				fmt.Printf("%-4d", n)
+			} else {
+				fmt.Print(".   ")
+			}
+		}
+		fmt.Println()
+	}
+	fetches := 0
+	for _, e := range evs {
+		if e.Kind == join.EventFetch {
+			fetches++
+		}
+	}
+	fmt.Printf("  %d fetches, %d tiles processed\n", fetches, len(order))
+}

@@ -1,0 +1,92 @@
+// Topkjoin contrasts the two families of join methods the chapter
+// distinguishes in Section 3.2: the approximate extraction-optimal
+// strategies of Section 4 (fast, "k good tuples" in roughly descending
+// order) against a rank join with a top-k guarantee (the method class the
+// book's next chapter develops). It prints both result lists and the
+// request-responses each paid.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seco/internal/join"
+	"seco/internal/service"
+	"seco/internal/synth"
+	"seco/internal/topk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const k = 8
+	mk := func(name string, seed int64) (*service.Table, error) {
+		return synth.NewRanked(synth.RankedConfig{
+			Name: name, N: 150, KeyMod: 15, Shuffle: true, Seed: seed,
+			Stats: service.Stats{AvgCardinality: 150, ChunkSize: 10, Scoring: service.Linear(150)},
+		})
+	}
+	xs, err := mk("X", 31)
+	if err != nil {
+		return err
+	}
+	ys, err := mk("Y", 32)
+	if err != nil {
+		return err
+	}
+	pred := join.Predicate{Conds: []join.Condition{{Left: "Key", Right: "Key"}}}
+	ctx := context.Background()
+
+	// Approximate: merge-scan + triangular, stop at the k-th emission.
+	xi, err := xs.Invoke(ctx, nil)
+	if err != nil {
+		return err
+	}
+	yi, err := ys.Invoke(ctx, nil)
+	if err != nil {
+		return err
+	}
+	var approx []float64
+	stats, err := join.Parallel(ctx, xi, yi,
+		join.Strategy{Invocation: join.MergeScan, Completion: join.Triangular, FlushOnExhaust: true},
+		pred, 0, 0, func(p join.Pair) error {
+			approx = append(approx, p.RankProduct())
+			if len(approx) >= k {
+				return join.ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extraction-optimal (approximate), %d request-responses:\n", stats.TotalFetches())
+	for i, s := range approx {
+		fmt.Printf("  %d. score %.4f\n", i+1, s)
+	}
+
+	// Guaranteed: rank join with threshold.
+	xi2, err := xs.Invoke(ctx, nil)
+	if err != nil {
+		return err
+	}
+	yi2, err := ys.Invoke(ctx, nil)
+	if err != nil {
+		return err
+	}
+	exact, exactStats, err := topk.Join(ctx, xi2, yi2, topk.Options{K: k, Predicate: pred})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrank join (guaranteed top-%d), %d request-responses:\n", k, exactStats.TotalFetches())
+	for i, r := range exact {
+		fmt.Printf("  %d. score %.4f  (X pos %v, Y pos %v)\n",
+			i+1, r.Score, r.X.Get("Pos"), r.Y.Get("Pos"))
+	}
+	fmt.Println("\nthe approximation is cheaper; the guarantee never misses a true top-k pair (§3.2).")
+	return nil
+}

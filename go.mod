@@ -1,0 +1,3 @@
+module seco
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package core is the public face of the library: a System bundles the
+// design-time registry (marts, interfaces, connection patterns), the
+// runtime services bound to each interface, and the full query-processing
+// chain — parse, analyze, check feasibility, optimize with branch and
+// bound, and execute the winning plan against the bound services.
+//
+//	sys, inputs, _ := core.MovieNight(7)
+//	q, _ := sys.Parse(query.RunningExampleText)
+//	res, _ := sys.Plan(q, core.PlanOptions{K: 10})
+//	run, _ := sys.Run(ctx, res, core.RunOptions{Inputs: inputs})
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"seco/internal/cost"
+	"seco/internal/engine"
+	"seco/internal/mart"
+	"seco/internal/optimizer"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// System is a configured Search Computing instance.
+type System struct {
+	reg      *mart.Registry
+	services map[string]service.Service // by interface name
+}
+
+// NewSystem returns an empty system with a fresh registry.
+func NewSystem() *System {
+	return &System{reg: mart.NewRegistry(), services: map[string]service.Service{}}
+}
+
+// NewSystemWith wraps an existing registry.
+func NewSystemWith(reg *mart.Registry) *System {
+	return &System{reg: reg, services: map[string]service.Service{}}
+}
+
+// Registry exposes the design-time registry for mart/pattern registration.
+func (s *System) Registry() *mart.Registry { return s.reg }
+
+// Bind attaches a runtime service to its interface. The interface must be
+// registered and the service must implement it.
+func (s *System) Bind(svc service.Service) error {
+	name := svc.Interface().Name
+	if _, ok := s.reg.Interface(name); !ok {
+		return fmt.Errorf("core: binding service for unregistered interface %q", name)
+	}
+	if _, dup := s.services[name]; dup {
+		return fmt.Errorf("core: interface %q already bound", name)
+	}
+	s.services[name] = svc
+	return nil
+}
+
+// Service returns the service bound to an interface.
+func (s *System) Service(ifaceName string) (service.Service, bool) {
+	svc, ok := s.services[ifaceName]
+	return svc, ok
+}
+
+// Parse parses and analyzes a query against the system registry.
+func (s *System) Parse(src string) (*query.Query, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Analyze(s.reg); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// PlanOptions configures optimization.
+type PlanOptions struct {
+	// K is the number of requested combinations (default 10).
+	K int
+	// Metric names the cost metric (default "request-response").
+	Metric string
+	// Heuristics select branch orderings (zero value = bound-is-better,
+	// selective-first, greedy).
+	Heuristics optimizer.Heuristics
+	// MaxPlans bounds the anytime search (0 = exhaust).
+	MaxPlans int
+	// ExploreInterfaces lets phase 1 consider every interface of each
+	// mart instead of the ones the query names.
+	ExploreInterfaces bool
+}
+
+// Plan optimizes an analyzed query into a fully instantiated plan, taking
+// service statistics from the bound services.
+func (s *System) Plan(q *query.Query, opts PlanOptions) (*optimizer.Result, error) {
+	metricName := opts.Metric
+	if metricName == "" {
+		metricName = "request-response"
+	}
+	metric, err := cost.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	byIface := map[string]service.Stats{}
+	for name, svc := range s.services {
+		byIface[name] = svc.Stats()
+	}
+	return optimizer.Optimize(q, s.reg, optimizer.Options{
+		K:                opts.K,
+		Metric:           metric,
+		Heuristics:       opts.Heuristics,
+		StatsByInterface: byIface,
+		MaxPlans:         opts.MaxPlans,
+		FixedInterfaces:  !opts.ExploreInterfaces,
+	})
+}
+
+// RunOptions configures execution.
+type RunOptions struct {
+	// Inputs binds the query's INPUT variables.
+	Inputs map[string]types.Value
+	// Parallelism bounds concurrent pipe-join invocations (default 8).
+	Parallelism int
+	// LiveLatency makes every fetch sleep the service's published
+	// latency, so wall-clock measurements reflect the cost model.
+	LiveLatency bool
+	// CacheCalls memoizes service chunks per input binding for the
+	// execution, cutting repeated pipe-join wire calls (results are
+	// unchanged).
+	CacheCalls bool
+}
+
+// Run executes an optimized plan and returns the ranked combinations.
+func (s *System) Run(ctx context.Context, res *optimizer.Result, opts RunOptions) (*engine.Run, error) {
+	e, err := s.engineFor(res, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(ctx, res.Annotated, engine.Options{
+		Inputs:      opts.Inputs,
+		Weights:     res.Query.Weights,
+		TargetK:     res.Plan.K,
+		Parallelism: opts.Parallelism,
+	})
+}
+
+// RunToK executes an optimized plan and, when the statistics-based fetch
+// assignment under-delivers (estimation error, Section 3.2's independence
+// assumptions), automatically continues the plan execution with doubled
+// fetching factors until K combinations are produced, the services are
+// exhausted, or maxRounds is hit. It returns the best K combinations
+// found and the last round's Run.
+func (s *System) RunToK(ctx context.Context, res *optimizer.Result, opts RunOptions, maxRounds int) ([]*types.Combination, *engine.Run, error) {
+	if maxRounds <= 0 {
+		maxRounds = 5
+	}
+	e, err := s.engineFor(res, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	fetches := map[string]int{}
+	for k, v := range res.Annotated.Fetches {
+		fetches[k] = v
+	}
+	k := res.Plan.K
+	var last *engine.Run
+	for round := 0; round < maxRounds; round++ {
+		a, err := plan.Annotate(res.Plan, fetches)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := e.Execute(ctx, a, engine.Options{
+			Inputs:      opts.Inputs,
+			Weights:     res.Query.Weights,
+			TargetK:     k,
+			Parallelism: opts.Parallelism,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if last != nil && len(run.Combinations) == len(last.Combinations) {
+			// No progress: the services are exhausted for this query.
+			return run.Combinations, run, nil
+		}
+		last = run
+		if len(run.Combinations) >= k {
+			return run.Combinations, run, nil
+		}
+		grew := false
+		for _, id := range res.Plan.NodeIDs() {
+			n, ok := res.Plan.Node(id)
+			if ok && n.Kind == plan.KindService && n.Stats.Chunked() {
+				f := fetches[id]
+				if f <= 0 {
+					f = 1
+				}
+				fetches[id] = f * 2
+				grew = true
+			}
+		}
+		if !grew {
+			return run.Combinations, run, nil
+		}
+	}
+	return last.Combinations, last, nil
+}
+
+// Session opens a resumable execution ("more results") over an optimized
+// plan.
+func (s *System) Session(res *optimizer.Result, opts RunOptions) (*engine.Session, error) {
+	e, err := s.engineFor(res, opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSession(e, res.Plan, res.Annotated.Fetches, engine.Options{
+		Inputs:      opts.Inputs,
+		Weights:     res.Query.Weights,
+		TargetK:     res.Plan.K,
+		Parallelism: opts.Parallelism,
+	}), nil
+}
+
+// engineFor maps the plan's aliases to bound services.
+func (s *System) engineFor(res *optimizer.Result, opts RunOptions) (*engine.Engine, error) {
+	byAlias := map[string]service.Service{}
+	caches := map[string]service.Service{} // share one cache per interface
+	for _, ref := range res.Query.Services {
+		svc, ok := s.services[ref.Interface.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: no service bound for interface %q (alias %s)",
+				ref.Interface.Name, ref.Alias)
+		}
+		if opts.CacheCalls {
+			cached, ok := caches[ref.Interface.Name]
+			if !ok {
+				cached = service.NewCache(svc)
+				caches[ref.Interface.Name] = cached
+			}
+			svc = cached
+		}
+		byAlias[ref.Alias] = svc
+	}
+	var delay func(time.Duration)
+	if opts.LiveLatency {
+		delay = time.Sleep
+	}
+	return engine.New(byAlias, delay), nil
+}
+
+// Explain renders a human-readable description of an optimization result:
+// the winning topology, its annotations and its cost.
+func (s *System) Explain(res *optimizer.Result) string {
+	return fmt.Sprintf("topology: %s\ncost: %.6g (plans explored: %d, pruned: %d)\n%s",
+		res.Topology, res.Cost, res.Explored, res.Pruned,
+		res.Plan.Describe(res.Annotated))
+}
+
+// DOT renders the optimized plan in Graphviz syntax.
+func (s *System) DOT(res *optimizer.Result) string {
+	return res.Plan.DOT(res.Annotated)
+}

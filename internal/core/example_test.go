@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seco/internal/core"
+	"seco/internal/query"
+)
+
+// The full chain on the running example: build the scenario system, parse
+// the chapter's query, optimize with branch and bound, execute, and read
+// the ranked combinations.
+func Example() {
+	sys, inputs, err := core.MovieNight(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := sys.Parse(query.RunningExampleText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Plan(q, core.PlanOptions{K: 10, Metric: "execution-time"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("topology:", res.Topology)
+	run, err := sys.Run(context.Background(), res, core.RunOptions{Inputs: inputs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("have results:", len(run.Combinations) > 0)
+	// Output:
+	// topology: (M‖T) → R
+	// have results: true
+}

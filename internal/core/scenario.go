@@ -1,0 +1,61 @@
+package core
+
+import (
+	"seco/internal/mart"
+	"seco/internal/synth"
+	"seco/internal/types"
+)
+
+// MovieNight builds a ready-to-query system for the running example: the
+// Movie/Theatre/Restaurant scenario registry with a synthetic world bound
+// to each interface. It returns the system and the canonical INPUT
+// bindings (a user in Milano looking for a recent comedy and a pizzeria).
+func MovieNight(seed int64) (*System, map[string]types.Value, error) {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		return nil, nil, err
+	}
+	world, err := synth.NewMovieWorld(reg, synth.MovieConfig{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := NewSystemWith(reg)
+	if err := sys.Bind(world.Movies); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Theatres); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Restaurants); err != nil {
+		return nil, nil, err
+	}
+	return sys, world.Inputs, nil
+}
+
+// ConfTravel builds a ready-to-query system for the Conference/Weather/
+// Flight/Hotel scenario of Figs. 2–3, returning the system and the
+// canonical INPUT bindings.
+func ConfTravel(seed int64) (*System, map[string]types.Value, error) {
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		return nil, nil, err
+	}
+	world, err := synth.NewTravelWorld(reg, synth.TravelConfig{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := NewSystemWith(reg)
+	if err := sys.Bind(world.Conferences); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Weather); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Flights); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Hotels); err != nil {
+		return nil, nil, err
+	}
+	return sys, world.Inputs, nil
+}

@@ -1,0 +1,274 @@
+// Package engine executes fully instantiated query plans against live
+// services: it walks the plan DAG, invokes services with inputs assembled
+// from constants, INPUT variables and piped upstream values, runs pipe
+// joins per incoming tuple (with concurrent service calls), runs parallel
+// joins tile by tile under the node's join strategy, applies selections,
+// and emits ranked combinations. Request-responses are counted per
+// service, and an optional delay hook simulates per-call latency so
+// wall-clock experiments can validate the execution-time cost model.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// Options configures one execution.
+type Options struct {
+	// Inputs binds the query's INPUT variables.
+	Inputs map[string]types.Value
+	// Weights is the ranking function (alias → weight); combinations are
+	// scored incrementally as components accumulate.
+	Weights map[string]float64
+	// TargetK truncates the ranked output to the best K combinations
+	// (0 = return everything the fetch factors produced).
+	TargetK int
+	// Parallelism bounds the concurrent service invocations of a pipe
+	// join (default 8).
+	Parallelism int
+}
+
+// Run is the outcome of one plan execution.
+type Run struct {
+	// Combinations are the result tuples in decreasing ranking order.
+	Combinations []*types.Combination
+	// Calls counts request-responses per alias.
+	Calls map[string]int64
+	// Produced counts the combinations each plan node emitted — the
+	// measured counterpart of the annotation engine's tout estimates.
+	Produced map[string]int
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// TotalCalls sums the per-alias request-responses.
+func (r *Run) TotalCalls() int64 {
+	var sum int64
+	for _, c := range r.Calls {
+		sum += c
+	}
+	return sum
+}
+
+// Engine executes plans against a set of services keyed by query alias.
+type Engine struct {
+	counters map[string]*service.Counter
+}
+
+// New builds an engine over the given services. The delay hook, when
+// non-nil, is invoked with the service's published latency on every fetch
+// (pass time.Sleep for live pacing, nil for as-fast-as-possible runs).
+func New(services map[string]service.Service, delay func(time.Duration)) *Engine {
+	cs := make(map[string]*service.Counter, len(services))
+	for alias, svc := range services {
+		cs[alias] = service.NewCounter(svc, delay)
+	}
+	return &Engine{counters: cs}
+}
+
+// Counter exposes the per-alias request-response counter.
+func (e *Engine) Counter(alias string) (*service.Counter, bool) {
+	c, ok := e.counters[alias]
+	return c, ok
+}
+
+// Execute runs the annotated plan and returns the ranked combinations.
+func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (*Run, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 8
+	}
+	for _, c := range e.counters {
+		c.Reset()
+	}
+	start := time.Now()
+	ex := &executor{engine: e, ann: a, opts: opts, memo: map[string][]*types.Combination{}}
+	order, err := a.Plan.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	var outID string
+	for _, id := range order {
+		if n, _ := a.Plan.Node(id); n.Kind == plan.KindOutput {
+			outID = id
+		}
+	}
+	if outID == "" {
+		return nil, fmt.Errorf("engine: plan has no output node")
+	}
+	combos, err := ex.eval(ctx, outID)
+	if err != nil {
+		return nil, err
+	}
+	ranked := append([]*types.Combination(nil), combos...)
+	for _, c := range ranked {
+		c.Rank(opts.Weights)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
+	if opts.TargetK > 0 && len(ranked) > opts.TargetK {
+		ranked = ranked[:opts.TargetK]
+	}
+	run := &Run{
+		Combinations: ranked,
+		Calls:        map[string]int64{},
+		Produced:     map[string]int{},
+		Elapsed:      time.Since(start),
+	}
+	for alias, c := range e.counters {
+		run.Calls[alias] = c.Fetches()
+	}
+	ex.mu.Lock()
+	for id, combos := range ex.memo {
+		run.Produced[id] = len(combos)
+	}
+	ex.mu.Unlock()
+	return run, nil
+}
+
+// executor evaluates plan nodes bottom-up, memoizing shared predecessors
+// (a selection node may feed several downstream services). The memo is
+// mutex-guarded because the branches of a parallel join evaluate in
+// concurrent goroutines; the branches themselves touch disjoint subgraphs
+// (shared ancestors are pre-evaluated by evalBranches).
+type executor struct {
+	engine *Engine
+	ann    *plan.Annotated
+	opts   Options
+	mu     sync.Mutex
+	memo   map[string][]*types.Combination
+}
+
+func (ex *executor) memoGet(id string) ([]*types.Combination, bool) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	got, ok := ex.memo[id]
+	return got, ok
+}
+
+func (ex *executor) memoSet(id string, out []*types.Combination) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.memo[id] = out
+}
+
+func (ex *executor) eval(ctx context.Context, id string) ([]*types.Combination, error) {
+	if got, ok := ex.memoGet(id); ok {
+		return got, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n, ok := ex.ann.Plan.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown node %q", id)
+	}
+	var (
+		out []*types.Combination
+		err error
+	)
+	switch n.Kind {
+	case plan.KindInput:
+		out = []*types.Combination{{Components: map[string]*types.Tuple{}}}
+	case plan.KindOutput:
+		out, err = ex.eval(ctx, ex.ann.Plan.Predecessors(id)[0])
+	case plan.KindSelection:
+		out, err = ex.evalSelection(ctx, id, n)
+	case plan.KindService:
+		out, err = ex.evalService(ctx, id, n)
+	case plan.KindJoin:
+		out, err = ex.evalJoin(ctx, id, n)
+	default:
+		err = fmt.Errorf("engine: unsupported node kind %v", n.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ex.memoSet(id, out)
+	return out, nil
+}
+
+func (ex *executor) evalSelection(ctx context.Context, id string, n *plan.Node) ([]*types.Combination, error) {
+	in, err := ex.eval(ctx, ex.ann.Plan.Predecessors(id)[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []*types.Combination
+	for _, c := range in {
+		keep, err := ex.satisfiesSelections(c, n.Selections)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// satisfiesSelections evaluates selection predicates on a combination with
+// existential semantics for repeating-group paths.
+func (ex *executor) satisfiesSelections(c *types.Combination, preds []query.Predicate) (bool, error) {
+	for _, p := range preds {
+		rhs, err := ex.termValue(c, p.Right)
+		if err != nil {
+			return false, err
+		}
+		t, ok := c.Components[p.Left.Alias]
+		if !ok {
+			return false, nil
+		}
+		ok, err = pathSatisfies(t, p.Left.Path, p.Op, rhs)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// pathSatisfies evaluates "path op value" on one tuple: atomic paths
+// directly, repeating-group paths existentially over the sub-tuples.
+func pathSatisfies(t *types.Tuple, path string, op types.Op, v types.Value) (bool, error) {
+	group, sub, dotted := strings.Cut(path, ".")
+	if !dotted {
+		return op.Eval(t.Get(path), v)
+	}
+	if _, isGroup := t.Groups[group]; !isGroup {
+		return op.Eval(t.Get(path), v)
+	}
+	for _, gv := range t.GroupValues(group, sub) {
+		ok, err := op.Eval(gv, v)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (ex *executor) termValue(c *types.Combination, term query.Term) (types.Value, error) {
+	switch term.Kind {
+	case query.TermConst:
+		return term.Const, nil
+	case query.TermInput:
+		v, ok := ex.opts.Inputs[term.Input]
+		if !ok {
+			return types.Null, fmt.Errorf("engine: unbound input variable %s", term.Input)
+		}
+		return v, nil
+	default:
+		return c.Get(term.Path.Alias, term.Path.Path), nil
+	}
+}

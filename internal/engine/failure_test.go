@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/service"
+	"seco/internal/synth"
+)
+
+// Failure injection: wrapping every service in Retry(Flaky(...)) must
+// produce exactly the same combinations as the clean run, despite
+// injected transient failures on the wire.
+func TestExecuteSurvivesTransientFailures(t *testing.T) {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := synth.NewMovieWorld(reg, synth.MovieConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plan.Annotate(p, plan.Fig10Fetches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Inputs: world.Inputs, Weights: q.Weights, TargetK: 10,
+		Parallelism: 1} // deterministic call interleaving for the flaky schedule
+	clean, err := New(world.Services(), nil).Execute(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flakies := map[string]*service.Flaky{}
+	wrapped := map[string]service.Service{}
+	for alias, svc := range world.Services() {
+		f := service.NewFlaky(svc, 4) // every 4th call fails transiently
+		r := service.NewRetry(f)
+		r.Sleep = func(time.Duration) {}
+		flakies[alias] = f
+		wrapped[alias] = r
+	}
+	faulty, err := New(wrapped, nil).Execute(context.Background(), a, opts)
+	if err != nil {
+		t.Fatalf("execution failed despite retries: %v", err)
+	}
+
+	injected := 0
+	for _, f := range flakies {
+		injected += f.Injected()
+	}
+	if injected == 0 {
+		t.Fatal("no failures injected; test is vacuous")
+	}
+	if len(faulty.Combinations) != len(clean.Combinations) {
+		t.Fatalf("faulty run returned %d combinations, clean %d (after %d injected failures)",
+			len(faulty.Combinations), len(clean.Combinations), injected)
+	}
+	for i := range clean.Combinations {
+		if clean.Combinations[i].String() != faulty.Combinations[i].String() {
+			t.Errorf("combination %d differs:\n clean  %s\n faulty %s",
+				i, clean.Combinations[i], faulty.Combinations[i])
+		}
+	}
+}
+
+// Ablation: caching the restaurant service cuts its wire calls, because
+// the pipe join repeatedly invokes it with recurring theatre addresses
+// (several movies show at the same theatre). Results must be identical.
+func TestCacheReducesPipeJoinWireCalls(t *testing.T) {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := synth.NewMovieWorld(reg, synth.MovieConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plan.Annotate(p, plan.Fig10Fetches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Inputs: world.Inputs, Weights: q.Weights, Parallelism: 1}
+
+	baseWire := service.NewCounter(world.Restaurants, nil)
+	baseline := map[string]service.Service{
+		"M": world.Movies, "T": world.Theatres, "R": baseWire,
+	}
+	runBase, err := New(baseline, nil).Execute(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineCalls := baseWire.Fetches()
+
+	cachedWire := service.NewCounter(world.Restaurants, nil)
+	cached := map[string]service.Service{
+		"M": world.Movies, "T": world.Theatres, "R": service.NewCache(cachedWire),
+	}
+	runCached, err := New(cached, nil).Execute(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedCalls := cachedWire.Fetches()
+
+	if len(runBase.Combinations) != len(runCached.Combinations) {
+		t.Fatalf("cache changed results: %d vs %d combinations",
+			len(runBase.Combinations), len(runCached.Combinations))
+	}
+	for i := range runBase.Combinations {
+		if runBase.Combinations[i].String() != runCached.Combinations[i].String() {
+			t.Errorf("combination %d differs under cache", i)
+		}
+	}
+	if cachedCalls >= baselineCalls {
+		t.Errorf("cache saved nothing: %d wire calls vs %d baseline", cachedCalls, baselineCalls)
+	}
+	t.Logf("wire calls: baseline %d, cached %d", baselineCalls, cachedCalls)
+}
+
+// Without retries, injected failures surface as execution errors.
+func TestExecuteFailsWithoutRetries(t *testing.T) {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := synth.NewMovieWorld(reg, synth.MovieConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plan.Annotate(p, plan.Fig10Fetches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := map[string]service.Service{}
+	for alias, svc := range world.Services() {
+		wrapped[alias] = service.NewFlaky(svc, 2)
+	}
+	_, err = New(wrapped, nil).Execute(context.Background(), a, Options{
+		Inputs: world.Inputs, Weights: q.Weights, Parallelism: 1,
+	})
+	if err == nil {
+		t.Error("execution over flaky services without retries succeeded")
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/optimizer"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/synth"
+)
+
+// A three-member parallel group — C → (F‖H‖W) — builds a left-deep join
+// tree; the engine must evaluate all three branches concurrently, apply
+// the Weather selection inside its branch, and glue the combinations on
+// the shared Conference component.
+func TestExecuteThreeWayParallelGroup(t *testing.T) {
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.TravelExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := optimizer.Topology{
+		{Group: []string{"C"}},
+		{Group: []string{"F", "H", "W"}},
+	}
+	p, err := optimizer.BuildPlan(q, top, plan.TravelStats(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two join nodes for three branches.
+	joins := 0
+	for _, id := range p.NodeIDs() {
+		if n, _ := p.Node(id); n.Kind == plan.KindJoin {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Fatalf("join nodes = %d, want 2 (left-deep tree)", joins)
+	}
+	world, err := synth.NewTravelWorld(reg, synth.TravelConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plan.Annotate(p, map[string]int{"F": 2, "H": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := New(world.Services(), nil).Execute(context.Background(), a, Options{
+		Inputs: world.Inputs, Weights: q.Weights, TargetK: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Combinations) == 0 {
+		t.Fatal("three-way group produced no combinations")
+	}
+	for _, c := range run.Combinations {
+		conf, w, f, h := c.Components["C"], c.Components["W"], c.Components["F"], c.Components["H"]
+		if conf == nil || w == nil || f == nil || h == nil {
+			t.Fatalf("incomplete combination: %v", c)
+		}
+		city := conf.Get("City").Str()
+		if w.Get("City").Str() != city || f.Get("To").Str() != city || h.Get("City").Str() != city {
+			t.Errorf("branches glued to different conferences: %v", c)
+		}
+		if temp := w.Get("AvgTemp").FloatVal(); temp <= 26 {
+			t.Errorf("in-branch selection violated: %v", temp)
+		}
+	}
+	if run.Produced["C"] == 0 || run.Produced["output"] == 0 {
+		t.Errorf("Produced map incomplete: %v", run.Produced)
+	}
+}

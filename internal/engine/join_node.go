@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"seco/internal/join"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/types"
+)
+
+// pairPred bundles the join conditions between one pair of aliases into a
+// single join.Predicate so repeating-group mappings stay consistent across
+// the pair's conditions (Section 3.1 semantics).
+type pairPred struct {
+	leftAlias, rightAlias string
+	pred                  join.Predicate
+}
+
+func (pp pairPred) otherAlias(self string) string {
+	if self == pp.leftAlias {
+		return pp.rightAlias
+	}
+	return pp.leftAlias
+}
+
+// match evaluates the predicate with self's tuple on whichever side it
+// belongs to.
+func (pp pairPred) match(self string, selfT, otherT *types.Tuple) (bool, error) {
+	if self == pp.leftAlias {
+		return pp.pred.Match(selfT, otherT)
+	}
+	return pp.pred.Match(otherT, selfT)
+}
+
+// groupJoinPreds groups a node's join predicates by alias pair.
+func groupJoinPreds(n *plan.Node) map[string]pairPred {
+	out := map[string]pairPred{}
+	for _, p := range n.JoinPreds {
+		if p.Right.Kind != query.TermPath {
+			continue
+		}
+		la, ra := p.Left.Alias, p.Right.Path.Alias
+		key := la + "|" + ra
+		pp, ok := out[key]
+		if !ok {
+			pp = pairPred{leftAlias: la, rightAlias: ra}
+		}
+		pp.pred.Conds = append(pp.pred.Conds, join.Condition{
+			Left: p.Left.Path, Op: p.Op, Right: p.Right.Path.Path,
+		})
+		out[key] = pp
+	}
+	return out
+}
+
+// matchAcross evaluates the node's pair predicates between two
+// combinations about to be joined; predicates whose aliases are not split
+// across the two sides are skipped (they were checked earlier).
+func matchAcross(cl, cr *types.Combination, preds map[string]pairPred) (bool, error) {
+	for _, pp := range preds {
+		lt, lInLeft := cl.Components[pp.leftAlias]
+		rt, rInRight := cr.Components[pp.rightAlias]
+		if lInLeft && rInRight {
+			ok, err := pp.pred.Match(lt, rt)
+			if err != nil || !ok {
+				return false, err
+			}
+			continue
+		}
+		lt2, lInRight := cr.Components[pp.leftAlias]
+		rt2, rInLeft := cl.Components[pp.rightAlias]
+		if lInRight && rInLeft {
+			ok, err := pp.pred.Match(lt2, rt2)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// evalJoin executes a parallel-join node: the two upstream combination
+// streams are re-chunked, and the node's join strategy (invocation +
+// completion) drives the tile exploration, with tile ranks taken from the
+// first combination of each chunk. Matching pairs merge into combined
+// combinations, emitted tile by tile.
+func (ex *executor) evalJoin(ctx context.Context, id string, n *plan.Node) ([]*types.Combination, error) {
+	preds := ex.ann.Plan.Predecessors(id)
+	if len(preds) != 2 {
+		return nil, fmt.Errorf("engine: join %s has %d predecessors", id, len(preds))
+	}
+	// The two branches of a parallel join are invoked concurrently — the
+	// parallel service execution the plan's topology (and the
+	// execution-time cost model) promises.
+	left, right, err := ex.evalBranches(ctx, preds[0], preds[1])
+	if err != nil {
+		return nil, err
+	}
+	chunksL := rechunk(left, ex.chunkSizeOf(preds[0]))
+	chunksR := rechunk(right, ex.chunkSizeOf(preds[1]))
+	pairPreds := groupJoinPreds(n)
+
+	explorer, err := join.NewExplorer(n.Strategy, len(chunksL), len(chunksR))
+	if err != nil {
+		return nil, err
+	}
+	explorer.SetRanker(func(t join.Tile) float64 {
+		if t.X >= len(chunksL) || t.Y >= len(chunksR) {
+			return 0
+		}
+		return chunkTop(chunksL[t.X]) * chunkTop(chunksR[t.Y])
+	})
+	nl, nr := 0, 0
+	var out []*types.Combination
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ev, ok := explorer.Next()
+		if !ok {
+			return out, nil
+		}
+		switch ev.Kind {
+		case join.EventFetch:
+			// Chunks are already materialized: a fetch just reveals the
+			// next one (or reports exhaustion).
+			if ev.Side == join.SideX {
+				if nl >= len(chunksL) {
+					explorer.ReportExhausted(join.SideX)
+				} else {
+					nl++
+				}
+			} else {
+				if nr >= len(chunksR) {
+					explorer.ReportExhausted(join.SideY)
+				} else {
+					nr++
+				}
+			}
+		case join.EventTile:
+			for _, cl := range chunksL[ev.Tile.X] {
+				for _, cr := range chunksR[ev.Tile.Y] {
+					ok, err := matchAcross(cl, cr, pairPreds)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					merged, ok := mergeBranches(cl, cr)
+					if !ok {
+						continue
+					}
+					merged.Rank(ex.opts.Weights)
+					out = append(out, merged)
+				}
+			}
+		}
+	}
+}
+
+// evalBranches evaluates the two join inputs concurrently. Ancestors
+// shared by both branches are evaluated first (once, sequentially) so the
+// two goroutines only compute disjoint subgraphs.
+func (ex *executor) evalBranches(ctx context.Context, a, b string) (left, right []*types.Combination, err error) {
+	shared := intersect(ex.ancestors(a), ex.ancestors(b))
+	for _, id := range shared {
+		if _, err := ex.eval(ctx, id); err != nil {
+			return nil, nil, err
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		errA error
+		errB error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		left, errA = ex.eval(ctx, a)
+	}()
+	go func() {
+		defer wg.Done()
+		right, errB = ex.eval(ctx, b)
+	}()
+	wg.Wait()
+	if errA != nil {
+		return nil, nil, errA
+	}
+	if errB != nil {
+		return nil, nil, errB
+	}
+	return left, right, nil
+}
+
+// ancestors returns the node plus every node it depends on.
+func (ex *executor) ancestors(id string) map[string]bool {
+	seen := map[string]bool{}
+	var walk func(string)
+	walk = func(n string) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, p := range ex.ann.Plan.Predecessors(n) {
+			walk(p)
+		}
+	}
+	walk(id)
+	return seen
+}
+
+// intersect returns the keys present in both sets, sorted for determinism.
+func intersect(a, b map[string]bool) []string {
+	var out []string
+	for k := range a {
+		if b[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeBranches merges two combinations whose branches may share upstream
+// components (both sides of the travel plan's join carry the Conference
+// and Weather tuples that fed them). Shared aliases must hold the same
+// component tuple — otherwise the pair stems from different upstream rows
+// and does not join; disjoint aliases union.
+func mergeBranches(cl, cr *types.Combination) (*types.Combination, bool) {
+	merged := &types.Combination{Components: make(map[string]*types.Tuple, len(cl.Components)+len(cr.Components))}
+	for a, t := range cl.Components {
+		merged.Components[a] = t
+	}
+	for a, t := range cr.Components {
+		if existing, shared := merged.Components[a]; shared {
+			if existing != t {
+				return nil, false
+			}
+			continue
+		}
+		merged.Components[a] = t
+	}
+	return merged, true
+}
+
+// chunkSizeOf picks the re-chunking granularity of a join input: the
+// originating service's chunk size when the predecessor is a chunked
+// service node, a default of 10 otherwise.
+func (ex *executor) chunkSizeOf(id string) int {
+	if n, ok := ex.ann.Plan.Node(id); ok && n.Kind == plan.KindService && n.Stats.Chunked() {
+		return n.Stats.ChunkSize
+	}
+	return 10
+}
+
+func rechunk(items []*types.Combination, size int) [][]*types.Combination {
+	if size <= 0 {
+		size = 10
+	}
+	var chunks [][]*types.Combination
+	for lo := 0; lo < len(items); lo += size {
+		hi := lo + size
+		if hi > len(items) {
+			hi = len(items)
+		}
+		chunks = append(chunks, items[lo:hi])
+	}
+	return chunks
+}
+
+func chunkTop(chunk []*types.Combination) float64 {
+	if len(chunk) == 0 {
+		return 0
+	}
+	return chunk[0].Score
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// evalService executes a service node. Piped services (some input value
+// arrives from upstream tuples) are invoked once per incoming combination,
+// with up to Options.Parallelism concurrent invocations — the pipe join of
+// Section 4.2.1. Services whose inputs are all constants or INPUT
+// variables are invoked exactly once and their results composed with every
+// incoming combination, filtered by the node's join predicates (sequential
+// composition).
+func (ex *executor) evalService(ctx context.Context, id string, n *plan.Node) ([]*types.Combination, error) {
+	in, err := ex.eval(ctx, ex.ann.Plan.Predecessors(id)[0])
+	if err != nil {
+		return nil, err
+	}
+	counter, ok := ex.engine.counters[n.Alias]
+	if !ok {
+		return nil, fmt.Errorf("engine: no service bound for alias %q", n.Alias)
+	}
+	fetches := ex.ann.Fetches[id]
+	if fetches <= 0 {
+		fetches = 1
+	}
+	if !n.Stats.Chunked() {
+		fetches = 1
+	}
+	fixed, err := ex.fixedInputs(n)
+	if err != nil {
+		return nil, err
+	}
+	pairPreds := groupJoinPreds(n)
+
+	if !n.PipedFrom() {
+		tuples, err := fetchTuples(ctx, counter, fixed, fetches, n.Limit)
+		if err != nil {
+			return nil, err
+		}
+		var out []*types.Combination
+		for _, c := range in {
+			for _, tu := range tuples {
+				merged, ok, err := ex.compose(c, n.Alias, tu, pairPreds)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, merged)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Pipe join: one invocation per upstream combination, concurrently,
+	// preserving upstream (ranking) order in the output.
+	results := make([][]*types.Combination, len(in))
+	errs := make([]error, len(in))
+	sem := make(chan struct{}, ex.opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, c := range in {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c *types.Combination) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = ex.pipeOne(ctx, n, counter, fixed, fetches, c, pairPreds)
+		}(i, c)
+	}
+	wg.Wait()
+	var out []*types.Combination
+	for i := range in {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+// pipeOne performs one piped invocation for an upstream combination.
+func (ex *executor) pipeOne(ctx context.Context, n *plan.Node, counter *service.Counter,
+	fixed service.Input, fetches int, c *types.Combination, pairPreds map[string]pairPred) ([]*types.Combination, error) {
+
+	inBinding := fixed.Clone()
+	if inBinding == nil {
+		inBinding = service.Input{}
+	}
+	for _, b := range n.Bindings {
+		if b.Source.Kind != query.BindJoin {
+			continue
+		}
+		v := c.Get(b.Source.From.Alias, b.Source.From.Path)
+		if v.IsNull() {
+			return nil, fmt.Errorf("engine: pipe into %s: upstream %s has no value",
+				n.Alias, b.Source.From)
+		}
+		inBinding[b.Path] = v
+	}
+	tuples, err := fetchTuples(ctx, counter, inBinding, fetches, n.Limit)
+	if err != nil {
+		return nil, err
+	}
+	var out []*types.Combination
+	for _, tu := range tuples {
+		merged, ok, err := ex.compose(c, n.Alias, tu, pairPreds)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, merged)
+		}
+	}
+	return out, nil
+}
+
+// fixedInputs assembles the constant and INPUT-variable bindings of a
+// service node.
+func (ex *executor) fixedInputs(n *plan.Node) (service.Input, error) {
+	fixed := service.Input{}
+	for _, b := range n.Bindings {
+		switch b.Source.Kind {
+		case query.BindConst:
+			fixed[b.Path] = b.Source.Const
+		case query.BindInput:
+			v, ok := ex.opts.Inputs[b.Source.Input]
+			if !ok {
+				return nil, fmt.Errorf("engine: unbound input variable %s (service %s)",
+					b.Source.Input, n.Alias)
+			}
+			fixed[b.Path] = v
+		}
+	}
+	return fixed, nil
+}
+
+// fetchTuples invokes the service once and drains up to maxFetches chunks
+// (all chunks when the service is unchunked), keeping at most limit tuples
+// when limit > 0.
+func fetchTuples(ctx context.Context, svc service.Service, in service.Input, maxFetches, limit int) ([]*types.Tuple, error) {
+	inv, err := svc.Invoke(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	var tuples []*types.Tuple
+	chunked := svc.Stats().Chunked()
+	for f := 0; ; f++ {
+		if chunked && f >= maxFetches {
+			break
+		}
+		chunk, err := inv.Fetch(ctx)
+		if errors.Is(err, service.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tuples = append(tuples, chunk.Tuples...)
+		if limit > 0 && len(tuples) >= limit {
+			tuples = tuples[:limit]
+			break
+		}
+		if !chunked {
+			break
+		}
+	}
+	return tuples, nil
+}
+
+// compose merges a new component into a combination, checks the node's
+// join predicates against the already-present components, and scores the
+// result incrementally.
+func (ex *executor) compose(c *types.Combination, alias string, tu *types.Tuple, preds map[string]pairPred) (*types.Combination, bool, error) {
+	for _, pp := range preds {
+		other, ok := c.Components[pp.otherAlias(alias)]
+		if !ok {
+			continue // the peer component joins later in the plan
+		}
+		ok, err := pp.match(alias, tu, other)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	merged := c.Merge(types.NewCombination(alias, tu))
+	merged.Rank(ex.opts.Weights)
+	return merged, true, nil
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"seco/internal/plan"
+	"seco/internal/types"
+)
+
+// Session implements the liquid-query interaction of Section 3.2: a user
+// receives the first K combinations and can repeatedly ask for "more
+// results of the same query", which continues the plan execution by
+// increasing the fetching factors of the chunked services and returning
+// only combinations not seen before.
+type Session struct {
+	engine  *Engine
+	base    *plan.Plan
+	opts    Options
+	fetches map[string]int
+	seen    map[string]bool
+	calls   int
+}
+
+// NewSession prepares a resumable execution of the plan with the given
+// initial fetching factors (nil = the factors of the plan's first
+// annotation, i.e. 1 per chunked service).
+func NewSession(e *Engine, p *plan.Plan, fetches map[string]int, opts Options) *Session {
+	f := map[string]int{}
+	for k, v := range fetches {
+		f[k] = v
+	}
+	return &Session{engine: e, base: p, opts: opts, fetches: f, seen: map[string]bool{}}
+}
+
+// Next executes (or continues) the query and returns the next batch of at
+// most Options.TargetK new combinations in ranking order. Each call after
+// the first doubles the fetching factors of every chunked service before
+// re-executing, so deeper regions of the search space are explored. An
+// empty batch means the services are exhausted.
+func (s *Session) Next(ctx context.Context) ([]*types.Combination, error) {
+	if s.calls > 0 {
+		for _, id := range s.base.NodeIDs() {
+			n, _ := s.base.Node(id)
+			if n.Kind == plan.KindService && n.Stats.Chunked() {
+				f := s.fetches[id]
+				if f <= 0 {
+					f = 1
+				}
+				s.fetches[id] = f * 2
+			}
+		}
+	}
+	s.calls++
+	ann, err := plan.Annotate(s.base, s.fetches)
+	if err != nil {
+		return nil, err
+	}
+	runOpts := s.opts
+	runOpts.TargetK = 0 // rank and truncate here, after dedup
+	run, err := s.engine.Execute(ctx, ann, runOpts)
+	if err != nil {
+		return nil, err
+	}
+	var fresh []*types.Combination
+	for _, c := range run.Combinations {
+		key := comboKey(c)
+		if s.seen[key] {
+			continue
+		}
+		s.seen[key] = true
+		fresh = append(fresh, c)
+	}
+	sort.SliceStable(fresh, func(i, j int) bool { return fresh[i].Score > fresh[j].Score })
+	if s.opts.TargetK > 0 && len(fresh) > s.opts.TargetK {
+		fresh = fresh[:s.opts.TargetK]
+	}
+	return fresh, nil
+}
+
+// comboKey is a stable identity for deduplication across re-executions.
+func comboKey(c *types.Combination) string {
+	var b strings.Builder
+	for _, a := range c.Aliases() {
+		b.WriteString(a)
+		b.WriteByte('=')
+		b.WriteString(c.Components[a].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package join
+
+import "fmt"
+
+// Clock regulates the alternation of service calls according to an
+// inter-service ratio, the control unit the chapter defers to Chapter 12:
+// "units for controlling the execution strategy, called clocks, whose
+// function is to regulate service calls based upon the inter-service
+// ratio". A Clock with ratio rx:ry proposes sides so that after any
+// prefix the issued calls per side deviate from the exact ratio by less
+// than one call (a Bresenham interleave), starting with X so the first
+// two calls alternate.
+//
+// The ratio can be retuned mid-run (the "variable inter-service ratio" of
+// Section 4.3.2): SetRatio keeps the call history and re-balances future
+// proposals against it.
+type Clock struct {
+	rx, ry int
+	nx, ny int
+}
+
+// NewClock builds a clock with the given ratio; non-positive components
+// default to 1.
+func NewClock(rx, ry int) *Clock {
+	if rx <= 0 {
+		rx = 1
+	}
+	if ry <= 0 {
+		ry = 1
+	}
+	return &Clock{rx: rx, ry: ry}
+}
+
+// Ratio returns the current inter-service ratio.
+func (c *Clock) Ratio() (rx, ry int) { return c.rx, c.ry }
+
+// SetRatio retunes the clock; the call history is kept.
+func (c *Clock) SetRatio(rx, ry int) error {
+	if rx <= 0 || ry <= 0 {
+		return fmt.Errorf("join: invalid clock ratio %d:%d", rx, ry)
+	}
+	c.rx, c.ry = rx, ry
+	return nil
+}
+
+// Calls reports the calls issued per side so far.
+func (c *Clock) Calls() (nx, ny int) { return c.nx, c.ny }
+
+// Propose returns the side the next call should go to, without recording
+// it: X when nx/rx has not overtaken ny/ry (ties go to X).
+func (c *Clock) Propose() Side {
+	if c.nx*c.ry <= c.ny*c.rx {
+		return SideX
+	}
+	return SideY
+}
+
+// Tick records one call on the given side.
+func (c *Clock) Tick(side Side) {
+	if side == SideX {
+		c.nx++
+	} else {
+		c.ny++
+	}
+}
+
+// Untick rolls back one recorded call (a fetch that found the service
+// exhausted).
+func (c *Clock) Untick(side Side) {
+	if side == SideX && c.nx > 0 {
+		c.nx--
+	} else if side == SideY && c.ny > 0 {
+		c.ny--
+	}
+}
+
+// Next proposes and records in one step.
+func (c *Clock) Next() Side {
+	s := c.Propose()
+	c.Tick(s)
+	return s
+}
+
+// RatioFromCosts derives a merge-scan inter-service ratio from per-call
+// costs (latency or price), realizing the chapter's forward reference to
+// "merge-scan with variable inter-service ratios, based upon service
+// costs": the cheaper service is called proportionally more often,
+// rx:ry ≈ costY:costX, approximated by the best small-integer ratio with
+// components at most maxComponent (default 6 when ≤ 0). Non-positive
+// costs fall back to 1:1.
+func RatioFromCosts(costX, costY float64, maxComponent int) (rx, ry int) {
+	if maxComponent <= 0 {
+		maxComponent = 6
+	}
+	if costX <= 0 || costY <= 0 {
+		return 1, 1
+	}
+	target := costY / costX // desired rx/ry
+	bestRX, bestRY := 1, 1
+	bestErr := absFloat(target - 1)
+	for p := 1; p <= maxComponent; p++ {
+		for q := 1; q <= maxComponent; q++ {
+			if e := absFloat(target - float64(p)/float64(q)); e < bestErr {
+				bestRX, bestRY, bestErr = p, q, e
+			}
+		}
+	}
+	g := gcd(bestRX, bestRY)
+	return bestRX / g, bestRY / g
+}
+
+func absFloat(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Drift measures how far the call history deviates from the exact ratio:
+// |nx·ry − ny·rx| normalized by max(rx, ry). A well-regulated clock keeps
+// drift at most 1 (within one call of the exact ratio).
+func (c *Clock) Drift() float64 {
+	d := c.nx*c.ry - c.ny*c.rx
+	if d < 0 {
+		d = -d
+	}
+	m := c.rx
+	if c.ry > m {
+		m = c.ry
+	}
+	return float64(d) / float64(m)
+}

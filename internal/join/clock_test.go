@@ -1,0 +1,93 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAlternatesAtUnitRatio(t *testing.T) {
+	c := NewClock(1, 1)
+	want := []Side{SideX, SideY, SideX, SideY, SideX, SideY}
+	for i, w := range want {
+		if got := c.Next(); got != w {
+			t.Fatalf("call %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestClockHonoursRatio(t *testing.T) {
+	c := NewClock(3, 5)
+	xs, ys := 0, 0
+	for i := 0; i < 80; i++ {
+		if c.Next() == SideX {
+			xs++
+		} else {
+			ys++
+		}
+	}
+	// 80 calls at ratio 3:5 → 30 X and 50 Y.
+	if xs != 30 || ys != 50 {
+		t.Errorf("calls %d:%d, want 30:50", xs, ys)
+	}
+}
+
+func TestClockDefaultsAndAccessors(t *testing.T) {
+	c := NewClock(0, -2)
+	if rx, ry := c.Ratio(); rx != 1 || ry != 1 {
+		t.Errorf("defaults = %d:%d", rx, ry)
+	}
+	c.Tick(SideX)
+	c.Tick(SideY)
+	if nx, ny := c.Calls(); nx != 1 || ny != 1 {
+		t.Errorf("Calls = %d,%d", nx, ny)
+	}
+	c.Untick(SideX)
+	if nx, _ := c.Calls(); nx != 0 {
+		t.Errorf("Untick failed: %d", nx)
+	}
+	c.Untick(SideX) // no-op below zero
+	if nx, _ := c.Calls(); nx != 0 {
+		t.Errorf("Untick went negative: %d", nx)
+	}
+}
+
+func TestClockSetRatio(t *testing.T) {
+	c := NewClock(1, 1)
+	if err := c.SetRatio(0, 1); err == nil {
+		t.Error("invalid ratio accepted")
+	}
+	// Retune mid-run: after 4 balanced calls switch to 1:3.
+	for i := 0; i < 4; i++ {
+		c.Next()
+	}
+	if err := c.SetRatio(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	ys := 0
+	for i := 0; i < 8; i++ {
+		if c.Next() == SideY {
+			ys++
+		}
+	}
+	if ys < 6 {
+		t.Errorf("after retuning to 1:3, only %d/8 calls went to Y", ys)
+	}
+}
+
+// The drift of a regulated clock never exceeds 1: the interleave stays
+// within one call of the exact ratio.
+func TestClockDriftBoundedProperty(t *testing.T) {
+	f := func(rx, ry uint8, steps uint8) bool {
+		c := NewClock(int(rx%7)+1, int(ry%7)+1)
+		for i := 0; i < int(steps); i++ {
+			c.Next()
+			if c.Drift() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

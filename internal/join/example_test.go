@@ -1,0 +1,39 @@
+package join_test
+
+import (
+	"fmt"
+	"log"
+
+	"seco/internal/join"
+)
+
+// Tracing the merge-scan / triangular strategy of Fig. 5b over a 3×3
+// search space: fetches alternate and tiles are processed diagonally.
+func ExampleTrace() {
+	evs, err := join.Trace(join.Strategy{
+		Invocation: join.MergeScan,
+		Completion: join.Triangular,
+	}, 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range evs {
+		fmt.Print(e, " ")
+	}
+	fmt.Println()
+	// Output:
+	// fetch X fetch Y t(0,0) fetch X t(1,0) fetch Y t(0,1) fetch X t(2,0) t(1,1) fetch Y t(0,2)
+}
+
+// A clock regulating a 1:2 inter-service ratio (Chapter 12's control
+// unit): one X call for every two Y calls, within one call of the exact
+// ratio at every prefix.
+func ExampleClock() {
+	c := join.NewClock(1, 2)
+	for i := 0; i < 6; i++ {
+		fmt.Print(c.Next(), " ")
+	}
+	fmt.Println()
+	// Output:
+	// X Y Y X Y Y
+}

@@ -1,0 +1,152 @@
+package join
+
+// This file implements the extraction-optimality notions of Section 4.1.
+// A join strategy is extraction-optimal if it produces results in
+// decreasing order of the rank product ρX·ρY. The notion extends to tiles
+// by taking the ranking of the first tuple of each chunk as the tile's
+// representative, and comes in a global sense (relative to all tiles of
+// the search space) and a local sense (relative to the tiles already
+// available when each extraction happens).
+
+// TileRanker supplies the representative rank of each chunk: the score of
+// its first (best) tuple.
+type TileRanker struct {
+	// TopX[i] is the representative score of chunk i of service X;
+	// likewise TopY for Y. Both must be non-increasing.
+	TopX, TopY []float64
+}
+
+// Rank returns the representative rank product of a tile.
+func (r TileRanker) Rank(t Tile) float64 {
+	if t.X >= len(r.TopX) || t.Y >= len(r.TopY) {
+		return 0
+	}
+	return r.TopX[t.X] * r.TopY[t.Y]
+}
+
+// IsGloballyOptimal reports whether the tile emission order is
+// extraction-optimal in the global sense: every emitted tile has a rank at
+// least as high as every tile emitted after it AND at least as high as
+// every tile of the full gridX×gridY space that was never emitted.
+func IsGloballyOptimal(order []Tile, r TileRanker, gridX, gridY int) bool {
+	if !IsRankSorted(order, r) {
+		return false
+	}
+	emitted := make(map[Tile]bool, len(order))
+	minEmitted := 1.0
+	for _, t := range order {
+		emitted[t] = true
+		if v := r.Rank(t); v < minEmitted {
+			minEmitted = v
+		}
+	}
+	if len(order) == 0 {
+		minEmitted = 0
+	}
+	for x := 0; x < gridX; x++ {
+		for y := 0; y < gridY; y++ {
+			t := Tile{X: x, Y: y}
+			if !emitted[t] && r.Rank(t) > minEmitted {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsLocallyOptimal reports whether the event stream is extraction-optimal
+// in the local sense: whenever a tile is processed, no other available
+// (fetched on both sides) and still unprocessed tile has a strictly higher
+// representative rank.
+func IsLocallyOptimal(events []Event, r TileRanker) bool {
+	nx, ny := 0, 0
+	processed := make(map[Tile]bool)
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventFetch:
+			if ev.Side == SideX {
+				nx++
+			} else {
+				ny++
+			}
+		case EventTile:
+			rank := r.Rank(ev.Tile)
+			for x := 0; x < nx; x++ {
+				for y := 0; y < ny; y++ {
+					t := Tile{X: x, Y: y}
+					if !processed[t] && r.Rank(t) > rank {
+						return false
+					}
+				}
+			}
+			processed[ev.Tile] = true
+		}
+	}
+	return true
+}
+
+// IsRankSorted reports whether the tile order has non-increasing
+// representative ranks.
+func IsRankSorted(order []Tile, r TileRanker) bool {
+	for i := 1; i < len(order); i++ {
+		if r.Rank(order[i]) > r.Rank(order[i-1])+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Inversions counts the pairs of emitted tiles that are out of rank order:
+// the Kendall-tau distance between the emission order and an ideal
+// descending-rank order. Zero means extraction-optimal emission.
+func Inversions(order []Tile, r TileRanker) int {
+	inv := 0
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if r.Rank(order[j]) > r.Rank(order[i])+1e-12 {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+// CollectTiles extracts the tile events from an event stream, preserving
+// order.
+func CollectTiles(events []Event) []Tile {
+	var ts []Tile
+	for _, ev := range events {
+		if ev.Kind == EventTile {
+			ts = append(ts, ev.Tile)
+		}
+	}
+	return ts
+}
+
+// Trace runs an explorer to completion against idealized services that
+// never exhaust within the given limits, returning the full event stream.
+// It is the workhorse of the figure-trace tests. Tiles are processed in
+// geometric (diagonal) order, as no rankings are observed.
+func Trace(s Strategy, limitX, limitY int) ([]Event, error) {
+	return TraceRanked(s, limitX, limitY, nil)
+}
+
+// TraceRanked is Trace with an observed tile ranker, making the explorer
+// process admitted tiles in decreasing representative rank.
+func TraceRanked(s Strategy, limitX, limitY int, rank func(Tile) float64) ([]Event, error) {
+	ex, err := NewExplorer(s, limitX, limitY)
+	if err != nil {
+		return nil, err
+	}
+	if rank != nil {
+		ex.SetRanker(rank)
+	}
+	var evs []Event
+	for {
+		ev, ok := ex.Next()
+		if !ok {
+			return evs, nil
+		}
+		evs = append(evs, ev)
+	}
+}

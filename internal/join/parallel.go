@@ -1,0 +1,139 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// ErrStop is returned by an emit callback to end a join early (typically
+// because the k-th result has been produced); executors treat it as a
+// clean termination.
+var ErrStop = errors.New("join: stop requested")
+
+// Pair is one joined result: the X tuple, the Y tuple and the tile that
+// produced them. RankProduct is ρX·ρY, the quantity extraction-optimal
+// strategies emit in decreasing order.
+type Pair struct {
+	X, Y *types.Tuple
+	Tile Tile
+}
+
+// RankProduct returns the product of the component scores.
+func (p Pair) RankProduct() float64 { return p.X.Score * p.Y.Score }
+
+// EmitFunc receives joined pairs; returning ErrStop ends the join early,
+// any other error aborts it.
+type EmitFunc func(Pair) error
+
+// RunStats reports what a parallel join run actually did.
+type RunStats struct {
+	// FetchesX and FetchesY count the request-responses per side.
+	FetchesX, FetchesY int
+	// Tiles counts processed tiles, Comparisons the evaluated pairs and
+	// Matches the emitted results.
+	Tiles, Comparisons, Matches int
+	// Stopped reports whether the emit callback requested an early stop.
+	Stopped bool
+}
+
+// TotalFetches is the request-response count of the run.
+func (rs RunStats) TotalFetches() int { return rs.FetchesX + rs.FetchesY }
+
+// Parallel executes a parallel join between two live invocations following
+// the given strategy, emitting matching pairs tile by tile. limitX/limitY
+// cap the fetches per side (the plan's fetching factors; 0 = unbounded,
+// which requires at least one service to be finite).
+func Parallel(ctx context.Context, sx, sy service.Invocation, strat Strategy,
+	pred Predicate, limitX, limitY int, emit EmitFunc) (RunStats, error) {
+
+	ex, err := NewExplorer(strat, limitX, limitY)
+	if err != nil {
+		return RunStats{}, err
+	}
+	var (
+		chunksX, chunksY [][]*types.Tuple
+		topX, topY       []float64
+		stats            RunStats
+	)
+	// The representative rank of a tile is the score product of the first
+	// tuples of its chunks (Section 4.1); the explorer uses it to process
+	// admitted tiles in locally extraction-optimal order.
+	ex.SetRanker(func(t Tile) float64 {
+		if t.X >= len(topX) || t.Y >= len(topY) {
+			return 0
+		}
+		return topX[t.X] * topY[t.Y]
+	})
+	fetch := func(side Side) error {
+		inv := sx
+		if side == SideY {
+			inv = sy
+		}
+		chunk, err := inv.Fetch(ctx)
+		if errors.Is(err, service.ErrExhausted) {
+			ex.ReportExhausted(side)
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("join: fetching %s: %w", side, err)
+		}
+		if len(chunk.Tuples) == 0 {
+			// An empty chunk carries no join work and, for unchunked
+			// services, signals an empty result; treat as exhaustion.
+			ex.ReportExhausted(side)
+			return nil
+		}
+		if side == SideX {
+			chunksX = append(chunksX, chunk.Tuples)
+			topX = append(topX, chunk.Tuples[0].Score)
+			stats.FetchesX++
+		} else {
+			chunksY = append(chunksY, chunk.Tuples)
+			topY = append(topY, chunk.Tuples[0].Score)
+			stats.FetchesY++
+		}
+		return nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		ev, ok := ex.Next()
+		if !ok {
+			return stats, nil
+		}
+		switch ev.Kind {
+		case EventFetch:
+			if err := fetch(ev.Side); err != nil {
+				return stats, err
+			}
+		case EventTile:
+			stats.Tiles++
+			cx, cy := chunksX[ev.Tile.X], chunksY[ev.Tile.Y]
+			for _, xt := range cx {
+				for _, yt := range cy {
+					stats.Comparisons++
+					ok, err := pred.Match(xt, yt)
+					if err != nil {
+						return stats, err
+					}
+					if !ok {
+						continue
+					}
+					stats.Matches++
+					if err := emit(Pair{X: xt, Y: yt, Tile: ev.Tile}); err != nil {
+						if errors.Is(err, ErrStop) {
+							stats.Stopped = true
+							return stats, nil
+						}
+						return stats, err
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// rankedService builds a chunked search Table over a one-attribute schema:
+// n tuples keyed Key=i%mod (so joins hit when keys are equal), scored by
+// the given scoring function.
+func rankedService(t testing.TB, name string, n, mod, chunk int, sc service.Scoring) *service.Table {
+	t.Helper()
+	m := &mart.Mart{Name: name, Attributes: []mart.Attribute{
+		{Name: "Key", Kind: types.KindInt},
+		{Name: "Pos", Kind: types.KindInt},
+	}}
+	si, err := mart.NewInterface(name+"1", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := service.NewTable(si, service.Stats{
+		AvgCardinality: float64(n), ChunkSize: chunk, Scoring: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tu := types.NewTuple(sc.Score(i))
+		tu.Set("Key", types.Int(int64(i%mod))).Set("Pos", types.Int(int64(i)))
+		tab.Add(tu)
+	}
+	return tab
+}
+
+func invokeAll(t testing.TB, svc service.Service) service.Invocation {
+	t.Helper()
+	inv, err := svc.Invoke(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func keyEqPredicate() Predicate {
+	return Predicate{Conds: []Condition{{Left: "Key", Op: types.OpEq, Right: "Key"}}}
+}
+
+// referenceJoin computes the full cross join matches for comparison.
+func referenceJoin(t testing.TB, a, b *service.Table, pred Predicate) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	ia, ib := invokeAll(t, a), invokeAll(t, b)
+	var as, bs []*types.Tuple
+	for {
+		c, err := ia.Fetch(context.Background())
+		if err != nil {
+			break
+		}
+		as = append(as, c.Tuples...)
+	}
+	for {
+		c, err := ib.Fetch(context.Background())
+		if err != nil {
+			break
+		}
+		bs = append(bs, c.Tuples...)
+	}
+	for _, x := range as {
+		for _, y := range bs {
+			ok, err := pred.Match(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				want[pairKey(x, y)] = true
+			}
+		}
+	}
+	return want
+}
+
+func pairKey(x, y *types.Tuple) string {
+	return fmt.Sprintf("%d-%d", x.Get("Pos").IntVal(), y.Get("Pos").IntVal())
+}
+
+// Every strategy with full coverage (rectangular, or triangular with
+// flush) must produce exactly the reference join result set.
+func TestParallelMatchesReferenceJoin(t *testing.T) {
+	a := rankedService(t, "A", 12, 4, 3, service.Linear(12))
+	b := rankedService(t, "B", 8, 4, 2, service.Linear(8))
+	pred := keyEqPredicate()
+	want := referenceJoin(t, a, b, pred)
+	if len(want) == 0 {
+		t.Fatal("reference join empty; test is vacuous")
+	}
+	strategies := []Strategy{
+		{Invocation: MergeScan, Completion: Rectangular},
+		{Invocation: MergeScan, Completion: Rectangular, RatioX: 2, RatioY: 1},
+		{Invocation: NestedLoop, Completion: Rectangular, H: 4},
+		{Invocation: MergeScan, Completion: Triangular, FlushOnExhaust: true},
+		{Invocation: NestedLoop, Completion: Triangular, H: 4, FlushOnExhaust: true},
+	}
+	for _, s := range strategies {
+		got := map[string]bool{}
+		stats, err := Parallel(context.Background(), invokeAll(t, a), invokeAll(t, b),
+			s, pred, 0, 0, func(p Pair) error {
+				got[pairKey(p.X, p.Y)] = true
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%v: %d matches, want %d", s, len(got), len(want))
+			continue
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%v: missing pair %s", s, k)
+			}
+		}
+		if stats.Matches != len(want) {
+			t.Errorf("%v: stats.Matches = %d, want %d", s, stats.Matches, len(want))
+		}
+	}
+}
+
+func TestParallelEarlyStop(t *testing.T) {
+	a := rankedService(t, "A", 12, 2, 3, service.Linear(12))
+	b := rankedService(t, "B", 12, 2, 3, service.Linear(12))
+	count := 0
+	stats, err := Parallel(context.Background(), invokeAll(t, a), invokeAll(t, b),
+		Strategy{Invocation: MergeScan, Completion: Rectangular}, keyEqPredicate(),
+		0, 0, func(Pair) error {
+			count++
+			if count >= 5 {
+				return ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Stopped || count != 5 {
+		t.Errorf("stopped=%v count=%d", stats.Stopped, count)
+	}
+	if stats.TotalFetches() >= 8 {
+		t.Errorf("early stop still fetched %d chunks", stats.TotalFetches())
+	}
+}
+
+func TestParallelFetchLimits(t *testing.T) {
+	a := rankedService(t, "A", 12, 2, 2, service.Linear(12))
+	b := rankedService(t, "B", 12, 2, 2, service.Linear(12))
+	stats, err := Parallel(context.Background(), invokeAll(t, a), invokeAll(t, b),
+		Strategy{Invocation: MergeScan, Completion: Rectangular}, keyEqPredicate(),
+		2, 3, func(Pair) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FetchesX != 2 || stats.FetchesY != 3 {
+		t.Errorf("fetches %d/%d, want 2/3", stats.FetchesX, stats.FetchesY)
+	}
+	if stats.Tiles != 6 {
+		t.Errorf("tiles = %d, want 6", stats.Tiles)
+	}
+	if stats.Comparisons != 6*4 {
+		t.Errorf("comparisons = %d, want 24", stats.Comparisons)
+	}
+}
+
+func TestParallelExhaustionHandled(t *testing.T) {
+	a := rankedService(t, "A", 3, 2, 2, service.Linear(3)) // 2 chunks then exhausted
+	b := rankedService(t, "B", 8, 2, 2, service.Linear(8))
+	stats, err := Parallel(context.Background(), invokeAll(t, a), invokeAll(t, b),
+		Strategy{Invocation: MergeScan, Completion: Rectangular}, keyEqPredicate(),
+		0, 0, func(Pair) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FetchesX != 2 {
+		t.Errorf("FetchesX = %d, want 2", stats.FetchesX)
+	}
+	if stats.FetchesY != 4 {
+		t.Errorf("FetchesY = %d, want 4", stats.FetchesY)
+	}
+	if stats.Tiles != 8 {
+		t.Errorf("tiles = %d, want 8", stats.Tiles)
+	}
+}
+
+func TestParallelContextCancel(t *testing.T) {
+	a := rankedService(t, "A", 4, 2, 2, service.Linear(4))
+	b := rankedService(t, "B", 4, 2, 2, service.Linear(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	ia, ib := invokeAll(t, a), invokeAll(t, b)
+	cancel()
+	if _, err := Parallel(ctx, ia, ib,
+		Strategy{Invocation: MergeScan, Completion: Rectangular}, keyEqPredicate(),
+		0, 0, func(Pair) error { return nil }); err == nil {
+		t.Error("cancelled join succeeded")
+	}
+}
+
+// Merge-scan with triangular completion emits tiles whose representative
+// rank products are non-increasing (extraction-optimal emission) when both
+// score curves decay identically.
+func TestParallelMergeScanTriangularEmissionOrder(t *testing.T) {
+	a := rankedService(t, "A", 12, 1, 3, service.Linear(12))
+	b := rankedService(t, "B", 12, 1, 3, service.Linear(12))
+	lastRank := math.Inf(1)
+	var lastTile Tile
+	first := true
+	_, err := Parallel(context.Background(), invokeAll(t, a), invokeAll(t, b),
+		Strategy{Invocation: MergeScan, Completion: Triangular}, Predicate{},
+		0, 0, func(p Pair) error {
+			if !first && p.Tile != lastTile {
+				// New tile: its best pair rank must not exceed the
+				// previous tile's best pair rank.
+				if p.RankProduct() > lastRank+1e-9 {
+					t.Errorf("tile %v rank %v above previous %v", p.Tile, p.RankProduct(), lastRank)
+				}
+				lastRank = p.RankProduct()
+			}
+			if first {
+				lastRank = p.RankProduct()
+				first = false
+			}
+			lastTile = p.Tile
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// Binding maps an output path of the upstream (left) tuple to an input
+// path of the downstream (right) service: the data-shipping step of a pipe
+// join (Section 4.2.1).
+type Binding struct {
+	// FromPath is read on the left tuple.
+	FromPath string
+	// ToInput is the input attribute of the right service it feeds.
+	ToInput string
+}
+
+// PipeStats reports the work of a pipe-join run.
+type PipeStats struct {
+	// Invocations counts right-service invocations (one per left tuple).
+	Invocations int
+	// Fetches counts right-service request-responses.
+	Fetches int
+	// Matches counts emitted pairs.
+	Matches int
+	// Stopped reports an early stop via ErrStop.
+	Stopped bool
+}
+
+// Pipe executes a pipe join: for every left tuple it invokes the right
+// service with inputs assembled from fixed bindings plus per-tuple piped
+// bindings, fetches up to fetches chunks (0 = all) and emits the composed
+// pairs. Pipe joins correspond to nested loops with rectangular completion
+// (Section 4.5): each left tuple drives the same number of fetches on the
+// right service.
+//
+// The emitted Pair carries the left tuple as X and the right tuple as Y,
+// with Tile{X: leftIndex, Y: chunkIndex}.
+func Pipe(ctx context.Context, left []*types.Tuple, right service.Service,
+	fixed service.Input, bindings []Binding, fetches int, emit EmitFunc) (PipeStats, error) {
+
+	var stats PipeStats
+	for li, lt := range left {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		in := fixed.Clone()
+		if in == nil {
+			in = make(service.Input, len(bindings))
+		}
+		for _, b := range bindings {
+			v := lt.Get(b.FromPath)
+			if v.IsNull() {
+				return stats, fmt.Errorf("join: pipe binding %s→%s: left tuple has no value", b.FromPath, b.ToInput)
+			}
+			in[b.ToInput] = v
+		}
+		inv, err := right.Invoke(ctx, in)
+		if err != nil {
+			return stats, fmt.Errorf("join: pipe invoking %s: %w", right.Interface().Name, err)
+		}
+		stats.Invocations++
+		for f := 0; fetches <= 0 || f < fetches; f++ {
+			chunk, err := inv.Fetch(ctx)
+			if errors.Is(err, service.ErrExhausted) {
+				break
+			}
+			if err != nil {
+				return stats, fmt.Errorf("join: pipe fetching %s: %w", right.Interface().Name, err)
+			}
+			stats.Fetches++
+			for _, rt := range chunk.Tuples {
+				stats.Matches++
+				if err := emit(Pair{X: lt, Y: rt, Tile: Tile{X: li, Y: chunk.Index}}); err != nil {
+					if errors.Is(err, ErrStop) {
+						stats.Stopped = true
+						return stats, nil
+					}
+					return stats, err
+				}
+			}
+			if len(chunk.Tuples) == 0 {
+				break
+			}
+		}
+	}
+	return stats, nil
+}

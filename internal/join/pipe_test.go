@@ -1,0 +1,184 @@
+package join
+
+import (
+	"context"
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// pipeRightService is a search service with an input attribute "Key" so it
+// can be the downstream end of a pipe join: it returns per-key tuples in
+// score order.
+func pipeRightService(t *testing.T, perKey, chunk int) *service.Table {
+	t.Helper()
+	m := &mart.Mart{Name: "Right", Attributes: []mart.Attribute{
+		{Name: "Key", Kind: types.KindInt},
+		{Name: "Rank", Kind: types.KindInt},
+	}}
+	si, err := mart.NewInterface("Right1", m, map[string]mart.Adornment{"Key": mart.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := service.NewTable(si, service.Stats{
+		AvgCardinality: float64(perKey), ChunkSize: chunk, Scoring: service.Linear(perKey),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := 0; key < 4; key++ {
+		for r := 0; r < perKey; r++ {
+			tu := types.NewTuple(service.Linear(perKey).Score(r))
+			tu.Set("Key", types.Int(int64(key))).Set("Rank", types.Int(int64(r)))
+			tab.Add(tu)
+		}
+	}
+	return tab
+}
+
+func leftTuples(n int) []*types.Tuple {
+	var ts []*types.Tuple
+	for i := 0; i < n; i++ {
+		tu := types.NewTuple(1 - float64(i)*0.1)
+		tu.Set("Id", types.Int(int64(i))).Set("FKey", types.Int(int64(i%4)))
+		ts = append(ts, tu)
+	}
+	return ts
+}
+
+func TestPipeJoinBasic(t *testing.T) {
+	right := pipeRightService(t, 6, 2)
+	left := leftTuples(3)
+	var pairs []Pair
+	stats, err := Pipe(context.Background(), left, right, nil,
+		[]Binding{{FromPath: "FKey", ToInput: "Key"}}, 0,
+		func(p Pair) error { pairs = append(pairs, p); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invocations != 3 {
+		t.Errorf("Invocations = %d, want 3", stats.Invocations)
+	}
+	// Each left tuple matches its 6 per-key right tuples.
+	if len(pairs) != 18 || stats.Matches != 18 {
+		t.Errorf("pairs = %d, stats.Matches = %d, want 18", len(pairs), stats.Matches)
+	}
+	// Results are composed with the correct key.
+	for _, p := range pairs {
+		if p.X.Get("FKey").IntVal() != p.Y.Get("Key").IntVal() {
+			t.Errorf("pair keys differ: %v vs %v", p.X, p.Y)
+		}
+	}
+	// Per-invocation chunked fetches: 3 chunks of 2 per left tuple.
+	if stats.Fetches != 9 {
+		t.Errorf("Fetches = %d, want 9", stats.Fetches)
+	}
+}
+
+func TestPipeJoinFetchLimit(t *testing.T) {
+	right := pipeRightService(t, 6, 2)
+	left := leftTuples(2)
+	var pairs []Pair
+	stats, err := Pipe(context.Background(), left, right, nil,
+		[]Binding{{FromPath: "FKey", ToInput: "Key"}}, 1,
+		func(p Pair) error { pairs = append(pairs, p); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fetch of chunk size 2 per left tuple: the "same number of
+	// fetches from the second service for each tuple" rule of
+	// Section 4.5.
+	if stats.Fetches != 2 || len(pairs) != 4 {
+		t.Errorf("Fetches = %d, pairs = %d; want 2, 4", stats.Fetches, len(pairs))
+	}
+	// The fetched right tuples must be each key's best-ranked ones.
+	for _, p := range pairs {
+		if p.Y.Get("Rank").IntVal() >= 2 {
+			t.Errorf("fetched non-top tuple %v", p.Y)
+		}
+	}
+}
+
+func TestPipeJoinEarlyStop(t *testing.T) {
+	right := pipeRightService(t, 6, 2)
+	left := leftTuples(4)
+	n := 0
+	stats, err := Pipe(context.Background(), left, right, nil,
+		[]Binding{{FromPath: "FKey", ToInput: "Key"}}, 0,
+		func(Pair) error {
+			n++
+			if n == 3 {
+				return ErrStop
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Stopped || n != 3 {
+		t.Errorf("stopped=%v n=%d", stats.Stopped, n)
+	}
+	if stats.Invocations != 1 {
+		t.Errorf("Invocations = %d, want 1 (stop inside first left tuple)", stats.Invocations)
+	}
+}
+
+func TestPipeJoinFixedInputsMerged(t *testing.T) {
+	// A right service with two inputs: one piped, one fixed by the query.
+	m := &mart.Mart{Name: "R2", Attributes: []mart.Attribute{
+		{Name: "Key", Kind: types.KindInt},
+		{Name: "Country", Kind: types.KindString},
+	}}
+	si, err := mart.NewInterface("R2if", m, map[string]mart.Adornment{
+		"Key": mart.Input, "Country": mart.Input,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := service.NewTable(si, service.Stats{Scoring: service.Constant(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"Italy", "France"} {
+		tu := types.NewTuple(0.5)
+		tu.Set("Key", types.Int(0)).Set("Country", types.String(c))
+		tab.Add(tu)
+	}
+	left := leftTuples(1)
+	var got []Pair
+	_, err = Pipe(context.Background(), left, tab,
+		service.Input{"Country": types.String("Italy")},
+		[]Binding{{FromPath: "FKey", ToInput: "Key"}}, 0,
+		func(p Pair) error { got = append(got, p); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Y.Get("Country").Str() != "Italy" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPipeJoinMissingBindingValue(t *testing.T) {
+	right := pipeRightService(t, 2, 2)
+	bad := types.NewTuple(1) // no FKey attribute
+	_, err := Pipe(context.Background(), []*types.Tuple{bad}, right, nil,
+		[]Binding{{FromPath: "FKey", ToInput: "Key"}}, 0,
+		func(Pair) error { return nil })
+	if err == nil {
+		t.Error("missing binding value did not error")
+	}
+}
+
+func TestPipeJoinContextCancel(t *testing.T) {
+	right := pipeRightService(t, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Pipe(ctx, leftTuples(1), right, nil,
+		[]Binding{{FromPath: "FKey", ToInput: "Key"}}, 0,
+		func(Pair) error { return nil })
+	if err == nil {
+		t.Error("cancelled pipe succeeded")
+	}
+}

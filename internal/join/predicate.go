@@ -1,0 +1,152 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+// Condition is one comparison of a join predicate: a path on the left
+// (X-side) tuple compared with a path on the right (Y-side) tuple.
+type Condition struct {
+	Left  string
+	Op    types.Op
+	Right string
+}
+
+// String renders the condition as "left op right".
+func (c Condition) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Predicate is a conjunction of conditions between two tuples. Its Match
+// honours the repeating-group semantics of Section 3.1: all conditions
+// that mention the same repeating group of the same tuple must be
+// satisfied by a single sub-tuple of that group (a consistent mapping M).
+type Predicate struct {
+	Conds []Condition
+}
+
+// FromPattern converts a connection pattern's attribute equalities into a
+// Predicate (left = pattern's From mart, right = To mart).
+func FromPattern(cp *mart.ConnectionPattern) Predicate {
+	p := Predicate{Conds: make([]Condition, 0, len(cp.Joins))}
+	for _, j := range cp.Joins {
+		p.Conds = append(p.Conds, Condition{Left: j.From, Op: types.OpEq, Right: j.To})
+	}
+	return p
+}
+
+// String renders the predicate as a conjunction.
+func (p Predicate) String() string {
+	parts := make([]string, len(p.Conds))
+	for i, c := range p.Conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// side selects which tuple a path binding refers to.
+type side int
+
+const (
+	leftSide side = iota
+	rightSide
+)
+
+// groupRef identifies a repeating group of one of the two tuples.
+type groupRef struct {
+	side  side
+	group string
+}
+
+// Match evaluates the predicate over a pair of tuples. It enumerates the
+// consistent sub-tuple mappings for every repeating group mentioned by the
+// conditions and succeeds if some mapping satisfies every condition.
+func (p Predicate) Match(x, y *types.Tuple) (bool, error) {
+	if len(p.Conds) == 0 {
+		return true, nil
+	}
+	// Collect the repeating groups mentioned on each side.
+	groupSet := make(map[groupRef]int) // ref -> number of sub-tuples
+	addRef := func(s side, path string, t *types.Tuple) {
+		if g, _, dotted := strings.Cut(path, "."); dotted {
+			ref := groupRef{side: s, group: g}
+			if _, seen := groupSet[ref]; !seen {
+				groupSet[ref] = len(t.Groups[g])
+			}
+		}
+	}
+	for _, c := range p.Conds {
+		addRef(leftSide, c.Left, x)
+		addRef(rightSide, c.Right, y)
+	}
+	refs := make([]groupRef, 0, len(groupSet))
+	for ref := range groupSet {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].side != refs[j].side {
+			return refs[i].side < refs[j].side
+		}
+		return refs[i].group < refs[j].group
+	})
+	// A group with no sub-tuples can never satisfy a condition on it.
+	for _, ref := range refs {
+		if groupSet[ref] == 0 {
+			return false, nil
+		}
+	}
+	// Enumerate mappings: one chosen sub-tuple index per referenced group.
+	choice := make(map[groupRef]int, len(refs))
+	var try func(i int) (bool, error)
+	try = func(i int) (bool, error) {
+		if i == len(refs) {
+			return p.evalUnder(x, y, choice)
+		}
+		ref := refs[i]
+		for k := 0; k < groupSet[ref]; k++ {
+			choice[ref] = k
+			ok, err := try(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return try(0)
+}
+
+// evalUnder evaluates every condition with the given sub-tuple mapping.
+func (p Predicate) evalUnder(x, y *types.Tuple, choice map[groupRef]int) (bool, error) {
+	resolve := func(s side, path string, t *types.Tuple) types.Value {
+		g, sub, dotted := strings.Cut(path, ".")
+		if !dotted {
+			return t.Get(path)
+		}
+		subs := t.Groups[g]
+		k := choice[groupRef{side: s, group: g}]
+		if k >= len(subs) {
+			return types.Null
+		}
+		return subs[k][sub]
+	}
+	for _, c := range p.Conds {
+		lv := resolve(leftSide, c.Left, x)
+		rv := resolve(rightSide, c.Right, y)
+		ok, err := c.Op.Eval(lv, rv)
+		if err != nil {
+			return false, fmt.Errorf("join: evaluating %s: %w", c, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

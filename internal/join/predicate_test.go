@@ -1,0 +1,163 @@
+package join
+
+import (
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+// The Q2 example of Section 3.1: S1 and S2 expose repeating group R with
+// sub-attributes A and B; the join S1.R.A=S2.R.A and S1.R.B=S2.R.B must be
+// satisfied by a single sub-tuple on each side.
+func q2Tuples() (t1, t2, t3, t4 *types.Tuple) {
+	mk := func(subs ...[2]types.Value) *types.Tuple {
+		t := types.NewTuple(1)
+		for _, s := range subs {
+			t.AddGroup("R", types.SubTuple{"A": s[0], "B": s[1]})
+		}
+		return t
+	}
+	t1 = mk([2]types.Value{types.Int(1), types.String("x")}, [2]types.Value{types.Int(2), types.String("x")})
+	t2 = mk([2]types.Value{types.Int(2), types.String("x")}, [2]types.Value{types.Int(1), types.String("y")})
+	t3 = mk([2]types.Value{types.Int(1), types.String("x")}, [2]types.Value{types.Int(2), types.String("y")})
+	t4 = mk([2]types.Value{types.Int(2), types.String("x")})
+	return
+}
+
+func q2Predicate() Predicate {
+	return Predicate{Conds: []Condition{
+		{Left: "R.A", Op: types.OpEq, Right: "R.A"},
+		{Left: "R.B", Op: types.OpEq, Right: "R.B"},
+	}}
+}
+
+// The chapter states Q2's result is {t1·t3, t1·t4, t2·t4}; in particular
+// t2·t3 is excluded because its matching sub-attribute values live in
+// different sub-tuples.
+func TestPredicateRepeatingGroupSemantics(t *testing.T) {
+	t1, t2, t3, t4 := q2Tuples()
+	p := q2Predicate()
+	cases := []struct {
+		name string
+		x, y *types.Tuple
+		want bool
+	}{
+		{"t1·t3", t1, t3, true},
+		{"t1·t4", t1, t4, true},
+		{"t2·t4", t2, t4, true},
+		{"t2·t3", t2, t3, false},
+	}
+	for _, c := range cases {
+		got, err := p.Match(c.x, c.y)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Match = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPredicateAtomicPaths(t *testing.T) {
+	x := types.NewTuple(1)
+	x.Set("Title", types.String("Casablanca"))
+	y := types.NewTuple(1)
+	y.AddGroup("Movies", types.SubTuple{"Title": types.String("Casablanca")})
+	p := Predicate{Conds: []Condition{{Left: "Title", Op: types.OpEq, Right: "Movies.Title"}}}
+	ok, err := p.Match(x, y)
+	if err != nil || !ok {
+		t.Errorf("Match = %v, %v", ok, err)
+	}
+	y2 := types.NewTuple(1)
+	y2.AddGroup("Movies", types.SubTuple{"Title": types.String("Other")})
+	ok, err = p.Match(x, y2)
+	if err != nil || ok {
+		t.Errorf("non-matching Match = %v, %v", ok, err)
+	}
+}
+
+func TestPredicateEmptyGroupNeverMatches(t *testing.T) {
+	x := types.NewTuple(1) // no R group at all
+	y := types.NewTuple(1)
+	y.AddGroup("R", types.SubTuple{"A": types.Int(1), "B": types.String("x")})
+	ok, err := q2Predicate().Match(x, y)
+	if err != nil || ok {
+		t.Errorf("Match with empty group = %v, %v", ok, err)
+	}
+}
+
+func TestPredicateEmptyConjunctionIsTrue(t *testing.T) {
+	ok, err := (Predicate{}).Match(types.NewTuple(1), types.NewTuple(1))
+	if err != nil || !ok {
+		t.Errorf("empty predicate = %v, %v", ok, err)
+	}
+}
+
+func TestPredicateRangeOp(t *testing.T) {
+	x := types.NewTuple(1)
+	x.Set("Price", types.Float(50))
+	y := types.NewTuple(1)
+	y.Set("Budget", types.Float(100))
+	p := Predicate{Conds: []Condition{{Left: "Price", Op: types.OpLe, Right: "Budget"}}}
+	ok, err := p.Match(x, y)
+	if err != nil || !ok {
+		t.Errorf("Match = %v, %v", ok, err)
+	}
+}
+
+func TestPredicateTypeErrorSurfaces(t *testing.T) {
+	x := types.NewTuple(1)
+	x.Set("A", types.String("s"))
+	y := types.NewTuple(1)
+	y.Set("B", types.Int(1))
+	p := Predicate{Conds: []Condition{{Left: "A", Op: types.OpLt, Right: "B"}}}
+	if _, err := p.Match(x, y); err == nil {
+		t.Error("type mismatch did not error")
+	}
+}
+
+func TestFromPattern(t *testing.T) {
+	m1 := &mart.Mart{Name: "Theatre", Attributes: []mart.Attribute{
+		{Name: "TAddress", Kind: types.KindString},
+		{Name: "TCity", Kind: types.KindString},
+	}}
+	m2 := &mart.Mart{Name: "Restaurant", Attributes: []mart.Attribute{
+		{Name: "UAddress", Kind: types.KindString},
+		{Name: "UCity", Kind: types.KindString},
+	}}
+	cp := &mart.ConnectionPattern{
+		Name: "DinnerPlace", From: m1, To: m2,
+		Joins: []mart.Join{
+			{From: "TAddress", To: "UAddress"},
+			{From: "TCity", To: "UCity"},
+		},
+		Selectivity: 0.4,
+	}
+	p := FromPattern(cp)
+	if len(p.Conds) != 2 || p.Conds[0].Op != types.OpEq {
+		t.Fatalf("FromPattern = %+v", p)
+	}
+	if got := p.String(); got != "TAddress = UAddress and TCity = UCity" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPredicateMixedGroupsBothSides(t *testing.T) {
+	// Conditions on two different groups of the same tuple must each find
+	// their own sub-tuple, independently.
+	x := types.NewTuple(1)
+	x.AddGroup("G1", types.SubTuple{"A": types.Int(1)})
+	x.AddGroup("G1", types.SubTuple{"A": types.Int(2)})
+	x.AddGroup("G2", types.SubTuple{"B": types.String("u")})
+	y := types.NewTuple(1)
+	y.Set("A", types.Int(2)).Set("B", types.String("u"))
+	p := Predicate{Conds: []Condition{
+		{Left: "G1.A", Op: types.OpEq, Right: "A"},
+		{Left: "G2.B", Op: types.OpEq, Right: "B"},
+	}}
+	ok, err := p.Match(x, y)
+	if err != nil || !ok {
+		t.Errorf("Match = %v, %v", ok, err)
+	}
+}

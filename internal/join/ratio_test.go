@@ -1,0 +1,70 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioFromCosts(t *testing.T) {
+	cases := []struct {
+		costX, costY float64
+		rx, ry       int
+	}{
+		{1, 1, 1, 1},
+		{0.12, 0.08, 2, 3}, // Movie 120ms vs Theatre 80ms: fetch Theatre 3 per 2
+		{0.08, 0.12, 3, 2},
+		{1, 2, 2, 1}, // Y twice as expensive: fetch X twice as often
+		{2, 1, 1, 2},
+		{1, 3, 3, 1},
+		{0, 5, 1, 1}, // degenerate costs fall back to 1:1
+		{5, -1, 1, 1},
+	}
+	for _, c := range cases {
+		rx, ry := RatioFromCosts(c.costX, c.costY, 6)
+		if rx != c.rx || ry != c.ry {
+			t.Errorf("RatioFromCosts(%v,%v) = %d:%d, want %d:%d",
+				c.costX, c.costY, rx, ry, c.rx, c.ry)
+		}
+	}
+}
+
+// The derived ratio always has positive coprime components within the
+// bound, and approximates the cost ratio at least as well as 1:1.
+func TestRatioFromCostsProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		cx := 0.01 + float64(a)/32
+		cy := 0.01 + float64(b)/32
+		rx, ry := RatioFromCosts(cx, cy, 6)
+		if rx < 1 || ry < 1 || rx > 6 || ry > 6 {
+			return false
+		}
+		if gcd(rx, ry) != 1 {
+			return false
+		}
+		target := cy / cx
+		errRatio := absFloat(target - float64(rx)/float64(ry))
+		errUnit := absFloat(target - 1)
+		return errRatio <= errUnit+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A clock driven by a cost-derived ratio spends call budget inversely to
+// cost: with Y twice as expensive, X receives twice the calls.
+func TestCostDrivenClock(t *testing.T) {
+	rx, ry := RatioFromCosts(1, 2, 6)
+	c := NewClock(rx, ry)
+	xs, ys := 0, 0
+	for i := 0; i < 30; i++ {
+		if c.Next() == SideX {
+			xs++
+		} else {
+			ys++
+		}
+	}
+	if xs != 20 || ys != 10 {
+		t.Errorf("calls %d:%d, want 20:10", xs, ys)
+	}
+}

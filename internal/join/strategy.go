@@ -1,0 +1,134 @@
+package join
+
+import "fmt"
+
+// InvocationKind selects the order and frequency of service calls
+// (Section 4.3).
+type InvocationKind int
+
+const (
+	// NestedLoop extracts the h high-scoring chunks of service X first,
+	// then walks service Y chunk by chunk (Section 4.3.1, Fig. 5a). It is
+	// the right choice when X has a step scoring function.
+	NestedLoop InvocationKind = iota
+	// MergeScan alternates calls between the services according to an
+	// inter-service ratio, exploring the space diagonally
+	// (Section 4.3.2, Fig. 5b). It is the right choice for progressive
+	// scoring functions.
+	MergeScan
+)
+
+// String names the invocation strategy as in the chapter (NL / MS).
+func (k InvocationKind) String() string {
+	switch k {
+	case NestedLoop:
+		return "nested-loop"
+	case MergeScan:
+		return "merge-scan"
+	default:
+		return fmt.Sprintf("InvocationKind(%d)", int(k))
+	}
+}
+
+// CompletionKind selects the order in which available tiles are processed
+// (Section 4.4).
+type CompletionKind int
+
+const (
+	// Rectangular processes every tile as soon as its chunks are
+	// available (Section 4.4.1); it is locally extraction-optimal.
+	Rectangular CompletionKind = iota
+	// Triangular defers tiles beyond the current weighted anti-diagonal,
+	// processing roughly the most promising half of the explored
+	// rectangle (Section 4.4.2); combined with merge-scan it approximates
+	// a globally extraction-optimal strategy.
+	Triangular
+)
+
+// String names the completion strategy.
+func (k CompletionKind) String() string {
+	switch k {
+	case Rectangular:
+		return "rectangular"
+	case Triangular:
+		return "triangular"
+	default:
+		return fmt.Sprintf("CompletionKind(%d)", int(k))
+	}
+}
+
+// Strategy is a concrete join method: the topology-independent pair of
+// invocation and completion strategies with their parameters. Together
+// with the topology (pipe or parallel, chosen at the plan level) this
+// realizes the classification of Section 4.5.
+type Strategy struct {
+	// Invocation is the fetch-ordering strategy.
+	Invocation InvocationKind
+	// Completion is the tile-ordering strategy.
+	Completion CompletionKind
+	// H is the nested-loop parameter: the number of chunks fetched from
+	// service X before any Y fetch (the step length of X's scoring
+	// function, in chunks).
+	H int
+	// RatioX:RatioY is the merge-scan inter-service call ratio
+	// (e.g. 3:5). Both default to 1 when zero.
+	RatioX, RatioY int
+	// FlushOnExhaust makes a triangular strategy process its deferred
+	// tiles once both services are exhausted (or at their fetch limits),
+	// completing the rectangle. Leave false to keep the strict triangle,
+	// as the instantiated plan of Fig. 10 assumes.
+	FlushOnExhaust bool
+}
+
+// withDefaults returns the strategy with zero ratios replaced by 1.
+func (s Strategy) withDefaults() Strategy {
+	if s.RatioX == 0 {
+		s.RatioX = 1
+	}
+	if s.RatioY == 0 {
+		s.RatioY = 1
+	}
+	return s
+}
+
+// Validate checks the parameters required by the chosen strategies.
+func (s Strategy) Validate() error {
+	switch s.Invocation {
+	case NestedLoop:
+		if s.H < 1 {
+			return fmt.Errorf("join: nested-loop requires H >= 1, got %d", s.H)
+		}
+	case MergeScan:
+		if s.RatioX < 0 || s.RatioY < 0 {
+			return fmt.Errorf("join: negative merge-scan ratio %d:%d", s.RatioX, s.RatioY)
+		}
+	default:
+		return fmt.Errorf("join: unknown invocation strategy %d", int(s.Invocation))
+	}
+	switch s.Completion {
+	case Rectangular, Triangular:
+	default:
+		return fmt.Errorf("join: unknown completion strategy %d", int(s.Completion))
+	}
+	return nil
+}
+
+// String renders the method name, e.g. "merge-scan/triangular(1:1)".
+func (s Strategy) String() string {
+	d := s.withDefaults()
+	if s.Invocation == NestedLoop {
+		return fmt.Sprintf("%s/%s(h=%d)", s.Invocation, s.Completion, s.H)
+	}
+	return fmt.Sprintf("%s/%s(%d:%d)", s.Invocation, s.Completion, d.RatioX, d.RatioY)
+}
+
+// Methods enumerates the strategy combinations of Section 4.5 with default
+// parameters, for exhaustive comparisons in tests and benches.
+func Methods(h int) []Strategy {
+	return []Strategy{
+		{Invocation: NestedLoop, Completion: Rectangular, H: h},
+		{Invocation: NestedLoop, Completion: Triangular, H: h},
+		{Invocation: MergeScan, Completion: Rectangular},
+		{Invocation: MergeScan, Completion: Triangular},
+	}
+}

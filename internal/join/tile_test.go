@@ -1,0 +1,67 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSide(t *testing.T) {
+	if SideX.Other() != SideY || SideY.Other() != SideX {
+		t.Error("Other broken")
+	}
+	if SideX.String() != "X" || SideY.String() != "Y" {
+		t.Error("String broken")
+	}
+}
+
+func TestTileBasics(t *testing.T) {
+	ti := Tile{X: 2, Y: 1}
+	if ti.String() != "t(2,1)" {
+		t.Errorf("String = %q", ti.String())
+	}
+	if ti.IndexSum() != 3 {
+		t.Errorf("IndexSum = %d", ti.IndexSum())
+	}
+	if ti.Diagonal(1, 1) != 3 {
+		t.Errorf("Diagonal(1,1) = %d", ti.Diagonal(1, 1))
+	}
+	if ti.Diagonal(3, 5) != 2*5+1*3 {
+		t.Errorf("Diagonal(3,5) = %d", ti.Diagonal(3, 5))
+	}
+}
+
+func TestTileAdjacent(t *testing.T) {
+	a := Tile{X: 1, Y: 1}
+	adjacent := []Tile{{0, 1}, {2, 1}, {1, 0}, {1, 2}}
+	for _, b := range adjacent {
+		if !a.Adjacent(b) || !b.Adjacent(a) {
+			t.Errorf("%v and %v should be adjacent", a, b)
+		}
+	}
+	notAdjacent := []Tile{{1, 1}, {0, 0}, {2, 2}, {3, 1}, {0, 2}}
+	for _, b := range notAdjacent {
+		if a.Adjacent(b) {
+			t.Errorf("%v and %v should not be adjacent", a, b)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if got := (Event{Kind: EventFetch, Side: SideY}).String(); got != "fetch Y" {
+		t.Errorf("fetch event = %q", got)
+	}
+	if got := (Event{Kind: EventTile, Tile: Tile{1, 2}}).String(); got != "t(1,2)" {
+		t.Errorf("tile event = %q", got)
+	}
+}
+
+func TestDiagonalSymmetryProperty(t *testing.T) {
+	f := func(x, y uint8, rx, ry uint8) bool {
+		t1 := Tile{X: int(x), Y: int(y)}
+		t2 := Tile{X: int(y), Y: int(x)}
+		return t1.Diagonal(int(rx), int(ry)) == t2.Diagonal(int(ry), int(rx))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

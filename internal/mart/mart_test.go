@@ -1,0 +1,159 @@
+package mart
+
+import (
+	"strings"
+	"testing"
+
+	"seco/internal/types"
+)
+
+func testMart() *Mart {
+	return &Mart{Name: "Movie", Attributes: []Attribute{
+		{Name: "Title", Kind: types.KindString},
+		{Name: "Score", Kind: types.KindFloat},
+		{Name: "Genres", Sub: []Attribute{{Name: "Genre", Kind: types.KindString}}},
+	}}
+}
+
+func TestMartAttributeLookup(t *testing.T) {
+	m := testMart()
+	a, ok := m.Attribute("Title")
+	if !ok || a.Kind != types.KindString {
+		t.Fatalf("Attribute(Title) = %v,%v", a, ok)
+	}
+	if _, ok := m.Attribute("Nope"); ok {
+		t.Error("Attribute(Nope) found")
+	}
+	g, ok := m.Attribute("Genres")
+	if !ok || !g.IsGroup() {
+		t.Fatalf("Genres not a group: %v,%v", g, ok)
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	m := testMart()
+	cases := map[string]bool{
+		"Title":        true,
+		"Genres.Genre": true,
+		"Genres":       false, // group itself is not atomic
+		"Title.Sub":    false,
+		"Genres.Nope":  false,
+		"Nope":         false,
+		"Nope.Sub":     false,
+	}
+	for p, want := range cases {
+		if got := m.HasPath(p); got != want {
+			t.Errorf("HasPath(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPathKind(t *testing.T) {
+	m := testMart()
+	k, err := m.PathKind("Score")
+	if err != nil || k != types.KindFloat {
+		t.Errorf("PathKind(Score) = %v,%v", k, err)
+	}
+	k, err = m.PathKind("Genres.Genre")
+	if err != nil || k != types.KindString {
+		t.Errorf("PathKind(Genres.Genre) = %v,%v", k, err)
+	}
+	for _, bad := range []string{"Genres", "Title.X", "Genres.Nope", "Missing"} {
+		if _, err := m.PathKind(bad); err == nil {
+			t.Errorf("PathKind(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestPaths(t *testing.T) {
+	got := testMart().Paths()
+	want := []string{"Title", "Score", "Genres.Genre"}
+	if len(got) != len(want) {
+		t.Fatalf("Paths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Paths[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewInterfaceDefaultsAndOverrides(t *testing.T) {
+	m := testMart()
+	si, err := NewInterface("Movie1", m, map[string]Adornment{
+		"Genres.Genre": Input,
+		"Score":        Ranked,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := si.InputPaths(); len(got) != 1 || got[0] != "Genres.Genre" {
+		t.Errorf("InputPaths = %v", got)
+	}
+	if got := si.RankedPaths(); len(got) != 1 || got[0] != "Score" {
+		t.Errorf("RankedPaths = %v", got)
+	}
+	if got := si.OutputPaths(); len(got) != 2 { // Title + Score(ranked counts as output)
+		t.Errorf("OutputPaths = %v", got)
+	}
+	if !si.IsSearch() {
+		t.Error("interface with ranked path not a search service")
+	}
+}
+
+func TestNewInterfaceUnknownPath(t *testing.T) {
+	if _, err := NewInterface("X", testMart(), map[string]Adornment{"Bogus": Input}); err == nil {
+		t.Error("NewInterface with bogus override succeeded")
+	}
+}
+
+func TestInterfaceStringNotation(t *testing.T) {
+	si, _ := NewInterface("Movie1", testMart(), map[string]Adornment{
+		"Genres.Genre": Input, "Score": Ranked,
+	})
+	s := si.String()
+	for _, frag := range []string{"Movie1(", "Title^O", "Score^R", "Genres.Genre^I"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestExactInterfaceIsNotSearch(t *testing.T) {
+	si, _ := NewInterface("MovieExact", testMart(), nil)
+	if si.IsSearch() {
+		t.Error("all-output interface classified as search")
+	}
+}
+
+func TestConnectionPatternValidate(t *testing.T) {
+	m1, m2 := testMart(), &Mart{Name: "Theatre", Attributes: []Attribute{
+		{Name: "MTitle", Kind: types.KindString},
+	}}
+	ok := &ConnectionPattern{Name: "Shows", From: m1, To: m2,
+		Joins: []Join{{From: "Title", To: "MTitle"}}, Selectivity: 0.02}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	bad := []*ConnectionPattern{
+		{Name: "NoJoins", From: m1, To: m2, Selectivity: 0.1},
+		{Name: "BadSel", From: m1, To: m2, Joins: []Join{{From: "Title", To: "MTitle"}}, Selectivity: 0},
+		{Name: "BadSel2", From: m1, To: m2, Joins: []Join{{From: "Title", To: "MTitle"}}, Selectivity: 1.5},
+		{Name: "BadFrom", From: m1, To: m2, Joins: []Join{{From: "X", To: "MTitle"}}, Selectivity: 0.1},
+		{Name: "BadTo", From: m1, To: m2, Joins: []Join{{From: "Title", To: "X"}}, Selectivity: 0.1},
+	}
+	for _, cp := range bad {
+		if err := cp.Validate(); err == nil {
+			t.Errorf("pattern %s validated, want error", cp.Name)
+		}
+	}
+}
+
+func TestAdornmentString(t *testing.T) {
+	if Input.String() != "I" || Output.String() != "O" || Ranked.String() != "R" {
+		t.Error("adornment letters wrong")
+	}
+	if Adornment(9).String() != "?" {
+		t.Error("unknown adornment")
+	}
+}

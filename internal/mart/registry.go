@@ -1,0 +1,121 @@
+package mart
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry is the design-time catalogue: marts, their service interfaces,
+// and connection patterns. It is not safe for concurrent mutation; build it
+// once at startup and then treat it as read-only.
+type Registry struct {
+	marts      map[string]*Mart
+	interfaces map[string]*Interface
+	patterns   map[string]*ConnectionPattern
+	byMart     map[string][]*Interface
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		marts:      make(map[string]*Mart),
+		interfaces: make(map[string]*Interface),
+		patterns:   make(map[string]*ConnectionPattern),
+		byMart:     make(map[string][]*Interface),
+	}
+}
+
+// AddMart registers a mart. Names must be unique.
+func (r *Registry) AddMart(m *Mart) error {
+	if _, dup := r.marts[m.Name]; dup {
+		return fmt.Errorf("registry: duplicate mart %q", m.Name)
+	}
+	seen := make(map[string]bool)
+	for _, p := range m.Paths() {
+		if seen[p] {
+			return fmt.Errorf("registry: mart %q has duplicate path %q", m.Name, p)
+		}
+		seen[p] = true
+	}
+	r.marts[m.Name] = m
+	return nil
+}
+
+// AddInterface registers a service interface. Its mart must already be
+// registered and names must be unique.
+func (r *Registry) AddInterface(si *Interface) error {
+	if _, dup := r.interfaces[si.Name]; dup {
+		return fmt.Errorf("registry: duplicate interface %q", si.Name)
+	}
+	if _, ok := r.marts[si.Mart.Name]; !ok {
+		return fmt.Errorf("registry: interface %q over unregistered mart %q", si.Name, si.Mart.Name)
+	}
+	r.interfaces[si.Name] = si
+	r.byMart[si.Mart.Name] = append(r.byMart[si.Mart.Name], si)
+	return nil
+}
+
+// AddPattern registers a connection pattern after validating it. Both end
+// marts must already be registered.
+func (r *Registry) AddPattern(cp *ConnectionPattern) error {
+	if _, dup := r.patterns[cp.Name]; dup {
+		return fmt.Errorf("registry: duplicate pattern %q", cp.Name)
+	}
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	for _, m := range []*Mart{cp.From, cp.To} {
+		if _, ok := r.marts[m.Name]; !ok {
+			return fmt.Errorf("registry: pattern %q references unregistered mart %q", cp.Name, m.Name)
+		}
+	}
+	r.patterns[cp.Name] = cp
+	return nil
+}
+
+// Mart looks up a mart by name.
+func (r *Registry) Mart(name string) (*Mart, bool) {
+	m, ok := r.marts[name]
+	return m, ok
+}
+
+// Interface looks up a service interface by name.
+func (r *Registry) Interface(name string) (*Interface, bool) {
+	si, ok := r.interfaces[name]
+	return si, ok
+}
+
+// Pattern looks up a connection pattern by name.
+func (r *Registry) Pattern(name string) (*ConnectionPattern, bool) {
+	cp, ok := r.patterns[name]
+	return cp, ok
+}
+
+// InterfacesFor returns all interfaces over the named mart, sorted by name.
+// This is the candidate set explored by phase 1 of the optimizer when the
+// query is posed over marts rather than interfaces.
+func (r *Registry) InterfacesFor(martName string) []*Interface {
+	sis := append([]*Interface(nil), r.byMart[martName]...)
+	sort.Slice(sis, func(i, j int) bool { return sis[i].Name < sis[j].Name })
+	return sis
+}
+
+// Marts returns all mart names in sorted order.
+func (r *Registry) Marts() []string {
+	names := make([]string, 0, len(r.marts))
+	for n := range r.marts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Patterns returns all pattern names in sorted order.
+func (r *Registry) Patterns() []string {
+	names := make([]string, 0, len(r.patterns))
+	for n := range r.patterns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

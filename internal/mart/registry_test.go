@@ -1,0 +1,164 @@
+package mart
+
+import (
+	"testing"
+
+	"seco/internal/types"
+)
+
+func TestRegistryAddAndLookup(t *testing.T) {
+	r := NewRegistry()
+	m := testMart()
+	if err := r.AddMart(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddMart(m); err == nil {
+		t.Error("duplicate mart accepted")
+	}
+	got, ok := r.Mart("Movie")
+	if !ok || got != m {
+		t.Error("Mart lookup failed")
+	}
+	if _, ok := r.Mart("X"); ok {
+		t.Error("missing mart found")
+	}
+
+	si, _ := NewInterface("Movie1", m, nil)
+	if err := r.AddInterface(si); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddInterface(si); err == nil {
+		t.Error("duplicate interface accepted")
+	}
+	other := &Mart{Name: "Ghost"}
+	gi, _ := NewInterface("Ghost1", other, nil)
+	if err := r.AddInterface(gi); err == nil {
+		t.Error("interface over unregistered mart accepted")
+	}
+	if _, ok := r.Interface("Movie1"); !ok {
+		t.Error("Interface lookup failed")
+	}
+}
+
+func TestRegistryDuplicatePathMart(t *testing.T) {
+	r := NewRegistry()
+	bad := &Mart{Name: "Dup", Attributes: []Attribute{
+		{Name: "A", Kind: types.KindInt},
+		{Name: "A", Kind: types.KindString},
+	}}
+	if err := r.AddMart(bad); err == nil {
+		t.Error("mart with duplicate path accepted")
+	}
+}
+
+func TestRegistryPatterns(t *testing.T) {
+	r := NewRegistry()
+	m1, m2 := testMart(), &Mart{Name: "Theatre", Attributes: []Attribute{
+		{Name: "MTitle", Kind: types.KindString},
+	}}
+	if err := r.AddMart(m1); err != nil {
+		t.Fatal(err)
+	}
+	cp := &ConnectionPattern{Name: "Shows", From: m1, To: m2,
+		Joins: []Join{{From: "Title", To: "MTitle"}}, Selectivity: 0.02}
+	if err := r.AddPattern(cp); err == nil {
+		t.Error("pattern with unregistered To-mart accepted")
+	}
+	if err := r.AddMart(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPattern(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPattern(cp); err == nil {
+		t.Error("duplicate pattern accepted")
+	}
+	if _, ok := r.Pattern("Shows"); !ok {
+		t.Error("Pattern lookup failed")
+	}
+	if got := r.Patterns(); len(got) != 1 || got[0] != "Shows" {
+		t.Errorf("Patterns = %v", got)
+	}
+}
+
+func TestInterfacesForSorted(t *testing.T) {
+	r := NewRegistry()
+	m := testMart()
+	if err := r.AddMart(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Movie2", "Movie1", "Movie3"} {
+		si, _ := NewInterface(name, m, nil)
+		if err := r.AddInterface(si); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.InterfacesFor("Movie")
+	if len(got) != 3 || got[0].Name != "Movie1" || got[2].Name != "Movie3" {
+		t.Errorf("InterfacesFor order: %v", got)
+	}
+	if got := r.InterfacesFor("None"); len(got) != 0 {
+		t.Errorf("InterfacesFor(None) = %v", got)
+	}
+}
+
+func TestMovieScenario(t *testing.T) {
+	r, err := MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Marts(); len(got) != 3 {
+		t.Fatalf("Marts = %v", got)
+	}
+	m1, ok := r.Interface("Movie1")
+	if !ok {
+		t.Fatal("Movie1 missing")
+	}
+	// Chapter 5.6 adornments: Movie1 inputs are Genres.Genre, Language,
+	// Openings.Country, Openings.Date.
+	in := m1.InputPaths()
+	want := []string{"Genres.Genre", "Language", "Openings.Country", "Openings.Date"}
+	if len(in) != len(want) {
+		t.Fatalf("Movie1 inputs = %v", in)
+	}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Errorf("Movie1 input[%d] = %q, want %q", i, in[i], want[i])
+		}
+	}
+	if !m1.IsSearch() {
+		t.Error("Movie1 should be a search service (Score^R)")
+	}
+	shows, ok := r.Pattern("Shows")
+	if !ok || shows.Selectivity != 0.02 {
+		t.Errorf("Shows pattern: %+v, %v", shows, ok)
+	}
+	dinner, ok := r.Pattern("DinnerPlace")
+	if !ok || dinner.Selectivity != 0.40 || len(dinner.Joins) != 3 {
+		t.Errorf("DinnerPlace pattern: %+v, %v", dinner, ok)
+	}
+}
+
+func TestTravelScenario(t *testing.T) {
+	r, err := TravelScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, ok := r.Interface("Conference1")
+	if !ok || c1.IsSearch() {
+		t.Errorf("Conference1 should be exact: %v %v", c1, ok)
+	}
+	f1, ok := r.Interface("Flight1")
+	if !ok || !f1.IsSearch() {
+		t.Errorf("Flight1 should be search: %v %v", f1, ok)
+	}
+	h1, ok := r.Interface("Hotel1")
+	if !ok || !h1.IsSearch() {
+		t.Errorf("Hotel1 should be search: %v %v", h1, ok)
+	}
+	for _, p := range []string{"Forecast", "ReachedBy", "StaysAt"} {
+		if _, ok := r.Pattern(p); !ok {
+			t.Errorf("pattern %s missing", p)
+		}
+	}
+}

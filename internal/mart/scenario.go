@@ -1,0 +1,247 @@
+package mart
+
+import "seco/internal/types"
+
+// This file defines the two scenarios used throughout the chapter as
+// reusable registry builders: the Movie/Theatre/Restaurant running example
+// (Sections 3.1 and 5.6) and the Conference/Weather/Flight/Hotel plan of
+// Figs. 2–3. The adornments follow Section 5.6 verbatim.
+
+// MovieScenario builds a registry holding the running example: the Movie,
+// Theatre and Restaurant marts, the Movie1/Theatre1/Restaurant1 interfaces
+// with the chapter's I/O/R adornments, and the Shows and DinnerPlace
+// connection patterns with the chapter's selectivities (2% and 40%).
+func MovieScenario() (*Registry, error) {
+	r := NewRegistry()
+
+	movie := &Mart{Name: "Movie", Attributes: []Attribute{
+		{Name: "Title", Kind: types.KindString},
+		{Name: "Director", Kind: types.KindString},
+		{Name: "Score", Kind: types.KindFloat},
+		{Name: "Year", Kind: types.KindInt},
+		{Name: "Genres", Sub: []Attribute{{Name: "Genre", Kind: types.KindString}}},
+		{Name: "Language", Kind: types.KindString},
+		{Name: "Openings", Sub: []Attribute{
+			{Name: "Country", Kind: types.KindString},
+			{Name: "Date", Kind: types.KindDate},
+		}},
+		{Name: "Actors", Sub: []Attribute{{Name: "Name", Kind: types.KindString}}},
+	}}
+
+	theatre := &Mart{Name: "Theatre", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "UAddress", Kind: types.KindString},
+		{Name: "UCity", Kind: types.KindString},
+		{Name: "UCountry", Kind: types.KindString},
+		{Name: "TAddress", Kind: types.KindString},
+		{Name: "TCity", Kind: types.KindString},
+		{Name: "TCountry", Kind: types.KindString},
+		{Name: "TPhone", Kind: types.KindString},
+		{Name: "Distance", Kind: types.KindFloat},
+		{Name: "Movies", Sub: []Attribute{
+			{Name: "Title", Kind: types.KindString},
+			{Name: "StartTimes", Kind: types.KindString},
+			{Name: "Duration", Kind: types.KindInt},
+		}},
+	}}
+
+	restaurant := &Mart{Name: "Restaurant", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "UAddress", Kind: types.KindString},
+		{Name: "UCity", Kind: types.KindString},
+		{Name: "UCountry", Kind: types.KindString},
+		{Name: "RAddress", Kind: types.KindString},
+		{Name: "RCity", Kind: types.KindString},
+		{Name: "RCountry", Kind: types.KindString},
+		{Name: "Phone", Kind: types.KindString},
+		{Name: "Url", Kind: types.KindString},
+		{Name: "MapUrl", Kind: types.KindString},
+		{Name: "Distance", Kind: types.KindFloat},
+		{Name: "Rating", Kind: types.KindFloat},
+		{Name: "Categories", Sub: []Attribute{{Name: "Name", Kind: types.KindString}}},
+	}}
+
+	for _, m := range []*Mart{movie, theatre, restaurant} {
+		if err := r.AddMart(m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Movie1(Title^O, Director^O, Score^R, Year^O, Genres.Genre^I,
+	// Language^I, Openings.Country^I, Openings.Date^I, Actors.Name^O)
+	movie1, err := NewInterface("Movie1", movie, map[string]Adornment{
+		"Score":            Ranked,
+		"Genres.Genre":     Input,
+		"Language":         Input,
+		"Openings.Country": Input,
+		"Openings.Date":    Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Theatre1(Name^O, UAddress^I, UCity^I, UCountry^I, TAddress^O,
+	// TCity^O, TCountry^O, TPhone^O, Distance^R, Movies.Title^O,
+	// Movies.StartTimes^O, Movies.Duration^O)
+	theatre1, err := NewInterface("Theatre1", theatre, map[string]Adornment{
+		"UAddress": Input,
+		"UCity":    Input,
+		"UCountry": Input,
+		"Distance": Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Restaurant1(Name^O, UAddress^I, UCity^O, UCountry^O, RAddress^O,
+	// RCity^O, RCountry^O, Phone^O, Url^O, MapUrl^O, Distance^R,
+	// Rating^R, Categories.Name^I)
+	//
+	// The chapter adorns Restaurant1's UAddress as input and its RCity /
+	// RCountry via the DinnerPlace join; to honour "the three input
+	// attributes of Restaurant are joined with the homonymous ones that
+	// are in output in Theatre" we adorn UAddress, UCity and UCountry as
+	// inputs.
+	restaurant1, err := NewInterface("Restaurant1", restaurant, map[string]Adornment{
+		"UAddress":        Input,
+		"UCity":           Input,
+		"UCountry":        Input,
+		"Distance":        Ranked,
+		"Rating":          Ranked,
+		"Categories.Name": Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, si := range []*Interface{movie1, theatre1, restaurant1} {
+		if err := r.AddInterface(si); err != nil {
+			return nil, err
+		}
+	}
+
+	// Shows(M,T): probability a given movie shows in a given theatre = 2%.
+	shows := &ConnectionPattern{
+		Name: "Shows", From: movie, To: theatre,
+		Joins:       []Join{{From: "Title", To: "Movies.Title"}},
+		Selectivity: 0.02,
+	}
+	// DinnerPlace(T,R): probability a theatre is near a good restaurant = 40%.
+	dinner := &ConnectionPattern{
+		Name: "DinnerPlace", From: theatre, To: restaurant,
+		Joins: []Join{
+			{From: "TAddress", To: "UAddress"},
+			{From: "TCity", To: "UCity"},
+			{From: "TCountry", To: "UCountry"},
+		},
+		Selectivity: 0.40,
+	}
+	for _, cp := range []*ConnectionPattern{shows, dinner} {
+		if err := r.AddPattern(cp); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// TravelScenario builds the Conference/Weather/Flight/Hotel registry behind
+// the example plan of Figs. 2–3: Conference is an exact proliferative
+// service (20 tuples on average), Weather is exact and selective in the
+// context of the query, Flight and Hotel are chunked search services joined
+// with a merge-scan parallel join.
+func TravelScenario() (*Registry, error) {
+	r := NewRegistry()
+
+	conference := &Mart{Name: "Conference", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "Topic", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+		{Name: "Country", Kind: types.KindString},
+		{Name: "StartDate", Kind: types.KindDate},
+		{Name: "EndDate", Kind: types.KindDate},
+	}}
+	weather := &Mart{Name: "Weather", Attributes: []Attribute{
+		{Name: "City", Kind: types.KindString},
+		{Name: "Month", Kind: types.KindInt},
+		{Name: "AvgTemp", Kind: types.KindFloat},
+	}}
+	flight := &Mart{Name: "Flight", Attributes: []Attribute{
+		{Name: "From", Kind: types.KindString},
+		{Name: "To", Kind: types.KindString},
+		{Name: "Date", Kind: types.KindDate},
+		{Name: "Carrier", Kind: types.KindString},
+		{Name: "Price", Kind: types.KindFloat},
+	}}
+	hotel := &Mart{Name: "Hotel", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+		{Name: "Stars", Kind: types.KindInt},
+		{Name: "Price", Kind: types.KindFloat},
+		{Name: "Rating", Kind: types.KindFloat},
+	}}
+	for _, m := range []*Mart{conference, weather, flight, hotel} {
+		if err := r.AddMart(m); err != nil {
+			return nil, err
+		}
+	}
+
+	conference1, err := NewInterface("Conference1", conference, map[string]Adornment{
+		"Topic": Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	weather1, err := NewInterface("Weather1", weather, map[string]Adornment{
+		"City":  Input,
+		"Month": Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	flight1, err := NewInterface("Flight1", flight, map[string]Adornment{
+		"From":  Input,
+		"To":    Input,
+		"Date":  Input,
+		"Price": Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hotel1, err := NewInterface("Hotel1", hotel, map[string]Adornment{
+		"City":   Input,
+		"Rating": Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, si := range []*Interface{conference1, weather1, flight1, hotel1} {
+		if err := r.AddInterface(si); err != nil {
+			return nil, err
+		}
+	}
+
+	forecast := &ConnectionPattern{
+		Name: "Forecast", From: conference, To: weather,
+		Joins:       []Join{{From: "City", To: "City"}},
+		Selectivity: 0.30,
+	}
+	reachedBy := &ConnectionPattern{
+		Name: "ReachedBy", From: conference, To: flight,
+		Joins: []Join{
+			{From: "City", To: "To"},
+			{From: "StartDate", To: "Date"},
+		},
+		Selectivity: 0.10,
+	}
+	staysAt := &ConnectionPattern{
+		Name: "StaysAt", From: conference, To: hotel,
+		Joins:       []Join{{From: "City", To: "City"}},
+		Selectivity: 0.20,
+	}
+	for _, cp := range []*ConnectionPattern{forecast, reachedBy, staysAt} {
+		if err := r.AddPattern(cp); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

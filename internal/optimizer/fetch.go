@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seco/internal/cost"
+	"seco/internal/plan"
+)
+
+// FetchHeuristic selects how phase 3 increments fetching factors until the
+// plan is expected to deliver K results (Section 5.5).
+type FetchHeuristic int
+
+const (
+	// Greedy increments, at each iteration, the factor with the highest
+	// sensitivity: expected gain in output tuples per unit of additional
+	// cost under the optimization metric.
+	Greedy FetchHeuristic = iota
+	// SquareIsBetter increments the factor of the service that has
+	// explored the fewest tuples so far (fetch × chunk), keeping the
+	// explored regions of all binary joins square and equally sized.
+	SquareIsBetter
+)
+
+// String names the heuristic.
+func (h FetchHeuristic) String() string {
+	switch h {
+	case Greedy:
+		return "greedy"
+	case SquareIsBetter:
+		return "square-is-better"
+	default:
+		return fmt.Sprintf("FetchHeuristic(%d)", int(h))
+	}
+}
+
+// maxFetchIterations bounds the phase-3 climb; with per-service caps the
+// loop always terminates long before this.
+const maxFetchIterations = 10000
+
+// ChooseFetches runs phase 3 on a complete plan: starting from the n-uple
+// ⟨1,…,1⟩ it increments fetching factors per the heuristic until the
+// annotated plan is expected to produce at least K combinations, every
+// factor is capped by its service's cardinality, or the iteration bound is
+// hit. It returns the annotated plan of the final assignment; MeetsK
+// reports whether K was reached.
+func ChooseFetches(p *plan.Plan, metric cost.Metric, h FetchHeuristic) (*plan.Annotated, error) {
+	chunked := chunkedServiceIDs(p)
+	fetches := map[string]int{}
+	for _, id := range chunked {
+		fetches[id] = 1
+	}
+	a, err := plan.Annotate(p, fetches)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < maxFetchIterations; iter++ {
+		if a.Output() >= float64(p.K) || len(chunked) == 0 {
+			return a, nil
+		}
+		id, ok := pickIncrement(p, a, metric, h, chunked, fetches)
+		if !ok {
+			return a, nil // every factor at its cap: best effort
+		}
+		fetches[id]++
+		a, err = plan.Annotate(p, fetches)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// chunkedServiceIDs returns the IDs of chunked service nodes, sorted.
+func chunkedServiceIDs(p *plan.Plan) []string {
+	var ids []string
+	for _, id := range p.NodeIDs() {
+		if n, _ := p.Node(id); n.Kind == plan.KindService && n.Stats.Chunked() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// fetchCap bounds a service's useful fetching factor: beyond its average
+// cardinality further chunks return nothing.
+func fetchCap(n *plan.Node) int {
+	if n.Stats.AvgCardinality <= 0 {
+		return 1 << 20 // effectively unbounded
+	}
+	c := int(math.Ceil(n.Stats.AvgCardinality / float64(n.Stats.ChunkSize)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// pickIncrement chooses the next factor to bump, or ok=false when all
+// capped.
+func pickIncrement(p *plan.Plan, a *plan.Annotated, metric cost.Metric,
+	h FetchHeuristic, chunked []string, fetches map[string]int) (string, bool) {
+
+	switch h {
+	case SquareIsBetter:
+		bestID, bestExplored := "", math.Inf(1)
+		for _, id := range chunked {
+			n, _ := p.Node(id)
+			if fetches[id] >= fetchCap(n) {
+				continue
+			}
+			explored := float64(fetches[id] * n.Stats.ChunkSize)
+			if explored < bestExplored {
+				bestID, bestExplored = id, explored
+			}
+		}
+		return bestID, bestID != ""
+	default: // Greedy
+		baseOut, baseCost := a.Output(), metric.Cost(a)
+		bestID, bestGain := "", -1.0
+		for _, id := range chunked {
+			n, _ := p.Node(id)
+			if fetches[id] >= fetchCap(n) {
+				continue
+			}
+			trial := cloneFetches(fetches)
+			trial[id]++
+			ta, err := plan.Annotate(p, trial)
+			if err != nil {
+				continue
+			}
+			dOut := ta.Output() - baseOut
+			dCost := metric.Cost(ta) - baseCost
+			if dCost <= 0 {
+				dCost = 1e-9 // free progress: take it eagerly
+			}
+			gain := dOut / dCost
+			if gain > bestGain {
+				bestID, bestGain = id, gain
+			}
+		}
+		return bestID, bestID != ""
+	}
+}
+
+func cloneFetches(f map[string]int) map[string]int {
+	c := make(map[string]int, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,339 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seco/internal/cost"
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+)
+
+// AccessHeuristic orders the candidate interfaces of phase 1
+// (Section 5.3).
+type AccessHeuristic int
+
+const (
+	// BoundIsBetter prefers interfaces with many input attributes:
+	// smaller answers, faster services, less caching.
+	BoundIsBetter AccessHeuristic = iota
+	// UnboundIsEasier prefers interfaces with few input attributes,
+	// making it easier to find a feasible assignment.
+	UnboundIsEasier
+)
+
+// String names the heuristic.
+func (h AccessHeuristic) String() string {
+	if h == BoundIsBetter {
+		return "bound-is-better"
+	}
+	return "unbound-is-easier"
+}
+
+// TopologyHeuristic orders the candidate steps of phase 2 (Section 5.4).
+type TopologyHeuristic int
+
+const (
+	// SelectiveFirst builds long linear paths ordered by decreasing
+	// selectivity: singleton steps first, most selective service first.
+	SelectiveFirst TopologyHeuristic = iota
+	// ParallelIsBetter always tries the choice maximizing parallelism:
+	// the largest groups first.
+	ParallelIsBetter
+)
+
+// String names the heuristic.
+func (h TopologyHeuristic) String() string {
+	if h == SelectiveFirst {
+		return "selective-first"
+	}
+	return "parallel-is-better"
+}
+
+// Heuristics bundles the per-phase branch-ordering choices.
+type Heuristics struct {
+	Access   AccessHeuristic
+	Topology TopologyHeuristic
+	Fetch    FetchHeuristic
+}
+
+// Options configures an optimization run.
+type Options struct {
+	// K is the number of requested combinations (default 10).
+	K int
+	// Metric is the cost metric to minimize (default request-response).
+	Metric cost.Metric
+	// Heuristics select the branch orderings.
+	Heuristics Heuristics
+	// Stats supplies per-alias service statistics; aliases without an
+	// entry get the statistics registered for their interface via
+	// StatsByInterface.
+	Stats map[string]service.Stats
+	// StatsByInterface supplies statistics keyed by interface name, used
+	// when phase 1 explores alternative interfaces.
+	StatsByInterface map[string]service.Stats
+	// MaxPlans stops the search after fully costing this many complete
+	// plans (0 = explore exhaustively). The search is anytime: the best
+	// plan found so far is returned.
+	MaxPlans int
+	// DisablePruning turns off bound-based pruning (exhaustive
+	// exploration), used to verify optimality in tests.
+	DisablePruning bool
+	// FixedInterfaces skips phase 1 and uses the interfaces already
+	// bound by Analyze.
+	FixedInterfaces bool
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// Plan is the best complete plan found.
+	Plan *plan.Plan
+	// Annotated is its fully instantiated annotation.
+	Annotated *plan.Annotated
+	// Query is the (possibly re-interfaced) query the plan executes.
+	Query *query.Query
+	// Cost is the plan's cost under the chosen metric.
+	Cost float64
+	// Topology is the winning topology.
+	Topology Topology
+	// Explored counts complete plans costed; Pruned counts topology
+	// prefixes discarded by the bound; Assignments counts phase-1
+	// interface assignments tried.
+	Explored, Pruned, Assignments int
+}
+
+// Optimize runs the three-phase branch and bound of Section 5.2 and
+// returns the cheapest fully instantiated plan found. The query must have
+// been analyzed against reg.
+func Optimize(q *query.Query, reg *mart.Registry, opt Options) (*Result, error) {
+	if !q.Analyzed() {
+		return nil, fmt.Errorf("optimizer: query not analyzed")
+	}
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	if opt.Metric == nil {
+		opt.Metric = cost.RequestResponse{}
+	}
+	res := &Result{Cost: math.Inf(1)}
+	assignments := enumerateAssignments(q, reg, opt)
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("optimizer: no interface assignment available")
+	}
+	for _, assign := range assignments {
+		res.Assignments++
+		qa := q.WithInterfaces(assign)
+		if !feasible(qa) {
+			continue
+		}
+		if err := searchTopologies(qa, assign, opt, res); err != nil {
+			return nil, err
+		}
+		if opt.MaxPlans > 0 && res.Explored >= opt.MaxPlans {
+			break
+		}
+	}
+	if res.Plan == nil {
+		return nil, fmt.Errorf("optimizer: query is not feasible under any interface assignment")
+	}
+	return res, nil
+}
+
+// enumerateAssignments lists the phase-1 interface assignments in
+// heuristic order. With FixedInterfaces (or when no alternatives exist)
+// there is a single assignment: the one Analyze bound.
+func enumerateAssignments(q *query.Query, reg *mart.Registry, opt Options) []map[string]*mart.Interface {
+	current := map[string]*mart.Interface{}
+	for _, ref := range q.Services {
+		current[ref.Alias] = ref.Interface
+	}
+	if opt.FixedInterfaces {
+		return []map[string]*mart.Interface{current}
+	}
+	perAlias := make([][]*mart.Interface, len(q.Services))
+	for i, ref := range q.Services {
+		cands := reg.InterfacesFor(ref.Interface.Mart.Name)
+		if len(cands) == 0 {
+			cands = []*mart.Interface{ref.Interface}
+		}
+		ordered := append([]*mart.Interface(nil), cands...)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			na, nb := len(ordered[a].InputPaths()), len(ordered[b].InputPaths())
+			if na != nb {
+				if opt.Heuristics.Access == BoundIsBetter {
+					return na > nb
+				}
+				return na < nb
+			}
+			return ordered[a].Name < ordered[b].Name
+		})
+		perAlias[i] = ordered
+	}
+	var out []map[string]*mart.Interface
+	assign := map[string]*mart.Interface{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Services) {
+			cp := make(map[string]*mart.Interface, len(assign))
+			for k, v := range assign {
+				cp[k] = v
+			}
+			out = append(out, cp)
+			return
+		}
+		for _, si := range perAlias[i] {
+			assign[q.Services[i].Alias] = si
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func feasible(q *query.Query) bool {
+	f, err := q.CheckFeasibility()
+	return err == nil && f.Feasible
+}
+
+// searchTopologies runs phases 2–3 for one interface assignment,
+// branch-and-bounding over topology prefixes.
+func searchTopologies(q *query.Query, assign map[string]*mart.Interface, opt Options, res *Result) error {
+	stats, err := resolveStats(q, opt)
+	if err != nil {
+		return err
+	}
+	var current Topology
+	included := map[string]bool{}
+	var rec func() error
+	rec = func() error {
+		if opt.MaxPlans > 0 && res.Explored >= opt.MaxPlans {
+			return nil
+		}
+		if len(included) == len(q.Services) {
+			return completePlan(q, current, stats, opt, res)
+		}
+		// Bound: the partial plan with minimal fetches lower-bounds every
+		// completion; prune when it already exceeds the best cost.
+		if !opt.DisablePruning && len(current) > 0 && res.Plan != nil {
+			pp, err := BuildPlan(q, current, stats, opt.K, true)
+			if err != nil {
+				return err
+			}
+			pa, err := plan.Annotate(pp, nil)
+			if err != nil {
+				return err
+			}
+			if opt.Metric.Cost(pa) >= res.Cost {
+				res.Pruned++
+				return nil
+			}
+		}
+		for _, step := range orderedSteps(q, stats, included, opt.Heuristics.Topology) {
+			current = append(current, step)
+			for _, a := range step.Group {
+				included[a] = true
+			}
+			if err := rec(); err != nil {
+				return err
+			}
+			for _, a := range step.Group {
+				delete(included, a)
+			}
+			current = current[:len(current)-1]
+		}
+		return nil
+	}
+	return rec()
+}
+
+// completePlan builds, instantiates and costs a full topology, updating
+// the incumbent when cheaper.
+func completePlan(q *query.Query, t Topology, stats map[string]service.Stats, opt Options, res *Result) error {
+	p, err := BuildPlan(q, t, stats, opt.K, false)
+	if err != nil {
+		return err
+	}
+	a, err := ChooseFetches(p, opt.Metric, opt.Heuristics.Fetch)
+	if err != nil {
+		return err
+	}
+	res.Explored++
+	c := opt.Metric.Cost(a)
+	// Prefer plans that meet K; among those, the cheaper one.
+	better := false
+	switch {
+	case res.Plan == nil:
+		better = true
+	case a.MeetsK() && !res.Annotated.MeetsK():
+		better = true
+	case a.MeetsK() == res.Annotated.MeetsK() && c < res.Cost:
+		better = true
+	}
+	if better {
+		res.Plan = p
+		res.Annotated = a
+		res.Cost = c
+		res.Query = q
+		res.Topology = append(Topology(nil), t...)
+	}
+	return nil
+}
+
+// orderedSteps lists the candidate next steps in heuristic order.
+func orderedSteps(q *query.Query, stats map[string]service.Stats, included map[string]bool, h TopologyHeuristic) []Step {
+	reachable := reachableAliases(q, included)
+	var singles []Step
+	for _, a := range reachable {
+		singles = append(singles, Step{Group: []string{a}})
+	}
+	var groups []Step
+	for _, g := range groupCandidates(q, reachable, included) {
+		groups = append(groups, Step{Group: g})
+	}
+	switch h {
+	case ParallelIsBetter:
+		sort.SliceStable(groups, func(i, j int) bool {
+			return len(groups[i].Group) > len(groups[j].Group)
+		})
+		return append(groups, singles...)
+	default: // SelectiveFirst
+		sort.SliceStable(singles, func(i, j int) bool {
+			return standaloneYield(stats, singles[i].Group[0]) < standaloneYield(stats, singles[j].Group[0])
+		})
+		return append(singles, groups...)
+	}
+}
+
+// standaloneYield estimates the tuples one invocation of the alias
+// produces with one fetch: the selective-first ordering key.
+func standaloneYield(stats map[string]service.Stats, alias string) float64 {
+	st, ok := stats[alias]
+	if !ok {
+		return math.Inf(1)
+	}
+	if st.Chunked() {
+		return float64(st.ChunkSize)
+	}
+	return st.AvgCardinality
+}
+
+// resolveStats produces the per-alias statistics for the current
+// interface assignment.
+func resolveStats(q *query.Query, opt Options) (map[string]service.Stats, error) {
+	out := make(map[string]service.Stats, len(q.Services))
+	for _, ref := range q.Services {
+		if st, ok := opt.Stats[ref.Alias]; ok {
+			out[ref.Alias] = st
+			continue
+		}
+		if st, ok := opt.StatsByInterface[ref.Interface.Name]; ok {
+			out[ref.Alias] = st
+			continue
+		}
+		return nil, fmt.Errorf("optimizer: no statistics for alias %q (interface %s)", ref.Alias, ref.Interface.Name)
+	}
+	return out, nil
+}

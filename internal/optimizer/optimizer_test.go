@@ -1,0 +1,318 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"seco/internal/cost"
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+)
+
+func optimizeRunning(t *testing.T, opt Options) *Result {
+	t.Helper()
+	q, reg := runningQuery(t)
+	if opt.Stats == nil {
+		opt.Stats = plan.RunningExampleStats()
+	}
+	res, err := Optimize(q, reg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOptimizeRunningExampleProducesValidPlan(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, Metric: cost.RequestResponse{}})
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatalf("winning plan invalid: %v", err)
+	}
+	if !res.Annotated.MeetsK() {
+		t.Errorf("winning plan expects only %v results for K=10", res.Annotated.Output())
+	}
+	if res.Explored == 0 {
+		t.Error("no plans explored")
+	}
+	if math.IsInf(res.Cost, 1) {
+		t.Error("no cost recorded")
+	}
+}
+
+// E10: with pruning enabled, branch and bound returns the same optimum as
+// exhaustive search, for every metric, while exploring no more plans.
+func TestE10_BnBMatchesExhaustive(t *testing.T) {
+	for _, m := range cost.All() {
+		exhaustive := optimizeRunning(t, Options{K: 10, Metric: m, DisablePruning: true})
+		pruned := optimizeRunning(t, Options{K: 10, Metric: m})
+		if math.Abs(exhaustive.Cost-pruned.Cost) > 1e-9 {
+			t.Errorf("%s: exhaustive cost %v, pruned cost %v",
+				m.Name(), exhaustive.Cost, pruned.Cost)
+		}
+		if pruned.Explored > exhaustive.Explored {
+			t.Errorf("%s: pruned explored %d > exhaustive %d",
+				m.Name(), pruned.Explored, exhaustive.Explored)
+		}
+	}
+}
+
+// The exhaustive run over the running example must cost exactly the four
+// topologies of Fig. 9.
+func TestExhaustiveExploresAllTopologies(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, DisablePruning: true})
+	if res.Explored != 4 {
+		t.Errorf("explored %d plans, want 4 (Fig. 9)", res.Explored)
+	}
+}
+
+// Pruning must actually fire on the request-response metric for the
+// running example (sequential chains repeat expensive piped calls).
+func TestPruningFires(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, Metric: cost.ExecutionTime{},
+		Heuristics: Heuristics{Topology: ParallelIsBetter}})
+	if res.Pruned == 0 {
+		t.Log("no branches pruned (bound too weak for this instance); acceptable but unexpected")
+	}
+	if res.Explored > 4 {
+		t.Errorf("explored %d > 4 topologies", res.Explored)
+	}
+}
+
+// Anytime behaviour: MaxPlans=1 returns after the first complete plan.
+func TestAnytimeBudget(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, MaxPlans: 1})
+	if res.Explored != 1 {
+		t.Errorf("explored %d plans with MaxPlans=1", res.Explored)
+	}
+	if res.Plan == nil || res.Plan.Validate() != nil {
+		t.Error("anytime result invalid")
+	}
+}
+
+// The parallel-is-better heuristic must reach the parallel topology first.
+func TestParallelIsBetterFindsParallelFirst(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, MaxPlans: 1,
+		Heuristics: Heuristics{Topology: ParallelIsBetter}})
+	if len(res.Topology) == 0 || !res.Topology[0].Parallel() {
+		t.Errorf("first explored topology = %v, want a parallel first step", res.Topology)
+	}
+}
+
+// The selective-first heuristic explores a chain first, most selective
+// (smallest-yield) service at its head: Theatre (chunk 5) before Movie
+// (chunk 20).
+func TestSelectiveFirstOrdering(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, MaxPlans: 1,
+		Heuristics: Heuristics{Topology: SelectiveFirst}})
+	if res.Topology.String() != "T → R → M" {
+		t.Errorf("first explored topology = %v, want T → R → M", res.Topology)
+	}
+}
+
+// Under the execution-time metric the parallel topology wins for the
+// running example: parallel invocation of Movie and Theatre beats every
+// sequential chain.
+func TestExecutionTimeFavoursParallel(t *testing.T) {
+	res := optimizeRunning(t, Options{K: 10, Metric: cost.ExecutionTime{}, DisablePruning: true})
+	if len(res.Topology) == 0 || !res.Topology[0].Parallel() {
+		t.Errorf("execution-time winner = %v, want parallel first step", res.Topology)
+	}
+}
+
+// Phase 3, square-is-better: fetching factors keep explored tuples (F ×
+// chunk) balanced across the two sides of the parallel join.
+func TestSquareIsBetterBalancesExploration(t *testing.T) {
+	q, _ := runningQuery(t)
+	top := Topology{{Group: []string{"M", "T"}}, {Group: []string{"R"}}}
+	p, err := BuildPlan(q, top, plan.RunningExampleStats(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChooseFetches(p, cost.RequestResponse{}, SquareIsBetter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MeetsK() {
+		t.Fatalf("square-is-better did not reach K: output %v", a.Output())
+	}
+	em := a.Fetches["M"] * 20 // movie chunk 20
+	et := a.Fetches["T"] * 5  // theatre chunk 5
+	ratio := float64(em) / float64(et)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("explored tuples unbalanced: M=%d T=%d", em, et)
+	}
+}
+
+// Phase 3, greedy: reaches K and never exceeds the per-service caps.
+func TestGreedyFetchesReachK(t *testing.T) {
+	q, _ := runningQuery(t)
+	top := Topology{{Group: []string{"M", "T"}}, {Group: []string{"R"}}}
+	p, err := BuildPlan(q, top, plan.RunningExampleStats(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChooseFetches(p, cost.RequestResponse{}, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MeetsK() {
+		t.Fatalf("greedy did not reach K: output %v", a.Output())
+	}
+	for id, f := range a.Fetches {
+		n, _ := p.Node(id)
+		if f > fetchCap(n) {
+			t.Errorf("%s fetches %d beyond cap %d", id, f, fetchCap(n))
+		}
+	}
+}
+
+// When K is unreachable (tiny cardinalities), phase 3 stops at the caps
+// and the optimizer still returns a best-effort plan.
+func TestUnreachableKBestEffort(t *testing.T) {
+	stats := plan.RunningExampleStats()
+	tiny := stats["M"]
+	tiny.AvgCardinality = 2
+	tiny.ChunkSize = 2
+	stats["M"] = tiny
+	res := optimizeRunning(t, Options{K: 100000, Stats: stats})
+	if res.Plan == nil {
+		t.Fatal("no plan returned")
+	}
+	if res.Annotated.MeetsK() {
+		t.Error("impossible K reported as met")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unanalyzed query.
+	q, err := query.Parse("select Movie1 as M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(q, reg, Options{}); err == nil {
+		t.Error("unanalyzed query accepted")
+	}
+	// Infeasible query.
+	q2, err := query.Parse("select Restaurant1 as R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(q2, reg, Options{Stats: map[string]service.Stats{
+		"R": plan.RunningExampleStats()["R"],
+	}}); err == nil {
+		t.Error("infeasible query optimized")
+	}
+	// Missing statistics.
+	q3, reg3 := runningQuery(t)
+	if _, err := Optimize(q3, reg3, Options{}); err == nil {
+		t.Error("missing statistics accepted")
+	}
+}
+
+// Phase 1: with two interfaces over the same mart, bound-is-better and
+// unbound-is-easier order the assignments differently; both converge to
+// the same optimum when exploring exhaustively.
+func TestAccessPatternHeuristics(t *testing.T) {
+	reg := mart.NewRegistry()
+	m := &mart.Mart{Name: "S", Attributes: []mart.Attribute{
+		{Name: "A", Kind: 2 /* int */},
+		{Name: "B", Kind: 2},
+		{Name: "C", Kind: 2},
+	}}
+	if err := reg.AddMart(m); err != nil {
+		t.Fatal(err)
+	}
+	open, err := mart.NewInterface("SOpen", m, map[string]mart.Adornment{"A": mart.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := mart.NewInterface("SBound", m, map[string]mart.Adornment{
+		"A": mart.Input, "B": mart.Input,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range []*mart.Interface{open, bound} {
+		if err := reg.AddInterface(si); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := query.Parse("select SOpen as X where X.A = INPUT1 and X.B = INPUT2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]service.Stats{}
+	byIface := map[string]service.Stats{
+		// The bound interface answers with fewer tuples (cheaper).
+		"SOpen":  {AvgCardinality: 100, Scoring: service.Constant(0.5), CostPerCall: 1},
+		"SBound": {AvgCardinality: 10, Scoring: service.Constant(0.5), CostPerCall: 1},
+	}
+	res, err := Optimize(q, reg, Options{
+		K: 1, Metric: cost.Sum{}, Stats: stats, StatsByInterface: byIface,
+		Heuristics: Heuristics{Access: BoundIsBetter},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments != 2 {
+		t.Errorf("assignments tried = %d, want 2", res.Assignments)
+	}
+	// Both assignments are feasible (the query binds A and B); the sum
+	// metric is indifferent (one call each), so the heuristic's first
+	// choice wins: the more-bound interface.
+	x, _ := res.Query.Service("X")
+	if x.Interface.Name != "SBound" {
+		t.Errorf("winning interface = %s, want SBound", x.Interface.Name)
+	}
+	// FixedInterfaces pins the original choice.
+	resFixed, err := Optimize(q, reg, Options{
+		K: 1, Metric: cost.Sum{}, Stats: stats, StatsByInterface: byIface,
+		FixedInterfaces: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf, _ := resFixed.Query.Service("X")
+	if xf.Interface.Name != "SOpen" {
+		t.Errorf("fixed interface = %s, want SOpen", xf.Interface.Name)
+	}
+}
+
+// The travel example optimizes end to end across its 13 topologies.
+func TestOptimizeTravelExample(t *testing.T) {
+	q, reg := travelQuery(t)
+	res, err := Optimize(q, reg, Options{
+		K: 10, Metric: cost.ExecutionTime{}, Stats: plan.TravelStats(),
+		DisablePruning: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored != 13 {
+		t.Errorf("explored %d plans, want 13", res.Explored)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Under execution time the winner runs the selective Weather stage
+	// (with its temperature selection, culling 20 conferences to 2)
+	// before the expensive piped Flight and Hotel services, and runs
+	// those two in parallel: C → W → (F‖H). Maximal parallelism
+	// (C → (F‖H‖W)) loses because Flight/Hotel would then be invoked per
+	// unfiltered conference — the interaction between selectivity and
+	// parallelism that Section 5.4 describes.
+	if got := res.Topology.String(); got != "C → W → (F‖H)" {
+		t.Errorf("winner = %v, want C → W → (F‖H)", got)
+	}
+}

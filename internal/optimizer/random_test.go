@@ -1,0 +1,202 @@
+package optimizer
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"seco/internal/cost"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/synth"
+)
+
+// parseWorkload parses, analyzes and feasibility-checks a random workload.
+func parseWorkload(t *testing.T, seed int64, n int) (*query.Query, *synth.Workload) {
+	t.Helper()
+	w, err := synth.RandomWorkload(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Parse(w.QueryText)
+	if err != nil {
+		t.Fatalf("seed %d: parse: %v\nquery: %s", seed, err, w.QueryText)
+	}
+	if err := q.Analyze(w.Registry); err != nil {
+		t.Fatalf("seed %d: analyze: %v", seed, err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("seed %d: generated workload infeasible: %v", seed, f.Unreachable)
+	}
+	return q, w
+}
+
+// Every generated workload parses, analyzes and stays feasible.
+func TestRandomWorkloadsAlwaysFeasible(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		n := 2 + int(seed%6)
+		parseWorkload(t, seed, n)
+	}
+}
+
+// Branch and bound returns the exhaustive optimum on random query graphs
+// of 3–6 services, across metrics — the randomized strengthening of E10.
+func TestRandomWorkloadsBnBOptimal(t *testing.T) {
+	metrics := []cost.Metric{cost.ExecutionTime{}, cost.RequestResponse{}, cost.Bottleneck{}}
+	for seed := int64(0); seed < 12; seed++ {
+		n := 3 + int(seed%4)
+		for _, m := range metrics {
+			q, w := parseWorkload(t, seed, n)
+			exhaustive, err := Optimize(q, w.Registry, Options{
+				K: 10, Metric: m, Stats: w.Stats, DisablePruning: true, FixedInterfaces: true,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s exhaustive: %v", seed, m.Name(), err)
+			}
+			pruned, err := Optimize(q, w.Registry, Options{
+				K: 10, Metric: m, Stats: w.Stats, FixedInterfaces: true,
+				Heuristics: Heuristics{Topology: ParallelIsBetter},
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s pruned: %v", seed, m.Name(), err)
+			}
+			if math.Abs(exhaustive.Cost-pruned.Cost) > 1e-9 {
+				t.Errorf("seed %d n=%d %s: exhaustive %v vs pruned %v (topologies %v vs %v)",
+					seed, n, m.Name(), exhaustive.Cost, pruned.Cost,
+					exhaustive.Topology, pruned.Topology)
+			}
+			if pruned.Explored > exhaustive.Explored {
+				t.Errorf("seed %d %s: pruning explored more plans (%d > %d)",
+					seed, m.Name(), pruned.Explored, exhaustive.Explored)
+			}
+		}
+	}
+}
+
+// The anytime property on random graphs: a budget of one plan always
+// yields a valid plan whose cost upper-bounds the optimum.
+func TestRandomWorkloadsAnytime(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 3 + int(seed%4)
+		q, w := parseWorkload(t, seed, n)
+		first, err := Optimize(q, w.Registry, Options{
+			K: 10, Metric: cost.ExecutionTime{}, Stats: w.Stats,
+			MaxPlans: 1, FixedInterfaces: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := first.Plan.Validate(); err != nil {
+			t.Errorf("seed %d: anytime plan invalid: %v", seed, err)
+		}
+		full, err := Optimize(q, w.Registry, Options{
+			K: 10, Metric: cost.ExecutionTime{}, Stats: w.Stats, FixedInterfaces: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Cost > first.Cost+1e-9 {
+			t.Errorf("seed %d: full search worse than first plan (%v > %v)",
+				seed, full.Cost, first.Cost)
+		}
+	}
+}
+
+// Optimized plans for random workloads survive a JSON round trip with
+// identical annotations.
+func TestRandomPlansJSONRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q, w := parseWorkload(t, seed, 3+int(seed%4))
+		res, err := Optimize(q, w.Registry, Options{
+			K: 10, Metric: cost.RequestResponse{}, Stats: w.Stats, FixedInterfaces: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := plan.UnmarshalPlan(data, w.Registry)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("seed %d: decoded plan invalid: %v", seed, err)
+		}
+		a1, err := plan.Annotate(res.Plan, res.Annotated.Fetches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := plan.Annotate(back, res.Annotated.Fetches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range res.Plan.NodeIDs() {
+			if a1.Ann[id] != a2.Ann[id] {
+				t.Errorf("seed %d: node %s annotation drifted: %+v vs %+v",
+					seed, id, a1.Ann[id], a2.Ann[id])
+			}
+		}
+	}
+}
+
+// Large random graphs stay tractable under an anytime budget: twelve
+// services optimize within a bounded number of costed plans and still
+// yield a valid result.
+func TestLargeWorkloadAnytimeBudget(t *testing.T) {
+	for seed := int64(100); seed < 103; seed++ {
+		q, w := parseWorkload(t, seed, 12)
+		res, err := Optimize(q, w.Registry, Options{
+			K: 10, Metric: cost.ExecutionTime{}, Stats: w.Stats,
+			MaxPlans: 50, FixedInterfaces: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Explored > 50 {
+			t.Errorf("seed %d: budget ignored (%d plans)", seed, res.Explored)
+		}
+		if err := res.Plan.Validate(); err != nil {
+			t.Errorf("seed %d: budgeted plan invalid: %v", seed, err)
+		}
+		if len(res.Topology.Aliases()) != 12 {
+			t.Errorf("seed %d: plan covers %d services", seed, len(res.Topology.Aliases()))
+		}
+	}
+}
+
+// Every explored topology respects the generated dependency structure:
+// children never precede their parent.
+func TestRandomWorkloadsTopologiesRespectDependencies(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 3 + int(seed%4)
+		q, w := parseWorkload(t, seed, n)
+		tops, err := EnumerateTopologies(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tops) == 0 {
+			t.Fatalf("seed %d: no topologies", seed)
+		}
+		for _, tp := range tops {
+			pos := map[string]int{}
+			for i, a := range tp.Aliases() {
+				pos[a] = i
+			}
+			for child, parent := range w.Parents {
+				if parent == "" {
+					continue
+				}
+				if pos[child] < pos[parent] {
+					t.Errorf("seed %d: topology %v places %s before its parent %s",
+						seed, tp, child, parent)
+				}
+			}
+		}
+	}
+}

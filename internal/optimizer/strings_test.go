@@ -1,0 +1,24 @@
+package optimizer
+
+import "testing"
+
+func TestHeuristicStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{BoundIsBetter.String(), "bound-is-better"},
+		{UnboundIsEasier.String(), "unbound-is-easier"},
+		{SelectiveFirst.String(), "selective-first"},
+		{ParallelIsBetter.String(), "parallel-is-better"},
+		{Greedy.String(), "greedy"},
+		{SquareIsBetter.String(), "square-is-better"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+	if FetchHeuristic(9).String() == "" {
+		t.Error("unknown fetch heuristic renders empty")
+	}
+}

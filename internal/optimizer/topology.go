@@ -1,0 +1,470 @@
+// Package optimizer implements the branch-and-bound query optimization of
+// Section 5: phase 1 selects access patterns (service interfaces), phase 2
+// selects a query topology (the DAG of service invocations and joins),
+// phase 3 chooses the fetching factors of chunked services. All cost
+// metrics are monotone, so the cost of a partially constructed plan lower-
+// bounds every completion and branches whose bound exceeds the best known
+// complete plan are pruned. The search is anytime: it can be stopped after
+// a budget of explored plans and still returns the best plan found.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seco/internal/join"
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// Step is one increment of a topology: a single service appended in series
+// to the plan's frontier, or a group of ≥2 mutually independent services
+// invoked in parallel and merged by parallel-join nodes before the
+// frontier moves on (the "in series or in parallel" construction of
+// Section 5.4).
+type Step struct {
+	// Group holds the aliases added by the step, sorted. A singleton is a
+	// series step; larger groups are parallel steps.
+	Group []string
+}
+
+// Parallel reports whether the step opens parallel branches.
+func (s Step) Parallel() bool { return len(s.Group) > 1 }
+
+// String renders the step, e.g. "T" or "(M‖T)".
+func (s Step) String() string {
+	if !s.Parallel() {
+		return s.Group[0]
+	}
+	return "(" + strings.Join(s.Group, "‖") + ")"
+}
+
+// Topology is an ordered sequence of steps covering every service of the
+// query exactly once.
+type Topology []Step
+
+// String renders the topology, e.g. "(M‖T) → R".
+func (t Topology) String() string {
+	parts := make([]string, len(t))
+	for i, s := range t {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " → ")
+}
+
+// Aliases returns all aliases of the topology in step order.
+func (t Topology) Aliases() []string {
+	var out []string
+	for _, s := range t {
+		out = append(out, s.Group...)
+	}
+	return out
+}
+
+// EnumerateTopologies generates every topology of the analyzed query under
+// the given interface assignment: every ordered partition of the services
+// into steps such that each step's services are reachable from the user
+// input and the services of earlier steps. Singleton steps become series
+// placements; larger steps become parallel placements merged by join
+// nodes. For the running example this yields exactly the four topologies
+// of Fig. 9.
+func EnumerateTopologies(q *query.Query) ([]Topology, error) {
+	if !q.Analyzed() {
+		return nil, fmt.Errorf("optimizer: query not analyzed")
+	}
+	var (
+		result  []Topology
+		current Topology
+	)
+	included := map[string]bool{}
+	var rec func()
+	rec = func() {
+		if len(included) == len(q.Services) {
+			cp := make(Topology, len(current))
+			copy(cp, current)
+			result = append(result, cp)
+			return
+		}
+		reachable := reachableAliases(q, included)
+		// Singletons.
+		for _, a := range reachable {
+			current = append(current, Step{Group: []string{a}})
+			included[a] = true
+			rec()
+			delete(included, a)
+			current = current[:len(current)-1]
+		}
+		// Groups of every size ≥ 2, restricted to peers: members of a
+		// parallel step must share the same dependency set, because they
+		// are fed identically from the plan frontier before being merged
+		// (this restriction reproduces exactly the four topologies of
+		// Fig. 9 for the running example).
+		for _, g := range groupCandidates(q, reachable, included) {
+			for _, a := range g {
+				included[a] = true
+			}
+			current = append(current, Step{Group: g})
+			rec()
+			current = current[:len(current)-1]
+			for _, a := range g {
+				delete(included, a)
+			}
+		}
+	}
+	rec()
+	return result, nil
+}
+
+// reachableAliases lists the not-yet-included aliases whose inputs are
+// coverable given the included set, sorted.
+func reachableAliases(q *query.Query, included map[string]bool) []string {
+	var out []string
+	for _, ref := range q.Services {
+		if included[ref.Alias] {
+			continue
+		}
+		if _, ok := q.BindingsGiven(ref.Alias, included); ok {
+			out = append(out, ref.Alias)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groupCandidates enumerates the admissible parallel groups among the
+// reachable aliases: subsets of size ≥ 2 whose members share the same
+// dependency set given the included services.
+func groupCandidates(q *query.Query, reachable []string, included map[string]bool) [][]string {
+	var out [][]string
+	for _, g := range subsetsAtLeast2(reachable) {
+		sig := depSignature(q, g[0], included)
+		same := true
+		for _, a := range g[1:] {
+			if depSignature(q, a, included) != sig {
+				same = false
+				break
+			}
+		}
+		if same {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// depSignature returns a canonical string of the aliases the given alias
+// pipes from, given the included set.
+func depSignature(q *query.Query, alias string, included map[string]bool) string {
+	bindings, ok := q.BindingsGiven(alias, included)
+	if !ok {
+		return "<unreachable>"
+	}
+	set := map[string]bool{}
+	for _, b := range bindings {
+		if b.Source.Kind == query.BindJoin {
+			set[b.Source.From.Alias] = true
+		}
+	}
+	deps := make([]string, 0, len(set))
+	for d := range set {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	return strings.Join(deps, ",")
+}
+
+// subsetsAtLeast2 enumerates the subsets of size ≥ 2 of the sorted slice,
+// each returned sorted, in deterministic order.
+func subsetsAtLeast2(items []string) [][]string {
+	var out [][]string
+	n := len(items)
+	for mask := 1; mask < 1<<n; mask++ {
+		if popcount(mask) < 2 {
+			continue
+		}
+		var g []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				g = append(g, items[i])
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// BuildPlan materializes a topology into a plan DAG with the given
+// statistics and K: service nodes with their input bindings and pipe
+// selectivities, selection nodes for residual predicates over output
+// attributes, and parallel-join nodes (left-deep) for parallel steps. The
+// join strategy of each parallel join follows Section 4.3: nested loop
+// when the left side has a step scoring function, merge-scan otherwise;
+// completion is triangular when both sides are search services.
+// When partial is true the output node is omitted (the plan annotates but
+// does not validate), which is how the branch-and-bound costs prefixes.
+func BuildPlan(q *query.Query, t Topology, stats map[string]service.Stats, k int, partial bool) (*plan.Plan, error) {
+	p := plan.New(k)
+	if err := p.AddNode(&plan.Node{ID: "input", Kind: plan.KindInput}); err != nil {
+		return nil, err
+	}
+	frontier := "input"
+	included := map[string]bool{}
+	joinSeq := 0
+	for _, step := range t {
+		if step.Parallel() {
+			// Add every member branch off the frontier, then merge
+			// left-deep.
+			var branchTop []string // top node of each branch (service or selection)
+			var branchAliases [][]string
+			for _, a := range step.Group {
+				top, err := addServiceChain(p, q, a, frontier, included, stats)
+				if err != nil {
+					return nil, err
+				}
+				branchTop = append(branchTop, top)
+				branchAliases = append(branchAliases, []string{a})
+			}
+			for len(branchTop) > 1 {
+				joinSeq++
+				id := fmt.Sprintf("join%d", joinSeq)
+				leftAliases, rightAliases := branchAliases[0], branchAliases[1]
+				sel, preds := joinSelectivity(q, leftAliases, rightAliases)
+				n := &plan.Node{
+					ID: id, Kind: plan.KindJoin,
+					Strategy:        chooseStrategy(q, stats, leftAliases, rightAliases),
+					JoinSelectivity: sel,
+					JoinPreds:       preds,
+				}
+				if err := p.AddNode(n); err != nil {
+					return nil, err
+				}
+				if err := p.Connect(branchTop[0], id); err != nil {
+					return nil, err
+				}
+				if err := p.Connect(branchTop[1], id); err != nil {
+					return nil, err
+				}
+				merged := append(append([]string(nil), leftAliases...), rightAliases...)
+				branchTop = append([]string{id}, branchTop[2:]...)
+				branchAliases = append([][]string{merged}, branchAliases[2:]...)
+			}
+			frontier = branchTop[0]
+			for _, a := range step.Group {
+				included[a] = true
+			}
+		} else {
+			a := step.Group[0]
+			top, err := addServiceChain(p, q, a, frontier, included, stats)
+			if err != nil {
+				return nil, err
+			}
+			frontier = top
+			included[a] = true
+		}
+	}
+	if !partial {
+		if err := p.AddNode(&plan.Node{ID: "output", Kind: plan.KindOutput}); err != nil {
+			return nil, err
+		}
+		if err := p.Connect(frontier, "output"); err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// addServiceChain adds the service node for alias (fed from the given
+// upstream node) followed by a selection node for its residual output
+// predicates, if any. It returns the topmost node added.
+func addServiceChain(p *plan.Plan, q *query.Query, alias, from string, included map[string]bool, stats map[string]service.Stats) (string, error) {
+	ref, ok := q.Service(alias)
+	if !ok {
+		return "", fmt.Errorf("optimizer: unknown alias %q", alias)
+	}
+	bindings, ok := q.BindingsGiven(alias, included)
+	if !ok {
+		return "", fmt.Errorf("optimizer: alias %q not reachable at its step", alias)
+	}
+	st, ok := stats[alias]
+	if !ok {
+		return "", fmt.Errorf("optimizer: no statistics for alias %q", alias)
+	}
+	pipeSel, connPreds := connectionSelectivity(q, alias, included)
+	n := &plan.Node{
+		ID: alias, Kind: plan.KindService, Alias: alias,
+		Interface: ref.Interface, Stats: st,
+		Bindings:        bindings,
+		PipeSelectivity: pipeSel,
+		// The connecting join predicates are evaluated by the engine
+		// when composing this service's tuples with the upstream stream
+		// (they hold trivially for equalities realized by the pipe
+		// bindings, and do the actual filtering work for sequential
+		// compositions of independent services).
+		JoinPreds: connPreds,
+	}
+	if err := p.AddNode(n); err != nil {
+		return "", err
+	}
+	if err := p.Connect(from, alias); err != nil {
+		return "", err
+	}
+	// Residual selections: predicates over non-input paths, evaluable as
+	// soon as the service has been called.
+	var residual []query.Predicate
+	selEstimate := 1.0
+	for _, pr := range q.SelectionsFor(alias) {
+		if ref.Interface.Adornments[pr.Left.Path] == mart.Input {
+			continue // consumed by the invocation binding
+		}
+		residual = append(residual, pr)
+		selEstimate *= pr.Op.Selectivity()
+	}
+	if len(residual) == 0 {
+		return alias, nil
+	}
+	sigma := &plan.Node{
+		ID: "sigma_" + alias, Kind: plan.KindSelection,
+		Selections: residual, Selectivity: selEstimate,
+	}
+	if err := p.AddNode(sigma); err != nil {
+		return "", err
+	}
+	if err := p.Connect(alias, sigma.ID); err != nil {
+		return "", err
+	}
+	return sigma.ID, nil
+}
+
+// connectionSelectivity estimates the selectivity of the join conditions
+// connecting alias to the included aliases — the product of the
+// selectivities of the connection patterns touching both sides plus the
+// default selectivities of explicit join predicates — and collects those
+// predicates so the plan node can evaluate them at execution time. An
+// empty predicate list means a cartesian composition.
+func connectionSelectivity(q *query.Query, alias string, included map[string]bool) (float64, []query.Predicate) {
+	sel := 1.0
+	var preds []query.Predicate
+	for _, u := range q.Patterns {
+		if u.Pattern == nil {
+			continue
+		}
+		if (u.FromAlias == alias && included[u.ToAlias]) ||
+			(u.ToAlias == alias && included[u.FromAlias]) {
+			sel *= u.Pattern.Selectivity
+			for _, j := range u.Pattern.Joins {
+				preds = append(preds, query.Predicate{
+					Left: query.PathRef{Alias: u.FromAlias, Path: j.From},
+					Op:   types.OpEq,
+					Right: query.Term{Kind: query.TermPath,
+						Path: query.PathRef{Alias: u.ToAlias, Path: j.To}},
+				})
+			}
+		}
+	}
+	for _, pr := range q.Predicates {
+		if !pr.IsJoin() {
+			continue
+		}
+		l, r := pr.Left.Alias, pr.Right.Path.Alias
+		if (l == alias && included[r]) || (r == alias && included[l]) {
+			sel *= pr.Op.Selectivity()
+			preds = append(preds, pr)
+		}
+	}
+	return sel, preds
+}
+
+// joinSelectivity estimates the selectivity of a parallel join between two
+// alias sets, and collects the predicates it evaluates.
+func joinSelectivity(q *query.Query, left, right []string) (float64, []query.Predicate) {
+	inLeft, inRight := toSet(left), toSet(right)
+	sel := 1.0
+	var preds []query.Predicate
+	for _, u := range q.Patterns {
+		if u.Pattern == nil {
+			continue
+		}
+		if (inLeft[u.FromAlias] && inRight[u.ToAlias]) || (inRight[u.FromAlias] && inLeft[u.ToAlias]) {
+			sel *= u.Pattern.Selectivity
+			for _, j := range u.Pattern.Joins {
+				preds = append(preds, query.Predicate{
+					Left: query.PathRef{Alias: u.FromAlias, Path: j.From},
+					Right: query.Term{Kind: query.TermPath,
+						Path: query.PathRef{Alias: u.ToAlias, Path: j.To}},
+				})
+			}
+		}
+	}
+	for _, pr := range q.Predicates {
+		if !pr.IsJoin() {
+			continue
+		}
+		l, r := pr.Left.Alias, pr.Right.Path.Alias
+		if (inLeft[l] && inRight[r]) || (inLeft[r] && inRight[l]) {
+			sel *= pr.Op.Selectivity()
+			preds = append(preds, pr)
+		}
+	}
+	return sel, preds
+}
+
+// chooseStrategy applies the guidance of Section 4.3: nested loop with the
+// step length h when the left side's scoring function exhibits a step,
+// merge-scan otherwise; triangular completion when both sides are search
+// services (approximating extraction-optimality), rectangular otherwise.
+// Merge-scan ratios follow the services' per-call latencies (the variable
+// inter-service ratio the chapter defers to Chapter 11's clocks): the
+// cheaper side is fetched proportionally more often.
+func chooseStrategy(q *query.Query, stats map[string]service.Stats, left, right []string) join.Strategy {
+	ls, lok := singleAliasStats(stats, left)
+	rs, rok := singleAliasStats(stats, right)
+	if lok {
+		if h, stepped := ls.Scoring.HasStep(); stepped && ls.ChunkSize > 0 {
+			chunks := (h + ls.ChunkSize - 1) / ls.ChunkSize
+			if chunks < 1 {
+				chunks = 1
+			}
+			return join.Strategy{Invocation: join.NestedLoop, Completion: join.Rectangular, H: chunks}
+		}
+	}
+	comp := join.Rectangular
+	if lok && rok && ls.Scoring.Kind != service.ScoringConstant && rs.Scoring.Kind != service.ScoringConstant {
+		comp = join.Triangular
+	}
+	rx, ry := 1, 1
+	if lok && rok {
+		rx, ry = join.RatioFromCosts(ls.Latency.Seconds(), rs.Latency.Seconds(), 4)
+	}
+	return join.Strategy{Invocation: join.MergeScan, Completion: comp, RatioX: rx, RatioY: ry}
+}
+
+func singleAliasStats(stats map[string]service.Stats, aliases []string) (service.Stats, bool) {
+	if len(aliases) != 1 {
+		return service.Stats{}, false
+	}
+	s, ok := stats[aliases[0]]
+	return s, ok
+}
+
+func toSet(items []string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return m
+}

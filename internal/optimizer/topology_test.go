@@ -1,0 +1,240 @@
+package optimizer
+
+import (
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/query"
+)
+
+func runningQuery(t *testing.T) (*query.Query, *mart.Registry) {
+	t.Helper()
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, reg
+}
+
+func travelQuery(t *testing.T) (*query.Query, *mart.Registry) {
+	t.Helper()
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.TravelExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, reg
+}
+
+// E3 / Fig. 9: the running example admits exactly four topologies:
+// M→T→R, T→M→R, T→R→M and (M‖T)→R.
+func TestE3_Fig9Topologies(t *testing.T) {
+	q, _ := runningQuery(t)
+	tops, err := EnumerateTopologies(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(tops))
+	for _, tp := range tops {
+		got[tp.String()] = true
+	}
+	want := []string{
+		"M → T → R",
+		"T → M → R",
+		"T → R → M",
+		"(M‖T) → R",
+	}
+	if len(tops) != len(want) {
+		t.Errorf("enumerated %d topologies, want %d: %v", len(tops), len(want), keys(got))
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing topology %q (have %v)", w, keys(got))
+		}
+	}
+	// In every topology Theatre precedes Restaurant (the chapter's
+	// observation about the DinnerPlace I/O dependency).
+	for _, tp := range tops {
+		seenT := false
+		for _, a := range tp.Aliases() {
+			if a == "T" {
+				seenT = true
+			}
+			if a == "R" && !seenT {
+				t.Errorf("topology %s places R before T", tp)
+			}
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// The travel example: C must come first; W, F, H then arrange in ordered
+// set partitions of 3 elements = 13 topologies.
+func TestTravelTopologyCount(t *testing.T) {
+	q, _ := travelQuery(t)
+	tops, err := EnumerateTopologies(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops) != 13 {
+		t.Errorf("enumerated %d topologies, want 13", len(tops))
+	}
+	for _, tp := range tops {
+		if tp.Aliases()[0] != "C" {
+			t.Errorf("topology %s does not start with C", tp)
+		}
+	}
+}
+
+func TestBuildPlanParallelTopology(t *testing.T) {
+	q, _ := runningQuery(t)
+	top := Topology{{Group: []string{"M", "T"}}, {Group: []string{"R"}}}
+	p, err := BuildPlan(q, top, plan.RunningExampleStats(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := p.Node("join1")
+	if !ok {
+		t.Fatalf("no join node: %v", p.NodeIDs())
+	}
+	if j.JoinSelectivity != 0.02 {
+		t.Errorf("join selectivity = %v, want 0.02 (Shows)", j.JoinSelectivity)
+	}
+	// Both Movie and Theatre have progressive scoring: merge-scan with
+	// triangular completion, and the ratio follows the per-call
+	// latencies (Movie 120 ms : Theatre 80 ms ⇒ fetch Theatre more
+	// often, rx:ry = 80:120 = 2:3).
+	if j.Strategy.String() != "merge-scan/triangular(2:3)" {
+		t.Errorf("strategy = %v", j.Strategy)
+	}
+	r, _ := p.Node("R")
+	if r.PipeSelectivity != 0.4 {
+		t.Errorf("R pipe selectivity = %v, want 0.4 (DinnerPlace)", r.PipeSelectivity)
+	}
+	if !r.PipedFrom() {
+		t.Error("R not piped")
+	}
+	// The parallel topology annotates like Fig. 10 (modulo the explicit
+	// Limit of the fixture): M and T feed join1, join1 feeds R.
+	if succ := p.Successors("join1"); len(succ) != 1 || succ[0] != "R" {
+		t.Errorf("join1 successors = %v", succ)
+	}
+}
+
+func TestBuildPlanChainTopology(t *testing.T) {
+	q, _ := runningQuery(t)
+	top := Topology{{Group: []string{"T"}}, {Group: []string{"R"}}, {Group: []string{"M"}}}
+	p, err := BuildPlan(q, top, plan.RunningExampleStats(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain: input→T→R→M→output, no join nodes.
+	for _, id := range p.NodeIDs() {
+		n, _ := p.Node(id)
+		if n.Kind == plan.KindJoin {
+			t.Errorf("chain topology has join node %s", id)
+		}
+	}
+	m, _ := p.Node("M")
+	// M connects to T via Shows: sequential composition with
+	// selectivity 0.02, invoked once (inputs are INPUT variables).
+	if m.PipeSelectivity != 0.02 {
+		t.Errorf("M pipe selectivity = %v, want 0.02", m.PipeSelectivity)
+	}
+	if m.PipedFrom() {
+		t.Error("M should not be per-tuple piped (constant inputs)")
+	}
+	a, err := plan.Annotate(p, map[string]int{"M": 5, "T": 5, "R": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M invoked once: calls = fetches = 5 even though tin is large.
+	if got := a.Ann["M"].Calls; got != 5 {
+		t.Errorf("M calls = %v, want 5", got)
+	}
+	// R is per-tuple piped: calls = tin × 1.
+	if got, tin := a.Ann["R"].Calls, a.Ann["R"].TIn; got != tin {
+		t.Errorf("R calls = %v, tin = %v", got, tin)
+	}
+}
+
+func TestBuildPlanSelectionNode(t *testing.T) {
+	q, _ := travelQuery(t)
+	top := Topology{
+		{Group: []string{"C"}}, {Group: []string{"W"}},
+		{Group: []string{"F", "H"}},
+	}
+	p, err := BuildPlan(q, top, plan.TravelStats(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, ok := p.Node("sigma_W")
+	if !ok {
+		t.Fatalf("no selection node after W: %v", p.NodeIDs())
+	}
+	if len(sigma.Selections) != 1 || sigma.Selections[0].Left.Path != "AvgTemp" {
+		t.Errorf("selection predicates = %v", sigma.Selections)
+	}
+	// The selection sits between W and the downstream services.
+	if succ := p.Successors("W"); len(succ) != 1 || succ[0] != "sigma_W" {
+		t.Errorf("W successors = %v", succ)
+	}
+}
+
+func TestBuildPlanPartialSkipsOutput(t *testing.T) {
+	q, _ := runningQuery(t)
+	top := Topology{{Group: []string{"T"}}}
+	p, err := BuildPlan(q, top, plan.RunningExampleStats(), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Node("output"); ok {
+		t.Error("partial plan has output node")
+	}
+	// Partial plans annotate fine.
+	if _, err := plan.Annotate(p, nil); err != nil {
+		t.Errorf("partial annotate: %v", err)
+	}
+}
+
+func TestBuildPlanUnreachableStepFails(t *testing.T) {
+	q, _ := runningQuery(t)
+	top := Topology{{Group: []string{"R"}}, {Group: []string{"T"}}, {Group: []string{"M"}}}
+	if _, err := BuildPlan(q, top, plan.RunningExampleStats(), 10, false); err == nil {
+		t.Error("topology placing R before T built successfully")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if got := (Step{Group: []string{"A"}}).String(); got != "A" {
+		t.Errorf("single step = %q", got)
+	}
+	if got := (Step{Group: []string{"A", "B"}}).String(); got != "(A‖B)" {
+		t.Errorf("group step = %q", got)
+	}
+	top := Topology{{Group: []string{"A", "B"}}, {Group: []string{"C"}}}
+	if got := top.String(); got != "(A‖B) → C" {
+		t.Errorf("topology = %q", got)
+	}
+}

@@ -1,0 +1,225 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"seco/internal/join"
+)
+
+// Annotation carries the expected flow numbers of one node in a fully
+// instantiated plan (Section 3.2, Figs. 3 and 10).
+type Annotation struct {
+	// TIn is the expected number of tuples entering the node.
+	TIn float64
+	// TOut is the expected number of tuples leaving the node.
+	TOut float64
+	// Fetches is the fetching factor of a chunked service node: chunks
+	// fetched per invocation. Zero for other nodes.
+	Fetches int
+	// Calls is the expected number of request-responses issued by a
+	// service node (invocations × fetches for chunked services).
+	Calls float64
+	// Candidates is, for join nodes, the number of candidate pairs the
+	// join processes (after the completion-strategy reduction).
+	Candidates float64
+}
+
+// Annotated is a fully instantiated plan: the plan plus per-node flow
+// annotations computed for given fetching factors.
+type Annotated struct {
+	Plan *Plan
+	// Ann maps node ID → its annotation.
+	Ann map[string]Annotation
+	// Fetches is the fetching-factor assignment the annotation used.
+	Fetches map[string]int
+}
+
+// TriangularFactor is the analytical fraction of candidate pairs a
+// triangular completion processes, following the worked example of
+// Section 5.6 (2500 candidates → 1250 "most promising" combinations).
+const TriangularFactor = 0.5
+
+// Annotate computes tin/tout/calls for every node given per-service
+// fetching factors (chunks fetched per invocation; defaulting to 1 for
+// chunked services without an entry, per Section 5.5). The plan must be
+// valid.
+func Annotate(p *Plan, fetches map[string]int) (*Annotated, error) {
+	order, err := p.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	a := &Annotated{Plan: p, Ann: make(map[string]Annotation, len(order)), Fetches: map[string]int{}}
+	for _, id := range order {
+		n := p.nodes[id]
+		var ann Annotation
+		switch n.Kind {
+		case KindInput:
+			// The user always injects one single input tuple.
+			ann.TOut = 1
+		case KindOutput:
+			ann.TIn = a.inFlow(p, id)
+			ann.TOut = ann.TIn
+		case KindSelection:
+			ann.TIn = a.inFlow(p, id)
+			ann.TOut = ann.TIn * n.Selectivity
+		case KindService:
+			ann.TIn = a.inFlow(p, id)
+			f := 1
+			if n.Stats.Chunked() {
+				if v, ok := fetches[n.ID]; ok {
+					if v < 1 {
+						return nil, fmt.Errorf("plan: fetching factor %d for %q below 1", v, n.ID)
+					}
+					f = v
+				}
+				ann.Fetches = f
+				a.Fetches[n.ID] = f
+			}
+			yield := n.Stats.AvgCardinality
+			if n.Stats.Chunked() {
+				yield = float64(n.Stats.ChunkSize * f)
+				if n.Stats.AvgCardinality > 0 {
+					yield = math.Min(yield, n.Stats.AvgCardinality)
+				}
+			}
+			if n.Limit > 0 {
+				yield = math.Min(yield, float64(n.Limit))
+			}
+			pipeSel := n.PipeSelectivity
+			if pipeSel == 0 {
+				pipeSel = 1
+			}
+			ann.TOut = ann.TIn * pipeSel * yield
+			// Piped services (some input arrives per upstream tuple) are
+			// invoked once per input tuple; services whose inputs are all
+			// constants or INPUT variables are invoked exactly once, even
+			// when placed in series after other services.
+			invocations := 1.0
+			if n.PipedFrom() {
+				invocations = ann.TIn
+			}
+			ann.Calls = invocations * float64(f)
+		case KindJoin:
+			preds := p.Predecessors(id)
+			l := a.Ann[preds[0]].TOut
+			r := a.Ann[preds[1]].TOut
+			factor := 1.0
+			if n.Strategy.Completion == join.Triangular {
+				factor = TriangularFactor
+			}
+			ann.Candidates = l * r * factor
+			ann.TIn = l + r
+			ann.TOut = ann.Candidates * n.JoinSelectivity
+		}
+		a.Ann[id] = ann
+	}
+	return a, nil
+}
+
+// inFlow sums the TOut of a node's predecessors (service and selection
+// nodes have exactly one).
+func (a *Annotated) inFlow(p *Plan, id string) float64 {
+	sum := 0.0
+	for _, pr := range p.Predecessors(id) {
+		sum += a.Ann[pr].TOut
+	}
+	return sum
+}
+
+// Output returns the expected number of result combinations of the plan.
+func (a *Annotated) Output() float64 {
+	for id, n := range a.Plan.nodes {
+		if n.Kind == KindOutput {
+			return a.Ann[id].TOut
+		}
+	}
+	return 0
+}
+
+// TotalCalls sums the expected request-responses over all service nodes.
+func (a *Annotated) TotalCalls() float64 {
+	sum := 0.0
+	for id, n := range a.Plan.nodes {
+		if n.Kind == KindService {
+			sum += a.Ann[id].Calls
+		}
+	}
+	return sum
+}
+
+// MeetsK reports whether the annotated plan is expected to deliver at
+// least K combinations.
+func (a *Annotated) MeetsK() bool { return a.Output() >= float64(a.Plan.K) }
+
+// RequiredOutputs back-propagates K through the plan (the "K can be
+// back-propagated through the nodes of the plan" step of Section 5.6),
+// returning for each node the number of output tuples it must produce for
+// the plan to deliver K combinations. It inverts the forward rules:
+// selections divide by their selectivity, piped services divide by pipe
+// selectivity × per-input yield, joins divide by selectivity and the
+// completion factor and split the candidate requirement evenly between
+// their two inputs (each side must produce √candidates).
+func RequiredOutputs(p *Plan) (map[string]float64, error) {
+	order, err := p.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	req := make(map[string]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n := p.nodes[id]
+		if n.Kind == KindOutput {
+			req[id] = float64(p.K)
+			continue
+		}
+		// Requirement flows from the successors: take the max over them
+		// (a node may feed several consumers).
+		need := 0.0
+		for _, s := range p.Successors(id) {
+			var up float64
+			sn := p.nodes[s]
+			switch sn.Kind {
+			case KindOutput:
+				up = req[s]
+			case KindSelection:
+				up = req[s] / sn.Selectivity
+			case KindService:
+				pipeSel := sn.PipeSelectivity
+				if pipeSel == 0 {
+					pipeSel = 1
+				}
+				// The piped service needs enough input tuples:
+				// req(service) / (pipeSel × yield-per-input); the yield
+				// per input depends on the fetching factor chosen later,
+				// so use one chunk as the conservative baseline.
+				yield := sn.Stats.AvgCardinality
+				if sn.Stats.Chunked() {
+					yield = float64(sn.Stats.ChunkSize)
+				}
+				if sn.Limit > 0 {
+					yield = math.Min(yield, float64(sn.Limit))
+				}
+				if yield <= 0 {
+					yield = 1
+				}
+				up = req[s] / (pipeSel * yield)
+			case KindJoin:
+				factor := 1.0
+				if sn.Strategy.Completion == join.Triangular {
+					factor = TriangularFactor
+				}
+				candidates := req[s] / sn.JoinSelectivity / factor
+				up = math.Sqrt(candidates)
+			}
+			if up > need {
+				need = up
+			}
+		}
+		if n.Kind == KindInput && need < 1 {
+			need = 1
+		}
+		req[id] = need
+	}
+	return req, nil
+}

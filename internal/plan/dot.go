@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan in Graphviz syntax, using the shapes of Fig. 1:
+// plaintext input/output markers, boxes for exact services, double boxes
+// ("Mrecord") for search services, diamond join nodes and ellipse
+// selections. When ann is non-nil the labels carry the tin/tout/fetch
+// annotations of the fully instantiated plan.
+func (p *Plan) DOT(ann *Annotated) string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  rankdir=LR;\n")
+	for _, id := range p.NodeIDs() {
+		n := p.nodes[id]
+		label := n.label()
+		if ann != nil {
+			if a, ok := ann.Ann[id]; ok && n.Kind != KindInput && n.Kind != KindOutput {
+				label += fmt.Sprintf("\\ntin=%.4g tout=%.4g", a.TIn, a.TOut)
+				if a.Fetches > 0 {
+					label += fmt.Sprintf(" F=%d", a.Fetches)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  %q [label=%q shape=%s];\n", id, label, n.shape())
+	}
+	for _, from := range p.NodeIDs() {
+		for _, to := range p.Successors(from) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (n *Node) label() string {
+	switch n.Kind {
+	case KindInput:
+		return "input"
+	case KindOutput:
+		return "output"
+	case KindService:
+		tag := "exact"
+		if n.IsSearch() {
+			tag = "search"
+		}
+		return fmt.Sprintf("%s\\n[%s %s]", n.ID, tag, n.Interface.Name)
+	case KindJoin:
+		return fmt.Sprintf("join\\n%s", n.Strategy)
+	case KindSelection:
+		preds := make([]string, len(n.Selections))
+		for i, s := range n.Selections {
+			preds[i] = s.String()
+		}
+		return "σ " + strings.Join(preds, " and ")
+	default:
+		return n.ID
+	}
+}
+
+func (n *Node) shape() string {
+	switch n.Kind {
+	case KindInput, KindOutput:
+		return "plaintext"
+	case KindService:
+		if n.IsSearch() {
+			return "box3d"
+		}
+		return "box"
+	case KindJoin:
+		return "diamond"
+	case KindSelection:
+		return "ellipse"
+	default:
+		return "box"
+	}
+}
+
+// Describe renders a human-readable multi-line summary of the plan in
+// topological order, used by the CLI explainers.
+func (p *Plan) Describe(ann *Annotated) string {
+	order, err := p.TopoSort()
+	if err != nil {
+		return "invalid plan: " + err.Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan (K=%d)\n", p.K)
+	for _, id := range order {
+		n := p.nodes[id]
+		fmt.Fprintf(&b, "  %-12s %-10s", id, n.Kind)
+		switch n.Kind {
+		case KindService:
+			tag := "exact"
+			if n.IsSearch() {
+				tag = "search"
+			}
+			fmt.Fprintf(&b, " %s %s", tag, n.Interface.Name)
+			if n.PipeSelectivity > 0 && n.PipeSelectivity < 1 {
+				fmt.Fprintf(&b, " pipeSel=%.3g", n.PipeSelectivity)
+			}
+		case KindJoin:
+			fmt.Fprintf(&b, " %s sel=%.3g", n.Strategy, n.JoinSelectivity)
+		case KindSelection:
+			fmt.Fprintf(&b, " sel=%.3g", n.Selectivity)
+		}
+		if ann != nil {
+			if a, ok := ann.Ann[id]; ok && n.Kind != KindInput {
+				fmt.Fprintf(&b, "  tin=%.4g tout=%.4g", a.TIn, a.TOut)
+				if a.Fetches > 0 {
+					fmt.Fprintf(&b, " F=%d", a.Fetches)
+				}
+				if a.Calls > 0 {
+					fmt.Fprintf(&b, " calls=%.4g", a.Calls)
+				}
+			}
+		}
+		if succ := p.Successors(id); len(succ) > 0 {
+			fmt.Fprintf(&b, "  -> %s", strings.Join(succ, ","))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,386 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"seco/internal/join"
+	"seco/internal/mart"
+	"seco/internal/service"
+)
+
+func movieReg(t *testing.T) *mart.Registry {
+	t.Helper()
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func travelReg(t *testing.T) *mart.Registry {
+	t.Helper()
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestRunningExamplePlanValid(t *testing.T) {
+	p, q, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == nil || !q.Analyzed() {
+		t.Error("query not analyzed")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	order, err := p.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, c := range [][2]string{{"input", "M"}, {"M", "MS"}, {"T", "MS"}, {"MS", "R"}, {"R", "output"}} {
+		if pos[c[0]] >= pos[c[1]] {
+			t.Errorf("topo order violates %s before %s: %v", c[0], c[1], order)
+		}
+	}
+}
+
+func TestPlanStructuralErrors(t *testing.T) {
+	reg := movieReg(t)
+	si, _ := reg.Interface("Movie1")
+	stats := service.Stats{AvgCardinality: 1, Scoring: service.Constant(0.5)}
+
+	t.Run("duplicate node", func(t *testing.T) {
+		p := New(10)
+		if err := p.AddNode(&Node{ID: "a", Kind: KindInput}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddNode(&Node{ID: "a", Kind: KindOutput}); err == nil {
+			t.Error("duplicate accepted")
+		}
+	})
+	t.Run("empty id", func(t *testing.T) {
+		p := New(10)
+		if err := p.AddNode(&Node{Kind: KindInput}); err == nil {
+			t.Error("empty ID accepted")
+		}
+	})
+	t.Run("arc to unknown", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "a", Kind: KindInput})
+		if err := p.Connect("a", "b"); err == nil {
+			t.Error("arc to unknown node accepted")
+		}
+		if err := p.Connect("b", "a"); err == nil {
+			t.Error("arc from unknown node accepted")
+		}
+	})
+	t.Run("duplicate arc", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "a", Kind: KindInput})
+		_ = p.AddNode(&Node{ID: "b", Kind: KindOutput})
+		if err := p.Connect("a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Connect("a", "b"); err == nil {
+			t.Error("duplicate arc accepted")
+		}
+	})
+	t.Run("nonpositive K", func(t *testing.T) {
+		p := New(0)
+		if err := p.Validate(); err == nil {
+			t.Error("K=0 accepted")
+		}
+	})
+	t.Run("missing output", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "in", Kind: KindInput})
+		if err := p.Validate(); err == nil {
+			t.Error("plan without output accepted")
+		}
+	})
+	t.Run("join with one predecessor", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "in", Kind: KindInput})
+		_ = p.AddNode(&Node{ID: "out", Kind: KindOutput})
+		_ = p.AddNode(&Node{ID: "j", Kind: KindJoin, JoinSelectivity: 0.5,
+			Strategy: join.Strategy{Invocation: join.MergeScan}})
+		_ = p.Connect("in", "j")
+		_ = p.Connect("j", "out")
+		if err := p.Validate(); err == nil {
+			t.Error("join with one predecessor accepted")
+		}
+	})
+	t.Run("unreachable node", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "in", Kind: KindInput})
+		_ = p.AddNode(&Node{ID: "out", Kind: KindOutput})
+		_ = p.AddNode(&Node{ID: "s", Kind: KindService, Interface: si, Stats: stats})
+		_ = p.Connect("in", "out")
+		// s dangles with no predecessor: caught as wrong arity.
+		if err := p.Validate(); err == nil {
+			t.Error("dangling service accepted")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "a", Kind: KindService, Interface: si, Stats: stats})
+		_ = p.AddNode(&Node{ID: "b", Kind: KindService, Interface: si, Stats: stats})
+		_ = p.Connect("a", "b")
+		_ = p.Connect("b", "a")
+		if _, err := p.TopoSort(); err == nil {
+			t.Error("cycle not detected")
+		}
+	})
+	t.Run("bad join selectivity", func(t *testing.T) {
+		p := New(10)
+		_ = p.AddNode(&Node{ID: "in", Kind: KindInput})
+		_ = p.AddNode(&Node{ID: "out", Kind: KindOutput})
+		_ = p.AddNode(&Node{ID: "s1", Kind: KindService, Interface: si, Stats: stats})
+		_ = p.AddNode(&Node{ID: "s2", Kind: KindService, Interface: si, Stats: stats})
+		_ = p.AddNode(&Node{ID: "j", Kind: KindJoin, JoinSelectivity: 0,
+			Strategy: join.Strategy{Invocation: join.MergeScan}})
+		_ = p.Connect("in", "s1")
+		_ = p.Connect("in", "s2")
+		_ = p.Connect("s1", "j")
+		_ = p.Connect("s2", "j")
+		_ = p.Connect("j", "out")
+		if err := p.Validate(); err == nil {
+			t.Error("zero join selectivity accepted")
+		}
+	})
+}
+
+func TestPlanClone(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	// Mutating the clone must not affect the original.
+	n, _ := c.Node("MS")
+	n.JoinSelectivity = 0.9
+	orig, _ := p.Node("MS")
+	if orig.JoinSelectivity == 0.9 {
+		t.Error("clone shares nodes")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+	if len(c.NodeIDs()) != len(p.NodeIDs()) {
+		t.Error("clone lost nodes")
+	}
+}
+
+// E2 / Fig. 10: the annotation engine must reproduce the chapter's
+// instantiated numbers exactly: Movie tout = 100 (5 fetches × chunk 20),
+// Theatre tout = 25 (5 × 5), MS candidates = 1250 (2500 halved by the
+// triangular completion), MS tout = 25 (× 2% Shows selectivity),
+// Restaurant tin = 25 and tout = 10 = K (× 40% DinnerPlace selectivity,
+// keeping the best restaurant per theatre).
+func TestE2_Fig10Annotations(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(p, Fig10Fetches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(id string, field string, got, want float64) {
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s.%s = %v, want %v", id, field, got, want)
+		}
+	}
+	check("M", "tout", a.Ann["M"].TOut, 100)
+	check("T", "tout", a.Ann["T"].TOut, 25)
+	check("MS", "candidates", a.Ann["MS"].Candidates, 1250)
+	check("MS", "tout", a.Ann["MS"].TOut, 25)
+	check("R", "tin", a.Ann["R"].TIn, 25)
+	check("R", "tout", a.Ann["R"].TOut, 10)
+	check("output", "tout", a.Output(), 10)
+	if !a.MeetsK() {
+		t.Error("plan does not meet K=10")
+	}
+	if a.Ann["M"].Fetches != 5 || a.Ann["T"].Fetches != 5 {
+		t.Errorf("fetches = %d/%d, want 5/5", a.Ann["M"].Fetches, a.Ann["T"].Fetches)
+	}
+	// Request-responses: Movie 5, Theatre 5, Restaurant 25 (one fetch per
+	// piped theatre).
+	check("M", "calls", a.Ann["M"].Calls, 5)
+	check("T", "calls", a.Ann["T"].Calls, 5)
+	check("R", "calls", a.Ann["R"].Calls, 25)
+	check("plan", "totalCalls", a.TotalCalls(), 35)
+}
+
+// K back-propagation on the running example reproduces Section 5.6:
+// required Restaurant output = 10, required MS output = 25.
+func TestE2_Fig10BackPropagation(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := RequiredOutputs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := req["R"]; got != 10 {
+		t.Errorf("req[R] = %v, want 10", got)
+	}
+	if got := req["MS"]; got != 25 {
+		t.Errorf("req[MS] = %v, want 25", got)
+	}
+	// Each MS input side must produce √(25/0.02/0.5) = √2500 = 50.
+	if got := req["M"]; got != 50 {
+		t.Errorf("req[M] = %v, want 50", got)
+	}
+	if got := req["T"]; got != 50 {
+		t.Errorf("req[T] = %v, want 50", got)
+	}
+}
+
+// E1 / Fig. 3: the travel plan's annotations with documented parameters:
+// Conference 1→20 (avg cardinality 20 as stated with Fig. 2), Weather
+// selective in context (20 in → 2 out after the temperature selection).
+func TestE1_Fig3Annotations(t *testing.T) {
+	p, _, err := TravelPlan(travelReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(p, map[string]int{"F": 2, "H": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Ann["C"].TOut; got != 20 {
+		t.Errorf("Conference tout = %v, want 20", got)
+	}
+	// Weather + selection: 20 → 6 → 2.
+	if got := a.Ann["W"].TOut; got != 6 {
+		t.Errorf("Weather tout = %v, want 6", got)
+	}
+	if got := a.Ann["sigma"].TOut; got != 2 {
+		t.Errorf("selection tout = %v, want 2", got)
+	}
+	// The exact Weather service is selective in the context of the query:
+	// fewer tuples leave the W+σ pair than enter it.
+	if a.Ann["sigma"].TOut >= a.Ann["W"].TIn {
+		t.Error("Weather not selective in context")
+	}
+	// Flights and hotels: 2 invocations × 2 fetches × chunk 10 = 40 each.
+	if got := a.Ann["F"].TOut; got != 40 {
+		t.Errorf("Flight tout = %v, want 40", got)
+	}
+	if got := a.Ann["H"].TOut; got != 40 {
+		t.Errorf("Hotel tout = %v, want 40", got)
+	}
+	// MS join: 1600 candidates × 5% = 80 expected combinations ≥ K.
+	if got := a.Ann["MS"].Candidates; got != 1600 {
+		t.Errorf("MS candidates = %v, want 1600", got)
+	}
+	if !a.MeetsK() {
+		t.Error("travel plan does not meet K")
+	}
+}
+
+func TestAnnotateRejectsBadFetches(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Annotate(p, map[string]int{"M": 0}); err == nil {
+		t.Error("fetch factor 0 accepted")
+	}
+}
+
+// Increasing any fetching factor never decreases any node's tout
+// (monotonicity invariant used by phase 3 of the optimizer).
+func TestAnnotateMonotoneInFetches(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Annotate(p, map[string]int{"M": 2, "T": 2, "R": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bump := range []string{"M", "T", "R"} {
+		f := map[string]int{"M": 2, "T": 2, "R": 1}
+		f[bump]++
+		a, err := Annotate(p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range p.NodeIDs() {
+			if a.Ann[id].TOut < base.Ann[id].TOut-1e-9 {
+				t.Errorf("bumping %s decreased tout of %s: %v → %v",
+					bump, id, base.Ann[id].TOut, a.Ann[id].TOut)
+			}
+		}
+	}
+}
+
+func TestSearchYieldCappedByCardinality(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Movie has average cardinality 200 = 10 chunks; asking for 100
+	// fetches cannot produce more than 200 tuples.
+	a, err := Annotate(p, map[string]int{"M": 100, "T": 1, "R": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Ann["M"].TOut; got != 200 {
+		t.Errorf("Movie tout = %v, want 200 (capped)", got)
+	}
+}
+
+func TestDOTAndDescribe(t *testing.T) {
+	p, _, err := RunningExamplePlan(movieReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Annotate(p, Fig10Fetches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := p.DOT(a)
+	for _, frag := range []string{"digraph plan", `"M" ->`, "diamond", "box3d", "tout=100"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+	desc := p.Describe(a)
+	for _, frag := range []string{"plan (K=10)", "search Movie1", "merge-scan/triangular", "tout=10"} {
+		if !strings.Contains(desc, frag) {
+			t.Errorf("Describe missing %q in:\n%s", frag, desc)
+		}
+	}
+	// DOT without annotations still renders.
+	if !strings.Contains(p.DOT(nil), "digraph plan") {
+		t.Error("DOT(nil) broken")
+	}
+}
+
+func TestServiceNodesTopoOrder(t *testing.T) {
+	p, _, err := TravelPlan(travelReg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := p.ServiceNodes()
+	if len(ns) != 4 || ns[0].ID != "C" || ns[1].ID != "W" {
+		ids := make([]string, len(ns))
+		for i, n := range ns {
+			ids[i] = n.ID
+		}
+		t.Errorf("ServiceNodes = %v", ids)
+	}
+}

@@ -1,0 +1,287 @@
+package query
+
+import (
+	"testing"
+
+	"seco/internal/mart"
+)
+
+func movieRegistry(t *testing.T) *mart.Registry {
+	t.Helper()
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func travelRegistry(t *testing.T) *mart.Registry {
+	t.Helper()
+	reg, err := mart.TravelScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestAnalyzeRunningExample(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Analyzed() {
+		t.Error("Analyzed() false after Analyze")
+	}
+	m, _ := q.Service("M")
+	if m.Interface == nil || m.Interface.Name != "Movie1" {
+		t.Errorf("M interface = %v", m.Interface)
+	}
+	if q.Patterns[0].Pattern == nil || q.Patterns[0].Pattern.Selectivity != 0.02 {
+		t.Errorf("Shows pattern unresolved: %+v", q.Patterns[0])
+	}
+	joins := q.JoinPredicates()
+	// Shows expands to 1 equality, DinnerPlace to 3.
+	if len(joins) != 4 {
+		t.Errorf("JoinPredicates = %d: %v", len(joins), joins)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	reg := movieRegistry(t)
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown interface", "select Nope1 as X"},
+		{"unknown pattern", "select Movie1 as M, Theatre1 as T where Nope(M,T)"},
+		{"pattern alias", "select Movie1 as M where Shows(M,T)"},
+		{"pattern direction", "select Movie1 as M, Theatre1 as T where Shows(T,M)"},
+		{"pattern marts", "select Movie1 as M, Restaurant1 as R where Shows(M,R)"},
+		{"unknown path", "select Movie1 as M where M.Nope = 1"},
+		{"group not atomic", "select Movie1 as M where M.Genres = 1"},
+		{"type mismatch const", `select Movie1 as M where M.Year = "abc"`},
+		{"type mismatch join", "select Movie1 as M, Theatre1 as T where M.Year = T.TCity"},
+		{"like non-string", "select Movie1 as M where M.Year like \"a%\""},
+		{"weight unknown alias", "select Movie1 as M rank 1 X"},
+		{"unknown alias in path", "select Movie1 as M where X.Title = 1"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", c.name, err)
+		}
+		if err := q.Analyze(reg); err == nil {
+			t.Errorf("%s: Analyze succeeded, want error", c.name)
+		}
+	}
+}
+
+// Queries may name service marts instead of interfaces (Section 3.1);
+// Analyze binds the first registered interface and phase 1 explores the
+// rest.
+func TestAnalyzeMartLevelQuery(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse(`select Movie as M where M.Genres.Genre = INPUT1 and M.Language = INPUT2 and M.Openings.Country = INPUT3 and M.Openings.Date > INPUT4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := q.Service("M")
+	if m.Interface == nil || m.Interface.Mart.Name != "Movie" {
+		t.Errorf("mart-level query bound %v", m.Interface)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil || !f.Feasible {
+		t.Errorf("mart-level query infeasible: %v %v", f, err)
+	}
+	// A mart with no interfaces is an error.
+	reg2 := NewTestRegistryWithBareMart(t)
+	q2, err := Parse("select Bare as B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Analyze(reg2); err == nil {
+		t.Error("mart without interfaces accepted")
+	}
+}
+
+func NewTestRegistryWithBareMart(t *testing.T) *mart.Registry {
+	t.Helper()
+	reg := mart.NewRegistry()
+	if err := reg.AddMart(&mart.Mart{Name: "Bare", Attributes: []mart.Attribute{
+		{Name: "X", Kind: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestAnalyzeNumericCrossKindAllowed(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse("select Movie1 as M where M.Score >= 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Errorf("int literal vs float attribute rejected: %v", err)
+	}
+}
+
+func TestDefaultWeightsUniformOverSearchServices(t *testing.T) {
+	reg := travelRegistry(t)
+	q, err := Parse("select Conference1 as C, Flight1 as F, Hotel1 as H where C.Topic = INPUT1 and ReachedBy(C,F) and StaysAt(C,H) and F.From = INPUT2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	if q.Weights["C"] != 0 {
+		t.Errorf("exact service weight = %v, want 0", q.Weights["C"])
+	}
+	if q.Weights["F"] != 0.5 || q.Weights["H"] != 0.5 {
+		t.Errorf("search weights = %v/%v, want 0.5/0.5", q.Weights["F"], q.Weights["H"])
+	}
+}
+
+func TestFeasibilityRunningExample(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("running example infeasible: unreachable %v", f.Unreachable)
+	}
+	// M and T are directly reachable, R only through T (DinnerPlace).
+	if len(f.Order) != 3 || f.Order[2] != "R" {
+		t.Errorf("Order = %v", f.Order)
+	}
+	if deps := f.DependsOn["R"]; len(deps) != 1 || deps[0] != "T" {
+		t.Errorf("DependsOn[R] = %v", deps)
+	}
+	if deps := f.DependsOn["M"]; len(deps) != 0 {
+		t.Errorf("DependsOn[M] = %v", deps)
+	}
+	// R's bindings: the three U-attributes piped from T, Categories.Name
+	// from INPUT6.
+	rb := f.Bindings["R"]
+	if len(rb) != 4 {
+		t.Fatalf("Bindings[R] = %v", rb)
+	}
+	joins, inputs := 0, 0
+	for _, b := range rb {
+		switch b.Source.Kind {
+		case BindJoin:
+			joins++
+			if b.Source.From.Alias != "T" {
+				t.Errorf("R binding %s from %v, want T", b.Path, b.Source.From)
+			}
+		case BindInput:
+			inputs++
+		}
+	}
+	if joins != 3 || inputs != 1 {
+		t.Errorf("R bindings: %d joins, %d inputs", joins, inputs)
+	}
+}
+
+func TestFeasibilityTravelExample(t *testing.T) {
+	reg := travelRegistry(t)
+	q, err := TravelExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("travel example infeasible: %v", f.Unreachable)
+	}
+	if f.Order[0] != "C" {
+		t.Errorf("Order = %v, want C first", f.Order)
+	}
+	for _, a := range []string{"W", "F", "H"} {
+		if deps := f.DependsOn[a]; len(deps) != 1 || deps[0] != "C" {
+			t.Errorf("DependsOn[%s] = %v", a, deps)
+		}
+	}
+}
+
+func TestInfeasibleQueryDetected(t *testing.T) {
+	reg := movieRegistry(t)
+	// Restaurant1 with nothing binding its inputs.
+	q, err := Parse("select Restaurant1 as R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Feasible || len(f.Unreachable) != 1 || f.Unreachable[0] != "R" {
+		t.Errorf("feasibility = %+v", f)
+	}
+}
+
+func TestFeasibilityRejectsInputAsJoinSource(t *testing.T) {
+	reg := movieRegistry(t)
+	// T.UCity is an *input* of Theatre1; it cannot supply R.UCity.
+	q, err := Parse("select Theatre1 as T, Restaurant1 as R where T.UAddress = INPUT1 and T.UCity = INPUT2 and T.UCountry = INPUT3 and R.UAddress = T.UAddress and R.UCity = T.UCity and R.UCountry = T.UCountry and R.Categories.Name = INPUT4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Feasible {
+		t.Error("query binding R from T's input attributes reported feasible")
+	}
+}
+
+func TestFeasibilityBeforeAnalyzeErrors(t *testing.T) {
+	q, err := Parse("select Movie1 as M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.CheckFeasibility(); err == nil {
+		t.Error("CheckFeasibility before Analyze succeeded")
+	}
+}
+
+func TestConstBindingPreferredOverInput(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse(`select Movie1 as M where M.Genres.Genre = "Comedy" and M.Language = INPUT1 and M.Openings.Country = INPUT2 and M.Openings.Date > INPUT3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("unreachable: %v", f.Unreachable)
+	}
+	for _, b := range f.Bindings["M"] {
+		if b.Path == "Genres.Genre" && b.Source.Kind != BindConst {
+			t.Errorf("Genres.Genre bound by %v, want const", b.Source)
+		}
+	}
+}

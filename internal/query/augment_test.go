@@ -1,0 +1,252 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+func TestUncoveredInputs(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse("select Restaurant1 as R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := q.UncoveredInputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four Restaurant1 inputs are uncovered.
+	if got := missing["R"]; len(got) != 4 {
+		t.Errorf("uncovered = %v", got)
+	}
+	// A feasible query has no uncovered inputs.
+	q2, err := RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, err = q2.UncoveredInputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("feasible query has uncovered inputs: %v", missing)
+	}
+}
+
+// An infeasible Restaurant-only query gets Theatre1 suggested through the
+// DinnerPlace pattern for its three address inputs (recursive, since
+// Theatre1 has inputs of its own).
+func TestSuggestAugmentationsViaPattern(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse(`select Restaurant1 as R where R.Categories.Name = INPUT1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := q.SuggestAugmentations(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 {
+		t.Fatal("no augmentations suggested")
+	}
+	foundPattern := false
+	for _, s := range sugg {
+		if s.ViaPattern == "DinnerPlace" && s.Interface.Name == "Theatre1" {
+			foundPattern = true
+			if !s.Recursive {
+				t.Error("Theatre1 has inputs; suggestion must be marked recursive")
+			}
+			if !strings.Contains(s.String(), "pattern DinnerPlace") {
+				t.Errorf("String() = %q", s.String())
+			}
+		}
+	}
+	if !foundPattern {
+		t.Errorf("DinnerPlace-based suggestion missing: %v", sugg)
+	}
+}
+
+// A zero-input geocoder service is suggested by domain match and marked
+// non-recursive.
+func TestSuggestAugmentationsDomainMatch(t *testing.T) {
+	reg := movieRegistry(t)
+	geo := &mart.Mart{Name: "Geo", Attributes: []mart.Attribute{
+		{Name: "UAddress", Kind: types.KindString},
+		{Name: "UCity", Kind: types.KindString},
+		{Name: "UCountry", Kind: types.KindString},
+	}}
+	if err := reg.AddMart(geo); err != nil {
+		t.Fatal(err)
+	}
+	geoIf, err := mart.NewInterface("Geo1", geo, nil) // all outputs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddInterface(geoIf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(`select Restaurant1 as R where R.Categories.Name = INPUT1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := q.SuggestAugmentations(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sugg {
+		if s.Interface.Name == "Geo1" && s.Path == "UCity" && s.OutputPath == "UCity" {
+			found = true
+			if s.Recursive {
+				t.Error("zero-input Geo1 marked recursive")
+			}
+			if s.ViaPattern != "" {
+				t.Errorf("domain match carries pattern %q", s.ViaPattern)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("Geo1 domain-match suggestion missing: %v", sugg)
+	}
+}
+
+// Applying augmentations with a zero-input geocoder turns the infeasible
+// Restaurant-only query into a feasible approximation.
+func TestAugmentMakesQueryFeasible(t *testing.T) {
+	reg := movieRegistry(t)
+	geo := &mart.Mart{Name: "Geo", Attributes: []mart.Attribute{
+		{Name: "UAddress", Kind: types.KindString},
+		{Name: "UCity", Kind: types.KindString},
+		{Name: "UCountry", Kind: types.KindString},
+	}}
+	if err := reg.AddMart(geo); err != nil {
+		t.Fatal(err)
+	}
+	geoIf, err := mart.NewInterface("Geo1", geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddInterface(geoIf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(`select Restaurant1 as R where R.Categories.Name = INPUT1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	// Apply every non-recursive suggestion until feasible.
+	cur := q
+	for rounds := 0; rounds < 5; rounds++ {
+		f, err := cur.CheckFeasibility()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Feasible {
+			break
+		}
+		sugg, err := cur.SuggestAugmentations(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := false
+		for _, s := range sugg {
+			if s.Recursive {
+				continue
+			}
+			cur, err = cur.Augment(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applied = true
+			break
+		}
+		if !applied {
+			t.Fatalf("no non-recursive suggestion available: %v", sugg)
+		}
+	}
+	f, err := cur.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("augmented query still infeasible: %v", f.Unreachable)
+	}
+	// The augmented aliases carry weight 0: they bind, not rank.
+	for _, ref := range cur.Services {
+		if ref.Alias != "R" && cur.Weights[ref.Alias] != 0 {
+			t.Errorf("augmented alias %s has weight %v", ref.Alias, cur.Weights[ref.Alias])
+		}
+	}
+	// The original query object is untouched.
+	if len(q.Services) != 1 {
+		t.Error("Augment mutated the original query")
+	}
+}
+
+func TestAugmentErrors(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse("select Restaurant1 as R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, _ := reg.Interface("Theatre1")
+	s := Suggestion{ForAlias: "R", Path: "UCity", Interface: si, OutputPath: "TCity"}
+	if _, err := q.Augment(s); err == nil {
+		t.Error("Augment before Analyze succeeded")
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.ForAlias = "Z"
+	if _, err := q.Augment(bad); err == nil {
+		t.Error("Augment for unknown alias succeeded")
+	}
+}
+
+func TestSuggestAugmentationsRequiresAnalyze(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := Parse("select Restaurant1 as R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SuggestAugmentations(reg); err == nil {
+		t.Error("unanalyzed query accepted")
+	}
+}
+
+func TestSuggestAugmentationsSkipsUsedInterfaces(t *testing.T) {
+	reg := movieRegistry(t)
+	// Theatre is in the query but not reachable (its own inputs unbound);
+	// suggestions for R must not propose interfaces already in the query.
+	q, err := Parse(`select Theatre1 as T, Restaurant1 as R where R.Categories.Name = INPUT1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		t.Fatal(err)
+	}
+	sugg, err := q.SuggestAugmentations(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugg {
+		if s.Interface.Name == "Theatre1" || s.Interface.Name == "Restaurant1" {
+			t.Errorf("in-query interface suggested: %v", s)
+		}
+	}
+}

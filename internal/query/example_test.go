@@ -1,0 +1,59 @@
+package query_test
+
+import (
+	"fmt"
+	"log"
+
+	"seco/internal/mart"
+	"seco/internal/query"
+)
+
+// Parsing and analyzing the chapter's running example, then checking its
+// feasibility under the access limitations of the service interfaces.
+func Example() {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := query.Parse(query.RunningExampleText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		log.Fatal(err)
+	}
+	f, err := q.CheckFeasibility()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", f.Feasible)
+	fmt.Println("order:", f.Order)
+	fmt.Println("R pipes from:", f.DependsOn["R"])
+	// Output:
+	// feasible: true
+	// order: [M T R]
+	// R pipes from: [T]
+}
+
+// An infeasible query earns augmentation suggestions (Section 2.3):
+// off-query services whose outputs could bind the uncovered inputs.
+func ExampleQuery_SuggestAugmentations() {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := query.Parse(`select Restaurant1 as R where R.Categories.Name = INPUT1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.Analyze(reg); err != nil {
+		log.Fatal(err)
+	}
+	sugg, err := q.SuggestAugmentations(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sugg[0])
+	// Output:
+	// R.UAddress ← Theatre1.TAddress (pattern DinnerPlace, recursive)
+}

@@ -1,0 +1,55 @@
+package query
+
+import "seco/internal/mart"
+
+// RunningExampleText is the chapter's running example (Section 3.1) in
+// concrete syntax. Two errata of the chapter are normalized: the query
+// binds M.Language (adorned as input in the Movie1 signature of
+// Section 5.6 but unbound in the chapter's query text) and the category
+// selection is written over R (the chapter writes T.Category.Name although
+// Category belongs to Restaurant).
+const RunningExampleText = `RunningExample:
+select Movie1 as M, Theatre1 as T, Restaurant1 as R
+where Shows(M,T) and DinnerPlace(T,R) and
+M.Genres.Genre = INPUT1 and M.Openings.Country = INPUT2 and
+M.Openings.Date > INPUT3 and M.Language = INPUT7 and
+T.UAddress = INPUT4 and T.UCity = INPUT5 and T.UCountry = INPUT2 and
+R.Categories.Name = INPUT6
+rank 0.3 M, 0.5 T, 0.2 R`
+
+// RunningExample parses and analyzes the running example against the
+// Movie/Theatre/Restaurant scenario registry.
+func RunningExample(reg *mart.Registry) (*Query, error) {
+	q, err := Parse(RunningExampleText)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Analyze(reg); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// TravelExampleText is the Conference/Weather/Flight/Hotel query behind
+// the plan of Figs. 2–3: conferences on a topic, with average temperature
+// above 26°C at the conference site, joined with flights to and hotels in
+// the conference city.
+const TravelExampleText = `ConfTravel:
+select Conference1 as C, Weather1 as W, Flight1 as F, Hotel1 as H
+where Forecast(C,W) and ReachedBy(C,F) and StaysAt(C,H) and
+C.Topic = INPUT1 and F.From = INPUT2 and W.Month = INPUT3 and
+W.AvgTemp > 26
+rank 0.5 F, 0.5 H`
+
+// TravelExample parses and analyzes the travel example against the
+// Conference/Weather/Flight/Hotel scenario registry.
+func TravelExample(reg *mart.Registry) (*Query, error) {
+	q, err := Parse(TravelExampleText)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Analyze(reg); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

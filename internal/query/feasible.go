@@ -1,0 +1,214 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+// BindingKind discriminates how an input attribute obtains its value.
+type BindingKind int
+
+const (
+	// BindConst binds the input to a query constant.
+	BindConst BindingKind = iota
+	// BindInput binds the input to an INPUT variable supplied by the user
+	// at execution time.
+	BindInput
+	// BindJoin pipes the input from an output attribute of another
+	// service (the data-shipping dependency of a pipe join).
+	BindJoin
+)
+
+// BindingSource describes the provenance of one input binding.
+type BindingSource struct {
+	Kind  BindingKind
+	Op    types.Op    // the comparator of the covering predicate
+	Const types.Value // BindConst
+	Input string      // BindInput
+	From  PathRef     // BindJoin: the output path supplying the value
+}
+
+// String renders the source.
+func (s BindingSource) String() string {
+	switch s.Kind {
+	case BindConst:
+		return s.Const.String()
+	case BindInput:
+		return s.Input
+	default:
+		return s.From.String()
+	}
+}
+
+// InputBinding covers one input path of a service occurrence.
+type InputBinding struct {
+	// Path is the input attribute path on the bound service.
+	Path string
+	// Source supplies its value.
+	Source BindingSource
+}
+
+// Feasibility is the result of the reachability analysis of Section 3.1: a
+// query is feasible iff every service is reachable. For feasible queries
+// it also carries one witness invocation order, the chosen input bindings
+// per service and the induced inter-service dependencies, which phase 2 of
+// the optimizer turns into pipe joins.
+type Feasibility struct {
+	// Feasible reports whether every service is reachable.
+	Feasible bool
+	// Order is a witness order in which services become reachable.
+	Order []string
+	// Bindings maps each alias to the chosen covering of its input paths.
+	Bindings map[string][]InputBinding
+	// DependsOn maps each alias to the aliases its bindings pipe from.
+	DependsOn map[string][]string
+	// Unreachable lists the aliases that could not be reached (empty when
+	// feasible).
+	Unreachable []string
+}
+
+// CheckFeasibility runs the reachability fixpoint. An input path is
+// covered by a selection predicate over it (any comparator, constant or
+// INPUT right-hand side), or by an equality join predicate connecting it
+// to an output-adorned path of an already reachable service. The query
+// must have been analyzed.
+func (q *Query) CheckFeasibility() (*Feasibility, error) {
+	if !q.analyzed {
+		return nil, fmt.Errorf("query: CheckFeasibility before successful Analyze")
+	}
+	joins := q.JoinPredicates()
+	f := &Feasibility{
+		Bindings:  make(map[string][]InputBinding),
+		DependsOn: make(map[string][]string),
+	}
+	reached := map[string]bool{}
+	for len(f.Order) < len(q.Services) {
+		progressed := false
+		for _, ref := range q.Services {
+			if reached[ref.Alias] {
+				continue
+			}
+			bindings, deps, ok := q.coverInputs(ref, joins, reached)
+			if !ok {
+				continue
+			}
+			reached[ref.Alias] = true
+			f.Order = append(f.Order, ref.Alias)
+			f.Bindings[ref.Alias] = bindings
+			f.DependsOn[ref.Alias] = deps
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	for _, ref := range q.Services {
+		if !reached[ref.Alias] {
+			f.Unreachable = append(f.Unreachable, ref.Alias)
+		}
+	}
+	f.Feasible = len(f.Unreachable) == 0
+	return f, nil
+}
+
+// coverInputs attempts to cover every input path of ref. Preference order:
+// constant, INPUT variable, join from a reachable service (earliest in
+// select order first, for determinism).
+func (q *Query) coverInputs(ref ServiceRef, joins []Predicate, reached map[string]bool) ([]InputBinding, []string, bool) {
+	var bindings []InputBinding
+	depSet := map[string]bool{}
+	for _, path := range ref.Interface.InputPaths() {
+		src, ok := q.coverOne(ref.Alias, path, joins, reached)
+		if !ok {
+			return nil, nil, false
+		}
+		bindings = append(bindings, InputBinding{Path: path, Source: src})
+		if src.Kind == BindJoin {
+			depSet[src.From.Alias] = true
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for d := range depSet {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	return bindings, deps, true
+}
+
+// BindingsGiven returns the input bindings of the aliased service assuming
+// exactly the given set of aliases is already included in a partial plan,
+// or ok=false when some input path cannot be covered. It is the
+// reachability primitive phase 2 of the optimizer uses while growing
+// topologies.
+func (q *Query) BindingsGiven(alias string, included map[string]bool) ([]InputBinding, bool) {
+	ref, ok := q.Service(alias)
+	if !ok || ref.Interface == nil {
+		return nil, false
+	}
+	bindings, _, ok := q.coverInputs(*ref, q.JoinPredicates(), included)
+	return bindings, ok
+}
+
+// WithInterfaces returns a copy of the query with the given interface
+// assignment (alias → interface) substituted into its service references.
+// Phase 1 of the optimizer uses it to evaluate alternative access
+// patterns; aliases without an entry keep their current interface.
+func (q *Query) WithInterfaces(assign map[string]*mart.Interface) *Query {
+	c := *q
+	c.Services = append([]ServiceRef(nil), q.Services...)
+	for i := range c.Services {
+		if si, ok := assign[c.Services[i].Alias]; ok {
+			c.Services[i].Interface = si
+		}
+	}
+	return &c
+}
+
+func (q *Query) coverOne(alias, path string, joins []Predicate, reached map[string]bool) (BindingSource, bool) {
+	// 1. Selection predicates over the path.
+	var inputSrc *BindingSource
+	for _, p := range q.Predicates {
+		if p.IsJoin() || p.Left.Alias != alias || p.Left.Path != path {
+			continue
+		}
+		switch p.Right.Kind {
+		case TermConst:
+			return BindingSource{Kind: BindConst, Op: p.Op, Const: p.Right.Const}, true
+		case TermInput:
+			if inputSrc == nil {
+				inputSrc = &BindingSource{Kind: BindInput, Op: p.Op, Input: p.Right.Input}
+			}
+		}
+	}
+	if inputSrc != nil {
+		return *inputSrc, true
+	}
+	// 2. Equality join predicates connecting the path to an output path
+	// of a reachable service (in either direction).
+	for _, j := range joins {
+		if j.Op != types.OpEq {
+			continue
+		}
+		var other PathRef
+		switch {
+		case j.Left.Alias == alias && j.Left.Path == path:
+			other = j.Right.Path
+		case j.Right.Path.Alias == alias && j.Right.Path.Path == path:
+			other = j.Left
+		default:
+			continue
+		}
+		if !reached[other.Alias] {
+			continue
+		}
+		src, _ := q.Service(other.Alias)
+		if src == nil || src.Interface.Adornments[other.Path] == mart.Input {
+			continue // the peer path is not produced by its service
+		}
+		return BindingSource{Kind: BindJoin, Op: types.OpEq, From: other}, true
+	}
+	return BindingSource{}, false
+}

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"testing"
+
+	"seco/internal/types"
+)
+
+func TestBindingSourceString(t *testing.T) {
+	cases := []struct {
+		src  BindingSource
+		want string
+	}{
+		{BindingSource{Kind: BindConst, Const: types.String("x")}, `"x"`},
+		{BindingSource{Kind: BindInput, Input: "INPUT3"}, "INPUT3"},
+		{BindingSource{Kind: BindJoin, From: PathRef{Alias: "T", Path: "TCity"}}, "T.TCity"},
+	}
+	for _, c := range cases {
+		if got := c.src.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSelectionsForMissingAlias(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.SelectionsFor("Z"); len(got) != 0 {
+		t.Errorf("SelectionsFor(Z) = %v", got)
+	}
+	if got := q.SelectionsFor("M"); len(got) != 4 {
+		t.Errorf("SelectionsFor(M) = %d predicates", len(got))
+	}
+}
+
+func TestWithInterfacesKeepsOriginal(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := q.Service("M")
+	c := q.WithInterfaces(nil)
+	cm, _ := c.Service("M")
+	if cm.Interface != orig.Interface {
+		t.Error("nil assignment changed interfaces")
+	}
+	// Mutating the copy must not affect the original.
+	cm.Interface = nil
+	if om, _ := q.Service("M"); om.Interface == nil {
+		t.Error("WithInterfaces shares the services slice")
+	}
+}
+
+func TestBindingsGivenUnknownAlias(t *testing.T) {
+	reg := movieRegistry(t)
+	q, err := RunningExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.BindingsGiven("Z", nil); ok {
+		t.Error("unknown alias coverable")
+	}
+	// M is coverable with nothing included (all inputs are INPUT vars).
+	if _, ok := q.BindingsGiven("M", nil); !ok {
+		t.Error("M not coverable from user input")
+	}
+	// R needs T.
+	if _, ok := q.BindingsGiven("R", nil); ok {
+		t.Error("R coverable without T")
+	}
+	if _, ok := q.BindingsGiven("R", map[string]bool{"T": true}); !ok {
+		t.Error("R not coverable with T included")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []tokenKind{tokEOF, tokIdent, tokNumber, tokString, tokOp,
+		tokComma, tokLParen, tokRParen, tokColon, tokDot}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("tokenKind %d renders empty", int(k))
+		}
+	}
+	if tokenKind(99).String() == "" {
+		t.Error("unknown token kind renders empty")
+	}
+}

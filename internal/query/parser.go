@@ -1,0 +1,324 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"seco/internal/types"
+)
+
+// Parse parses the concrete query syntax into an unanalyzed Query. Call
+// Analyze on the result to resolve interfaces, patterns and types against
+// a registry.
+//
+// Grammar (keywords case-insensitive):
+//
+//	query     = [ name ":" ] "select" services [ "where" conds ] [ "rank" ranks ]
+//	services  = service { "," service }
+//	service   = IDENT [ "as" IDENT ]
+//	conds     = cond { "and" cond }
+//	cond      = IDENT "(" IDENT "," IDENT ")"          — pattern use
+//	          | path op term                            — predicate
+//	path      = IDENT "." IDENT [ "." IDENT ]
+//	op        = "=" | "<" | "<=" | ">" | ">=" | "like"
+//	term      = literal | INPUTn | path
+//	ranks     = NUMBER IDENT { "," NUMBER IDENT }
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s %q after end of query", p.tok.kind, p.tok.text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %s, found %s %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Weights: map[string]float64{}}
+	// Optional "Name :" prefix.
+	if p.tok.kind == tokIdent && !p.tok.isKeyword("select") {
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokColon {
+			return nil, p.errorf("expected ':' after query name %q", name.text)
+		}
+		q.Name = name.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if !p.tok.isKeyword("select") {
+		return nil, p.errorf("expected 'select', found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.parseServices(q); err != nil {
+		return nil, err
+	}
+	if p.tok.isKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.parseConds(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.isKeyword("rank") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.parseRanks(q); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseServices(q *Query) error {
+	seen := map[string]bool{}
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		ref := ServiceRef{InterfaceName: name.text, Alias: name.text}
+		if p.tok.isKeyword("as") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			alias, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			ref.Alias = alias.text
+		}
+		if seen[ref.Alias] {
+			return p.errorf("duplicate alias %q", ref.Alias)
+		}
+		seen[ref.Alias] = true
+		q.Services = append(q.Services, ref)
+		if p.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseConds(q *Query) error {
+	for {
+		if err := p.parseCond(q); err != nil {
+			return err
+		}
+		if !p.tok.isKeyword("and") {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseCond(q *Query) error {
+	head, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	// Pattern use: Name(A,B)
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		from, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return err
+		}
+		to, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		q.Patterns = append(q.Patterns, PatternUse{
+			Name: head.text, FromAlias: from.text, ToAlias: to.text,
+		})
+		return nil
+	}
+	// Predicate: path op term.
+	left, err := p.parsePathAfter(head)
+	if err != nil {
+		return err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return err
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	q.Predicates = append(q.Predicates, Predicate{Left: left, Op: op, Right: right})
+	return nil
+}
+
+// parsePathAfter completes "alias.attr[.sub]" given its first identifier.
+func (p *parser) parsePathAfter(alias token) (PathRef, error) {
+	if p.tok.kind != tokDot {
+		return PathRef{}, p.errorf("expected '.' after %q in attribute path", alias.text)
+	}
+	if err := p.advance(); err != nil {
+		return PathRef{}, err
+	}
+	attr, err := p.expect(tokIdent)
+	if err != nil {
+		return PathRef{}, err
+	}
+	path := attr.text
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return PathRef{}, err
+		}
+		sub, err := p.expect(tokIdent)
+		if err != nil {
+			return PathRef{}, err
+		}
+		path += "." + sub.text
+	}
+	return PathRef{Alias: alias.text, Path: path}, nil
+}
+
+func (p *parser) parseOp() (types.Op, error) {
+	if p.tok.isKeyword("like") {
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return types.OpLike, nil
+	}
+	t, err := p.expect(tokOp)
+	if err != nil {
+		return 0, err
+	}
+	return types.ParseOp(t.text)
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := types.ParseValue(p.tok.text)
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermConst, Const: v}, nil
+	case tokNumber:
+		v := types.ParseValue(p.tok.text)
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermConst, Const: v}, nil
+	case tokIdent:
+		head := p.tok
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		if isInputVar(head.text) {
+			return Term{Kind: TermInput, Input: strings.ToUpper(head.text)}, nil
+		}
+		// true/false/null literals.
+		switch strings.ToLower(head.text) {
+		case "true", "false", "null":
+			return Term{Kind: TermConst, Const: types.ParseValue(strings.ToLower(head.text))}, nil
+		}
+		path, err := p.parsePathAfter(head)
+		if err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermPath, Path: path}, nil
+	default:
+		return Term{}, p.errorf("expected literal, INPUT variable or path, found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *parser) parseRanks(q *Query) error {
+	for {
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		w, err := strconv.ParseFloat(num.text, 64)
+		if err != nil || w < 0 {
+			return p.errorf("invalid rank weight %q", num.text)
+		}
+		alias, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, dup := q.Weights[alias.text]; dup {
+			return p.errorf("duplicate rank weight for %q", alias.text)
+		}
+		q.Weights[alias.text] = w
+		if p.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// isInputVar recognizes INPUT variables: "INPUT" followed by digits
+// (case-insensitive).
+func isInputVar(s string) bool {
+	up := strings.ToUpper(s)
+	if !strings.HasPrefix(up, "INPUT") || len(up) == len("INPUT") {
+		return false
+	}
+	for _, r := range up[len("INPUT"):] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

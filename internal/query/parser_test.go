@@ -1,0 +1,206 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"seco/internal/types"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	q, err := Parse(RunningExampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "RunningExample" {
+		t.Errorf("Name = %q", q.Name)
+	}
+	if got := q.Aliases(); len(got) != 3 || got[0] != "M" || got[1] != "T" || got[2] != "R" {
+		t.Errorf("Aliases = %v", got)
+	}
+	if len(q.Patterns) != 2 || q.Patterns[0].Name != "Shows" || q.Patterns[1].Name != "DinnerPlace" {
+		t.Errorf("Patterns = %v", q.Patterns)
+	}
+	if q.Patterns[0].FromAlias != "M" || q.Patterns[0].ToAlias != "T" {
+		t.Errorf("Shows aliases = %+v", q.Patterns[0])
+	}
+	if len(q.Predicates) != 8 {
+		t.Errorf("Predicates = %d: %v", len(q.Predicates), q.Predicates)
+	}
+	if w := q.Weights["T"]; w != 0.5 {
+		t.Errorf("Weights[T] = %v", w)
+	}
+	vars := q.InputVariables()
+	if len(vars) != 7 {
+		t.Errorf("InputVariables = %v", vars)
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	q, err := Parse("select Movie1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "" || len(q.Services) != 1 || q.Services[0].Alias != "Movie1" {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestParseSelfAliasDefault(t *testing.T) {
+	q, err := Parse("select Movie1, Movie1 as M2 where M2.Title = Movie1.Title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Services[0].Alias != "Movie1" || q.Services[1].Alias != "M2" {
+		t.Errorf("aliases = %v", q.Aliases())
+	}
+	if !q.Predicates[0].IsJoin() {
+		t.Error("join predicate not detected")
+	}
+}
+
+func TestParsePredicateKinds(t *testing.T) {
+	q, err := Parse(`select S as A where A.X = 5 and A.Y = "str" and A.Z >= 2.5 and A.W like "pre%" and A.Q = INPUT1 and A.G.S = true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := q.Predicates
+	if len(ps) != 6 {
+		t.Fatalf("predicates = %v", ps)
+	}
+	if ps[0].Right.Const.Kind() != types.KindInt {
+		t.Errorf("int literal parsed as %v", ps[0].Right.Const.Kind())
+	}
+	if ps[1].Right.Const.Kind() != types.KindString {
+		t.Errorf("string literal parsed as %v", ps[1].Right.Const.Kind())
+	}
+	if ps[2].Op != types.OpGe || ps[2].Right.Const.FloatVal() != 2.5 {
+		t.Errorf("float predicate = %v", ps[2])
+	}
+	if ps[3].Op != types.OpLike {
+		t.Errorf("like predicate = %v", ps[3])
+	}
+	if ps[4].Right.Kind != TermInput || ps[4].Right.Input != "INPUT1" {
+		t.Errorf("input predicate = %v", ps[4])
+	}
+	if ps[5].Left.Path != "G.S" || ps[5].Right.Const.Kind() != types.KindBool {
+		t.Errorf("group predicate = %v", ps[5])
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	q, err := Parse("select S as A where A.D > 2009-07-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Predicates[0].Right.Const.Kind() != types.KindDate {
+		t.Errorf("date literal parsed as %v", q.Predicates[0].Right.Const.Kind())
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("SELECT Movie1 AS M WHERE M.Title = 1 RANK 1 M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Services[0].Alias != "M" || q.Weights["M"] != 1 {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Name:",
+		"select",
+		"select Movie1 as",
+		"select Movie1, Movie1",         // duplicate alias
+		"select Movie1 where",           // missing condition
+		"select Movie1 where M.Title",   // missing op
+		"select Movie1 where M.Title =", // missing term
+		"select Movie1 where Shows(M)",  // pattern arity
+		"select Movie1 where Shows(M,T", // unclosed paren
+		"select Movie1 where M = 5",     // bare alias as path
+		"select Movie1 rank x M",        // bad weight
+		"select Movie1 rank -1 M",       // negative weight (lexes as number)
+		"select Movie1 rank 1 M, 1 M",   // duplicate weight
+		"select Movie1 extra",           // trailing garbage
+		`select Movie1 where M.T = "x`,  // unterminated string
+		"select Movie1 where M.T = 5 @", // illegal character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		RunningExampleText,
+		TravelExampleText,
+		"select Movie1",
+		`Q: select S as A, S as B where A.X = B.X and A.Y >= 3 rank 0.5 A, 0.5 B`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		canon := q1.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", canon, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Errorf("round trip:\n first  %q\n second %q", canon, got)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `-- the running example, commented
+select Movie1 as M -- the movie search service
+where M.Genres.Genre = INPUT1 -- user's genre
+rank 1 M --trailing comment without newline`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Services) != 1 || len(q.Predicates) != 1 || q.Weights["M"] != 1 {
+		t.Errorf("commented query misparsed: %+v", q)
+	}
+	// A lone negative number is still a number, not a comment.
+	q2, err := Parse("select S as A where A.X > -1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Predicates[0].Right.Const.IntVal() != -1 {
+		t.Errorf("negative literal = %v", q2.Predicates[0].Right.Const)
+	}
+}
+
+func TestIsInputVar(t *testing.T) {
+	cases := map[string]bool{
+		"INPUT1": true, "input2": true, "Input42": true,
+		"INPUT": false, "INPUTx": false, "IN1": false, "XINPUT1": false,
+	}
+	for s, want := range cases {
+		if got := isInputVar(s); got != want {
+			t.Errorf("isInputVar(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestQueryStringContainsPatterns(t *testing.T) {
+	q, err := Parse(RunningExampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, frag := range []string{"Shows(M,T)", "DinnerPlace(T,R)", "rank 0.3 M"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q in %q", frag, s)
+		}
+	}
+}

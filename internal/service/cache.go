@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"seco/internal/mart"
+)
+
+// Cache wraps a service and memoizes its chunks per input binding, with
+// prefix reuse: if an earlier invocation for the same binding fetched the
+// first n chunks, a later one replays them without request-responses and
+// only goes to the wire for deeper chunks. Pipe joins repeatedly invoke
+// the same service with recurring bindings (every movie showing at the
+// same theatre pipes the same address into the restaurant service), so
+// caching directly reduces the request-response cost the chapter's
+// metrics count.
+//
+// Cache is safe for concurrent use; entries are never evicted, matching
+// the engine's per-execution lifetime.
+type Cache struct {
+	inner   Service
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits, misses atomic.Int64
+}
+
+// NewCache wraps svc.
+func NewCache(svc Service) *Cache {
+	return &Cache{inner: svc, entries: map[string]*cacheEntry{}}
+}
+
+// Hits counts chunk fetches served from memory.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses counts chunk fetches that went to the wrapped service.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Interface implements Service.
+func (c *Cache) Interface() *mart.Interface { return c.inner.Interface() }
+
+// Stats implements Service.
+func (c *Cache) Stats() Stats { return c.inner.Stats() }
+
+// Invoke implements Service.
+func (c *Cache) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	if err := CheckInput(c.inner.Interface(), in); err != nil {
+		return nil, err
+	}
+	key := inputKey(in)
+	c.mu.Lock()
+	entry, ok := c.entries[key]
+	if !ok {
+		entry = &cacheEntry{cache: c, input: in.Clone()}
+		c.entries[key] = entry
+	}
+	c.mu.Unlock()
+	return &cachedInvocation{entry: entry}, nil
+}
+
+// inputKey canonicalizes a binding for use as a map key.
+func inputKey(in Input) string {
+	paths := make([]string, 0, len(in))
+	for p := range in {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "%s=%s;", p, in[p])
+	}
+	return b.String()
+}
+
+// cacheEntry holds the chunks fetched so far for one binding, plus the
+// live upstream invocation used to extend the prefix on demand.
+type cacheEntry struct {
+	cache    *Cache
+	input    Input
+	mu       sync.Mutex
+	chunks   []Chunk
+	done     bool
+	upstream Invocation
+}
+
+// fetchAt returns chunk i, extending the cached prefix through the
+// wrapped service when needed.
+func (e *cacheEntry) fetchAt(ctx context.Context, i int) (Chunk, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cached := i < len(e.chunks)
+	for i >= len(e.chunks) {
+		if e.done {
+			return Chunk{}, ErrExhausted
+		}
+		if e.upstream == nil {
+			inv, err := e.cache.inner.Invoke(ctx, e.input)
+			if err != nil {
+				return Chunk{}, err
+			}
+			e.upstream = inv
+		}
+		chunk, err := e.upstream.Fetch(ctx)
+		if err == ErrExhausted || (err == nil && len(chunk.Tuples) == 0 && e.cache.inner.Stats().Chunked()) {
+			e.done = true
+			continue
+		}
+		if err != nil {
+			return Chunk{}, err
+		}
+		e.cache.misses.Add(1)
+		e.chunks = append(e.chunks, chunk)
+		if !e.cache.inner.Stats().Chunked() {
+			e.done = true
+		}
+	}
+	if cached {
+		e.cache.hits.Add(1)
+	}
+	return e.chunks[i], nil
+}
+
+type cachedInvocation struct {
+	entry *cacheEntry
+	next  int
+}
+
+// Fetch implements Invocation.
+func (ci *cachedInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return Chunk{}, err
+	}
+	chunk, err := ci.entry.fetchAt(ctx, ci.next)
+	if err != nil {
+		return Chunk{}, err
+	}
+	ci.next++
+	return chunk, nil
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"seco/internal/types"
+)
+
+func TestCacheServesRepeatedBindingsFromMemory(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	counter := NewCounter(tab, nil)
+	cache := NewCache(counter)
+
+	drainCache := func() int {
+		inv, err := cache.Invoke(context.Background(), movieInput())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			c, err := inv.Fetch(context.Background())
+			if errors.Is(err, ErrExhausted) {
+				return n
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(c.Tuples)
+		}
+	}
+	first := drainCache()
+	wire := counter.Fetches()
+	second := drainCache()
+	if first != second || first == 0 {
+		t.Fatalf("replay differs: %d vs %d", first, second)
+	}
+	if counter.Fetches() != wire {
+		t.Errorf("second drain hit the wire: %d → %d fetches", wire, counter.Fetches())
+	}
+	if cache.Hits() == 0 || cache.Misses() == 0 {
+		t.Errorf("counters: hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+}
+
+func TestCachePrefixReuse(t *testing.T) {
+	tab := newMovieTable(t, 1) // matching rows: 2 chunks of 1
+	counter := NewCounter(tab, nil)
+	cache := NewCache(counter)
+	// First invocation reads only the first chunk.
+	inv1, err := cache.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv1.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Fetches() != 1 {
+		t.Fatalf("wire fetches = %d", counter.Fetches())
+	}
+	// Second invocation reuses the prefix and extends past it.
+	inv2, err := cache.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv2.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Fetches() != 1 {
+		t.Errorf("prefix refetched: %d wire fetches", counter.Fetches())
+	}
+	if _, err := inv2.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if counter.Fetches() != 2 {
+		t.Errorf("extension fetches = %d, want 2", counter.Fetches())
+	}
+}
+
+func TestCacheDistinguishesBindings(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	counter := NewCounter(tab, nil)
+	cache := NewCache(counter)
+	in1 := movieInput()
+	in2 := movieInput()
+	in2["Genres.Genre"] = types.String("Drama")
+	for _, in := range []Input{in1, in2} {
+		inv, err := cache.Invoke(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inv.Fetch(context.Background()); err != nil && !errors.Is(err, ErrExhausted) {
+			t.Fatal(err)
+		}
+	}
+	if counter.Invocations() != 2 {
+		t.Errorf("distinct bindings shared an entry: %d invocations", counter.Invocations())
+	}
+}
+
+func TestCacheUnchunkedService(t *testing.T) {
+	tab := newMovieTable(t, 0) // unchunked: one response carries all
+	cache := NewCache(tab)
+	for round := 0; round < 2; round++ {
+		inv, err := cache.Invoke(context.Background(), movieInput())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := inv.Fetch(context.Background())
+		if err != nil || len(c.Tuples) != 2 {
+			t.Fatalf("round %d: %v %v", round, len(c.Tuples), err)
+		}
+		if _, err := inv.Fetch(context.Background()); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("round %d: second fetch err = %v", round, err)
+		}
+	}
+}
+
+func TestCacheRejectsMissingInput(t *testing.T) {
+	cache := NewCache(newMovieTable(t, 0))
+	if _, err := cache.Invoke(context.Background(), Input{}); err == nil {
+		t.Error("unbound invoke accepted")
+	}
+	if cache.Interface() == nil || cache.Stats().Validate() != nil {
+		t.Error("forwarding broken")
+	}
+}
+
+func TestCacheConcurrentSameBinding(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	counter := NewCounter(tab, func(time.Duration) {})
+	cache := NewCache(counter)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inv, err := cache.Invoke(context.Background(), movieInput())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				if _, err := inv.Fetch(context.Background()); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// One shared upstream invocation: the wire saw each chunk once.
+	if counter.Fetches() != 2 {
+		t.Errorf("concurrent drains fetched %d chunks from the wire, want 2", counter.Fetches())
+	}
+}

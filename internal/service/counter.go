@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"seco/internal/mart"
+)
+
+// Counter wraps a Service and counts its request-responses, optionally
+// charging the service's published latency to a delay hook on every fetch.
+// The request-response cost metric and the benchmark harness read the
+// counters; the execution engine installs either a real sleep or a
+// virtual-clock advance as the delay hook.
+type Counter struct {
+	inner Service
+	// Delay, when non-nil, is invoked with the service latency on every
+	// Fetch, before the fetch is served.
+	Delay func(time.Duration)
+
+	invocations atomic.Int64
+	fetches     atomic.Int64
+	tuples      atomic.Int64
+}
+
+// NewCounter wraps svc. A nil delay hook means fetches complete instantly.
+func NewCounter(svc Service, delay func(time.Duration)) *Counter {
+	return &Counter{inner: svc, Delay: delay}
+}
+
+// Interface implements Service.
+func (c *Counter) Interface() *mart.Interface { return c.inner.Interface() }
+
+// Stats implements Service.
+func (c *Counter) Stats() Stats { return c.inner.Stats() }
+
+// Invoke implements Service, counting the invocation.
+func (c *Counter) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	inv, err := c.inner.Invoke(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	c.invocations.Add(1)
+	return &countedInvocation{counter: c, inner: inv}, nil
+}
+
+// Invocations returns the number of successful Invoke calls so far.
+func (c *Counter) Invocations() int64 { return c.invocations.Load() }
+
+// Fetches returns the number of request-responses (successful Fetch calls)
+// so far; this is the quantity the request-response cost metric counts.
+func (c *Counter) Fetches() int64 { return c.fetches.Load() }
+
+// Tuples returns the total number of tuples served so far.
+func (c *Counter) Tuples() int64 { return c.tuples.Load() }
+
+// Reset zeroes all counters.
+func (c *Counter) Reset() {
+	c.invocations.Store(0)
+	c.fetches.Store(0)
+	c.tuples.Store(0)
+}
+
+type countedInvocation struct {
+	counter *Counter
+	inner   Invocation
+}
+
+// Fetch implements Invocation: it charges latency, performs the fetch and
+// updates the counters. Exhausted fetches are not counted as
+// request-responses because no call would be issued for them.
+func (ci *countedInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	chunk, err := ci.inner.Fetch(ctx)
+	if err != nil {
+		return chunk, err
+	}
+	if d := ci.counter.Delay; d != nil {
+		d(ci.counter.inner.Stats().Latency)
+	}
+	ci.counter.fetches.Add(1)
+	ci.counter.tuples.Add(int64(len(chunk.Tuples)))
+	return chunk, nil
+}

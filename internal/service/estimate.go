@@ -1,0 +1,118 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// EstimateStats probes a service with sample input bindings and estimates
+// the statistics the optimizer consumes — the "service interface
+// statistics" of Section 3.2: average cardinality per invocation,
+// observed chunk size, mean request-response latency, and a
+// classification of the scoring curve (constant, step with its h, or
+// progressive/linear), obtained by inspecting the returned score
+// sequences.
+//
+// maxFetches caps the chunks drained per sample (default 50 when zero).
+func EstimateStats(ctx context.Context, svc Service, samples []Input, maxFetches int) (Stats, error) {
+	if len(samples) == 0 {
+		return Stats{}, fmt.Errorf("service: EstimateStats needs at least one sample input")
+	}
+	if maxFetches <= 0 {
+		maxFetches = 50
+	}
+	var (
+		totalTuples int
+		chunkSizes  = map[int]int{}
+		scores      []float64
+		totalCalls  int
+		elapsed     time.Duration
+	)
+	for _, in := range samples {
+		inv, err := svc.Invoke(ctx, in)
+		if err != nil {
+			return Stats{}, fmt.Errorf("service: probing: %w", err)
+		}
+		for f := 0; f < maxFetches; f++ {
+			start := time.Now()
+			chunk, err := inv.Fetch(ctx)
+			if errors.Is(err, ErrExhausted) {
+				break
+			}
+			if err != nil {
+				return Stats{}, fmt.Errorf("service: probing fetch: %w", err)
+			}
+			elapsed += time.Since(start)
+			totalCalls++
+			if len(chunk.Tuples) == 0 {
+				break
+			}
+			totalTuples += len(chunk.Tuples)
+			if f == 0 || len(chunk.Tuples) == chunkSizes[maxKey(chunkSizes)] {
+				chunkSizes[len(chunk.Tuples)]++
+			}
+			for _, tu := range chunk.Tuples {
+				scores = append(scores, tu.Score)
+			}
+		}
+	}
+	st := Stats{
+		AvgCardinality: float64(totalTuples) / float64(len(samples)),
+	}
+	if totalCalls > 0 {
+		st.Latency = elapsed / time.Duration(totalCalls)
+	}
+	// A service is chunked when an invocation needed several fetches.
+	if totalCalls > len(samples) {
+		st.ChunkSize = maxKey(chunkSizes)
+	}
+	st.Scoring = ClassifyScores(scores)
+	return st, nil
+}
+
+func maxKey(m map[int]int) int {
+	best, bestCount := 0, -1
+	for k, c := range m {
+		if c > bestCount || (c == bestCount && k > best) {
+			best, bestCount = k, c
+		}
+	}
+	return best
+}
+
+// ClassifyScores inspects a ranked score sequence and classifies its
+// shape per Section 4.1: constant (all equal), step (one drop dominates
+// the total decay — returning the step position h in tuples), or
+// progressive (fitted as linear decay over the observed length).
+func ClassifyScores(scores []float64) Scoring {
+	if len(scores) == 0 {
+		return Constant(0.5)
+	}
+	first, last := scores[0], scores[len(scores)-1]
+	total := first - last
+	if total < 1e-9 {
+		return Constant(first)
+	}
+	// Find the largest single drop.
+	maxDrop, dropAt := 0.0, 0
+	for i := 1; i < len(scores); i++ {
+		if d := scores[i-1] - scores[i]; d > maxDrop {
+			maxDrop, dropAt = d, i
+		}
+	}
+	if maxDrop > 0.6*total {
+		return Scoring{Kind: ScoringStep, H: dropAt, High: first, Low: last}
+	}
+	// Progressive: linear decay calibrated so Score(len) ≈ last.
+	n := len(scores)
+	if last > 0 && first > last {
+		// Extrapolate where the decay would reach zero.
+		slope := total / float64(n-1)
+		if slope > 0 {
+			n = int(first/slope) + 1
+		}
+	}
+	return Scoring{Kind: ScoringLinear, N: n, High: first}
+}

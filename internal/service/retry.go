@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"seco/internal/mart"
+)
+
+// ErrTransient marks a retryable failure of a remote service (timeouts,
+// overload). Wrappers test for it with errors.Is.
+var ErrTransient = errors.New("service: transient failure")
+
+// Flaky wraps a service and injects deterministic transient failures: one
+// failure every FailEvery calls (counting Invoke and Fetch together). It
+// simulates the unreliable remote services a production deployment faces,
+// for failure-injection tests.
+type Flaky struct {
+	inner Service
+	// FailEvery injects one failure on every n-th call; 0 disables
+	// injection.
+	FailEvery int
+	calls     int
+	injected  int
+}
+
+// NewFlaky wraps svc.
+func NewFlaky(svc Service, failEvery int) *Flaky {
+	return &Flaky{inner: svc, FailEvery: failEvery}
+}
+
+// Injected reports how many failures have been injected so far.
+func (f *Flaky) Injected() int { return f.injected }
+
+// Interface implements Service.
+func (f *Flaky) Interface() *mart.Interface { return f.inner.Interface() }
+
+// Stats implements Service.
+func (f *Flaky) Stats() Stats { return f.inner.Stats() }
+
+// Invoke implements Service, possibly failing transiently.
+func (f *Flaky) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	if err := f.maybeFail("invoke"); err != nil {
+		return nil, err
+	}
+	inv, err := f.inner.Invoke(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyInvocation{flaky: f, inner: inv}, nil
+}
+
+func (f *Flaky) maybeFail(op string) error {
+	f.calls++
+	if f.FailEvery > 0 && f.calls%f.FailEvery == 0 {
+		f.injected++
+		return fmt.Errorf("service %s: injected %s failure #%d: %w",
+			f.inner.Interface().Name, op, f.injected, ErrTransient)
+	}
+	return nil
+}
+
+type flakyInvocation struct {
+	flaky *Flaky
+	inner Invocation
+}
+
+// Fetch implements Invocation, possibly failing transiently.
+func (fi *flakyInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	if err := fi.flaky.maybeFail("fetch"); err != nil {
+		return Chunk{}, err
+	}
+	return fi.inner.Fetch(ctx)
+}
+
+// Retry wraps a service with transient-failure retries: Invoke and Fetch
+// attempts that fail with ErrTransient are repeated up to MaxRetries
+// times, sleeping an exponentially growing backoff between attempts via
+// an injectable sleep hook. Non-transient errors, ErrExhausted and
+// context cancellation pass through immediately.
+type Retry struct {
+	inner Service
+	// MaxRetries is the number of re-attempts after the first failure
+	// (default 3 when zero).
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 10 ms); it doubles
+	// per attempt.
+	BaseBackoff time.Duration
+	// Sleep is the delay hook (default: real time.Sleep; tests inject a
+	// recorder).
+	Sleep func(time.Duration)
+
+	retried int
+}
+
+// NewRetry wraps svc with default policy.
+func NewRetry(svc Service) *Retry {
+	return &Retry{inner: svc}
+}
+
+// Retried reports the total retry attempts performed.
+func (r *Retry) Retried() int { return r.retried }
+
+// Interface implements Service.
+func (r *Retry) Interface() *mart.Interface { return r.inner.Interface() }
+
+// Stats implements Service.
+func (r *Retry) Stats() Stats { return r.inner.Stats() }
+
+func (r *Retry) policy() (int, time.Duration, func(time.Duration)) {
+	max := r.MaxRetries
+	if max <= 0 {
+		max = 3
+	}
+	base := r.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return max, base, sleep
+}
+
+// Invoke implements Service with retries.
+func (r *Retry) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	var inv Invocation
+	err := r.attempt(ctx, func() error {
+		var e error
+		inv, e = r.inner.Invoke(ctx, in)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryInvocation{retry: r, ctx: ctx, inner: inv}, nil
+}
+
+// attempt runs op with the retry policy.
+func (r *Retry) attempt(ctx context.Context, op func() error) error {
+	max, backoff, sleep := r.policy()
+	var err error
+	for tries := 0; ; tries++ {
+		err = op()
+		if err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+		if tries >= max {
+			return fmt.Errorf("service %s: giving up after %d retries: %w",
+				r.inner.Interface().Name, max, err)
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		r.retried++
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+type retryInvocation struct {
+	retry *Retry
+	ctx   context.Context
+	inner Invocation
+}
+
+// Fetch implements Invocation with retries.
+func (ri *retryInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	var chunk Chunk
+	err := ri.retry.attempt(ctx, func() error {
+		var e error
+		chunk, e = ri.inner.Fetch(ctx)
+		return e
+	})
+	return chunk, err
+}

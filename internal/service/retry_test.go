@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFlakyInjectsFailures(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	f := NewFlaky(tab, 2) // every 2nd call fails
+	// Call 1 (invoke) succeeds, call 2 (fetch) fails.
+	inv, err := f.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Fetch(context.Background()); !errors.Is(err, ErrTransient) {
+		t.Fatalf("fetch err = %v, want transient", err)
+	}
+	if f.Injected() != 1 {
+		t.Errorf("Injected = %d", f.Injected())
+	}
+	// Next fetch (call 3) succeeds.
+	if _, err := inv.Fetch(context.Background()); err != nil {
+		t.Fatalf("retry-able fetch failed hard: %v", err)
+	}
+	if f.Interface() != tab.Interface() || f.Stats().ChunkSize != 0 {
+		t.Error("Flaky does not forward Interface/Stats")
+	}
+}
+
+func TestFlakyDisabled(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	f := NewFlaky(tab, 0)
+	inv, err := f.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Fetch(context.Background()); err != nil {
+		t.Errorf("disabled flaky failed: %v", err)
+	}
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	f := NewFlaky(tab, 3)
+	var slept []time.Duration
+	r := NewRetry(f)
+	r.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	inv, err := r.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		c, err := inv.Fetch(context.Background())
+		if errors.Is(err, ErrExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("fetch failed despite retries: %v", err)
+		}
+		got += len(c.Tuples)
+	}
+	if got != 2 {
+		t.Errorf("tuples = %d, want 2", got)
+	}
+	if r.Retried() == 0 || len(slept) == 0 {
+		t.Error("no retries recorded despite injected failures")
+	}
+	// Exponential backoff: each sleep doubles within one attempt run.
+	if len(slept) >= 2 && slept[0] != 10*time.Millisecond {
+		t.Errorf("first backoff = %v, want 10ms", slept[0])
+	}
+}
+
+func TestRetryGivesUpAfterMax(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	f := NewFlaky(tab, 1) // every call fails
+	r := NewRetry(f)
+	r.MaxRetries = 2
+	r.Sleep = func(time.Duration) {}
+	if _, err := r.Invoke(context.Background(), movieInput()); !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want wrapped transient after give-up", err)
+	}
+	if r.Retried() != 2 {
+		t.Errorf("Retried = %d, want 2", r.Retried())
+	}
+}
+
+func TestRetryPassesThroughHardErrors(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	r := NewRetry(tab)
+	r.Sleep = func(time.Duration) {}
+	// Missing input is a hard error: no retries.
+	if _, err := r.Invoke(context.Background(), Input{}); err == nil {
+		t.Fatal("hard error swallowed")
+	}
+	if r.Retried() != 0 {
+		t.Errorf("hard error retried %d times", r.Retried())
+	}
+	// Exhaustion passes through untouched.
+	inv, err := r.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := inv.Fetch(context.Background()); errors.Is(err, ErrExhausted) {
+			return
+		}
+	}
+	t.Error("exhaustion never surfaced")
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	f := NewFlaky(tab, 1)
+	r := NewRetry(f)
+	ctx, cancel := context.WithCancel(context.Background())
+	r.Sleep = func(time.Duration) { cancel() }
+	if _, err := r.Invoke(ctx, movieInput()); err == nil {
+		t.Fatal("cancelled retry succeeded")
+	}
+	if r.Retried() > 1 {
+		t.Errorf("kept retrying after cancel: %d", r.Retried())
+	}
+}
+
+func TestRetryForwarding(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	r := NewRetry(tab)
+	if r.Interface() != tab.Interface() || r.Stats().ChunkSize != 1 {
+		t.Error("Retry does not forward Interface/Stats")
+	}
+}

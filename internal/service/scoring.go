@@ -1,0 +1,168 @@
+// Package service defines the runtime face of an information source: a
+// Service that can be invoked with bound input attributes and that returns
+// its results in chunks, in ranking order when it is a search service.
+//
+// The package also models the two scoring-function classes of Section 4.1:
+// step functions, where scores drop sharply after h request-responses, and
+// progressive functions (linear, square, geometric), where scores decay
+// smoothly. These shapes drive the choice between nested-loop and
+// merge-scan invocation strategies.
+package service
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScoringKind enumerates the shapes of a search service's score curve.
+type ScoringKind int
+
+const (
+	// ScoringConstant is the fixed score of exact (unranked) services.
+	ScoringConstant ScoringKind = iota
+	// ScoringStep drops from High to Low after H leading tuples
+	// (Section 4.1, class 1).
+	ScoringStep
+	// ScoringLinear decays linearly from 1 to 0 over N tuples.
+	ScoringLinear
+	// ScoringSquare decays quadratically ((1-pos/N)²) over N tuples.
+	ScoringSquare
+	// ScoringGeometric decays geometrically with a fixed ratio per tuple.
+	ScoringGeometric
+)
+
+// String returns the kind's name.
+func (k ScoringKind) String() string {
+	switch k {
+	case ScoringConstant:
+		return "constant"
+	case ScoringStep:
+		return "step"
+	case ScoringLinear:
+		return "linear"
+	case ScoringSquare:
+		return "square"
+	case ScoringGeometric:
+		return "geometric"
+	default:
+		return fmt.Sprintf("ScoringKind(%d)", int(k))
+	}
+}
+
+// Scoring is a concrete scoring function: it maps the 0-based rank position
+// of a tuple in a service's result list to a relevance score in [0,1]. All
+// shapes are non-increasing in the position, which realizes the chapter's
+// standing assumption that search services return results in ranking order.
+type Scoring struct {
+	// Kind selects the curve shape.
+	Kind ScoringKind
+	// N calibrates linear/square decay: the position at which the score
+	// reaches Low.
+	N int
+	// H is, for step curves, the number of leading tuples scored High.
+	// The chapter's h counts request-responses; H = h × chunk size.
+	H int
+	// High and Low bound the curve. Defaults (when zero): High=1, Low=0.
+	High, Low float64
+	// Ratio is the per-position decay of geometric curves (0<Ratio<1).
+	Ratio float64
+}
+
+// Constant returns the fixed scoring of an exact service; score is clamped
+// into [0,1].
+func Constant(score float64) Scoring {
+	return Scoring{Kind: ScoringConstant, High: clamp01(score), Low: clamp01(score)}
+}
+
+// Step returns a step scoring: the first h tuples score high, the rest low.
+func Step(h int, high, low float64) Scoring {
+	return Scoring{Kind: ScoringStep, H: h, High: clamp01(high), Low: clamp01(low)}
+}
+
+// Linear returns a linear decay from 1 to 0 across n tuples.
+func Linear(n int) Scoring { return Scoring{Kind: ScoringLinear, N: n, High: 1} }
+
+// Square returns a quadratic decay from 1 to 0 across n tuples.
+func Square(n int) Scoring { return Scoring{Kind: ScoringSquare, N: n, High: 1} }
+
+// Geometric returns a geometric decay with the given per-position ratio.
+func Geometric(ratio float64) Scoring {
+	if ratio <= 0 || ratio >= 1 {
+		ratio = 0.9
+	}
+	return Scoring{Kind: ScoringGeometric, Ratio: ratio, High: 1}
+}
+
+func clamp01(f float64) float64 {
+	return math.Max(0, math.Min(1, f))
+}
+
+// Score returns the score of the tuple at 0-based position pos.
+func (s Scoring) Score(pos int) float64 {
+	if pos < 0 {
+		pos = 0
+	}
+	high := s.High
+	if high == 0 && s.Kind != ScoringConstant {
+		high = 1
+	}
+	switch s.Kind {
+	case ScoringConstant:
+		return s.High
+	case ScoringStep:
+		if pos < s.H {
+			return high
+		}
+		return s.Low
+	case ScoringLinear:
+		if s.N <= 0 || pos >= s.N {
+			return s.Low
+		}
+		return s.Low + (high-s.Low)*(1-float64(pos)/float64(s.N))
+	case ScoringSquare:
+		if s.N <= 0 || pos >= s.N {
+			return s.Low
+		}
+		d := 1 - float64(pos)/float64(s.N)
+		return s.Low + (high-s.Low)*d*d
+	case ScoringGeometric:
+		return high * math.Pow(s.Ratio, float64(pos))
+	default:
+		return 0
+	}
+}
+
+// HasStep reports whether the curve is a step function, and if so after how
+// many tuples the drop occurs. Invocation-strategy selection uses this to
+// prefer nested-loop over merge-scan (Section 4.3.1).
+func (s Scoring) HasStep() (h int, ok bool) {
+	if s.Kind == ScoringStep {
+		return s.H, true
+	}
+	return 0, false
+}
+
+// Validate checks the internal consistency of the scoring parameters.
+func (s Scoring) Validate() error {
+	if s.High < 0 || s.High > 1 || s.Low < 0 || s.Low > 1 {
+		return fmt.Errorf("service: scoring bounds [%v,%v] outside [0,1]", s.Low, s.High)
+	}
+	if s.Low > s.High {
+		return fmt.Errorf("service: scoring Low %v above High %v", s.Low, s.High)
+	}
+	switch s.Kind {
+	case ScoringStep:
+		if s.H < 0 {
+			return fmt.Errorf("service: step scoring with negative H %d", s.H)
+		}
+	case ScoringLinear, ScoringSquare:
+		if s.N <= 0 {
+			return fmt.Errorf("service: %v scoring needs positive N, got %d", s.Kind, s.N)
+		}
+	case ScoringGeometric:
+		if s.Ratio <= 0 || s.Ratio >= 1 {
+			return fmt.Errorf("service: geometric ratio %v outside (0,1)", s.Ratio)
+		}
+	}
+	return nil
+}

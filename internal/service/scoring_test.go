@@ -1,0 +1,141 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScoringKindString(t *testing.T) {
+	names := map[ScoringKind]string{
+		ScoringConstant: "constant", ScoringStep: "step", ScoringLinear: "linear",
+		ScoringSquare: "square", ScoringGeometric: "geometric",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestConstantScoring(t *testing.T) {
+	s := Constant(0.7)
+	for _, pos := range []int{0, 1, 100} {
+		if got := s.Score(pos); got != 0.7 {
+			t.Errorf("Constant.Score(%d) = %v", pos, got)
+		}
+	}
+	if got := Constant(1.5).Score(0); got != 1 {
+		t.Errorf("Constant clamps to 1, got %v", got)
+	}
+	if got := Constant(-0.3).Score(0); got != 0 {
+		t.Errorf("Constant clamps to 0, got %v", got)
+	}
+}
+
+func TestStepScoring(t *testing.T) {
+	s := Step(40, 0.9, 0.1)
+	if got := s.Score(0); got != 0.9 {
+		t.Errorf("Score(0) = %v", got)
+	}
+	if got := s.Score(39); got != 0.9 {
+		t.Errorf("Score(39) = %v", got)
+	}
+	if got := s.Score(40); got != 0.1 {
+		t.Errorf("Score(40) = %v", got)
+	}
+	if h, ok := s.HasStep(); !ok || h != 40 {
+		t.Errorf("HasStep = %d,%v", h, ok)
+	}
+}
+
+func TestLinearScoring(t *testing.T) {
+	s := Linear(100)
+	if got := s.Score(0); got != 1 {
+		t.Errorf("Score(0) = %v", got)
+	}
+	if got := s.Score(50); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Score(50) = %v", got)
+	}
+	if got := s.Score(100); got != 0 {
+		t.Errorf("Score(100) = %v", got)
+	}
+	if got := s.Score(1000); got != 0 {
+		t.Errorf("Score(1000) = %v", got)
+	}
+	if _, ok := s.HasStep(); ok {
+		t.Error("linear has step")
+	}
+}
+
+func TestSquareScoring(t *testing.T) {
+	s := Square(100)
+	if got := s.Score(50); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Score(50) = %v, want 0.25", got)
+	}
+}
+
+func TestGeometricScoring(t *testing.T) {
+	s := Geometric(0.5)
+	if got := s.Score(0); got != 1 {
+		t.Errorf("Score(0) = %v", got)
+	}
+	if got := s.Score(2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Score(2) = %v", got)
+	}
+	// Out-of-range ratio falls back to a sane default.
+	if s := Geometric(2); s.Ratio != 0.9 {
+		t.Errorf("Geometric(2).Ratio = %v", s.Ratio)
+	}
+}
+
+func TestScoreNegativePositionClamps(t *testing.T) {
+	if got := Linear(10).Score(-5); got != 1 {
+		t.Errorf("Score(-5) = %v", got)
+	}
+}
+
+func TestScoringValidate(t *testing.T) {
+	good := []Scoring{
+		Constant(0.5), Step(3, 1, 0), Linear(10), Square(5), Geometric(0.8),
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", s, err)
+		}
+	}
+	bad := []Scoring{
+		{Kind: ScoringStep, H: -1, High: 1},
+		{Kind: ScoringLinear, N: 0, High: 1},
+		{Kind: ScoringSquare, N: -2, High: 1},
+		{Kind: ScoringGeometric, Ratio: 1.2, High: 1},
+		{Kind: ScoringLinear, N: 5, High: 2},
+		{Kind: ScoringLinear, N: 5, High: 0.2, Low: 0.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) succeeded, want error", s)
+		}
+	}
+}
+
+// Every scoring shape must be non-increasing in position and bounded in
+// [0,1] — the standing assumptions of Section 4.1.
+func TestScoringMonotoneProperty(t *testing.T) {
+	shapes := []Scoring{
+		Constant(0.4), Step(7, 0.95, 0.05), Linear(50), Square(50), Geometric(0.85),
+	}
+	f := func(rawPos uint16) bool {
+		pos := int(rawPos % 200)
+		for _, s := range shapes {
+			a, b := s.Score(pos), s.Score(pos+1)
+			if a < b || a < 0 || a > 1 || b < 0 || b > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+// ErrExhausted is returned by Invocation.Fetch when the service has no
+// further chunks for the invocation.
+var ErrExhausted = errors.New("service: result list exhausted")
+
+// Input binds the input attribute paths of a service interface to values.
+type Input map[string]types.Value
+
+// Clone returns a copy of the input binding.
+func (in Input) Clone() Input {
+	c := make(Input, len(in))
+	for k, v := range in {
+		c[k] = v
+	}
+	return c
+}
+
+// Chunk is one unit of results returned by a single request-response.
+// Search services return chunks in decreasing ranking order; tuple scores
+// within a chunk are non-increasing as well.
+type Chunk struct {
+	// Index is the 0-based sequence number of the chunk within its
+	// invocation (the chapter's "i-th call").
+	Index int
+	// Tuples are the chunk's results.
+	Tuples []*types.Tuple
+}
+
+// Stats captures the published statistics of a service, which are the only
+// information the optimizer may use (Section 3.2: estimates descend from
+// static properties under independence and uniform-distribution
+// assumptions).
+type Stats struct {
+	// AvgCardinality is the expected number of output tuples per input
+	// tuple for an exact service. A value below 1 makes the service
+	// selective "per se" (Section 3.2).
+	AvgCardinality float64
+	// ChunkSize is the number of tuples per chunk for chunked services;
+	// 0 means the service returns all tuples in one response.
+	ChunkSize int
+	// Latency is the expected elapsed time of one request-response.
+	Latency time.Duration
+	// CostPerCall is the monetary charge of one request-response, used by
+	// the sum cost metric.
+	CostPerCall float64
+	// Scoring describes the service's score curve.
+	Scoring Scoring
+}
+
+// Chunked reports whether the service returns results chunk by chunk.
+func (s Stats) Chunked() bool { return s.ChunkSize > 0 }
+
+// Selective reports whether the service is selective per se, i.e. produces
+// fewer than one output tuple per input tuple on average.
+func (s Stats) Selective() bool { return s.AvgCardinality < 1 }
+
+// Validate checks the statistics for consistency.
+func (s Stats) Validate() error {
+	if s.AvgCardinality < 0 {
+		return fmt.Errorf("service: negative average cardinality %v", s.AvgCardinality)
+	}
+	if s.ChunkSize < 0 {
+		return fmt.Errorf("service: negative chunk size %d", s.ChunkSize)
+	}
+	if s.Latency < 0 {
+		return fmt.Errorf("service: negative latency %v", s.Latency)
+	}
+	if s.CostPerCall < 0 {
+		return fmt.Errorf("service: negative per-call cost %v", s.CostPerCall)
+	}
+	return s.Scoring.Validate()
+}
+
+// Invocation is a live request to a service for one input binding. Fetch
+// performs one request-response and returns the next chunk, or ErrExhausted
+// when the ranked list is finished. Implementations need not be safe for
+// concurrent Fetch calls on the same invocation; the engine serializes them.
+type Invocation interface {
+	Fetch(ctx context.Context) (Chunk, error)
+}
+
+// Service is a callable information source bound to a service interface.
+type Service interface {
+	// Interface returns the design-time interface the service implements.
+	Interface() *mart.Interface
+	// Stats returns the published statistics.
+	Stats() Stats
+	// Invoke starts a new invocation for the given input binding. Missing
+	// bindings for input-adorned paths are an error: access limitations
+	// are mandatory (Section 2.3).
+	Invoke(ctx context.Context, in Input) (Invocation, error)
+}
+
+// CheckInput verifies that in binds every input path of si, returning a
+// descriptive error otherwise. Service implementations call it from Invoke.
+func CheckInput(si *mart.Interface, in Input) error {
+	for _, p := range si.InputPaths() {
+		v, ok := in[p]
+		if !ok || v.IsNull() {
+			return fmt.Errorf("service %s: input attribute %q not bound", si.Name, p)
+		}
+	}
+	return nil
+}
+
+// FuncInvocation adapts a fetch closure to the Invocation interface.
+type FuncInvocation func(ctx context.Context) (Chunk, error)
+
+// Fetch implements Invocation.
+func (f FuncInvocation) Fetch(ctx context.Context) (Chunk, error) { return f(ctx) }

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+// Table is an in-memory Service backed by a slice of tuples. It is the
+// substrate standing in for remote web services: the synthetic scenario
+// generators load it with deterministic data, and it then behaves exactly
+// like the chapter's services — it honours access limitations (all input
+// paths must be bound), filters rows by the input binding with the
+// single-sub-tuple repeating-group semantics of Section 3.1, and serves the
+// matching rows in decreasing score order, chunk by chunk.
+type Table struct {
+	si    *mart.Interface
+	stats Stats
+	rows  []*types.Tuple
+	// matchOps optionally overrides the comparison used for an input
+	// path; the default is equality. The running example uses OpGe for
+	// Movie1's Openings.Date input ("opening after the given date").
+	matchOps map[string]types.Op
+}
+
+// NewTable builds a table service over si with the given statistics.
+func NewTable(si *mart.Interface, stats Stats) (*Table, error) {
+	if err := stats.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{si: si, stats: stats, matchOps: make(map[string]types.Op)}, nil
+}
+
+// SetMatchOp overrides the comparison operator used when matching the
+// given input path against its bound value. The operator is evaluated as
+// "row value op bound value".
+func (t *Table) SetMatchOp(path string, op types.Op) { t.matchOps[path] = op }
+
+// Add appends rows to the table.
+func (t *Table) Add(rows ...*types.Tuple) { t.rows = append(t.rows, rows...) }
+
+// Len returns the number of rows loaded.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Interface implements Service.
+func (t *Table) Interface() *mart.Interface { return t.si }
+
+// Stats implements Service.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Invoke implements Service: it filters rows by the binding, sorts the
+// matches by decreasing score (stable, so generation order breaks ties) and
+// returns an invocation serving them in chunks of Stats().ChunkSize.
+func (t *Table) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := CheckInput(t.si, in); err != nil {
+		return nil, err
+	}
+	var matches []*types.Tuple
+	for _, row := range t.rows {
+		ok, err := t.matches(row, in)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matches = append(matches, row)
+		}
+	}
+	sort.SliceStable(matches, func(i, j int) bool {
+		return matches[i].Score > matches[j].Score
+	})
+	return &tableInvocation{table: t, matches: matches}, nil
+}
+
+// matches evaluates the input binding against one row. Atomic paths must
+// satisfy their operator directly. Input paths on the same repeating group
+// must be satisfied together by a single sub-tuple, realizing the
+// existential single-mapping semantics of Section 3.1.
+func (t *Table) matches(row *types.Tuple, in Input) (bool, error) {
+	groups := make(map[string][]string)
+	for p := range in {
+		if g, _, dotted := strings.Cut(p, "."); dotted {
+			groups[g] = append(groups[g], p)
+		} else {
+			op := t.op(p)
+			ok, err := op.Eval(row.Get(p), in[p])
+			if err != nil {
+				return false, fmt.Errorf("service %s: matching %q: %w", t.si.Name, p, err)
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	for g, paths := range groups {
+		sort.Strings(paths)
+		if !t.groupMatches(row, g, paths, in) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (t *Table) groupMatches(row *types.Tuple, group string, paths []string, in Input) bool {
+	for _, st := range row.Groups[group] {
+		all := true
+		for _, p := range paths {
+			_, sub, _ := strings.Cut(p, ".")
+			ok, err := t.op(p).Eval(st[sub], in[p])
+			if err != nil || !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) op(path string) types.Op {
+	if op, ok := t.matchOps[path]; ok {
+		return op
+	}
+	return types.OpEq
+}
+
+type tableInvocation struct {
+	table   *Table
+	matches []*types.Tuple
+	next    int // index of the next chunk
+}
+
+// Fetch implements Invocation.
+func (inv *tableInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return Chunk{}, err
+	}
+	size := inv.table.stats.ChunkSize
+	if size <= 0 {
+		size = len(inv.matches)
+		if size == 0 && inv.next == 0 {
+			inv.next = 1
+			return Chunk{Index: 0}, nil
+		}
+	}
+	lo := inv.next * size
+	if lo >= len(inv.matches) && !(inv.next == 0 && inv.table.stats.ChunkSize <= 0) {
+		return Chunk{}, ErrExhausted
+	}
+	hi := lo + size
+	if hi > len(inv.matches) {
+		hi = len(inv.matches)
+	}
+	c := Chunk{Index: inv.next, Tuples: inv.matches[lo:hi]}
+	inv.next++
+	return c, nil
+}

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"seco/internal/mart"
+	"seco/internal/types"
+)
+
+// movieInterface builds a small search interface for table tests:
+// Movie(Title^O, Score^R, Genres.Genre^I, Openings.Country^I,
+// Openings.Date^I).
+func movieInterface(t *testing.T) *mart.Interface {
+	t.Helper()
+	m := &mart.Mart{Name: "Movie", Attributes: []mart.Attribute{
+		{Name: "Title", Kind: types.KindString},
+		{Name: "Score", Kind: types.KindFloat},
+		{Name: "Genres", Sub: []mart.Attribute{{Name: "Genre", Kind: types.KindString}}},
+		{Name: "Openings", Sub: []mart.Attribute{
+			{Name: "Country", Kind: types.KindString},
+			{Name: "Date", Kind: types.KindDate},
+		}},
+	}}
+	si, err := mart.NewInterface("Movie1", m, map[string]mart.Adornment{
+		"Score":            mart.Ranked,
+		"Genres.Genre":     mart.Input,
+		"Openings.Country": mart.Input,
+		"Openings.Date":    mart.Input,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return si
+}
+
+func movieTuple(title string, score float64, genre, country string, date time.Time) *types.Tuple {
+	tu := types.NewTuple(score)
+	tu.Set("Title", types.String(title)).Set("Score", types.Float(score))
+	tu.AddGroup("Genres", types.SubTuple{"Genre": types.String(genre)})
+	tu.AddGroup("Openings", types.SubTuple{
+		"Country": types.String(country),
+		"Date":    types.Date(date),
+	})
+	return tu
+}
+
+func newMovieTable(t *testing.T, chunkSize int) *Table {
+	t.Helper()
+	tab, err := NewTable(movieInterface(t), Stats{
+		AvgCardinality: 3, ChunkSize: chunkSize, Scoring: Linear(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetMatchOp("Openings.Date", types.OpGe)
+	day := time.Date(2009, 7, 1, 0, 0, 0, 0, time.UTC)
+	tab.Add(
+		movieTuple("A", 0.9, "Comedy", "Italy", day),
+		movieTuple("B", 0.8, "Comedy", "Italy", day.AddDate(0, 0, 5)),
+		movieTuple("C", 0.7, "Drama", "Italy", day),
+		movieTuple("D", 0.95, "Comedy", "France", day),
+		movieTuple("E", 0.6, "Comedy", "Italy", day.AddDate(0, -1, 0)),
+	)
+	return tab
+}
+
+func movieInput() Input {
+	return Input{
+		"Genres.Genre":     types.String("Comedy"),
+		"Openings.Country": types.String("Italy"),
+		"Openings.Date":    types.Date(time.Date(2009, 7, 1, 0, 0, 0, 0, time.UTC)),
+	}
+}
+
+func drain(t *testing.T, inv Invocation) []*types.Tuple {
+	t.Helper()
+	var all []*types.Tuple
+	for {
+		c, err := inv.Fetch(context.Background())
+		if errors.Is(err, ErrExhausted) {
+			return all
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, c.Tuples...)
+		if len(c.Tuples) == 0 {
+			return all
+		}
+	}
+}
+
+func TestTableFiltersAndRanks(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	inv, err := tab.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, inv)
+	// Matching: A (0.9) and B (0.8). C is Drama, D is France, E opened
+	// before the date bound. Order: descending score.
+	if len(got) != 2 {
+		t.Fatalf("got %d tuples, want 2: %v", len(got), got)
+	}
+	if got[0].Get("Title").Str() != "A" || got[1].Get("Title").Str() != "B" {
+		t.Errorf("order: %v, %v", got[0].Get("Title"), got[1].Get("Title"))
+	}
+}
+
+func TestTableGroupSemanticsSingleSubTuple(t *testing.T) {
+	// A movie whose Country and Date bindings are satisfied only by
+	// different sub-tuples must NOT match (Section 3.1 semantics).
+	tab, err := NewTable(movieInterface(t), Stats{Scoring: Constant(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetMatchOp("Openings.Date", types.OpGe)
+	day := time.Date(2009, 7, 1, 0, 0, 0, 0, time.UTC)
+	split := movieTuple("Split", 0.5, "Comedy", "Italy", day.AddDate(0, -2, 0))
+	split.AddGroup("Openings", types.SubTuple{
+		"Country": types.String("France"),
+		"Date":    types.Date(day.AddDate(0, 1, 0)),
+	})
+	tab.Add(split)
+	inv, err := tab.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, inv); len(got) != 0 {
+		t.Errorf("split tuple matched: %v", got)
+	}
+}
+
+func TestTableChunking(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	inv, err := tab.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := inv.Fetch(context.Background())
+	if err != nil || c0.Index != 0 || len(c0.Tuples) != 1 {
+		t.Fatalf("chunk0 = %+v, %v", c0, err)
+	}
+	c1, err := inv.Fetch(context.Background())
+	if err != nil || c1.Index != 1 || len(c1.Tuples) != 1 {
+		t.Fatalf("chunk1 = %+v, %v", c1, err)
+	}
+	if _, err := inv.Fetch(context.Background()); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("third fetch err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestTableMissingInputRejected(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	in := movieInput()
+	delete(in, "Genres.Genre")
+	if _, err := tab.Invoke(context.Background(), in); err == nil {
+		t.Error("Invoke without a bound input succeeded")
+	}
+	in["Genres.Genre"] = types.Null
+	if _, err := tab.Invoke(context.Background(), in); err == nil {
+		t.Error("Invoke with null input succeeded")
+	}
+}
+
+func TestTableEmptyResultUnchunked(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	in := movieInput()
+	in["Genres.Genre"] = types.String("Western")
+	inv, err := tab.Invoke(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := inv.Fetch(context.Background())
+	if err != nil || len(c.Tuples) != 0 {
+		t.Fatalf("first fetch = %+v, %v; want empty chunk", c, err)
+	}
+	if _, err := inv.Fetch(context.Background()); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("second fetch err = %v", err)
+	}
+}
+
+func TestTableEmptyResultChunked(t *testing.T) {
+	tab := newMovieTable(t, 2)
+	in := movieInput()
+	in["Genres.Genre"] = types.String("Western")
+	inv, err := tab.Invoke(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Fetch(context.Background()); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("fetch err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestTableContextCancelled(t *testing.T) {
+	tab := newMovieTable(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tab.Invoke(ctx, movieInput()); err == nil {
+		t.Error("Invoke on cancelled context succeeded")
+	}
+	inv, err := tab.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inv.Fetch(ctx); err == nil {
+		t.Error("Fetch on cancelled context succeeded")
+	}
+}
+
+func TestTableInputClone(t *testing.T) {
+	in := movieInput()
+	c := in.Clone()
+	c["Genres.Genre"] = types.String("Horror")
+	if in["Genres.Genre"].Str() != "Comedy" {
+		t.Error("Clone shares map")
+	}
+}
+
+func TestNewTableRejectsBadStats(t *testing.T) {
+	if _, err := NewTable(movieInterface(t), Stats{AvgCardinality: -1}); err == nil {
+		t.Error("negative cardinality accepted")
+	}
+	if _, err := NewTable(movieInterface(t), Stats{ChunkSize: -2}); err == nil {
+		t.Error("negative chunk size accepted")
+	}
+}
+
+func TestStatsClassification(t *testing.T) {
+	if !(Stats{AvgCardinality: 0.5}).Selective() {
+		t.Error("0.5 not selective")
+	}
+	if (Stats{AvgCardinality: 2}).Selective() {
+		t.Error("2 selective")
+	}
+	if !(Stats{ChunkSize: 10}).Chunked() {
+		t.Error("chunked not detected")
+	}
+	if (Stats{}).Chunked() {
+		t.Error("unchunked detected as chunked")
+	}
+}
+
+func TestCounterCountsAndDelays(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	var waited time.Duration
+	// Give the service a published latency so the delay hook observes it.
+	tab.stats.Latency = 7 * time.Millisecond
+	c := NewCounter(tab, func(d time.Duration) { waited += d })
+	inv, err := c.Invoke(context.Background(), movieInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := inv.Fetch(context.Background()); err != nil {
+			break
+		}
+	}
+	if got := c.Invocations(); got != 1 {
+		t.Errorf("Invocations = %d", got)
+	}
+	if got := c.Fetches(); got != 2 {
+		t.Errorf("Fetches = %d, want 2", got)
+	}
+	if got := c.Tuples(); got != 2 {
+		t.Errorf("Tuples = %d, want 2", got)
+	}
+	if waited != 14*time.Millisecond {
+		t.Errorf("delay hook saw %v, want 14ms", waited)
+	}
+	if c.Interface() != tab.Interface() || c.Stats().ChunkSize != 1 {
+		t.Error("Counter does not forward Interface/Stats")
+	}
+	c.Reset()
+	if c.Invocations() != 0 || c.Fetches() != 0 || c.Tuples() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestCounterInvokeErrorNotCounted(t *testing.T) {
+	tab := newMovieTable(t, 1)
+	c := NewCounter(tab, nil)
+	if _, err := c.Invoke(context.Background(), Input{}); err == nil {
+		t.Fatal("want error")
+	}
+	if c.Invocations() != 0 {
+		t.Error("failed invoke counted")
+	}
+}
+
+func TestFuncInvocation(t *testing.T) {
+	calls := 0
+	inv := FuncInvocation(func(ctx context.Context) (Chunk, error) {
+		calls++
+		return Chunk{Index: calls - 1}, nil
+	})
+	c, err := inv.Fetch(context.Background())
+	if err != nil || c.Index != 0 || calls != 1 {
+		t.Errorf("FuncInvocation: %+v %v %d", c, err, calls)
+	}
+}

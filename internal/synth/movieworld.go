@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// MovieWorld is the generated universe of the running example: movie,
+// theatre and restaurant services loaded with coherent data so the
+// Shows and DinnerPlace connection patterns hold with approximately the
+// chapter's selectivities (2% and 40%).
+type MovieWorld struct {
+	Movies      *service.Table
+	Theatres    *service.Table
+	Restaurants *service.Table
+	// Inputs are canonical bindings for the running example's INPUT
+	// variables (user in Milano looking for recent comedies and a
+	// pizzeria).
+	Inputs map[string]types.Value
+}
+
+// MovieConfig sizes the movie world.
+type MovieConfig struct {
+	// Movies is the movie-universe size (default 200).
+	Movies int
+	// Theatres is the theatre count (default 50).
+	Theatres int
+	// TitlesPerTheatre is the billboard size (default Movies/Theatres,
+	// giving the chapter's 2% Shows selectivity).
+	TitlesPerTheatre int
+	// RestaurantShare is the fraction of theatres with a nearby
+	// restaurant (default 0.4 = the DinnerPlace selectivity).
+	RestaurantShare float64
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+func (c *MovieConfig) defaults() {
+	if c.Movies <= 0 {
+		c.Movies = 200
+	}
+	if c.Theatres <= 0 {
+		c.Theatres = 50
+	}
+	if c.TitlesPerTheatre <= 0 {
+		c.TitlesPerTheatre = c.Movies / c.Theatres
+		if c.TitlesPerTheatre < 1 {
+			c.TitlesPerTheatre = 1
+		}
+	}
+	if c.RestaurantShare <= 0 {
+		c.RestaurantShare = 0.4
+	}
+}
+
+// Genres, languages and countries of the generated movie universe.
+var (
+	genres    = []string{"Comedy", "Drama", "Thriller", "Romance"}
+	languages = []string{"English", "Italian"}
+	countries = []string{"Italy", "France", "USA"}
+)
+
+// NewMovieWorld generates the running-example universe against the given
+// registry (which must hold the MovieScenario marts and interfaces).
+func NewMovieWorld(reg *mart.Registry, cfg MovieConfig) (*MovieWorld, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := plan.RunningExampleStats()
+
+	movieIf, ok := reg.Interface("Movie1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Movie1 interface not registered")
+	}
+	theatreIf, ok := reg.Interface("Theatre1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Theatre1 interface not registered")
+	}
+	restaurantIf, ok := reg.Interface("Restaurant1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Restaurant1 interface not registered")
+	}
+
+	mStats := stats["M"]
+	mStats.AvgCardinality = float64(cfg.Movies)
+	movies, err := service.NewTable(movieIf, mStats)
+	if err != nil {
+		return nil, err
+	}
+	movies.SetMatchOp("Openings.Date", types.OpGe)
+
+	base := time.Date(2009, 6, 1, 0, 0, 0, 0, time.UTC)
+	titles := make([]string, cfg.Movies)
+	movieScoring := service.Linear(cfg.Movies)
+	for i := 0; i < cfg.Movies; i++ {
+		title := fmt.Sprintf("Movie-%04d", i)
+		titles[i] = title
+		score := movieScoring.Score(i)
+		tu := types.NewTuple(score)
+		tu.Set("Title", types.String(title)).
+			Set("Director", types.String(fmt.Sprintf("Director-%02d", i%37))).
+			Set("Score", types.Float(score)).
+			Set("Year", types.Int(int64(2000+i%10))).
+			Set("Language", types.String(languages[i%len(languages)]))
+		tu.AddGroup("Genres", types.SubTuple{"Genre": types.String(genres[i%len(genres)])})
+		if i%3 == 0 { // some movies carry a second genre
+			tu.AddGroup("Genres", types.SubTuple{"Genre": types.String(genres[(i+1)%len(genres)])})
+		}
+		for _, c := range countries {
+			tu.AddGroup("Openings", types.SubTuple{
+				"Country": types.String(c),
+				"Date":    types.Date(base.AddDate(0, 0, rng.Intn(90))),
+			})
+		}
+		tu.AddGroup("Actors", types.SubTuple{"Name": types.String(fmt.Sprintf("Actor-%02d", i%53))})
+		movies.Add(tu)
+	}
+
+	tStats := stats["T"]
+	tStats.AvgCardinality = float64(cfg.Theatres)
+	theatres, err := service.NewTable(theatreIf, tStats)
+	if err != nil {
+		return nil, err
+	}
+	userAddr, userCity, userCountry := "Piazza Leonardo 32", "Milano", "Italy"
+	theatreScoring := service.Square(cfg.Theatres)
+	type theatreLoc struct{ addr, city, country string }
+	var locs []theatreLoc
+	for i := 0; i < cfg.Theatres; i++ {
+		score := theatreScoring.Score(i)
+		addr := fmt.Sprintf("Via Teatro %d", i)
+		locs = append(locs, theatreLoc{addr, userCity, userCountry})
+		tu := types.NewTuple(score)
+		tu.Set("Name", types.String(fmt.Sprintf("Theatre-%02d", i))).
+			Set("UAddress", types.String(userAddr)).
+			Set("UCity", types.String(userCity)).
+			Set("UCountry", types.String(userCountry)).
+			Set("TAddress", types.String(addr)).
+			Set("TCity", types.String(userCity)).
+			Set("TCountry", types.String(userCountry)).
+			Set("TPhone", types.String(fmt.Sprintf("+39-02-%07d", i))).
+			Set("Distance", types.Float(0.2+0.15*float64(i)))
+		for j := 0; j < cfg.TitlesPerTheatre; j++ {
+			tu.AddGroup("Movies", types.SubTuple{
+				"Title":      types.String(titles[rng.Intn(len(titles))]),
+				"StartTimes": types.String("18:30;21:00"),
+				"Duration":   types.Int(90 + int64(rng.Intn(60))),
+			})
+		}
+		theatres.Add(tu)
+	}
+
+	rStats := stats["R"]
+	restaurants, err := service.NewTable(restaurantIf, rStats)
+	if err != nil {
+		return nil, err
+	}
+	categories := []string{"Pizzeria", "Trattoria", "Sushi"}
+	rIdx := 0
+	for _, loc := range locs {
+		if rng.Float64() >= cfg.RestaurantShare {
+			continue
+		}
+		n := 1 + rng.Intn(2)
+		for j := 0; j < n; j++ {
+			score := 0.3 + 0.7*rng.Float64()
+			tu := types.NewTuple(score)
+			tu.Set("Name", types.String(fmt.Sprintf("Ristorante-%03d", rIdx))).
+				Set("UAddress", types.String(loc.addr)).
+				Set("UCity", types.String(loc.city)).
+				Set("UCountry", types.String(loc.country)).
+				Set("RAddress", types.String(fmt.Sprintf("%s/ang. %d", loc.addr, j))).
+				Set("RCity", types.String(loc.city)).
+				Set("RCountry", types.String(loc.country)).
+				Set("Phone", types.String(fmt.Sprintf("+39-02-%07d", 1000000+rIdx))).
+				Set("Url", types.String(fmt.Sprintf("http://example.test/r%d", rIdx))).
+				Set("MapUrl", types.String(fmt.Sprintf("http://maps.test/r%d", rIdx))).
+				Set("Distance", types.Float(0.05+0.05*float64(j))).
+				Set("Rating", types.Float(score*5))
+			// Every restaurant lists Pizzeria so the canonical category
+			// input matches; some carry a second category.
+			tu.AddGroup("Categories", types.SubTuple{"Name": types.String("Pizzeria")})
+			if rng.Intn(2) == 0 {
+				tu.AddGroup("Categories", types.SubTuple{"Name": types.String(categories[1+rng.Intn(2)])})
+			}
+			restaurants.Add(tu)
+			rIdx++
+		}
+	}
+
+	return &MovieWorld{
+		Movies:      movies,
+		Theatres:    theatres,
+		Restaurants: restaurants,
+		Inputs: map[string]types.Value{
+			"INPUT1": types.String("Comedy"),
+			"INPUT2": types.String("Italy"),
+			"INPUT3": types.Date(base),
+			"INPUT4": types.String(userAddr),
+			"INPUT5": types.String(userCity),
+			"INPUT6": types.String("Pizzeria"),
+			"INPUT7": types.String("English"),
+		},
+	}, nil
+}
+
+// Services returns the world's services keyed by the running example's
+// aliases.
+func (w *MovieWorld) Services() map[string]service.Service {
+	return map[string]service.Service{
+		"M": w.Movies,
+		"T": w.Theatres,
+		"R": w.Restaurants,
+	}
+}

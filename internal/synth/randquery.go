@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"seco/internal/mart"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// Workload is a randomly generated multi-domain query instance: a
+// registry of services with random statistics and dependency structure, a
+// conjunctive query over all of them, and the per-alias statistics the
+// optimizer needs. It drives the optimizer stress experiments (random
+// query graphs of 3–8 services, per the E9/E10 design).
+type Workload struct {
+	Registry *mart.Registry
+	// QueryText is the query in concrete syntax (exercising the parser).
+	QueryText string
+	// Stats maps alias → statistics.
+	Stats map[string]service.Stats
+	// Parents maps alias → the alias it pipes from ("" for roots bound
+	// by the user input).
+	Parents map[string]string
+	// Tables maps alias → a populated service with coherent data: child
+	// rows reference parent Ids, roots carry Seed = 1.
+	Tables map[string]*service.Table
+	// Inputs binds the workload's INPUT variables (INPUT1 = 1).
+	Inputs map[string]types.Value
+}
+
+// Services returns the populated tables keyed by alias, for the engine.
+func (w *Workload) Services() map[string]service.Service {
+	out := make(map[string]service.Service, len(w.Tables))
+	for a, t := range w.Tables {
+		out[a] = t
+	}
+	return out
+}
+
+// RandomWorkload generates a workload of n services (2 ≤ n ≤ 12) under
+// the given seed. Every non-root service depends on one earlier service
+// through a connection pattern (Id → Key); roots bind their Seed input to
+// INPUT1. Services are randomly exact or chunked search services with
+// random cardinalities, chunk sizes, latencies and scoring shapes, so the
+// dependency structure and the statistics vary across seeds while every
+// generated query stays feasible.
+func RandomWorkload(seed int64, n int) (*Workload, error) {
+	if n < 2 || n > 12 {
+		return nil, fmt.Errorf("synth: workload size %d outside [2,12]", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reg := mart.NewRegistry()
+	stats := make(map[string]service.Stats, n)
+	parents := make(map[string]string, n)
+	tables := make(map[string]*service.Table, n)
+	ids := make(map[string][]int64, n) // alias → generated Ids
+
+	var selectParts, condParts, rankParts []string
+	marts := make([]*mart.Mart, n)
+	searchCount := 0
+	nextID := int64(0)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("S%02d", i)
+		alias := fmt.Sprintf("A%d", i)
+		isSearch := rng.Intn(2) == 0
+		m := &mart.Mart{Name: name, Attributes: []mart.Attribute{
+			{Name: "Id", Kind: types.KindInt},
+			{Name: "Key", Kind: types.KindInt},
+			{Name: "Seed", Kind: types.KindInt},
+			{Name: "Val", Kind: types.KindFloat},
+		}}
+		marts[i] = m
+		if err := reg.AddMart(m); err != nil {
+			return nil, err
+		}
+		adorn := map[string]mart.Adornment{}
+		// Roots take Seed as input; children take Key.
+		isRoot := i == 0 || rng.Intn(3) == 0
+		if isRoot {
+			adorn["Seed"] = mart.Input
+		} else {
+			adorn["Key"] = mart.Input
+		}
+		if isSearch {
+			adorn["Val"] = mart.Ranked
+		}
+		si, err := mart.NewInterface(name+"if", m, adorn)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.AddInterface(si); err != nil {
+			return nil, err
+		}
+
+		st := service.Stats{
+			Latency:     time.Duration(20+rng.Intn(180)) * time.Millisecond,
+			CostPerCall: 1 + float64(rng.Intn(3)),
+		}
+		if isSearch {
+			searchCount++
+			st.ChunkSize = []int{5, 10, 20}[rng.Intn(3)]
+			st.AvgCardinality = float64(st.ChunkSize * (2 + rng.Intn(8)))
+			if rng.Intn(2) == 0 {
+				st.Scoring = service.Linear(int(st.AvgCardinality))
+			} else {
+				st.Scoring = service.Step(st.ChunkSize*(1+rng.Intn(3)), 0.9, 0.1)
+			}
+			rankParts = append(rankParts, fmt.Sprintf("%g %s", 1.0, alias))
+		} else {
+			st.AvgCardinality = float64(1 + rng.Intn(30))
+			st.Scoring = service.Constant(0.5)
+		}
+		stats[alias] = st
+
+		selectParts = append(selectParts, fmt.Sprintf("%sif as %s", name, alias))
+		parentAlias := ""
+		if isRoot {
+			condParts = append(condParts, fmt.Sprintf("%s.Seed = INPUT1", alias))
+			parents[alias] = ""
+		} else {
+			parent := rng.Intn(i)
+			parentAlias = fmt.Sprintf("A%d", parent)
+			pattern := &mart.ConnectionPattern{
+				Name: fmt.Sprintf("L%02dto%02d", parent, i),
+				From: marts[parent], To: m,
+				Joins:       []mart.Join{{From: "Id", To: "Key"}},
+				Selectivity: 0.05 + rng.Float64()*0.6,
+			}
+			if err := reg.AddPattern(pattern); err != nil {
+				return nil, err
+			}
+			condParts = append(condParts, fmt.Sprintf("%s(%s,%s)", pattern.Name, parentAlias, alias))
+			parents[alias] = parentAlias
+		}
+
+		// Populate the table with coherent rows.
+		tab, err := service.NewTable(si, st)
+		if err != nil {
+			return nil, err
+		}
+		rows := int(st.AvgCardinality)
+		if rows < 1 {
+			rows = 1
+		}
+		if rows > 40 {
+			rows = 40
+		}
+		for r := 0; r < rows; r++ {
+			score := st.Scoring.Score(r)
+			tu := types.NewTuple(score)
+			tu.Set("Id", types.Int(nextID)).
+				Set("Val", types.Float(score)).
+				Set("Seed", types.Int(1))
+			nextID++
+			if parentAlias == "" {
+				tu.Set("Key", types.Int(-1))
+			} else {
+				pids := ids[parentAlias]
+				tu.Set("Key", types.Int(pids[rng.Intn(len(pids))]))
+			}
+			ids[alias] = append(ids[alias], tu.Get("Id").IntVal())
+			tab.Add(tu)
+		}
+		tables[alias] = tab
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Random%d: select %s where %s",
+		seed, strings.Join(selectParts, ", "), strings.Join(condParts, " and "))
+	if len(rankParts) > 0 {
+		fmt.Fprintf(&b, " rank %s", strings.Join(rankParts, ", "))
+	}
+	return &Workload{
+		Registry:  reg,
+		QueryText: b.String(),
+		Stats:     stats,
+		Parents:   parents,
+		Tables:    tables,
+		Inputs:    map[string]types.Value{"INPUT1": types.Int(1)},
+	}, nil
+}

@@ -1,0 +1,113 @@
+// Package synth generates the deterministic synthetic data universes that
+// stand in for the chapter's remote web services. Each generator loads an
+// in-memory service.Table so that optimizer, engine and benchmarks
+// exercise exactly the code paths a remote deployment would, with
+// controllable statistics (cardinality, chunk size, latency, scoring
+// shape) and reproducible content under a fixed seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seco/internal/mart"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// RankedConfig parameterizes a generic single-attribute ranked service
+// used by join-method and baseline benchmarks.
+type RankedConfig struct {
+	// Name is the mart/interface base name.
+	Name string
+	// N is the number of tuples.
+	N int
+	// KeyMod maps tuple i to key i % KeyMod; two services with the same
+	// KeyMod join on equal keys with selectivity ≈ 1/KeyMod.
+	KeyMod int
+	// Stats are the published service statistics (scoring drives the
+	// generated score curve).
+	Stats service.Stats
+	// Shuffle permutes which keys get the best scores (seeded), so two
+	// services' rankings are uncorrelated.
+	Shuffle bool
+	// Seed drives the permutation.
+	Seed int64
+}
+
+// NewRanked builds a generic chunked search service: N tuples with Key =
+// i % KeyMod and scores following the configured scoring curve in rank
+// order.
+func NewRanked(cfg RankedConfig) (*service.Table, error) {
+	if cfg.N <= 0 || cfg.KeyMod <= 0 {
+		return nil, fmt.Errorf("synth: invalid ranked config N=%d KeyMod=%d", cfg.N, cfg.KeyMod)
+	}
+	m := &mart.Mart{Name: cfg.Name, Attributes: []mart.Attribute{
+		{Name: "Key", Kind: types.KindInt},
+		{Name: "Pos", Kind: types.KindInt},
+		{Name: "Score", Kind: types.KindFloat},
+	}}
+	si, err := mart.NewInterface(cfg.Name+"1", m, map[string]mart.Adornment{
+		"Score": mart.Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab, err := service.NewTable(si, cfg.Stats)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, cfg.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	if cfg.Shuffle {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	for i := 0; i < cfg.N; i++ {
+		score := cfg.Stats.Scoring.Score(i)
+		tu := types.NewTuple(score)
+		tu.Set("Key", types.Int(int64(perm[i]%cfg.KeyMod))).
+			Set("Pos", types.Int(int64(i))).
+			Set("Score", types.Float(score))
+		tab.Add(tu)
+	}
+	return tab, nil
+}
+
+// NewKeyed builds a generic exact service with an input attribute "Key":
+// for each key in [0, keys) it holds perKey tuples, so one invocation with
+// a bound key returns perKey results. Used as the downstream end of pipe
+// joins and by the WSMS baseline benchmarks.
+func NewKeyed(name string, keys, perKey int, stats service.Stats) (*service.Table, error) {
+	if keys <= 0 || perKey < 0 {
+		return nil, fmt.Errorf("synth: invalid keyed config keys=%d perKey=%d", keys, perKey)
+	}
+	m := &mart.Mart{Name: name, Attributes: []mart.Attribute{
+		{Name: "Key", Kind: types.KindInt},
+		{Name: "Rank", Kind: types.KindInt},
+		{Name: "Payload", Kind: types.KindString},
+	}}
+	si, err := mart.NewInterface(name+"1", m, map[string]mart.Adornment{
+		"Key": mart.Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab, err := service.NewTable(si, stats)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < keys; k++ {
+		for r := 0; r < perKey; r++ {
+			score := stats.Scoring.Score(r)
+			tu := types.NewTuple(score)
+			tu.Set("Key", types.Int(int64(k))).
+				Set("Rank", types.Int(int64(r))).
+				Set("Payload", types.String(fmt.Sprintf("%s-%d-%d", name, k, r)))
+			tab.Add(tu)
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,198 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// TravelWorld is the generated universe behind the Conference/Weather/
+// Flight/Hotel plan of Figs. 2–3.
+type TravelWorld struct {
+	Conferences *service.Table
+	Weather     *service.Table
+	Flights     *service.Table
+	Hotels      *service.Table
+	// Inputs are canonical bindings: topic "databases", origin "Milano",
+	// month 7.
+	Inputs map[string]types.Value
+}
+
+// TravelConfig sizes the travel world.
+type TravelConfig struct {
+	// ConferencesPerTopic (default 20, the Fig. 2 cardinality).
+	ConferencesPerTopic int
+	// Cities is the number of candidate cities (default 12).
+	Cities int
+	// FlightsPerCity and HotelsPerCity size the search services
+	// (default 40 each).
+	FlightsPerCity, HotelsPerCity int
+	// HotShare is the fraction of cities above 26°C in the canonical
+	// month (default 1/3, making Weather selective in context).
+	HotShare float64
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+func (c *TravelConfig) defaults() {
+	if c.ConferencesPerTopic <= 0 {
+		c.ConferencesPerTopic = 20
+	}
+	if c.Cities <= 0 {
+		c.Cities = 12
+	}
+	if c.FlightsPerCity <= 0 {
+		c.FlightsPerCity = 40
+	}
+	if c.HotelsPerCity <= 0 {
+		c.HotelsPerCity = 40
+	}
+	if c.HotShare <= 0 {
+		c.HotShare = 1.0 / 3.0
+	}
+}
+
+var topics = []string{"databases", "ai", "systems"}
+
+// NewTravelWorld generates the travel universe against the given registry
+// (which must hold the TravelScenario marts and interfaces).
+func NewTravelWorld(reg *mart.Registry, cfg TravelConfig) (*TravelWorld, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := plan.TravelStats()
+
+	confIf, ok := reg.Interface("Conference1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Conference1 interface not registered")
+	}
+	weatherIf, ok := reg.Interface("Weather1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Weather1 interface not registered")
+	}
+	flightIf, ok := reg.Interface("Flight1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Flight1 interface not registered")
+	}
+	hotelIf, ok := reg.Interface("Hotel1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Hotel1 interface not registered")
+	}
+
+	cities := make([]string, cfg.Cities)
+	for i := range cities {
+		cities[i] = fmt.Sprintf("City-%02d", i)
+	}
+	month := 7
+	year := 2009
+
+	conferences, err := service.NewTable(confIf, stats["C"])
+	if err != nil {
+		return nil, err
+	}
+	type confSite struct {
+		city string
+		date time.Time
+	}
+	var sites []confSite
+	for _, topic := range topics {
+		for i := 0; i < cfg.ConferencesPerTopic; i++ {
+			city := cities[rng.Intn(len(cities))]
+			start := time.Date(year, time.Month(month), 1+rng.Intn(27), 0, 0, 0, 0, time.UTC)
+			if topic == topics[0] {
+				sites = append(sites, confSite{city, start})
+			}
+			tu := types.NewTuple(0.5)
+			tu.Set("Name", types.String(fmt.Sprintf("%s-conf-%02d", topic, i))).
+				Set("Topic", types.String(topic)).
+				Set("City", types.String(city)).
+				Set("Country", types.String("Wonderland")).
+				Set("StartDate", types.Date(start)).
+				Set("EndDate", types.Date(start.AddDate(0, 0, 3)))
+			conferences.Add(tu)
+		}
+	}
+
+	weather, err := service.NewTable(weatherIf, stats["W"])
+	if err != nil {
+		return nil, err
+	}
+	hot := int(float64(cfg.Cities) * cfg.HotShare)
+	for i, city := range cities {
+		for m := 1; m <= 12; m++ {
+			temp := 10 + rng.Float64()*14 // 10..24 °C
+			if i < hot && m == month {
+				temp = 27 + rng.Float64()*8 // hot in the canonical month
+			}
+			tu := types.NewTuple(0.5)
+			tu.Set("City", types.String(city)).
+				Set("Month", types.Int(int64(m))).
+				Set("AvgTemp", types.Float(temp))
+			weather.Add(tu)
+		}
+	}
+
+	flights, err := service.NewTable(flightIf, stats["F"])
+	if err != nil {
+		return nil, err
+	}
+	origin := "Milano"
+	flightScoring := stats["F"].Scoring
+	for _, site := range sites {
+		for j := 0; j < cfg.FlightsPerCity; j++ {
+			score := flightScoring.Score(j)
+			tu := types.NewTuple(score)
+			tu.Set("From", types.String(origin)).
+				Set("To", types.String(site.city)).
+				Set("Date", types.Date(site.date)).
+				Set("Carrier", types.String(fmt.Sprintf("Carrier-%d", j%7))).
+				Set("Price", types.Float(80+600*(1-score)))
+			flights.Add(tu)
+		}
+	}
+
+	hotels, err := service.NewTable(hotelIf, stats["H"])
+	if err != nil {
+		return nil, err
+	}
+	hotelScoring := stats["H"].Scoring
+	for _, city := range cities {
+		for j := 0; j < cfg.HotelsPerCity; j++ {
+			score := hotelScoring.Score(j)
+			tu := types.NewTuple(score)
+			tu.Set("Name", types.String(fmt.Sprintf("Hotel-%s-%02d", city, j))).
+				Set("City", types.String(city)).
+				Set("Stars", types.Int(1+int64(4*score))).
+				Set("Price", types.Float(60+300*score)).
+				Set("Rating", types.Float(score*10))
+			hotels.Add(tu)
+		}
+	}
+
+	return &TravelWorld{
+		Conferences: conferences,
+		Weather:     weather,
+		Flights:     flights,
+		Hotels:      hotels,
+		Inputs: map[string]types.Value{
+			"INPUT1": types.String(topics[0]),
+			"INPUT2": types.String(origin),
+			"INPUT3": types.Int(int64(month)),
+		},
+	}, nil
+}
+
+// Services returns the world's services keyed by the travel example's
+// aliases.
+func (w *TravelWorld) Services() map[string]service.Service {
+	return map[string]service.Service{
+		"C": w.Conferences,
+		"W": w.Weather,
+		"F": w.Flights,
+		"H": w.Hotels,
+	}
+}

@@ -1,0 +1,101 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseOp(t *testing.T) {
+	cases := map[string]Op{
+		"=": OpEq, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+		"like": OpLike, "LIKE": OpLike,
+	}
+	for s, want := range cases {
+		got, err := ParseOp(s)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", s, err)
+		}
+		if got != want {
+			t.Errorf("ParseOp(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, err := ParseOp("!="); err == nil {
+		t.Error("ParseOp(!=) succeeded, want error")
+	}
+}
+
+func TestOpStringRoundTrip(t *testing.T) {
+	for _, op := range []Op{OpEq, OpLt, OpLe, OpGt, OpGe, OpLike} {
+		back, err := ParseOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("round trip failed for %v: %v %v", op, back, err)
+		}
+	}
+}
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b Value
+		want bool
+	}{
+		{OpEq, Int(2), Int(2), true},
+		{OpEq, Int(2), Int(3), false},
+		{OpLt, Int(2), Int(3), true},
+		{OpLe, Int(3), Int(3), true},
+		{OpGt, Int(4), Int(3), true},
+		{OpGe, Int(2), Int(3), false},
+		{OpLike, String("Milano"), String("mil%"), true},
+	}
+	for _, c := range cases {
+		got, err := c.op.Eval(c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v.Eval(%v,%v): %v", c.op, c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("%v.Eval(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpEvalNullIsFalse(t *testing.T) {
+	for _, op := range []Op{OpEq, OpLt, OpLe, OpGt, OpGe, OpLike} {
+		got, err := op.Eval(Null, Int(1))
+		if err != nil || got {
+			t.Errorf("%v.Eval(null,1) = %v,%v; want false,nil", op, got, err)
+		}
+		got, err = op.Eval(Int(1), Null)
+		if err != nil || got {
+			t.Errorf("%v.Eval(1,null) = %v,%v; want false,nil", op, got, err)
+		}
+	}
+}
+
+func TestOpEvalTypeError(t *testing.T) {
+	if _, err := OpLt.Eval(String("a"), Int(1)); err == nil {
+		t.Error("OpLt on mixed kinds succeeded, want error")
+	}
+}
+
+func TestOpSelectivityInUnitRange(t *testing.T) {
+	for _, op := range []Op{OpEq, OpLt, OpLe, OpGt, OpGe, OpLike} {
+		s := op.Selectivity()
+		if s <= 0 || s > 1 {
+			t.Errorf("%v.Selectivity() = %v out of (0,1]", op, s)
+		}
+	}
+}
+
+func TestOpEvalComplementProperty(t *testing.T) {
+	// For non-null ints, a<b is the complement of a>=b, and a>b of a<=b.
+	f := func(a, b int64) bool {
+		lt, _ := OpLt.Eval(Int(a), Int(b))
+		ge, _ := OpGe.Eval(Int(a), Int(b))
+		gt, _ := OpGt.Eval(Int(a), Int(b))
+		le, _ := OpLe.Eval(Int(a), Int(b))
+		return lt != ge && gt != le
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a single result object produced by a service call. Atomic
+// attributes map to a Value; repeating groups map to a slice of sub-tuples
+// (each sub-tuple being a flat attribute→Value map). A Tuple also carries
+// the score assigned by the producing service's scoring function, in [0,1].
+type Tuple struct {
+	// Attrs holds the atomic attribute values.
+	Attrs map[string]Value
+	// Groups holds repeating-group values: group name → set of sub-tuples.
+	Groups map[string][]SubTuple
+	// Score is the service-assigned relevance score in [0,1]; exact
+	// (unranked) services assign a fixed constant.
+	Score float64
+}
+
+// SubTuple is one member of a repeating group: sub-attribute name → value.
+type SubTuple map[string]Value
+
+// NewTuple returns an empty tuple with the given score.
+func NewTuple(score float64) *Tuple {
+	return &Tuple{
+		Attrs:  make(map[string]Value),
+		Groups: make(map[string][]SubTuple),
+		Score:  score,
+	}
+}
+
+// Get resolves a possibly dotted attribute path against the tuple.
+// "A" resolves an atomic attribute. For a repeating-group path "R.A" Get
+// returns the value of sub-attribute A in the first sub-tuple, which is
+// only appropriate for display; predicate evaluation must use GroupValues
+// to honour the existential single-sub-tuple semantics of Section 3.1.
+func (t *Tuple) Get(path string) Value {
+	if group, sub, ok := strings.Cut(path, "."); ok {
+		subs := t.Groups[group]
+		if len(subs) == 0 {
+			return Null
+		}
+		return subs[0][sub]
+	}
+	if v, ok := t.Attrs[path]; ok {
+		return v
+	}
+	return Null
+}
+
+// GroupValues returns all values of sub-attribute sub within repeating
+// group group, one per sub-tuple, preserving order.
+func (t *Tuple) GroupValues(group, sub string) []Value {
+	subs := t.Groups[group]
+	vals := make([]Value, 0, len(subs))
+	for _, st := range subs {
+		vals = append(vals, st[sub])
+	}
+	return vals
+}
+
+// Set assigns an atomic attribute.
+func (t *Tuple) Set(attr string, v Value) *Tuple {
+	t.Attrs[attr] = v
+	return t
+}
+
+// AddGroup appends a sub-tuple to a repeating group.
+func (t *Tuple) AddGroup(group string, st SubTuple) *Tuple {
+	t.Groups[group] = append(t.Groups[group], st)
+	return t
+}
+
+// Clone returns a deep copy of the tuple.
+func (t *Tuple) Clone() *Tuple {
+	c := NewTuple(t.Score)
+	for k, v := range t.Attrs {
+		c.Attrs[k] = v
+	}
+	for g, subs := range t.Groups {
+		cs := make([]SubTuple, len(subs))
+		for i, st := range subs {
+			m := make(SubTuple, len(st))
+			for k, v := range st {
+				m[k] = v
+			}
+			cs[i] = m
+		}
+		c.Groups[g] = cs
+	}
+	return c
+}
+
+// String renders the tuple with attributes in sorted order, for stable
+// test output.
+func (t *Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	keys := make([]string, 0, len(t.Attrs))
+	for k := range t.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", k, t.Attrs[k])
+	}
+	groups := make([]string, 0, len(t.Groups))
+	for g := range t.Groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		if b.Len() > 1 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:[", g)
+		for i, st := range t.Groups[g] {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(subString(st))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func subString(st SubTuple) string {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, st[k])
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Combination is a composite tuple t1·…·tn formed by joining component
+// tuples from the query's services (Section 3.1). Components are keyed by
+// the alias the query gave each service occurrence.
+type Combination struct {
+	// Components maps query alias → component tuple.
+	Components map[string]*Tuple
+	// Score is the value of the query's ranking function
+	// f = w1·S1 + … + wn·Sn on this combination.
+	Score float64
+}
+
+// NewCombination returns a combination holding a single component.
+func NewCombination(alias string, t *Tuple) *Combination {
+	return &Combination{Components: map[string]*Tuple{alias: t}}
+}
+
+// Merge returns a new combination holding the union of components of c and
+// d. Aliases must be disjoint; Merge panics otherwise, because joins in a
+// well-formed plan never combine the same service occurrence twice.
+func (c *Combination) Merge(d *Combination) *Combination {
+	m := &Combination{Components: make(map[string]*Tuple, len(c.Components)+len(d.Components))}
+	for a, t := range c.Components {
+		m.Components[a] = t
+	}
+	for a, t := range d.Components {
+		if _, dup := m.Components[a]; dup {
+			panic(fmt.Sprintf("types: duplicate alias %q in combination merge", a))
+		}
+		m.Components[a] = t
+	}
+	return m
+}
+
+// Get resolves a qualified path "Alias.Attr" or "Alias.Group.Sub" against
+// the combination.
+func (c *Combination) Get(alias, path string) Value {
+	t, ok := c.Components[alias]
+	if !ok {
+		return Null
+	}
+	return t.Get(path)
+}
+
+// Rank computes the weighted score w·S summed over components, writing it
+// to c.Score and returning it. Aliases without a weight contribute 0, which
+// realizes the chapter's rule that unranked services get weight 0.
+func (c *Combination) Rank(weights map[string]float64) float64 {
+	s := 0.0
+	for alias, t := range c.Components {
+		s += weights[alias] * t.Score
+	}
+	c.Score = s
+	return s
+}
+
+// Aliases returns the component aliases in sorted order.
+func (c *Combination) Aliases() []string {
+	as := make([]string, 0, len(c.Components))
+	for a := range c.Components {
+		as = append(as, a)
+	}
+	sort.Strings(as)
+	return as
+}
+
+// String renders the combination alias by alias in sorted order.
+func (c *Combination) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[score=%.4f", c.Score)
+	for _, a := range c.Aliases() {
+		fmt.Fprintf(&b, " %s=%s", a, c.Components[a])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTuple() *Tuple {
+	t := NewTuple(0.8)
+	t.Set("Title", String("Casablanca")).Set("Year", Int(1942))
+	t.AddGroup("Genres", SubTuple{"Genre": String("Drama")})
+	t.AddGroup("Genres", SubTuple{"Genre": String("Romance")})
+	return t
+}
+
+func TestTupleGet(t *testing.T) {
+	tup := sampleTuple()
+	if got := tup.Get("Title"); !got.Equal(String("Casablanca")) {
+		t.Errorf("Get(Title) = %v", got)
+	}
+	if got := tup.Get("Genres.Genre"); !got.Equal(String("Drama")) {
+		t.Errorf("Get(Genres.Genre) = %v", got)
+	}
+	if got := tup.Get("Missing"); !got.IsNull() {
+		t.Errorf("Get(Missing) = %v, want null", got)
+	}
+	if got := tup.Get("Nope.Sub"); !got.IsNull() {
+		t.Errorf("Get(Nope.Sub) = %v, want null", got)
+	}
+}
+
+func TestGroupValues(t *testing.T) {
+	tup := sampleTuple()
+	vals := tup.GroupValues("Genres", "Genre")
+	if len(vals) != 2 || !vals[0].Equal(String("Drama")) || !vals[1].Equal(String("Romance")) {
+		t.Errorf("GroupValues = %v", vals)
+	}
+	if got := tup.GroupValues("None", "X"); len(got) != 0 {
+		t.Errorf("GroupValues on missing group = %v", got)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	tup := sampleTuple()
+	c := tup.Clone()
+	c.Set("Title", String("Other"))
+	c.Groups["Genres"][0]["Genre"] = String("Horror")
+	if !tup.Get("Title").Equal(String("Casablanca")) {
+		t.Error("clone shares Attrs map")
+	}
+	if !tup.Get("Genres.Genre").Equal(String("Drama")) {
+		t.Error("clone shares group sub-tuples")
+	}
+	if c.Score != tup.Score {
+		t.Error("clone lost score")
+	}
+}
+
+func TestTupleStringStable(t *testing.T) {
+	s1, s2 := sampleTuple().String(), sampleTuple().String()
+	if s1 != s2 {
+		t.Errorf("String not deterministic: %q vs %q", s1, s2)
+	}
+	for _, frag := range []string{"Title", "Casablanca", "Genres", "Drama"} {
+		if !strings.Contains(s1, frag) {
+			t.Errorf("String %q missing %q", s1, frag)
+		}
+	}
+}
+
+func TestCombinationMergeAndGet(t *testing.T) {
+	m := NewCombination("M", sampleTuple())
+	th := NewTuple(0.5)
+	th.Set("Name", String("Odeon"))
+	c := m.Merge(NewCombination("T", th))
+	if got := c.Get("M", "Title"); !got.Equal(String("Casablanca")) {
+		t.Errorf("Get(M.Title) = %v", got)
+	}
+	if got := c.Get("T", "Name"); !got.Equal(String("Odeon")) {
+		t.Errorf("Get(T.Name) = %v", got)
+	}
+	if got := c.Get("X", "Name"); !got.IsNull() {
+		t.Errorf("Get on missing alias = %v", got)
+	}
+	if as := c.Aliases(); len(as) != 2 || as[0] != "M" || as[1] != "T" {
+		t.Errorf("Aliases = %v", as)
+	}
+}
+
+func TestCombinationMergeDisjointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge with duplicate alias did not panic")
+		}
+	}()
+	a := NewCombination("M", sampleTuple())
+	a.Merge(NewCombination("M", sampleTuple()))
+}
+
+func TestCombinationRank(t *testing.T) {
+	m := NewCombination("M", sampleTuple()) // score 0.8
+	th := NewTuple(0.5)
+	c := m.Merge(NewCombination("T", th))
+	got := c.Rank(map[string]float64{"M": 0.3, "T": 0.5})
+	want := 0.3*0.8 + 0.5*0.5
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("Rank = %v, want %v", got, want)
+	}
+	if c.Score != got {
+		t.Error("Rank did not store score")
+	}
+	// Unweighted alias contributes 0 (unranked services get weight 0).
+	if got := c.Rank(map[string]float64{"M": 1}); got != 0.8 {
+		t.Errorf("Rank with missing weight = %v, want 0.8", got)
+	}
+}
+
+func TestCombinationString(t *testing.T) {
+	c := NewCombination("M", sampleTuple())
+	c.Rank(map[string]float64{"M": 1})
+	s := c.String()
+	if !strings.Contains(s, "score=0.8000") || !strings.Contains(s, "M=") {
+		t.Errorf("String = %q", s)
+	}
+}

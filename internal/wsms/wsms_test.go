@@ -1,0 +1,131 @@
+package wsms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBottleneckOf(t *testing.T) {
+	chain := []Service{
+		{Name: "a", Cost: 1, Selectivity: 0.5},
+		{Name: "b", Cost: 3, Selectivity: 0.5},
+	}
+	// a: 1×1; b: 0.5×3 = 1.5 → bottleneck 1.5.
+	if got := BottleneckOf(chain); got != 1.5 {
+		t.Errorf("bottleneck = %v, want 1.5", got)
+	}
+	// Swapped: b: 3; a: 0.5×1 → bottleneck 3.
+	swapped := []Service{chain[1], chain[0]}
+	if got := BottleneckOf(swapped); got != 3 {
+		t.Errorf("bottleneck = %v, want 3", got)
+	}
+}
+
+func TestOptimalChainSmall(t *testing.T) {
+	services := []Service{
+		{Name: "slow", Cost: 3, Selectivity: 0.5},
+		{Name: "fast", Cost: 1, Selectivity: 0.5},
+	}
+	best, err := OptimalChain(services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Bottleneck != 1.5 {
+		t.Errorf("optimal bottleneck = %v, want 1.5", best.Bottleneck)
+	}
+	if ns := best.Names(); ns[0] != "fast" {
+		t.Errorf("order = %v, want fast first", ns)
+	}
+}
+
+func TestOptimalChainErrors(t *testing.T) {
+	if _, err := OptimalChain(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := OptimalChain([]Service{{Cost: -1, Selectivity: 1}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	big := make([]Service, 10)
+	for i := range big {
+		big[i] = Service{Cost: 1, Selectivity: 1}
+	}
+	if _, err := OptimalChain(big); err == nil {
+		t.Error("oversized input accepted")
+	}
+	if _, err := GreedyChain(nil); err == nil {
+		t.Error("greedy empty input accepted")
+	}
+	if _, err := GreedyChain([]Service{{Selectivity: -2}}); err == nil {
+		t.Error("greedy invalid service accepted")
+	}
+}
+
+// GreedyChain matches OptimalChain on random selective instances.
+func TestGreedyMatchesOptimalOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	mismatches := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(4)
+		services := make([]Service, n)
+		for i := range services {
+			services[i] = Service{
+				Name:        string(rune('a' + i)),
+				Cost:        0.1 + rng.Float64()*5,
+				Selectivity: 0.1 + rng.Float64()*0.9,
+			}
+		}
+		opt, err := OptimalChain(services)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := GreedyChain(services)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Bottleneck > opt.Bottleneck*1.0001 {
+			mismatches++
+		}
+	}
+	// The exchange-repaired greedy should be optimal on virtually all
+	// selective instances.
+	if mismatches > trials/20 {
+		t.Errorf("greedy missed the optimum on %d/%d instances", mismatches, trials)
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	chain := []Service{
+		{Name: "a", Cost: 1, Selectivity: 0.5},
+		{Name: "b", Cost: 2, Selectivity: 0.5},
+	}
+	// 100 tuples: a costs 100, b sees 50 tuples → 100. Total 200.
+	if got := TotalWork(chain, 100); got != 200 {
+		t.Errorf("total work = %v, want 200", got)
+	}
+}
+
+// Proliferative services are allowed (selectivity > 1): the bottleneck
+// grows downstream.
+func TestProliferativeServices(t *testing.T) {
+	chain := []Service{
+		{Name: "p", Cost: 1, Selectivity: 20},
+		{Name: "q", Cost: 1, Selectivity: 1},
+	}
+	if got := BottleneckOf(chain); got != 20 {
+		t.Errorf("bottleneck = %v, want 20", got)
+	}
+	best, err := OptimalChain(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimum defers the proliferative service to the end, where its
+	// output feeds nothing: q then p gives bottleneck 1.
+	if math.Abs(best.Bottleneck-1) > 1e-12 {
+		t.Errorf("optimal = %v, want 1 (proliferative service last)", best.Bottleneck)
+	}
+	if ns := best.Names(); ns[len(ns)-1] != "p" {
+		t.Errorf("order = %v, want p last", ns)
+	}
+}
