@@ -14,6 +14,7 @@ import (
 
 	"seco/internal/core"
 	"seco/internal/cost"
+	"seco/internal/engine"
 	"seco/internal/join"
 	"seco/internal/mart"
 	"seco/internal/optimizer"
@@ -696,6 +697,83 @@ func BenchmarkEngineSession(b *testing.B) {
 		}
 		if _, err := sess.Next(context.Background()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15_StreamingVsMaterializing compares the pull-based streaming
+// executor (default since the streaming refactor) with the original
+// materialize-then-truncate path on the two reference scenarios. The
+// "calls" metric is the request-response count per execution and "saved"
+// the engine's reported CallsSaved — on movienight with TargetK=5 the
+// top-k stopping rule halts well before the annotated fetch budget.
+func BenchmarkE15_StreamingVsMaterializing(b *testing.B) {
+	type scenario struct {
+		name     string
+		services map[string]service.Service
+		ann      *plan.Annotated
+		opts     engine.Options
+	}
+	var scenarios []scenario
+
+	// movienight: the chapter's world sizes with a denser billboard (the
+	// acceptance scenario of the streaming executor's equivalence tests).
+	movieReg := movieRegistry(b)
+	mp, mq, err := plan.RunningExamplePlan(movieReg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	movieWorld, err := synth.NewMovieWorld(movieReg, synth.MovieConfig{Seed: 7, TitlesPerTheatre: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma, err := plan.Annotate(mp, plan.Fig10Fetches())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios = append(scenarios, scenario{
+		name: "movienight", services: movieWorld.Services(), ann: ma,
+		opts: engine.Options{Inputs: movieWorld.Inputs, Weights: mq.Weights, TargetK: 5, Parallelism: 4},
+	})
+
+	// conftravel: the Fig. 3 plan (pipes, selections, shared ancestors).
+	travelReg := travelRegistry(b)
+	tp, tq, err := plan.TravelPlan(travelReg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	travelWorld, err := synth.NewTravelWorld(travelReg, synth.TravelConfig{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ta, err := plan.Annotate(tp, map[string]int{"F": 2, "H": 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios = append(scenarios, scenario{
+		name: "conftravel", services: travelWorld.Services(), ann: ta,
+		opts: engine.Options{Inputs: travelWorld.Inputs, Weights: tq.Weights, TargetK: 5, Parallelism: 4},
+	})
+
+	for _, sc := range scenarios {
+		for _, mode := range []struct {
+			name        string
+			materialize bool
+		}{{"streaming", false}, {"materializing", true}} {
+			b.Run(sc.name+"/"+mode.name, func(b *testing.B) {
+				opts := sc.opts
+				opts.Materialize = mode.materialize
+				var run *engine.Run
+				for i := 0; i < b.N; i++ {
+					var err error
+					run, err = engine.New(sc.services, nil).Execute(context.Background(), sc.ann, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(run.TotalCalls()), "calls")
+				b.ReportMetric(run.CallsSaved, "saved")
+			})
 		}
 	}
 }

@@ -40,6 +40,7 @@ func experimentsList() []experiment {
 		{"E12", "§5.1 — cost-metric shapes: same query, different winners", runE12},
 		{"E13", "§3.2 — guaranteed top-k vs approximate extraction-optimal joins", runE13},
 		{"E14", "§3.2 — annotation-model estimation accuracy on live data", runE14},
+		{"E15", "§3.1/4 — streaming executor: early termination vs materialization", runE15},
 	}
 }
 

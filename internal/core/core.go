@@ -130,6 +130,9 @@ type RunOptions struct {
 	// execution, cutting repeated pipe-join wire calls (results are
 	// unchanged).
 	CacheCalls bool
+	// Materialize selects the materialize-then-truncate executor instead
+	// of the default pull-based streaming pipeline (see package engine).
+	Materialize bool
 }
 
 // Run executes an optimized plan and returns the ranked combinations.
@@ -143,6 +146,7 @@ func (s *System) Run(ctx context.Context, res *optimizer.Result, opts RunOptions
 		Weights:     res.Query.Weights,
 		TargetK:     res.Plan.K,
 		Parallelism: opts.Parallelism,
+		Materialize: opts.Materialize,
 	})
 }
 
@@ -176,6 +180,7 @@ func (s *System) RunToK(ctx context.Context, res *optimizer.Result, opts RunOpti
 			Weights:     res.Query.Weights,
 			TargetK:     k,
 			Parallelism: opts.Parallelism,
+			Materialize: opts.Materialize,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -219,6 +224,7 @@ func (s *System) Session(res *optimizer.Result, opts RunOptions) (*engine.Sessio
 		Weights:     res.Query.Weights,
 		TargetK:     res.Plan.K,
 		Parallelism: opts.Parallelism,
+		Materialize: opts.Materialize,
 	}), nil
 }
 

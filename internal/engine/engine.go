@@ -1,19 +1,26 @@
 // Package engine executes fully instantiated query plans against live
-// services: it walks the plan DAG, invokes services with inputs assembled
-// from constants, INPUT variables and piped upstream values, runs pipe
-// joins per incoming tuple (with concurrent service calls), runs parallel
-// joins tile by tile under the node's join strategy, applies selections,
-// and emits ranked combinations. Request-responses are counted per
-// service, and an optional delay hook simulates per-call latency so
-// wall-clock experiments can validate the execution-time cost model.
+// services. The default executor is a pull-based streaming pipeline:
+// every plan node is a combination stream that fetches service chunks on
+// demand, pipe joins keep a bounded window of in-flight invocations, and
+// parallel joins drive the event-based explorer against live chunk
+// arrivals. When a TargetK is set, a threshold-style stopping rule (the
+// score bounds published by each stream, derived from the services'
+// Scoring curves) halts execution — and stops issuing request-responses —
+// as soon as the top-K set is guaranteed. Options.Materialize selects the
+// original materialize-then-truncate executor, kept as the measurement
+// baseline. Request-responses are counted per service, and an optional
+// delay hook simulates per-call latency so wall-clock experiments can
+// validate the execution-time cost model.
 package engine
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seco/internal/plan"
@@ -30,11 +37,21 @@ type Options struct {
 	// scored incrementally as components accumulate.
 	Weights map[string]float64
 	// TargetK truncates the ranked output to the best K combinations
-	// (0 = return everything the fetch factors produced).
+	// (0 = return everything the fetch factors produced). The streaming
+	// executor additionally uses it to stop early once the top-K set is
+	// guaranteed by the score bounds.
 	TargetK int
 	// Parallelism bounds the concurrent service invocations of a pipe
 	// join (default 8).
 	Parallelism int
+	// Materialize selects the original materialize-then-truncate executor
+	// instead of the streaming pipeline (baseline for measurements and
+	// equivalence tests).
+	Materialize bool
+	// DefaultChunkSize overrides the re-chunking granularity used for join
+	// inputs that do not originate from a chunked service node
+	// (default DefaultRechunkSize).
+	DefaultChunkSize int
 }
 
 // Run is the outcome of one plan execution.
@@ -43,9 +60,21 @@ type Run struct {
 	Combinations []*types.Combination
 	// Calls counts request-responses per alias.
 	Calls map[string]int64
+	// Invocations counts service invocations per alias (each invocation
+	// spans one or more request-responses).
+	Invocations map[string]int64
 	// Produced counts the combinations each plan node emitted — the
 	// measured counterpart of the annotation engine's tout estimates.
+	// Under the streaming executor this is the number of combinations the
+	// node actually emitted before execution stopped.
 	Produced map[string]int
+	// CallsSaved is the number of request-responses the execution avoided
+	// relative to the annotated plan's expected total (the cost a full
+	// materializing drain is planned for); 0 when nothing was saved.
+	CallsSaved float64
+	// Halted reports that the streaming executor stopped early because
+	// the top-K set was guaranteed by the score bounds.
+	Halted bool
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -104,27 +133,28 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 	if outID == "" {
 		return nil, fmt.Errorf("engine: plan has no output node")
 	}
+	if opts.Materialize {
+		return ex.runMaterialized(ctx, outID, start)
+	}
+	return ex.runStreaming(ctx, outID, start)
+}
+
+// runMaterialized is the original executor: evaluate every node to a full
+// combination slice, rank, then truncate.
+func (ex *executor) runMaterialized(ctx context.Context, outID string, start time.Time) (*Run, error) {
 	combos, err := ex.eval(ctx, outID)
 	if err != nil {
 		return nil, err
 	}
 	ranked := append([]*types.Combination(nil), combos...)
 	for _, c := range ranked {
-		c.Rank(opts.Weights)
+		c.Rank(ex.opts.Weights)
 	}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
-	if opts.TargetK > 0 && len(ranked) > opts.TargetK {
-		ranked = ranked[:opts.TargetK]
+	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
+		ranked = ranked[:ex.opts.TargetK]
 	}
-	run := &Run{
-		Combinations: ranked,
-		Calls:        map[string]int64{},
-		Produced:     map[string]int{},
-		Elapsed:      time.Since(start),
-	}
-	for alias, c := range e.counters {
-		run.Calls[alias] = c.Fetches()
-	}
+	run := ex.newRun(ranked, start, false)
 	ex.mu.Lock()
 	for id, combos := range ex.memo {
 		run.Produced[id] = len(combos)
@@ -132,6 +162,112 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 	ex.mu.Unlock()
 	return run, nil
 }
+
+// runStreaming builds the pull-based pipeline and drains it through the
+// output node. With a TargetK and non-negative weights it maintains the
+// K-th best score pulled so far and halts as soon as that score reaches
+// the root stream's bound — no unseen combination can then enter the
+// top-K, so the result equals the full drain's top-K while the undone
+// part of the search space is never paid for.
+func (ex *executor) runStreaming(ctx context.Context, outID string, start time.Time) (*Run, error) {
+	se := &streamExec{ex: ex, emitted: map[string]*atomic.Int64{}, shared: map[string]*sharedStream{}}
+	root, err := se.stream(ex.ann.Plan.Predecessors(outID)[0])
+	if err != nil {
+		return nil, err
+	}
+	pullCtx, cancel := context.WithCancel(ctx)
+	defer func() {
+		cancel()
+		se.wg.Wait()
+	}()
+
+	earlyStop := ex.opts.TargetK > 0 && nonNegative(ex.opts.Weights)
+	var (
+		all    []*types.Combination
+		kth    = &minHeap{}
+		halted bool
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := root.Next(pullCtx)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			break
+		}
+		all = append(all, c)
+		if earlyStop {
+			heap.Push(kth, c.Score)
+			if kth.Len() > ex.opts.TargetK {
+				heap.Pop(kth)
+			}
+			if kth.Len() == ex.opts.TargetK && (*kth)[0] >= root.Bound() {
+				halted = true
+				break
+			}
+		}
+	}
+	// Stop the prefetchers and wait for every pipeline goroutine before
+	// reading the counters.
+	cancel()
+	se.wg.Wait()
+
+	ranked := all
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
+	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
+		ranked = ranked[:ex.opts.TargetK]
+	}
+	run := ex.newRun(ranked, start, halted)
+	for id, n := range se.emitted {
+		run.Produced[id] = int(n.Load())
+	}
+	run.Produced[outID] = len(all)
+	return run, nil
+}
+
+// newRun assembles the common Run fields from the engine's counters.
+func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted bool) *Run {
+	run := &Run{
+		Combinations: ranked,
+		Calls:        map[string]int64{},
+		Invocations:  map[string]int64{},
+		Produced:     map[string]int{},
+		Halted:       halted,
+		Elapsed:      time.Since(start),
+	}
+	for alias, c := range ex.engine.counters {
+		run.Calls[alias] = c.Fetches()
+		run.Invocations[alias] = c.Invocations()
+	}
+	if est := ex.ann.TotalCalls(); est > float64(run.TotalCalls()) {
+		run.CallsSaved = est - float64(run.TotalCalls())
+	}
+	return run
+}
+
+// nonNegative reports whether every ranking weight is ≥ 0 — the
+// monotonicity requirement of the early-stopping bound.
+func nonNegative(weights map[string]float64) bool {
+	for _, w := range weights {
+		if w < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// minHeap keeps the K best scores pulled so far; its root is the K-th
+// best, the score an unseen combination must beat to enter the top-K.
+type minHeap []float64
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
 // executor evaluates plan nodes bottom-up, memoizing shared predecessors
 // (a selection node may feed several downstream services). The memo is

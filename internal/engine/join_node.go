@@ -248,19 +248,28 @@ func mergeBranches(cl, cr *types.Combination) (*types.Combination, bool) {
 	return merged, true
 }
 
+// DefaultRechunkSize is the re-chunking granularity used for join inputs
+// that do not originate from a chunked service node (selections, exact
+// services, nested joins); override per execution with
+// Options.DefaultChunkSize.
+const DefaultRechunkSize = 10
+
 // chunkSizeOf picks the re-chunking granularity of a join input: the
 // originating service's chunk size when the predecessor is a chunked
-// service node, a default of 10 otherwise.
+// service node, the configured default otherwise.
 func (ex *executor) chunkSizeOf(id string) int {
 	if n, ok := ex.ann.Plan.Node(id); ok && n.Kind == plan.KindService && n.Stats.Chunked() {
 		return n.Stats.ChunkSize
 	}
-	return 10
+	if ex.opts.DefaultChunkSize > 0 {
+		return ex.opts.DefaultChunkSize
+	}
+	return DefaultRechunkSize
 }
 
 func rechunk(items []*types.Combination, size int) [][]*types.Combination {
 	if size <= 0 {
-		size = 10
+		size = DefaultRechunkSize
 	}
 	var chunks [][]*types.Combination
 	for lo := 0; lo < len(items); lo += size {

@@ -41,6 +41,12 @@ func (ex *executor) evalService(ctx context.Context, id string, n *plan.Node) ([
 	}
 	pairPreds := groupJoinPreds(n)
 
+	if len(in) == 0 {
+		// Nothing upstream to compose with: invoking the service would
+		// spend request-responses on results that are discarded anyway.
+		return nil, nil
+	}
+
 	if !n.PipedFrom() {
 		tuples, err := fetchTuples(ctx, counter, fixed, fetches, n.Limit)
 		if err != nil {

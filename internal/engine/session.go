@@ -58,7 +58,15 @@ func (s *Session) Next(ctx context.Context) ([]*types.Combination, error) {
 		return nil, err
 	}
 	runOpts := s.opts
-	runOpts.TargetK = 0 // rank and truncate here, after dedup
+	// Rank and truncate here, after dedup — but let the streaming engine
+	// stop early: the previously seen combinations all reappear under the
+	// deeper fetch factors, so the guaranteed top (seen+K) contains at
+	// least K unseen ones (any seen combination ranked below the cut only
+	// makes room for more fresh ones).
+	runOpts.TargetK = 0
+	if s.opts.TargetK > 0 && !s.opts.Materialize {
+		runOpts.TargetK = s.opts.TargetK + len(s.seen)
+	}
 	run, err := s.engine.Execute(ctx, ann, runOpts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,805 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"seco/internal/join"
+	"seco/internal/plan"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// This file implements the pull-based streaming executor: every plan node
+// becomes a combination stream that produces results on demand, so
+// request-responses are only issued for the part of the search space the
+// consumer actually visits. Each stream also publishes an upper bound on
+// the score of any combination it can still emit, derived from the
+// services' published Scoring curves and the scores already observed
+// (results arrive in non-increasing score order per invocation). The
+// output loop uses the root bound as a threshold-style stopping rule: once
+// the K-th best score pulled so far is at least the bound, no unseen
+// combination can enter the top-K and execution halts.
+//
+// The bounds are sound under the chapter's standing model: services serve
+// tuples in decreasing score order and their published scoring curves
+// upper-bound the actual scores at each rank position. Early termination
+// additionally requires all ranking weights to be non-negative (the query
+// layer enforces this); otherwise the engine silently falls back to a full
+// drain, which reproduces the materializing semantics exactly.
+
+// comboStream is the pull-based face of a plan node. Next returns the next
+// combination, or (nil, nil) when the stream is exhausted; calling Next
+// after exhaustion keeps returning (nil, nil). Bound returns an upper
+// bound on the score of any combination a future Next can return, or
+// -Inf when none remain. Streams are not safe for concurrent use; the
+// joinBranch prefetcher and the pipe window own their sources exclusively,
+// and fan-out nodes are wrapped in a mutex-guarded sharedStream.
+type comboStream interface {
+	Next(ctx context.Context) (*types.Combination, error)
+	Bound() float64
+}
+
+// streamExec builds and tracks the stream pipeline of one execution.
+type streamExec struct {
+	ex *executor
+	// wg tracks every goroutine the pipeline spawns (join-branch
+	// prefetchers and pipe-window invocations); Execute waits for it after
+	// cancelling, so counters are quiescent before the Run is assembled.
+	wg      sync.WaitGroup
+	emitted map[string]*atomic.Int64
+	shared  map[string]*sharedStream
+}
+
+// stream returns a reader for the node's output. Nodes with several plan
+// successors get one backing stream and a per-consumer tee, so the node is
+// evaluated once and its combinations (with their component tuple
+// identities) are shared.
+func (se *streamExec) stream(id string) (comboStream, error) {
+	n, ok := se.ex.ann.Plan.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown node %q", id)
+	}
+	if len(se.ex.ann.Plan.Successors(id)) > 1 {
+		sh, ok := se.shared[id]
+		if !ok {
+			src, err := se.makeStream(id, n)
+			if err != nil {
+				return nil, err
+			}
+			sh = &sharedStream{src: src}
+			se.shared[id] = sh
+		}
+		return &teeReader{sh: sh}, nil
+	}
+	return se.makeStream(id, n)
+}
+
+// makeStream builds the node's stream (once per node).
+func (se *streamExec) makeStream(id string, n *plan.Node) (comboStream, error) {
+	var (
+		s   comboStream
+		err error
+	)
+	switch n.Kind {
+	case plan.KindInput:
+		s = &inputStream{}
+	case plan.KindSelection:
+		var up comboStream
+		up, err = se.stream(se.ex.ann.Plan.Predecessors(id)[0])
+		if err == nil {
+			s = &selectionStream{ex: se.ex, n: n, up: up}
+		}
+	case plan.KindService:
+		s, err = se.makeServiceStream(id, n)
+	case plan.KindJoin:
+		s, err = se.makeJoinStream(id, n)
+	default:
+		err = fmt.Errorf("engine: unsupported node kind %v", n.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &atomic.Int64{}
+	se.emitted[id] = c
+	return &countedStream{inner: s, n: c}, nil
+}
+
+func (se *streamExec) makeServiceStream(id string, n *plan.Node) (comboStream, error) {
+	up, err := se.stream(se.ex.ann.Plan.Predecessors(id)[0])
+	if err != nil {
+		return nil, err
+	}
+	counter, ok := se.ex.engine.counters[n.Alias]
+	if !ok {
+		return nil, fmt.Errorf("engine: no service bound for alias %q", n.Alias)
+	}
+	budget := se.ex.ann.Fetches[id]
+	if budget <= 0 {
+		budget = 1
+	}
+	if !n.Stats.Chunked() {
+		budget = 1
+	}
+	fixed, err := se.ex.fixedInputs(n)
+	if err != nil {
+		return nil, err
+	}
+	preds := groupJoinPreds(n)
+	w := se.ex.opts.Weights[n.Alias]
+	if n.PipedFrom() {
+		return &pipeStream{
+			se: se, ex: se.ex, n: n, counter: counter, fixed: fixed,
+			preds: preds, budget: budget, w: w,
+			par: se.ex.opts.Parallelism, up: up,
+		}, nil
+	}
+	return &serviceStream{
+		ex: se.ex, n: n, counter: counter, fixed: fixed,
+		preds: preds, budget: budget, w: w, up: up,
+	}, nil
+}
+
+// countedStream counts distinct emissions for Run.Produced.
+type countedStream struct {
+	inner comboStream
+	n     *atomic.Int64
+}
+
+func (c *countedStream) Next(ctx context.Context) (*types.Combination, error) {
+	combo, err := c.inner.Next(ctx)
+	if combo != nil {
+		c.n.Add(1)
+	}
+	return combo, err
+}
+
+func (c *countedStream) Bound() float64 { return c.inner.Bound() }
+
+// inputStream emits the single empty combination every plan starts from.
+type inputStream struct{ done bool }
+
+func (s *inputStream) Next(context.Context) (*types.Combination, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	return &types.Combination{Components: map[string]*types.Tuple{}}, nil
+}
+
+func (s *inputStream) Bound() float64 {
+	if s.done {
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// selectionStream filters its upstream; selections never change scores, so
+// the upstream bound carries over.
+type selectionStream struct {
+	ex *executor
+	n  *plan.Node
+	up comboStream
+}
+
+func (s *selectionStream) Next(ctx context.Context) (*types.Combination, error) {
+	for {
+		c, err := s.up.Next(ctx)
+		if err != nil || c == nil {
+			return nil, err
+		}
+		keep, err := s.ex.satisfiesSelections(c, s.n.Selections)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return c, nil
+		}
+	}
+}
+
+func (s *selectionStream) Bound() float64 { return s.up.Bound() }
+
+// serviceStream runs a non-piped service node: the service is invoked
+// lazily (never before the first upstream combination arrives, and never
+// at all when the upstream is empty) and chunks are fetched only when the
+// enumeration demands tuples beyond the fetched prefix. Enumeration order
+// matches the materializing executor: upstream-outer, tuple-inner.
+type serviceStream struct {
+	ex      *executor
+	n       *plan.Node
+	counter *service.Counter
+	fixed   service.Input
+	preds   map[string]pairPred
+	budget  int
+	w       float64
+	up      comboStream
+
+	inv       service.Invocation
+	tuples    []*types.Tuple
+	fetches   int
+	exhausted bool
+	cur       *types.Combination
+	j         int
+	done      bool
+}
+
+// canFetch reports whether another chunk may still be requested. All three
+// disqualifiers (budget spent, limit reached, service exhausted) are
+// permanent, so once an upstream combination has finished its inner loop
+// the tuple list is final — which the bound relies on.
+func (s *serviceStream) canFetch() bool {
+	if s.exhausted || s.fetches >= s.budget {
+		return false
+	}
+	if s.n.Limit > 0 && len(s.tuples) >= s.n.Limit {
+		return false
+	}
+	return true
+}
+
+func (s *serviceStream) fetch(ctx context.Context) error {
+	if s.inv == nil {
+		inv, err := s.counter.Invoke(ctx, s.fixed)
+		if err != nil {
+			return err
+		}
+		s.inv = inv
+	}
+	chunk, err := s.inv.Fetch(ctx)
+	if errors.Is(err, service.ErrExhausted) {
+		s.exhausted = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.fetches++
+	s.tuples = append(s.tuples, chunk.Tuples...)
+	if s.n.Limit > 0 && len(s.tuples) > s.n.Limit {
+		s.tuples = s.tuples[:s.n.Limit]
+	}
+	return nil
+}
+
+func (s *serviceStream) Next(ctx context.Context) (*types.Combination, error) {
+	if s.done {
+		return nil, nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.cur == nil {
+			c, err := s.up.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				s.done = true
+				return nil, nil
+			}
+			s.cur, s.j = c, 0
+		}
+		for s.j >= len(s.tuples) && s.canFetch() {
+			if err := s.fetch(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if s.j >= len(s.tuples) {
+			s.cur = nil
+			if len(s.tuples) == 0 {
+				// The service yielded nothing: no upstream combination can
+				// ever compose, so skip the remaining upstream pulls.
+				s.done = true
+				return nil, nil
+			}
+			continue
+		}
+		tu := s.tuples[s.j]
+		s.j++
+		merged, ok, err := s.ex.compose(s.cur, s.n.Alias, tu, s.preds)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return merged, nil
+		}
+	}
+}
+
+func (s *serviceStream) Bound() float64 {
+	if s.done {
+		return math.Inf(-1)
+	}
+	b := math.Inf(-1)
+	if s.cur != nil {
+		// Remaining inner loop of the current upstream combination: the
+		// next tuple (fetched tuples are non-increasing) or, when the
+		// prefix is spent but more is fetchable, the unseen-tuple cap.
+		if s.j < len(s.tuples) {
+			b = s.cur.Score + s.w*s.tuples[s.j].Score
+		} else if s.canFetch() {
+			b = s.cur.Score + s.w*s.unseenCap()
+		}
+	}
+	if ub := s.up.Bound(); !math.IsInf(ub, -1) {
+		if v := ub + s.w*s.bestTupleCap(); v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// unseenCap bounds the score of the next not-yet-fetched tuple: the
+// published curve at the next rank position, tightened by the last score
+// actually seen (tuples arrive in non-increasing order).
+func (s *serviceStream) unseenCap() float64 {
+	cap := scoringCap(s.n.Stats.Scoring, len(s.tuples))
+	if len(s.tuples) > 0 {
+		if last := s.tuples[len(s.tuples)-1].Score; last < cap {
+			cap = last
+		}
+	}
+	return cap
+}
+
+// bestTupleCap bounds the best tuple this service contributes to any
+// future upstream combination.
+func (s *serviceStream) bestTupleCap() float64 {
+	if len(s.tuples) > 0 {
+		return s.tuples[0].Score
+	}
+	if !s.canFetch() {
+		return 0
+	}
+	return scoringCap(s.n.Stats.Scoring, 0)
+}
+
+// scoringCap evaluates the published curve at a rank position. A
+// zero-value Scoring (constant zero) means the service never published a
+// curve; scores live in [0,1], so assume the worst.
+func scoringCap(sc service.Scoring, pos int) float64 {
+	if sc.Kind == service.ScoringConstant && sc.High == 0 {
+		return 1
+	}
+	return sc.Score(pos)
+}
+
+// pipeStream runs a piped service node: instead of a barrier over all
+// upstream rows, it keeps a FIFO window of at most Parallelism in-flight
+// invocations as a bounded prefetch, emitting results in upstream
+// (ranking) order exactly as the materializing pipe join does.
+type pipeStream struct {
+	se      *streamExec
+	ex      *executor
+	n       *plan.Node
+	counter *service.Counter
+	fixed   service.Input
+	preds   map[string]pairPred
+	budget  int
+	w       float64
+	par     int
+	up      comboStream
+
+	upDone  bool
+	window  []*pipeSlot
+	head    []*types.Combination
+	headIdx int
+	done    bool
+}
+
+type pipeSlot struct {
+	src  *types.Combination
+	out  []*types.Combination
+	err  error
+	done chan struct{}
+}
+
+// fill tops the window up to the parallelism bound, launching one
+// invocation goroutine per upstream combination.
+func (s *pipeStream) fill(ctx context.Context) error {
+	for !s.upDone && len(s.window) < s.par {
+		c, err := s.up.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if c == nil {
+			s.upDone = true
+			return nil
+		}
+		slot := &pipeSlot{src: c, done: make(chan struct{})}
+		s.window = append(s.window, slot)
+		s.se.wg.Add(1)
+		go func() {
+			defer s.se.wg.Done()
+			defer close(slot.done)
+			slot.out, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
+		}()
+	}
+	return nil
+}
+
+func (s *pipeStream) Next(ctx context.Context) (*types.Combination, error) {
+	for {
+		if s.headIdx < len(s.head) {
+			c := s.head[s.headIdx]
+			s.headIdx++
+			return c, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+		if len(s.window) == 0 {
+			s.done = true
+			return nil, nil
+		}
+		slot := s.window[0]
+		s.window = s.window[1:]
+		<-slot.done
+		if slot.err != nil {
+			return nil, slot.err
+		}
+		s.head, s.headIdx = slot.out, 0
+		// Refill behind the consumed slot so the window stays busy while
+		// the head results are being emitted.
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (s *pipeStream) Bound() float64 {
+	b := math.Inf(-1)
+	for i := s.headIdx; i < len(s.head); i++ {
+		if sc := s.head[i].Score; sc > b {
+			b = sc
+		}
+	}
+	// In-flight and future invocations: upstream score plus the best the
+	// service can possibly return (its curve at position zero). slot.src
+	// is immutable after launch, so reading it here is race-free.
+	cap := s.w * scoringCap(s.n.Stats.Scoring, 0)
+	for _, slot := range s.window {
+		if v := slot.src.Score + cap; v > b {
+			b = v
+		}
+	}
+	if ub := s.up.Bound(); !math.IsInf(ub, -1) {
+		if v := ub + cap; v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// joinBranch is one input of a streaming parallel join. A single
+// outstanding prefetch goroutine owns the reader and assembles the next
+// chunk; results are handed over through a capacity-1 channel, so both
+// branches fetch concurrently (the parallel invocation the topology
+// promises) while the explorer is driven from one goroutine.
+type joinBranch struct {
+	reader comboStream
+	size   int
+	ch     chan branchPull
+
+	chunks   [][]*types.Combination
+	chunkMax []float64
+	bestSeen float64
+	// bound is the reader's bound snapshot as of the last completed pull
+	// (the reader itself is owned by the prefetch goroutine while a pull
+	// is outstanding).
+	bound  float64
+	noMore bool
+}
+
+type branchPull struct {
+	combos []*types.Combination
+	bound  float64
+	short  bool // the reader ran dry during this pull
+	err    error
+}
+
+func (se *streamExec) startPull(ctx context.Context, b *joinBranch) {
+	se.wg.Add(1)
+	go func() {
+		defer se.wg.Done()
+		var res branchPull
+		for len(res.combos) < b.size {
+			c, err := b.reader.Next(ctx)
+			if err != nil {
+				res.err = err
+				break
+			}
+			if c == nil {
+				res.short = true
+				break
+			}
+			res.combos = append(res.combos, c)
+		}
+		res.bound = b.reader.Bound()
+		b.ch <- res
+	}()
+}
+
+// joinStream drives the event-based join explorer against live chunk
+// arrivals. Chunk sizes, tile contents and tile order replicate the
+// materializing evalJoin exactly (the explorer's decisions depend only on
+// fetch counts, exhaustion and processed tiles), so a full drain emits the
+// same combinations in the same order.
+type joinStream struct {
+	se          *streamExec
+	ex          *executor
+	n           *plan.Node
+	explorer    *join.Explorer
+	left, right *joinBranch
+	preds       map[string]pairPred
+
+	pending    []*types.Combination
+	pendingIdx int
+	seen       map[join.Tile]bool
+	started    bool
+	done       bool
+}
+
+func (se *streamExec) makeJoinStream(id string, n *plan.Node) (comboStream, error) {
+	preds := se.ex.ann.Plan.Predecessors(id)
+	if len(preds) != 2 {
+		return nil, fmt.Errorf("engine: join %s has %d predecessors", id, len(preds))
+	}
+	l, err := se.stream(preds[0])
+	if err != nil {
+		return nil, err
+	}
+	r, err := se.stream(preds[1])
+	if err != nil {
+		return nil, err
+	}
+	lb := &joinBranch{
+		reader: l, size: se.ex.chunkSizeOf(preds[0]),
+		ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: l.Bound(),
+	}
+	rb := &joinBranch{
+		reader: r, size: se.ex.chunkSizeOf(preds[1]),
+		ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: r.Bound(),
+	}
+	// No static fetch limits: branch lengths are unknown up front, so
+	// exhaustion is reported live (the explorer rolls the probing fetch
+	// back, leaving its state exactly as with a known limit).
+	explorer, err := join.NewExplorer(n.Strategy, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	explorer.SetRanker(func(t join.Tile) float64 {
+		if t.X >= len(lb.chunks) || t.Y >= len(rb.chunks) {
+			return 0
+		}
+		return chunkTop(lb.chunks[t.X]) * chunkTop(rb.chunks[t.Y])
+	})
+	return &joinStream{
+		se: se, ex: se.ex, n: n, explorer: explorer,
+		left: lb, right: rb, preds: groupJoinPreds(n),
+		seen: map[join.Tile]bool{},
+	}, nil
+}
+
+func (s *joinStream) Next(ctx context.Context) (*types.Combination, error) {
+	for {
+		if s.pendingIdx < len(s.pending) {
+			c := s.pending[s.pendingIdx]
+			s.pendingIdx++
+			return c, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		if !s.started {
+			s.started = true
+			s.se.startPull(ctx, s.left)
+			s.se.startPull(ctx, s.right)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ev, ok := s.explorer.Next()
+		if !ok {
+			s.done = true
+			continue
+		}
+		switch ev.Kind {
+		case join.EventFetch:
+			b := s.left
+			if ev.Side == join.SideY {
+				b = s.right
+			}
+			if err := s.resolveFetch(ctx, ev.Side, b); err != nil {
+				return nil, err
+			}
+		case join.EventTile:
+			if err := s.fillTile(ev.Tile); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// resolveFetch consumes the outstanding prefetch for the side the explorer
+// asked about, reveals the chunk (or reports exhaustion) and keeps one
+// pull in flight.
+func (s *joinStream) resolveFetch(ctx context.Context, side join.Side, b *joinBranch) error {
+	if b.noMore {
+		s.explorer.ReportExhausted(side)
+		return nil
+	}
+	res := <-b.ch
+	if res.err != nil {
+		return res.err
+	}
+	b.bound = res.bound
+	if res.short {
+		b.noMore = true
+	}
+	if len(res.combos) == 0 {
+		b.bound = math.Inf(-1)
+		s.explorer.ReportExhausted(side)
+		return nil
+	}
+	b.chunks = append(b.chunks, res.combos)
+	m := maxScore(res.combos)
+	b.chunkMax = append(b.chunkMax, m)
+	if m > b.bestSeen {
+		b.bestSeen = m
+	}
+	if !b.noMore {
+		s.se.startPull(ctx, b)
+	}
+	return nil
+}
+
+func (s *joinStream) fillTile(t join.Tile) error {
+	s.seen[t] = true
+	s.pending = s.pending[:0]
+	s.pendingIdx = 0
+	for _, cl := range s.left.chunks[t.X] {
+		for _, cr := range s.right.chunks[t.Y] {
+			ok, err := matchAcross(cl, cr, s.preds)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			merged, ok := mergeBranches(cl, cr)
+			if !ok {
+				continue
+			}
+			merged.Rank(s.ex.opts.Weights)
+			s.pending = append(s.pending, merged)
+		}
+	}
+	return nil
+}
+
+func (s *joinStream) Bound() float64 {
+	b := math.Inf(-1)
+	for i := s.pendingIdx; i < len(s.pending); i++ {
+		if sc := s.pending[i].Score; sc > b {
+			b = sc
+		}
+	}
+	if s.done {
+		// The explorer finished: only the pending remainder can emit.
+		return b
+	}
+	lb, rb := s.left, s.right
+	lBest := math.Max(lb.bestSeen, lb.bound)
+	rBest := math.Max(rb.bestSeen, rb.bound)
+	// Corner bounds: a future left chunk against the best right seen or
+	// still to come, and symmetrically. Weights are non-negative, so a
+	// merged score is at most the sum of the two sides (shared-alias
+	// components are double-counted, which only loosens the bound).
+	if !math.IsInf(lb.bound, -1) && !math.IsInf(rBest, -1) {
+		if v := lb.bound + rBest; v > b {
+			b = v
+		}
+	}
+	if !math.IsInf(rb.bound, -1) && !math.IsInf(lBest, -1) {
+		if v := rb.bound + lBest; v > b {
+			b = v
+		}
+	}
+	// Stored chunk pairs the explorer has not processed yet (deferred by
+	// tile ordering, triangular admission, or a future flush).
+	for x := range lb.chunks {
+		for y := range rb.chunks {
+			if s.seen[join.Tile{X: x, Y: y}] {
+				continue
+			}
+			if v := lb.chunkMax[x] + rb.chunkMax[y]; v > b {
+				b = v
+			}
+		}
+	}
+	return b
+}
+
+func maxScore(combos []*types.Combination) float64 {
+	m := math.Inf(-1)
+	for _, c := range combos {
+		if c.Score > m {
+			m = c.Score
+		}
+	}
+	return m
+}
+
+// sharedStream buffers a fan-out node's output so several consumers can
+// replay it independently; combination (and component tuple) identity is
+// preserved, which the join's shared-ancestor glue relies on.
+type sharedStream struct {
+	mu   sync.Mutex
+	src  comboStream
+	buf  []*types.Combination
+	done bool
+	err  error
+}
+
+// teeReader is one consumer's cursor over a sharedStream.
+type teeReader struct {
+	sh  *sharedStream
+	pos int
+}
+
+func (t *teeReader) Next(ctx context.Context) (*types.Combination, error) {
+	s := t.sh
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.pos < len(s.buf) {
+		c := s.buf[t.pos]
+		t.pos++
+		return c, nil
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.done {
+		return nil, nil
+	}
+	c, err := s.src.Next(ctx)
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	if c == nil {
+		s.done = true
+		return nil, nil
+	}
+	s.buf = append(s.buf, c)
+	t.pos++
+	return c, nil
+}
+
+func (t *teeReader) Bound() float64 {
+	s := t.sh
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := math.Inf(-1)
+	for i := t.pos; i < len(s.buf); i++ {
+		if sc := s.buf[i].Score; sc > b {
+			b = sc
+		}
+	}
+	if !s.done && s.err == nil {
+		if v := s.src.Bound(); v > b {
+			b = v
+		}
+	}
+	return b
+}

@@ -256,3 +256,85 @@ func TestCombinerMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The pairwise corner bound must dominate every pair that uses at least
+// one unseen tuple (score ≤ cur on its side, best on the other).
+func TestThresholdDominatesUnseenPairs(t *testing.T) {
+	comb := WeightedSum{WX: 0.6, WY: 0.4}
+	topX, topY := 0.9, 0.8
+	curX, curY := 0.5, 0.3
+	tau := Threshold(comb, topX, topY, curX, curY)
+	for _, sx := range []float64{0.5, 0.4, 0.1, 0} {
+		for _, sy := range []float64{0.8, 0.3, 0.2} {
+			if sx <= curX || sy <= curY { // at least one unseen component
+				if got := comb.Combine(sx, sy); got > tau+1e-12 {
+					t.Errorf("pair (%v,%v) scores %v above threshold %v", sx, sy, got, tau)
+				}
+			}
+		}
+	}
+	if want := comb.Combine(topX, curY); tau < want {
+		t.Errorf("threshold %v below corner %v", tau, want)
+	}
+}
+
+// WeightedThreshold at n=2 must agree with the pairwise Threshold under
+// the same weighted-sum combiner.
+func TestWeightedThresholdMatchesPairwise(t *testing.T) {
+	cases := []struct{ wx, wy, topX, topY, curX, curY float64 }{
+		{0.5, 0.5, 1, 1, 0.7, 0.4},
+		{0.3, 0.7, 0.9, 0.95, 0.9, 0.2},
+		{1, 0, 0.8, 0.6, 0.1, 0.6},
+		{0.25, 0.75, 0.5, 0.5, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		pair := Threshold(WeightedSum{WX: c.wx, WY: c.wy}, c.topX, c.topY, c.curX, c.curY)
+		nary := WeightedThreshold(
+			[]float64{c.wx, c.wy},
+			[]float64{c.topX, c.topY},
+			[]float64{c.curX, c.curY},
+		)
+		if diff := pair - nary; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("case %+v: pairwise %v vs n-ary %v", c, pair, nary)
+		}
+	}
+}
+
+// The n-ary bound must dominate every combination with at least one
+// unseen component, over randomized inputs.
+func TestWeightedThresholdDominates(t *testing.T) {
+	weights := []float64{0.3, 0.5, 0.2}
+	best := []float64{1, 0.9, 0.8}
+	cur := []float64{0.6, 0.5, 0.8}
+	tau := WeightedThreshold(weights, best, cur)
+	// Enumerate a grid of candidate scores; any combination where some
+	// component i is "unseen" (≤ cur[i]) must be bounded by tau.
+	grid := []float64{0, 0.2, 0.5, 0.6, 0.8, 0.9, 1}
+	for _, s0 := range grid {
+		for _, s1 := range grid {
+			for _, s2 := range grid {
+				s := []float64{s0, s1, s2}
+				unseen := false
+				sound := true
+				for i := range s {
+					if s[i] <= cur[i] {
+						unseen = true
+					}
+					if s[i] > best[i] { // impossible: nothing beats the top
+						sound = false
+					}
+				}
+				if !unseen || !sound {
+					continue
+				}
+				total := 0.0
+				for i := range s {
+					total += weights[i] * s[i]
+				}
+				if total > tau+1e-12 {
+					t.Errorf("combination %v scores %v above threshold %v", s, total, tau)
+				}
+			}
+		}
+	}
+}
