@@ -1,11 +1,15 @@
-// Command planviz emits Graphviz DOT for the chapter's worked plans and
-// for optimized plans of the built-in scenarios.
+// Command planviz emits Graphviz DOT for the chapter's worked plans, for
+// optimized plans of the built-in scenarios, and for plans loaded from
+// JSON — and verifies any of them with the plancheck semantic analyzer.
 //
 // Usage:
 //
 //	planviz -plan fig10      # the fully instantiated running-example plan
 //	planviz -plan fig3       # the Conference/Weather/Flight/Hotel plan
 //	planviz -plan optimized -scenario movienight -metric execution-time
+//	planviz -plan file -in plan.json -scenario movienight
+//	planviz -plan fig10 -check          # verify instead of render
+//	planviz -plan file -in plan.json -scenario movienight -check
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"seco/internal/core"
 	"seco/internal/mart"
 	"seco/internal/plan"
+	"seco/internal/plancheck"
 	"seco/internal/query"
 )
 
@@ -31,49 +36,54 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("planviz", flag.ContinueOnError)
 	var (
-		which    = fs.String("plan", "fig10", "fig10, fig3, or optimized")
-		scenario = fs.String("scenario", "movienight", "scenario for -plan optimized")
+		which    = fs.String("plan", "fig10", "fig10, fig3, optimized, or file")
+		scenario = fs.String("scenario", "movienight", "scenario for -plan optimized and the registry for -plan file")
 		metric   = fs.String("metric", "request-response", "metric for -plan optimized")
 		k        = fs.Int("k", 10, "requested combinations for -plan optimized")
 		format   = fs.String("format", "dot", "output format: dot or json")
+		in       = fs.String("in", "", "JSON plan file for -plan file")
+		check    = fs.Bool("check", false, "verify the plan with plancheck instead of rendering; non-zero exit on errors")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var (
+		p   *plan.Plan
+		a   *plan.Annotated
+		reg *mart.Registry
+		err error
+	)
 	switch *which {
 	case "fig10":
-		reg, err := mart.MovieScenario()
+		reg, err = mart.MovieScenario()
 		if err != nil {
 			return err
 		}
-		p, _, err := plan.RunningExamplePlan(reg)
+		p, _, err = plan.RunningExamplePlan(reg)
 		if err != nil {
 			return err
 		}
-		a, err := plan.Annotate(p, plan.Fig10Fetches())
+		a, err = plan.Annotate(p, plan.Fig10Fetches())
 		if err != nil {
 			return err
 		}
-		return render(out, *format, p, a)
 	case "fig3":
-		reg, err := mart.TravelScenario()
+		reg, err = mart.TravelScenario()
 		if err != nil {
 			return err
 		}
-		p, _, err := plan.TravelPlan(reg)
+		p, _, err = plan.TravelPlan(reg)
 		if err != nil {
 			return err
 		}
-		a, err := plan.Annotate(p, map[string]int{"F": 2, "H": 2})
+		a, err = plan.Annotate(p, map[string]int{"F": 2, "H": 2})
 		if err != nil {
 			return err
 		}
-		return render(out, *format, p, a)
 	case "optimized":
 		var (
 			sys *core.System
 			src string
-			err error
 		)
 		switch *scenario {
 		case "movienight":
@@ -96,10 +106,70 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return render(out, *format, res.Plan, res.Annotated)
+		p, a, reg = res.Plan, res.Annotated, sys.Registry()
+	case "file":
+		if *in == "" {
+			return fmt.Errorf("-plan file requires -in <plan.json>")
+		}
+		reg, err = scenarioRegistry(*scenario)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		// Decode without gating on verification: -check reports the
+		// diagnostics itself, and rendering a broken plan is often how
+		// one debugs it.
+		p, err = plan.UnmarshalPlan(data, reg)
+		if err != nil {
+			return err
+		}
+		a, _ = plan.Annotate(p, nil)
 	default:
-		return fmt.Errorf("unknown plan %q (want fig10, fig3 or optimized)", *which)
+		return fmt.Errorf("unknown plan %q (want fig10, fig3, optimized or file)", *which)
 	}
+	if *check {
+		return runCheck(out, p, a, reg)
+	}
+	return render(out, *format, p, a)
+}
+
+// scenarioRegistry maps a scenario name to its design-time registry, used
+// to resolve interface names of JSON-loaded plans.
+func scenarioRegistry(name string) (*mart.Registry, error) {
+	switch name {
+	case "movienight":
+		return mart.MovieScenario()
+	case "conftravel":
+		return mart.TravelScenario()
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+// runCheck verifies the plan and prints every diagnostic; the error return
+// (non-zero exit) reflects Error-severity findings only.
+func runCheck(out io.Writer, p *plan.Plan, a *plan.Annotated, reg *mart.Registry) error {
+	rep := &plancheck.Report{}
+	if a != nil {
+		rep.Merge(plancheck.CheckAnnotated(a))
+	} else {
+		rep.Merge(plancheck.Check(p))
+	}
+	if reg != nil {
+		rep.Merge(plancheck.CheckRoundTrip(p, reg))
+	}
+	for _, d := range rep.Diags {
+		fmt.Fprintln(out, d)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("plan has %d error diagnostic(s)", len(rep.Errors()))
+	}
+	fmt.Fprintf(out, "plan OK: %d nodes verified (%d warnings)\n",
+		len(p.NodeIDs()), len(rep.Diags))
+	return nil
 }
 
 // render emits the plan in the requested format.

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,12 +55,59 @@ func TestPlanvizJSONFormat(t *testing.T) {
 	}
 }
 
+func TestPlanvizCheck(t *testing.T) {
+	for _, which := range []string{"fig10", "fig3", "optimized"} {
+		var out strings.Builder
+		if err := run([]string{"-plan", which, "-check"}, &out); err != nil {
+			t.Fatalf("-plan %s -check: %v\n%s", which, err, out.String())
+		}
+		if !strings.Contains(out.String(), "plan OK") {
+			t.Errorf("-plan %s -check output missing verdict:\n%s", which, out.String())
+		}
+	}
+}
+
+func TestPlanvizFileRoundTrip(t *testing.T) {
+	// Export fig10 as JSON, reload it through -plan file, and verify it.
+	var encoded strings.Builder
+	if err := run([]string{"-plan", "fig10", "-format", "json"}, &encoded); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(encoded.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-plan", "file", "-in", path, "-scenario", "movienight", "-check"}, &out); err != nil {
+		t.Fatalf("reloaded plan failed verification: %v\n%s", err, out.String())
+	}
+
+	// A corrupted plan must be rejected with diagnostics.
+	broken := strings.Replace(encoded.String(), `"bindings"`, `"xbindings"`, 1)
+	if broken == encoded.String() {
+		t.Fatal("corruption had no effect; fixture changed?")
+	}
+	if err := os.WriteFile(path, []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-plan", "file", "-in", path, "-scenario", "movienight", "-check"}, &out); err == nil {
+		t.Fatalf("corrupted plan passed -check:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "plan-binding") {
+		t.Errorf("diagnostics missing plan-binding code:\n%s", out.String())
+	}
+}
+
 func TestPlanvizErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-plan", "nope"},
 		{"-plan", "optimized", "-scenario", "nope"},
 		{"-plan", "optimized", "-metric", "nope"},
 		{"-plan", "fig10", "-format", "nope"},
+		{"-plan", "file"},
+		{"-plan", "file", "-in", "does-not-exist.json"},
+		{"-plan", "file", "-in", "x.json", "-scenario", "nope"},
 	} {
 		var out strings.Builder
 		if err := run(args, &out); err == nil {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the enforcement point: the whole module must pass
+// every analyzer. A failure here names the offending line directly.
+func TestRepoIsClean(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"seco/..."}, &out, &errw); code != 0 {
+		t.Fatalf("secolint found violations (exit %d):\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+func TestListDescribesEveryAnalyzer(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errw.String())
+	}
+	for _, name := range []string{"wallclock", "detrange", "closedrain"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestOnlySelectsSubset(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-only", "wallclock,closedrain", "seco/internal/engine"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-only", "nope", "seco/internal/engine"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown analyzer") {
+		t.Errorf("missing error message: %s", errw.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"seco/does/not/exist"}, &out, &errw); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"seco/internal/plan"
+	"seco/internal/plancheck"
 	"seco/internal/query"
 	"seco/internal/service"
 	"seco/internal/types"
@@ -52,6 +53,13 @@ type Options struct {
 	// inputs that do not originate from a chunked service node
 	// (default DefaultRechunkSize).
 	DefaultChunkSize int
+	// SkipValidate disables the pre-execution plancheck verification.
+	// By default Execute refuses plans with Error-severity diagnostics
+	// (cycles, uncovered bindings, illegal strategies, stale annotations,
+	// negative weights under a top-K streaming run); set SkipValidate for
+	// callers that have already verified the plan and need the few
+	// microseconds back.
+	SkipValidate bool
 }
 
 // Run is the outcome of one plan execution.
@@ -75,7 +83,9 @@ type Run struct {
 	// Halted reports that the streaming executor stopped early because
 	// the top-K set was guaranteed by the score bounds.
 	Halted bool
-	// Elapsed is the wall-clock execution time.
+	// Elapsed is the execution time as measured by the engine's Clock:
+	// wall-clock time under WallClock, simulated time (the serial sum of
+	// charged call latencies) under VirtualClock.
 	Elapsed time.Duration
 }
 
@@ -91,18 +101,41 @@ func (r *Run) TotalCalls() int64 {
 // Engine executes plans against a set of services keyed by query alias.
 type Engine struct {
 	counters map[string]*service.Counter
+	clock    Clock
 }
 
 // New builds an engine over the given services. The delay hook, when
 // non-nil, is invoked with the service's published latency on every fetch
-// (pass time.Sleep for live pacing, nil for as-fast-as-possible runs).
+// (pass time.Sleep for live pacing). A nil hook selects a VirtualClock:
+// fetches complete instantly while their published latency is charged to
+// simulated time, so Run.Elapsed reports the simulated duration of the
+// run. Callers that need a specific clock use NewWithClock.
 func New(services map[string]service.Service, delay func(time.Duration)) *Engine {
+	if delay == nil {
+		return NewWithClock(services, NewVirtualClock())
+	}
 	cs := make(map[string]*service.Counter, len(services))
 	for alias, svc := range services {
 		cs[alias] = service.NewCounter(svc, delay)
 	}
-	return &Engine{counters: cs}
+	return &Engine{counters: cs, clock: WallClock{}}
 }
+
+// NewWithClock builds an engine whose latency charging and elapsed-time
+// reporting both go through the given clock: WallClock paces fetches in
+// real time, VirtualClock simulates them instantly while keeping the
+// elapsed-time accounting.
+func NewWithClock(services map[string]service.Service, clk Clock) *Engine {
+	cs := make(map[string]*service.Counter, len(services))
+	for alias, svc := range services {
+		cs[alias] = service.NewCounter(svc, clk.Sleep)
+	}
+	return &Engine{counters: cs, clock: clk}
+}
+
+// Clock returns the clock driving this engine's latency charging and
+// elapsed-time reporting.
+func (e *Engine) Clock() Clock { return e.clock }
 
 // Counter exposes the per-alias request-response counter.
 func (e *Engine) Counter(alias string) (*service.Counter, bool) {
@@ -111,14 +144,27 @@ func (e *Engine) Counter(alias string) (*service.Counter, bool) {
 }
 
 // Execute runs the annotated plan and returns the ranked combinations.
+// Unless Options.SkipValidate is set, the plan is first verified with
+// plancheck and refused when it carries Error-severity diagnostics — a
+// hand-built or JSON-loaded plan violating the engine's invariants would
+// otherwise silently return wrong top-K results.
 func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (*Run, error) {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 8
 	}
+	if !opts.SkipValidate {
+		rep := plancheck.CheckAnnotated(a)
+		rep.Merge(plancheck.CheckExec(a.Plan, plancheck.Exec{
+			Weights: opts.Weights, TargetK: opts.TargetK, Streaming: !opts.Materialize,
+		}))
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("engine: refusing invalid plan: %w", err)
+		}
+	}
 	for _, c := range e.counters {
 		c.Reset()
 	}
-	start := time.Now()
+	start := e.clock.Now()
 	ex := &executor{engine: e, ann: a, opts: opts, memo: map[string][]*types.Combination{}}
 	order, err := a.Plan.TopoSort()
 	if err != nil {
@@ -236,7 +282,7 @@ func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted 
 		Invocations:  map[string]int64{},
 		Produced:     map[string]int{},
 		Halted:       halted,
-		Elapsed:      time.Since(start),
+		Elapsed:      ex.engine.clock.Now().Sub(start),
 	}
 	for alias, c := range ex.engine.counters {
 		run.Calls[alias] = c.Fetches()

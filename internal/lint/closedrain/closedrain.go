@@ -1,0 +1,86 @@
+// Package closedrain reports Close calls whose error is silently
+// dropped. The engine drains producer goroutines and per-node streams on
+// every exit path (top-k satisfied, context cancelled, downstream
+// error); a Close error swallowed on such a path can hide the real
+// failure behind a later, misleading one. A bare statement, a defer or a
+// go statement discarding the error is flagged; an explicit `_ = c.Close()`
+// is not — writing the blank assignment documents the decision to drop it.
+package closedrain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"seco/internal/lint"
+)
+
+// Analyzer flags discarded Close errors in the engine.
+var Analyzer = &lint.Analyzer{
+	Name:  "closedrain",
+	Doc:   "flags statements that discard the error returned by Close",
+	Scope: []string{"seco/internal/engine"},
+	Run:   run,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, st.X, "")
+			case *ast.DeferStmt:
+				check(pass, st.Call, "deferred ")
+			case *ast.GoStmt:
+				check(pass, st.Call, "spawned ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check flags expr when it is a Close call returning a dropped error.
+func check(pass *lint.Pass, expr ast.Expr, how string) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := callee(pass, call)
+	if fn == nil || fn.Name() != "Close" || !returnsError(fn) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%serror from %s is discarded; record it or join it into the drain path's error",
+		how, types.ExprString(call.Fun))
+}
+
+// callee resolves the called function or method, if statically known.
+func callee(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// returnsError reports whether any of fn's results is an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package sandbox
+
+import (
+	"io"
+	"os"
+)
+
+type noisy struct{}
+
+// Close reports a drain failure the caller must not lose.
+func (noisy) Close() error { return nil }
+
+type quiet struct{}
+
+// Close has nothing to report; discarding it is harmless.
+func (quiet) Close() {}
+
+func bad(f *os.File, c io.Closer) {
+	f.Close()       // want "error from f\\.Close is discarded"
+	defer f.Close() // want "deferred error from f\\.Close is discarded"
+	c.Close()       // want "error from c\\.Close is discarded"
+	go c.Close()    // want "spawned error from c\\.Close is discarded"
+	var n noisy
+	n.Close() // want "error from n\\.Close is discarded"
+}
+
+func ok(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	_ = f.Close() // the blank assignment documents the intent to drop it
+	quiet{}.Close()
+	var n noisy
+	err := n.Close()
+	return err
+}
+
+// Close here shadows nothing: a plain function named Close without an
+// error result stays silent.
+func Close() {}
+
+func callsPlain() {
+	Close()
+}

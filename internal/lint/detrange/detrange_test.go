@@ -1,0 +1,24 @@
+package detrange
+
+import (
+	"testing"
+
+	"seco/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/sandbox")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"seco/internal/optimizer": true,
+		"seco/internal/plan":      true,
+		"seco/internal/plancheck": false,
+		"seco/internal/engine":    false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

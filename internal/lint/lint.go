@@ -1,0 +1,107 @@
+// Package lint is a small, self-contained static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, built only on the
+// standard library's go/ast, go/types and go/importer packages so the
+// repo carries no external tooling dependency.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. Packages are loaded with Load (build-cache
+// export data via `go list -export`) or LoadDir (a bare directory of
+// sources, used by the testdata harness). The cmd/secolint driver wires
+// the repo's analyzers over a package pattern and prints findings in the
+// familiar file:line:col format.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path equals
+	// or is below one of these prefixes. Empty means every package. The
+	// driver applies the scope; Run itself sees whatever it is given,
+	// which is how the testdata harness exercises out-of-scope code.
+	Scope []string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer's scope covers the import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, prefix := range a.Scope {
+		if pkgPath == prefix || (len(pkgPath) > len(prefix) &&
+			pkgPath[:len(prefix)] == prefix && pkgPath[len(prefix)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, located by resolved position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzer to the package and returns its findings in
+// file/line/column order.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.diags, nil
+}

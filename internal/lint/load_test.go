@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func TestLoadTypechecksAgainstExportData(t *testing.T) {
+	pkgs, err := Load(".", "seco/internal/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "seco/internal/plan" {
+		t.Errorf("PkgPath = %q", pkg.PkgPath)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Plan") == nil {
+		t.Error("type information missing Plan")
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("no use information recorded")
+	}
+}
+
+func TestLoadMultiplePackages(t *testing.T) {
+	pkgs, err := Load(".", "seco/internal/engine", "seco/internal/optimizer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files", p.PkgPath)
+		}
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Scope: []string{"seco/internal/engine"}}
+	for path, want := range map[string]bool{
+		"seco/internal/engine":     true,
+		"seco/internal/engine/sub": true,
+		"seco/internal/engineer":   false,
+		"seco/internal/plan":       false,
+		"seco":                     false,
+	} {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if !(&Analyzer{}).AppliesTo("anything") {
+		t.Error("empty scope should cover every package")
+	}
+}
+
+func TestRunReportsSortedDiagnostics(t *testing.T) {
+	pkgs, err := Load(".", "seco/internal/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &Analyzer{
+		Name: "probe",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if fd, ok := n.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := Run(probe, pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("probe found no functions")
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", diags[i-1], diags[i])
+		}
+	}
+}

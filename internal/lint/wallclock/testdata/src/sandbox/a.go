@@ -1,0 +1,36 @@
+package sandbox
+
+import "time"
+
+func bad() {
+	start := time.Now()             // want "call to time\\.Now reads the wall clock"
+	time.Sleep(time.Millisecond)    // want "call to time\\.Sleep reads the wall clock"
+	_ = time.Since(start)           // want "call to time\\.Since reads the wall clock"
+	<-time.After(time.Second)       // want "call to time\\.After reads the wall clock"
+	_ = time.NewTicker(time.Second) // want "call to time\\.NewTicker reads the wall clock"
+}
+
+func insideClosure() {
+	go func() {
+		_ = time.Now() // want "call to time\\.Now reads the wall clock"
+	}()
+}
+
+func multiLineCall() {
+	_ = time.AfterFunc( // want "call to time\\.AfterFunc reads the wall clock"
+		time.Minute, func() {})
+}
+
+func ok() {
+	delay := time.Sleep // a value reference is the injection idiom, not a call
+	_ = delay
+	d := 3 * time.Second // duration arithmetic never reads the clock
+	_ = d.Seconds()
+	t := time.Unix(0, 0) // explicit-instant constructors are deterministic
+	_ = t.Add(time.Minute)
+	_ = time.Date(2009, time.March, 29, 0, 0, 0, 0, time.UTC)
+	u := time.Unix(1, 0)
+	_ = t.After(u)  // instant comparison methods never read the clock
+	_ = t.Before(u) // (only the package-level time.Now/After/... do)
+	_ = t.Sub(u)
+}

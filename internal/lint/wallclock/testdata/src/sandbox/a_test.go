@@ -1,0 +1,10 @@
+package sandbox
+
+import "time"
+
+// Test files may consult the real clock freely: nothing here is flagged.
+func testOnlyTiming() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

@@ -1,0 +1,90 @@
+// Package wallclock reports calls that read or block on the machine's
+// real clock. The engine's correctness and reproducibility arguments
+// assume all timing flows through an injected Clock (internal/engine's
+// Clock interface), so direct calls to time.Now, time.Sleep and friends
+// are confined to an explicit allowlist: the Clock implementation
+// itself, the live service estimator, and the measurement harness.
+// Referencing a function as a value (delay = time.Sleep) is fine — that
+// is exactly how a caller injects real time — only calls are flagged.
+// Test files are exempt.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"seco/internal/lint"
+)
+
+// Allowlist holds slash-separated path suffixes whose files may call the
+// wall clock directly.
+var Allowlist = []string{
+	"internal/engine/clock.go",        // the sanctioned Clock implementation
+	"internal/service/estimate.go",    // measures live service latency
+	"cmd/experiments/measurements.go", // reports real elapsed time to the user
+}
+
+// banned lists the functions in package time that consult the real
+// clock when called.
+var banned = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// Analyzer flags direct wall-clock calls outside the allowlist.
+var Analyzer = &lint.Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Sleep-style calls outside the sanctioned clock files",
+	Run:  run,
+}
+
+// allowlisted reports whether the file may call the wall clock.
+func allowlisted(filename string) bool {
+	slashed := filepath.ToSlash(filename)
+	for _, suffix := range Allowlist {
+		if strings.HasSuffix(slashed, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") || allowlisted(name) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			// Methods like (time.Time).After compare instants already in
+			// hand; only the package-level functions consult the clock.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to time.%s reads the wall clock; inject a Clock (see internal/engine/clock.go) instead",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package wallclock
+
+import (
+	"testing"
+
+	"seco/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/sandbox")
+}
+
+func TestAllowlisted(t *testing.T) {
+	for path, want := range map[string]bool{
+		"/root/repo/internal/engine/clock.go":        true,
+		"/root/repo/internal/service/estimate.go":    true,
+		"/root/repo/cmd/experiments/measurements.go": true,
+		"/root/repo/internal/engine/engine.go":       false,
+		"/root/repo/internal/join/clock.go":          false,
+		"/root/repo/internal/core/core.go":           false,
+	} {
+		if got := allowlisted(path); got != want {
+			t.Errorf("allowlisted(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"seco/internal/cost"
 	"seco/internal/mart"
 	"seco/internal/plan"
+	"seco/internal/plancheck"
 	"seco/internal/query"
 	"seco/internal/service"
 )
@@ -138,6 +139,13 @@ func Optimize(q *query.Query, reg *mart.Registry, opt Options) (*Result, error) 
 	}
 	if res.Plan == nil {
 		return nil, fmt.Errorf("optimizer: query is not feasible under any interface assignment")
+	}
+	// Assert mode: the winning plan must satisfy every invariant the
+	// engine's correctness arguments assume. A violation here is an
+	// optimizer bug, not a user error — surface it loudly instead of
+	// letting the engine reject (or silently mis-execute) the plan.
+	if rep := plancheck.CheckAnnotated(res.Annotated); !rep.OK() {
+		return nil, fmt.Errorf("optimizer: produced invalid plan: %w", rep.Err())
 	}
 	return res, nil
 }

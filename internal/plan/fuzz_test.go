@@ -1,0 +1,79 @@
+package plan_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/plancheck"
+)
+
+// FuzzUnmarshalPlan feeds arbitrary JSON through UnmarshalPlan and the
+// plancheck verifier: neither may panic, whatever the input, and every
+// plan the decoder accepts must re-marshal to a stable encoding (decode →
+// encode → decode → encode yields identical bytes). The corpus is seeded
+// with the encodings of both worked-example fixture plans and a few
+// structural mutations.
+func FuzzUnmarshalPlan(f *testing.F) {
+	movieReg, err := mart.MovieScenario()
+	if err != nil {
+		f.Fatal(err)
+	}
+	travelReg, err := mart.TravelScenario()
+	if err != nil {
+		f.Fatal(err)
+	}
+	regs := []*mart.Registry{movieReg, travelReg}
+
+	mp, _, err := plan.RunningExamplePlan(movieReg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tp, _, err := plan.TravelPlan(travelReg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range []*plan.Plan{mp, tp} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"k":1,"nodes":[{"id":"input","kind":"input"},{"id":"output","kind":"output"}],"arcs":[["input","output"]]}`))
+	f.Add([]byte(`{"k":-3,"nodes":[{"id":"a","kind":"join","strategy":{"invocation":"merge-scan","completion":"triangular"}}],"arcs":[["a","a"]]}`))
+	f.Add([]byte(`{"nodes":[{"id":"x","kind":"service","interface":"Movie1"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, reg := range regs {
+			p, err := plan.UnmarshalPlan(data, reg)
+			if err != nil {
+				continue // rejected inputs only need to not panic
+			}
+			// The verifier must be total on whatever the decoder accepts.
+			rep := plancheck.Check(p)
+
+			first, err := json.Marshal(p)
+			if err != nil {
+				t.Fatalf("decoded plan does not marshal: %v", err)
+			}
+			p2, err := plan.UnmarshalPlan(first, reg)
+			if err != nil {
+				t.Fatalf("own encoding rejected: %v\nencoding: %s", err, first)
+			}
+			second, err := json.Marshal(p2)
+			if err != nil {
+				t.Fatalf("re-decoded plan does not marshal: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("unstable round trip:\nfirst:  %s\nsecond: %s", first, second)
+			}
+			// Verification must agree between the equivalent plans.
+			if ok2 := plancheck.Check(p2).OK(); rep.OK() != ok2 {
+				t.Fatalf("verification differs across round trip: %v vs %v", rep.OK(), ok2)
+			}
+		}
+	})
+}

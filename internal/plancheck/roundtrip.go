@@ -1,0 +1,55 @@
+package plancheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+)
+
+// CheckRoundTrip verifies JSON round-trip integrity: the plan must
+// marshal, decode against the registry, and re-marshal to the same bytes.
+// A plan that fails this cannot be shipped to an execution tier or stored
+// without silently changing meaning.
+func CheckRoundTrip(p *plan.Plan, reg *mart.Registry) *Report {
+	r := &Report{}
+	if p == nil {
+		r.add(CodeStructure, "", Error, "plan is nil")
+		return r
+	}
+	first, err := json.Marshal(p)
+	if err != nil {
+		r.add(CodeRoundTrip, "", Error, "marshal: %v", err)
+		return r
+	}
+	decoded, err := plan.UnmarshalPlan(first, reg)
+	if err != nil {
+		r.add(CodeRoundTrip, "", Error, "decode of own encoding: %v", err)
+		return r
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		r.add(CodeRoundTrip, "", Error, "re-marshal: %v", err)
+		return r
+	}
+	if !bytes.Equal(first, second) {
+		r.add(CodeRoundTrip, "", Error,
+			"encoding is not stable under a decode/encode round trip (%d vs %d bytes)", len(first), len(second))
+	}
+	return r
+}
+
+// Unmarshal decodes a plan from JSON and verifies it, returning the plan
+// together with the full report. The returned error is non-nil when
+// decoding fails or the plan carries Error diagnostics; callers that want
+// to inspect warnings (or render diagnostics themselves) read the report.
+func Unmarshal(data []byte, reg *mart.Registry) (*plan.Plan, *Report, error) {
+	p, err := plan.UnmarshalPlan(data, reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plancheck: %w", err)
+	}
+	r := Check(p)
+	return p, r, r.Err()
+}
