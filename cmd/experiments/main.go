@@ -41,6 +41,7 @@ func experimentsList() []experiment {
 		{"E13", "§3.2 — guaranteed top-k vs approximate extraction-optimal joins", runE13},
 		{"E14", "§3.2 — annotation-model estimation accuracy on live data", runE14},
 		{"E15", "§3.1/4 — streaming executor: early termination vs materialization", runE15},
+		{"E16", "§2.4 — resilience: chaos sweep, retries, degradation to partial top-k", runE16},
 	}
 }
 

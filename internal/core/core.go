@@ -133,6 +133,13 @@ type RunOptions struct {
 	// Materialize selects the materialize-then-truncate executor instead
 	// of the default pull-based streaming pipeline (see package engine).
 	Materialize bool
+	// Budget bounds the execution time as measured on the engine clock
+	// (virtual when LiveLatency is off); 0 means unbounded.
+	Budget time.Duration
+	// Degrade returns a partial result with Run.Degraded populated when
+	// a service fails permanently or the Budget expires mid-run, instead
+	// of an error (streaming executor only).
+	Degrade bool
 }
 
 // Run executes an optimized plan and returns the ranked combinations.
@@ -147,6 +154,8 @@ func (s *System) Run(ctx context.Context, res *optimizer.Result, opts RunOptions
 		TargetK:     res.Plan.K,
 		Parallelism: opts.Parallelism,
 		Materialize: opts.Materialize,
+		Budget:      opts.Budget,
+		Degrade:     opts.Degrade,
 	})
 }
 
@@ -181,6 +190,8 @@ func (s *System) RunToK(ctx context.Context, res *optimizer.Result, opts RunOpti
 			TargetK:     k,
 			Parallelism: opts.Parallelism,
 			Materialize: opts.Materialize,
+			Budget:      opts.Budget,
+			Degrade:     opts.Degrade,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"seco/internal/engine"
 	"seco/internal/mart"
 	"seco/internal/query"
 	"seco/internal/service"
@@ -261,5 +263,52 @@ func TestRunWithoutBoundServiceFails(t *testing.T) {
 	}
 	if _, err := sys.Run(context.Background(), res, RunOptions{Inputs: inputs}); err == nil {
 		t.Error("run without bound services succeeded")
+	}
+}
+
+func TestRunBudgetAndDegrade(t *testing.T) {
+	sys, inputs, err := MovieNight(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.Parse(query.RunningExampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Plan(q, PlanOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	clean, err := sys.Run(ctx, res, RunOptions{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degraded != nil {
+		t.Fatalf("unbudgeted run degraded: %v", clean.Degraded)
+	}
+	budget := clean.Elapsed / 2
+	if _, err := sys.Run(ctx, res, RunOptions{Inputs: inputs, Budget: budget}); !errors.Is(err, engine.ErrBudget) {
+		t.Fatalf("budget without Degrade: want ErrBudget, got %v", err)
+	}
+	run, err := sys.Run(ctx, res, RunOptions{Inputs: inputs, Budget: budget, Degrade: true})
+	if err != nil {
+		t.Fatalf("degraded run errored: %v", err)
+	}
+	d := run.Degraded
+	if d == nil {
+		t.Fatal("budgeted Degrade run returned no Degraded report")
+	}
+	if d.Reason != engine.DegradeBudget {
+		t.Errorf("reason = %v, want DegradeBudget", d.Reason)
+	}
+	if d.CertifiedK > len(run.Combinations) {
+		t.Fatalf("CertifiedK %d > %d results", d.CertifiedK, len(run.Combinations))
+	}
+	for i := 0; i < d.CertifiedK; i++ {
+		if run.Combinations[i].Score != clean.Combinations[i].Score {
+			t.Errorf("certified combo %d: score %v != clean %v",
+				i, run.Combinations[i].Score, clean.Combinations[i].Score)
+		}
 	}
 }

@@ -60,6 +60,21 @@ type Options struct {
 	// callers that have already verified the plan and need the few
 	// microseconds back.
 	SkipValidate bool
+	// Budget bounds the execution time on the engine's Clock (0 = no
+	// budget): wall time under WallClock, simulated time under
+	// VirtualClock. The deadline is propagated through the context into
+	// every Invoke and Fetch, so in-flight service calls stop promptly
+	// once the budget is spent. Without Degrade, expiry surfaces as
+	// ErrBudget; with Degrade, the streaming executor returns the
+	// combinations produced so far.
+	Budget time.Duration
+	// Degrade turns permanent service failures, open circuits, exhausted
+	// retries and budget expiry into partial results: the streaming
+	// executor stops pulling, returns what it has, and fills
+	// Run.Degraded with the failure report and the provably-correct
+	// prefix length. The materializing executor does not degrade (it has
+	// no partial state to return); plancheck warns on that combination.
+	Degrade bool
 }
 
 // Run is the outcome of one plan execution.
@@ -87,6 +102,14 @@ type Run struct {
 	// wall-clock time under WallClock, simulated time (the serial sum of
 	// charged call latencies) under VirtualClock.
 	Elapsed time.Duration
+	// Resilience aggregates, per alias, the counters of the service's
+	// resilience middleware chain (retries, injected faults, breaker
+	// trips and rejections); aliases with no recorded events are absent.
+	Resilience map[string]service.ResilienceStats
+	// Degraded is non-nil when the run returned a partial result under
+	// Options.Degrade: it names the failure, the per-node fetch depth
+	// reached, and how much of the returned prefix is provably correct.
+	Degraded *Degradation
 }
 
 // TotalCalls sums the per-alias request-responses.
@@ -116,6 +139,7 @@ func New(services map[string]service.Service, delay func(time.Duration)) *Engine
 	}
 	cs := make(map[string]*service.Counter, len(services))
 	for alias, svc := range services {
+		service.InstallTimeSource(svc, WallClock{})
 		cs[alias] = service.NewCounter(svc, delay)
 	}
 	return &Engine{counters: cs, clock: WallClock{}}
@@ -128,6 +152,10 @@ func New(services map[string]service.Service, delay func(time.Duration)) *Engine
 func NewWithClock(services map[string]service.Service, clk Clock) *Engine {
 	cs := make(map[string]*service.Counter, len(services))
 	for alias, svc := range services {
+		// Route all resilience timing (retry backoff, breaker cooldowns,
+		// injected latency spikes) through this engine's clock, so a
+		// virtual-clock run charges them into simulated time.
+		service.InstallTimeSource(svc, clk)
 		cs[alias] = service.NewCounter(svc, clk.Sleep)
 	}
 	return &Engine{counters: cs, clock: clk}
@@ -156,6 +184,7 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 		rep := plancheck.CheckAnnotated(a)
 		rep.Merge(plancheck.CheckExec(a.Plan, plancheck.Exec{
 			Weights: opts.Weights, TargetK: opts.TargetK, Streaming: !opts.Materialize,
+			Degrade: opts.Degrade,
 		}))
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("engine: refusing invalid plan: %w", err)
@@ -166,6 +195,13 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 	}
 	start := e.clock.Now()
 	ex := &executor{engine: e, ann: a, opts: opts, memo: map[string][]*types.Combination{}}
+	// Thread the execution budget through the context: every Invoke and
+	// Fetch passes the engine's Counter, which refuses calls once the
+	// budget probe reports expiry — on this engine's clock, so virtual
+	// runs expire in simulated time.
+	if check := ex.budgetCheck(start); check != nil {
+		ctx = service.WithBudget(ctx, check)
+	}
 	order, err := a.Plan.TopoSort()
 	if err != nil {
 		return nil, err
@@ -214,9 +250,12 @@ func (ex *executor) runMaterialized(ctx context.Context, outID string, start tim
 // K-th best score pulled so far and halts as soon as that score reaches
 // the root stream's bound — no unseen combination can then enter the
 // top-K, so the result equals the full drain's top-K while the undone
-// part of the search space is never paid for.
+// part of the search space is never paid for. Under Options.Degrade, a
+// service failure or budget expiry ends the drain early with a partial
+// result instead of an error (see degrade.go).
 func (ex *executor) runStreaming(ctx context.Context, outID string, start time.Time) (*Run, error) {
-	se := &streamExec{ex: ex, emitted: map[string]*atomic.Int64{}, shared: map[string]*sharedStream{}}
+	se := &streamExec{ex: ex, emitted: map[string]*atomic.Int64{},
+		depth: map[string]*atomic.Int64{}, shared: map[string]*sharedStream{}}
 	root, err := se.stream(ex.ann.Plan.Predecessors(outID)[0])
 	if err != nil {
 		return nil, err
@@ -228,18 +267,35 @@ func (ex *executor) runStreaming(ctx context.Context, outID string, start time.T
 	}()
 
 	earlyStop := ex.opts.TargetK > 0 && nonNegative(ex.opts.Weights)
+	budget := ex.budgetCheck(start)
 	var (
 		all    []*types.Combination
 		kth    = &minHeap{}
 		halted bool
+		deg    *Degradation
 	)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if budget != nil {
+			if err := budget(); err != nil {
+				d, ok := ex.classifyDegrade(ctx, err)
+				if !ok {
+					return nil, err
+				}
+				deg = d
+				break
+			}
+		}
 		c, err := root.Next(pullCtx)
 		if err != nil {
-			return nil, err
+			d, ok := ex.classifyDegrade(ctx, err)
+			if !ok {
+				return nil, err
+			}
+			deg = d
+			break
 		}
 		if c == nil {
 			break
@@ -256,6 +312,12 @@ func (ex *executor) runStreaming(ctx context.Context, outID string, start time.T
 			}
 		}
 	}
+	// The degradation report needs the stop bound before the pipeline is
+	// torn down (a cancelled stream's bound collapses).
+	var stopBound float64
+	if deg != nil {
+		stopBound = root.Bound()
+	}
 	// Stop the prefetchers and wait for every pipeline goroutine before
 	// reading the counters.
 	cancel()
@@ -271,6 +333,15 @@ func (ex *executor) runStreaming(ctx context.Context, outID string, start time.T
 		run.Produced[id] = int(n.Load())
 	}
 	run.Produced[outID] = len(all)
+	if deg != nil {
+		deg.Bound = stopBound
+		deg.CertifiedK = certifiedPrefix(ranked, stopBound, ex.opts.Weights)
+		deg.FetchDepth = map[string]int{}
+		for id, n := range se.depth {
+			deg.FetchDepth[id] = int(n.Load())
+		}
+		run.Degraded = deg
+	}
 	return run, nil
 }
 
@@ -281,12 +352,16 @@ func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted 
 		Calls:        map[string]int64{},
 		Invocations:  map[string]int64{},
 		Produced:     map[string]int{},
+		Resilience:   map[string]service.ResilienceStats{},
 		Halted:       halted,
 		Elapsed:      ex.engine.clock.Now().Sub(start),
 	}
 	for alias, c := range ex.engine.counters {
 		run.Calls[alias] = c.Fetches()
 		run.Invocations[alias] = c.Invocations()
+		if rs := service.CollectResilience(c); !rs.Zero() {
+			run.Resilience[alias] = rs
+		}
 	}
 	if est := ex.ann.TotalCalls(); est > float64(run.TotalCalls()) {
 		run.CallsSaved = est - float64(run.TotalCalls())

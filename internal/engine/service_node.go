@@ -48,7 +48,7 @@ func (ex *executor) evalService(ctx context.Context, id string, n *plan.Node) ([
 	}
 
 	if !n.PipedFrom() {
-		tuples, err := fetchTuples(ctx, counter, fixed, fetches, n.Limit)
+		tuples, _, err := fetchTuples(ctx, counter, fixed, fetches, n.Limit)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +79,7 @@ func (ex *executor) evalService(ctx context.Context, id string, n *plan.Node) ([
 		go func(i int, c *types.Combination) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = ex.pipeOne(ctx, n, counter, fixed, fetches, c, pairPreds)
+			results[i], _, errs[i] = ex.pipeOne(ctx, n, counter, fixed, fetches, c, pairPreds)
 		}(i, c)
 	}
 	wg.Wait()
@@ -93,9 +93,10 @@ func (ex *executor) evalService(ctx context.Context, id string, n *plan.Node) ([
 	return out, nil
 }
 
-// pipeOne performs one piped invocation for an upstream combination.
+// pipeOne performs one piped invocation for an upstream combination,
+// also reporting how many request-responses it issued.
 func (ex *executor) pipeOne(ctx context.Context, n *plan.Node, counter *service.Counter,
-	fixed service.Input, fetches int, c *types.Combination, pairPreds map[string]pairPred) ([]*types.Combination, error) {
+	fixed service.Input, fetches int, c *types.Combination, pairPreds map[string]pairPred) ([]*types.Combination, int, error) {
 
 	inBinding := fixed.Clone()
 	if inBinding == nil {
@@ -107,26 +108,26 @@ func (ex *executor) pipeOne(ctx context.Context, n *plan.Node, counter *service.
 		}
 		v := c.Get(b.Source.From.Alias, b.Source.From.Path)
 		if v.IsNull() {
-			return nil, fmt.Errorf("engine: pipe into %s: upstream %s has no value",
+			return nil, 0, fmt.Errorf("engine: pipe into %s: upstream %s has no value",
 				n.Alias, b.Source.From)
 		}
 		inBinding[b.Path] = v
 	}
-	tuples, err := fetchTuples(ctx, counter, inBinding, fetches, n.Limit)
+	tuples, fetched, err := fetchTuples(ctx, counter, inBinding, fetches, n.Limit)
 	if err != nil {
-		return nil, err
+		return nil, fetched, err
 	}
 	var out []*types.Combination
 	for _, tu := range tuples {
 		merged, ok, err := ex.compose(c, n.Alias, tu, pairPreds)
 		if err != nil {
-			return nil, err
+			return nil, fetched, err
 		}
 		if ok {
 			out = append(out, merged)
 		}
 	}
-	return out, nil
+	return out, fetched, nil
 }
 
 // fixedInputs assembles the constant and INPUT-variable bindings of a
@@ -151,13 +152,15 @@ func (ex *executor) fixedInputs(n *plan.Node) (service.Input, error) {
 
 // fetchTuples invokes the service once and drains up to maxFetches chunks
 // (all chunks when the service is unchunked), keeping at most limit tuples
-// when limit > 0.
-func fetchTuples(ctx context.Context, svc service.Service, in service.Input, maxFetches, limit int) ([]*types.Tuple, error) {
+// when limit > 0. It also reports the number of chunks fetched — the fetch
+// depth reached into the service's ranked list.
+func fetchTuples(ctx context.Context, svc service.Service, in service.Input, maxFetches, limit int) ([]*types.Tuple, int, error) {
 	inv, err := svc.Invoke(ctx, in)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var tuples []*types.Tuple
+	fetched := 0
 	chunked := svc.Stats().Chunked()
 	for f := 0; ; f++ {
 		if chunked && f >= maxFetches {
@@ -168,8 +171,9 @@ func fetchTuples(ctx context.Context, svc service.Service, in service.Input, max
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, fetched, err
 		}
+		fetched++
 		tuples = append(tuples, chunk.Tuples...)
 		if limit > 0 && len(tuples) >= limit {
 			tuples = tuples[:limit]
@@ -179,7 +183,7 @@ func fetchTuples(ctx context.Context, svc service.Service, in service.Input, max
 			break
 		}
 	}
-	return tuples, nil
+	return tuples, fetched, nil
 }
 
 // compose merges a new component into a combination, checks the node's

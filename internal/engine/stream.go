@@ -52,7 +52,10 @@ type streamExec struct {
 	// cancelling, so counters are quiescent before the Run is assembled.
 	wg      sync.WaitGroup
 	emitted map[string]*atomic.Int64
-	shared  map[string]*sharedStream
+	// depth counts request-responses per service node — the fetch depth
+	// the node reached, reported by Degradation.FetchDepth.
+	depth  map[string]*atomic.Int64
+	shared map[string]*sharedStream
 }
 
 // stream returns a reader for the node's output. Nodes with several plan
@@ -131,16 +134,18 @@ func (se *streamExec) makeServiceStream(id string, n *plan.Node) (comboStream, e
 	}
 	preds := groupJoinPreds(n)
 	w := se.ex.opts.Weights[n.Alias]
+	depth := &atomic.Int64{}
+	se.depth[id] = depth
 	if n.PipedFrom() {
 		return &pipeStream{
 			se: se, ex: se.ex, n: n, counter: counter, fixed: fixed,
 			preds: preds, budget: budget, w: w,
-			par: se.ex.opts.Parallelism, up: up,
+			par: se.ex.opts.Parallelism, up: up, depth: depth,
 		}, nil
 	}
 	return &serviceStream{
 		ex: se.ex, n: n, counter: counter, fixed: fixed,
-		preds: preds, budget: budget, w: w, up: up,
+		preds: preds, budget: budget, w: w, up: up, depth: depth,
 	}, nil
 }
 
@@ -218,6 +223,7 @@ type serviceStream struct {
 	budget  int
 	w       float64
 	up      comboStream
+	depth   *atomic.Int64
 
 	inv       service.Invocation
 	tuples    []*types.Tuple
@@ -246,7 +252,7 @@ func (s *serviceStream) fetch(ctx context.Context) error {
 	if s.inv == nil {
 		inv, err := s.counter.Invoke(ctx, s.fixed)
 		if err != nil {
-			return err
+			return withAlias(s.n.Alias, err)
 		}
 		s.inv = inv
 	}
@@ -256,9 +262,10 @@ func (s *serviceStream) fetch(ctx context.Context) error {
 		return nil
 	}
 	if err != nil {
-		return err
+		return withAlias(s.n.Alias, err)
 	}
 	s.fetches++
+	s.depth.Add(1)
 	s.tuples = append(s.tuples, chunk.Tuples...)
 	if s.n.Limit > 0 && len(s.tuples) > s.n.Limit {
 		s.tuples = s.tuples[:s.n.Limit]
@@ -385,6 +392,7 @@ type pipeStream struct {
 	w       float64
 	par     int
 	up      comboStream
+	depth   *atomic.Int64
 
 	upDone  bool
 	window  []*pipeSlot
@@ -418,7 +426,9 @@ func (s *pipeStream) fill(ctx context.Context) error {
 		go func() {
 			defer s.se.wg.Done()
 			defer close(slot.done)
-			slot.out, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
+			var fetched int
+			slot.out, fetched, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
+			s.depth.Add(int64(fetched))
 		}()
 	}
 	return nil
@@ -445,7 +455,7 @@ func (s *pipeStream) Next(ctx context.Context) (*types.Combination, error) {
 		s.window = s.window[1:]
 		<-slot.done
 		if slot.err != nil {
-			return nil, slot.err
+			return nil, withAlias(s.n.Alias, slot.err)
 		}
 		s.head, s.headIdx = slot.out, 0
 		// Refill behind the consumed slot so the window stays busy while

@@ -1,0 +1,31 @@
+package strictbox
+
+import "time"
+
+// In a strict path, calls are flagged as usual…
+func calls() {
+	_ = time.Now()               // want "call to time\\.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "call to time\\.Sleep reads the wall clock"
+}
+
+// …and so are value references, which elsewhere are the injection idiom.
+type middleware struct {
+	sleep func(time.Duration)
+}
+
+func references() {
+	m := middleware{sleep: time.Sleep} // want "reference to time\\.Sleep in a strict path smuggles the wall clock"
+	_ = m
+	now := time.Now // want "reference to time\\.Now in a strict path smuggles the wall clock"
+	_ = now
+}
+
+// Duration arithmetic and instant methods stay clean either way.
+func ok() {
+	d := 3 * time.Second
+	_ = d.Seconds()
+	t := time.Unix(0, 0)
+	u := time.Unix(1, 0)
+	_ = t.After(u)
+	_ = t.Sub(u)
+}

@@ -4,9 +4,13 @@
 // Clock interface), so direct calls to time.Now, time.Sleep and friends
 // are confined to an explicit allowlist: the Clock implementation
 // itself, the live service estimator, and the measurement harness.
-// Referencing a function as a value (delay = time.Sleep) is fine — that
-// is exactly how a caller injects real time — only calls are flagged.
-// Test files are exempt.
+// Referencing a function as a value (delay = time.Sleep) is normally
+// fine — that is exactly how a caller injects real time — only calls are
+// flagged. Strict paths are the exception: inside them (the resilience
+// middleware of internal/service, whose backoff and cooldown timing must
+// flow through the installed TimeSource) even a value reference is
+// flagged, because stashing time.Sleep in a field is just a deferred
+// call. Test files are exempt.
 package wallclock
 
 import (
@@ -24,6 +28,15 @@ var Allowlist = []string{
 	"internal/engine/clock.go",        // the sanctioned Clock implementation
 	"internal/service/estimate.go",    // measures live service latency
 	"cmd/experiments/measurements.go", // reports real elapsed time to the user
+}
+
+// Strict holds slash-separated path fragments under which even a value
+// reference to a banned function is flagged. The resilience middleware
+// lives here: retry backoff and breaker cooldowns must route through the
+// injected TimeSource, so holding time.Sleep as a value is as much of a
+// leak as calling it.
+var Strict = []string{
+	"internal/service/",
 }
 
 // banned lists the functions in package time that consult the real
@@ -52,37 +65,73 @@ func allowlisted(filename string) bool {
 	return false
 }
 
+// strictPath reports whether the file sits in a strict path, where value
+// references to the banned functions are flagged too.
+func strictPath(filename string) bool {
+	slashed := filepath.ToSlash(filename)
+	for _, frag := range Strict {
+		if strings.Contains(slashed, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedFunc resolves a selector to a banned package-level time function,
+// or returns nil. Methods like (time.Time).After compare instants already
+// in hand; only the package-level functions consult the clock.
+func bannedFunc(pass *lint.Pass, sel *ast.SelectorExpr) *types.Func {
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok {
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
 func run(pass *lint.Pass) error {
 	for _, f := range pass.Files {
 		name := pass.Fset.Position(f.Pos()).Filename
 		if strings.HasSuffix(name, "_test.go") || allowlisted(name) {
 			continue
 		}
+		strict := strictPath(name)
+
+		// Selectors appearing as the function of a call are reported as
+		// calls; anything else is a value reference, reported only in
+		// strict paths.
+		calls := map[ast.Expr]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			if call, ok := n.(*ast.CallExpr); ok {
+				calls[call.Fun] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
+			fn := bannedFunc(pass, sel)
+			if fn == nil {
 				return true
 			}
-			obj, ok := pass.Info.Uses[sel.Sel]
-			if !ok {
-				return true
+			switch {
+			case calls[sel]:
+				pass.Reportf(sel.Pos(),
+					"call to time.%s reads the wall clock; inject a Clock (see internal/engine/clock.go) instead",
+					fn.Name())
+			case strict:
+				pass.Reportf(sel.Pos(),
+					"reference to time.%s in a strict path smuggles the wall clock; route timing through the installed TimeSource",
+					fn.Name())
 			}
-			fn, ok := obj.(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
-				return true
-			}
-			// Methods like (time.Time).After compare instants already in
-			// hand; only the package-level functions consult the clock.
-			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"call to time.%s reads the wall clock; inject a Clock (see internal/engine/clock.go) instead",
-				fn.Name())
 			return true
 		})
 	}

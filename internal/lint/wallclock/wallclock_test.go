@@ -10,6 +10,26 @@ func TestAnalyzer(t *testing.T) {
 	linttest.Run(t, Analyzer, "testdata/src/sandbox")
 }
 
+func TestAnalyzerStrict(t *testing.T) {
+	saved := Strict
+	Strict = append([]string{"testdata/src/strictbox/"}, saved...)
+	defer func() { Strict = saved }()
+	linttest.Run(t, Analyzer, "testdata/src/strictbox")
+}
+
+func TestStrictPath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"/root/repo/internal/service/retry.go":   true,
+		"/root/repo/internal/service/breaker.go": true,
+		"/root/repo/internal/engine/engine.go":   false,
+		"/root/repo/internal/chaos/chaos.go":     false,
+	} {
+		if got := strictPath(path); got != want {
+			t.Errorf("strictPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 func TestAllowlisted(t *testing.T) {
 	for path, want := range map[string]bool{
 		"/root/repo/internal/engine/clock.go":        true,

@@ -453,6 +453,9 @@ type Exec struct {
 	// early-termination bound) will run; the materializing baseline ranks
 	// after a full drain and needs no monotonicity.
 	Streaming bool
+	// Degrade reports that graceful degradation to partial results was
+	// requested; only the streaming executor can honour it.
+	Degrade bool
 }
 
 // CheckExec verifies the execution-time parameters against the plan: the
@@ -469,6 +472,10 @@ func CheckExec(p *plan.Plan, e Exec) *Report {
 	}
 	if e.TargetK < 0 {
 		r.add(CodeWeights, "", Error, "negative TargetK %d", e.TargetK)
+	}
+	if e.Degrade && !e.Streaming {
+		r.add(CodeStructure, "", Warning,
+			"Degrade requested under the materializing executor, which has no partial state to return; failures will surface as errors")
 	}
 	aliases := map[string]bool{}
 	for _, id := range p.NodeIDs() {

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seco/internal/mart"
+)
+
+// Breaker wraps a service with a per-service circuit breaker: after
+// Threshold consecutive failures the circuit trips open and calls are
+// rejected with ErrOpen without touching the service; once Cooldown has
+// elapsed on the installed TimeSource the circuit half-opens and lets a
+// single probe call through — success closes it, failure re-trips it.
+// The breaker bounds the cost a dying service can extract from a run
+// (retry storms, queued timeouts) and converts a hammering failure mode
+// into the immediate, cheap ErrOpen that the engine's Degrade mode turns
+// into a partial result.
+//
+// Timing flows through the TimeSource the engine installs (its Clock),
+// so virtual-clock runs trip and recover deterministically in simulated
+// time. Without a time source there is no notion of elapsed cooldown: a
+// tripped breaker stays open until Reset.
+//
+// Place the breaker outside Retry (Breaker(Retry(svc))) so a trip
+// silences whole retried operations, or inside (Retry(Breaker(svc))) so
+// retries themselves are cut short; both compose.
+type Breaker struct {
+	inner Service
+	// Threshold is the number of consecutive failures that trips the
+	// circuit (default 5).
+	Threshold int
+	// Cooldown is the open interval before a half-open probe is allowed
+	// (default 1 s).
+	Cooldown time.Duration
+
+	clock atomic.Pointer[tsBox]
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+
+	tripped  atomic.Int64
+	rejected atomic.Int64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state for reports.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breakerState(%d)", int(s))
+	}
+}
+
+// NewBreaker wraps svc with the default thresholds.
+func NewBreaker(svc Service) *Breaker {
+	return &Breaker{inner: svc}
+}
+
+// Tripped reports how many times the circuit transitioned to open.
+func (b *Breaker) Tripped() int { return int(b.tripped.Load()) }
+
+// Rejected reports how many calls were refused while open.
+func (b *Breaker) Rejected() int { return int(b.rejected.Load()) }
+
+// State reports the current circuit state as a string (closed, open,
+// half-open).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// Reset force-closes the circuit and clears the failure streak.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// Resilience implements ResilienceReporter.
+func (b *Breaker) Resilience() ResilienceStats {
+	return ResilienceStats{Tripped: b.tripped.Load(), Rejected: b.rejected.Load()}
+}
+
+// Unwrap implements Wrapper.
+func (b *Breaker) Unwrap() Service { return b.inner }
+
+// SetTimeSource implements TimeSourceSetter: cooldown windows are
+// measured on ts.
+func (b *Breaker) SetTimeSource(ts TimeSource) { b.clock.Store(&tsBox{ts: ts}) }
+
+// Interface implements Service.
+func (b *Breaker) Interface() *mart.Interface { return b.inner.Interface() }
+
+// Stats implements Service.
+func (b *Breaker) Stats() Stats { return b.inner.Stats() }
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// admit decides whether a call may proceed, transitioning open→half-open
+// when the cooldown has elapsed. The returned release must be called
+// with the call's verdict when admit granted a half-open probe slot.
+func (b *Breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if box := b.clock.Load(); box != nil && box.ts != nil {
+			if box.ts.Now().Sub(b.openedAt) >= b.cooldown() {
+				b.state = breakerHalfOpen
+				b.probing = true
+				return nil
+			}
+		}
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	b.rejected.Add(1)
+	return fmt.Errorf("service %s: %w", b.inner.Interface().Name, ErrOpen)
+}
+
+// record folds a call outcome into the breaker state. Only failures of
+// the service itself count toward the streak: injected faults and real
+// outages (transient or permanent), not exhaustion, cancellation or
+// binding errors.
+func (b *Breaker) record(err error) {
+	failure := err != nil && (errors.Is(err, ErrTransient) || errors.Is(err, ErrPermanent))
+	if err != nil && !failure {
+		return // neutral outcome: leaves the streak and state alone
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.consecutive = 0
+		if b.state == breakerHalfOpen {
+			b.state = breakerClosed
+		}
+		return
+	}
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.threshold()) {
+		b.state = breakerOpen
+		if box := b.clock.Load(); box != nil && box.ts != nil {
+			b.openedAt = box.ts.Now()
+		}
+		b.tripped.Add(1)
+	}
+}
+
+// Invoke implements Service behind the circuit.
+func (b *Breaker) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	if err := b.admit(); err != nil {
+		return nil, err
+	}
+	inv, err := b.inner.Invoke(ctx, in)
+	b.record(err)
+	if err != nil {
+		return nil, err
+	}
+	return &breakerInvocation{breaker: b, inner: inv}, nil
+}
+
+type breakerInvocation struct {
+	breaker *Breaker
+	inner   Invocation
+}
+
+// Fetch implements Invocation behind the circuit.
+func (bi *breakerInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	if err := bi.breaker.admit(); err != nil {
+		return Chunk{}, err
+	}
+	chunk, err := bi.inner.Fetch(ctx)
+	bi.breaker.record(err)
+	return chunk, err
+}

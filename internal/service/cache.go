@@ -41,6 +41,9 @@ func (c *Cache) Hits() int64 { return c.hits.Load() }
 // Misses counts chunk fetches that went to the wrapped service.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
 
+// Unwrap implements Wrapper.
+func (c *Cache) Unwrap() Service { return c.inner }
+
 // Interface implements Service.
 func (c *Cache) Interface() *mart.Interface { return c.inner.Interface() }
 

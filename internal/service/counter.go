@@ -29,14 +29,23 @@ func NewCounter(svc Service, delay func(time.Duration)) *Counter {
 	return &Counter{inner: svc, Delay: delay}
 }
 
+// Unwrap implements Wrapper.
+func (c *Counter) Unwrap() Service { return c.inner }
+
 // Interface implements Service.
 func (c *Counter) Interface() *mart.Interface { return c.inner.Interface() }
 
 // Stats implements Service.
 func (c *Counter) Stats() Stats { return c.inner.Stats() }
 
-// Invoke implements Service, counting the invocation.
+// Invoke implements Service, counting the invocation. The execution
+// budget is checked first: the engine wraps every bound service in a
+// Counter, so a context carrying a spent budget stops every further
+// Invoke and Fetch of the run at this single choke point.
 func (c *Counter) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	if err := CheckBudget(ctx); err != nil {
+		return nil, err
+	}
 	inv, err := c.inner.Invoke(ctx, in)
 	if err != nil {
 		return nil, err
@@ -71,6 +80,9 @@ type countedInvocation struct {
 // updates the counters. Exhausted fetches are not counted as
 // request-responses because no call would be issued for them.
 func (ci *countedInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	if err := CheckBudget(ctx); err != nil {
+		return Chunk{}, err
+	}
 	chunk, err := ci.inner.Fetch(ctx)
 	if err != nil {
 		return chunk, err

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"seco/internal/mart"
+)
+
+// ErrTransient marks a retryable failure of a remote service (timeouts,
+// overload). Wrappers test for it with errors.Is.
+var ErrTransient = errors.New("service: transient failure")
+
+// Flaky wraps a service and injects deterministic transient failures: one
+// failure every FailEvery calls (counting Invoke and Fetch together). It
+// is the simplest fault model; internal/chaos composes richer seeded
+// schedules (bursts, permanent failures, per-binding faults, latency
+// spikes) on top of the same Service surface. Counters are atomic: the
+// engine's parallel joins invoke a wrapped service from many goroutines.
+type Flaky struct {
+	inner Service
+	// FailEvery injects one failure on every n-th call; 0 disables
+	// injection.
+	FailEvery int
+	calls     atomic.Int64
+	injected  atomic.Int64
+}
+
+// NewFlaky wraps svc.
+func NewFlaky(svc Service, failEvery int) *Flaky {
+	return &Flaky{inner: svc, FailEvery: failEvery}
+}
+
+// Injected reports how many failures have been injected so far.
+func (f *Flaky) Injected() int { return int(f.injected.Load()) }
+
+// Resilience implements ResilienceReporter.
+func (f *Flaky) Resilience() ResilienceStats {
+	return ResilienceStats{Injected: f.injected.Load()}
+}
+
+// Unwrap implements Wrapper.
+func (f *Flaky) Unwrap() Service { return f.inner }
+
+// Interface implements Service.
+func (f *Flaky) Interface() *mart.Interface { return f.inner.Interface() }
+
+// Stats implements Service.
+func (f *Flaky) Stats() Stats { return f.inner.Stats() }
+
+// Invoke implements Service, possibly failing transiently.
+func (f *Flaky) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	if err := f.maybeFail("invoke"); err != nil {
+		return nil, err
+	}
+	inv, err := f.inner.Invoke(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyInvocation{flaky: f, inner: inv}, nil
+}
+
+func (f *Flaky) maybeFail(op string) error {
+	calls := f.calls.Add(1)
+	if f.FailEvery > 0 && calls%int64(f.FailEvery) == 0 {
+		n := f.injected.Add(1)
+		return fmt.Errorf("service %s: injected %s failure #%d: %w",
+			f.inner.Interface().Name, op, n, ErrTransient)
+	}
+	return nil
+}
+
+type flakyInvocation struct {
+	flaky *Flaky
+	inner Invocation
+}
+
+// Fetch implements Invocation, possibly failing transiently.
+func (fi *flakyInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	if err := fi.flaky.maybeFail("fetch"); err != nil {
+		return Chunk{}, err
+	}
+	return fi.inner.Fetch(ctx)
+}

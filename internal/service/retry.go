@@ -4,104 +4,77 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"seco/internal/mart"
 )
 
-// ErrTransient marks a retryable failure of a remote service (timeouts,
-// overload). Wrappers test for it with errors.Is.
-var ErrTransient = errors.New("service: transient failure")
-
-// Flaky wraps a service and injects deterministic transient failures: one
-// failure every FailEvery calls (counting Invoke and Fetch together). It
-// simulates the unreliable remote services a production deployment faces,
-// for failure-injection tests.
-type Flaky struct {
-	inner Service
-	// FailEvery injects one failure on every n-th call; 0 disables
-	// injection.
-	FailEvery int
-	calls     int
-	injected  int
-}
-
-// NewFlaky wraps svc.
-func NewFlaky(svc Service, failEvery int) *Flaky {
-	return &Flaky{inner: svc, FailEvery: failEvery}
-}
-
-// Injected reports how many failures have been injected so far.
-func (f *Flaky) Injected() int { return f.injected }
-
-// Interface implements Service.
-func (f *Flaky) Interface() *mart.Interface { return f.inner.Interface() }
-
-// Stats implements Service.
-func (f *Flaky) Stats() Stats { return f.inner.Stats() }
-
-// Invoke implements Service, possibly failing transiently.
-func (f *Flaky) Invoke(ctx context.Context, in Input) (Invocation, error) {
-	if err := f.maybeFail("invoke"); err != nil {
-		return nil, err
-	}
-	inv, err := f.inner.Invoke(ctx, in)
-	if err != nil {
-		return nil, err
-	}
-	return &flakyInvocation{flaky: f, inner: inv}, nil
-}
-
-func (f *Flaky) maybeFail(op string) error {
-	f.calls++
-	if f.FailEvery > 0 && f.calls%f.FailEvery == 0 {
-		f.injected++
-		return fmt.Errorf("service %s: injected %s failure #%d: %w",
-			f.inner.Interface().Name, op, f.injected, ErrTransient)
-	}
-	return nil
-}
-
-type flakyInvocation struct {
-	flaky *Flaky
-	inner Invocation
-}
-
-// Fetch implements Invocation, possibly failing transiently.
-func (fi *flakyInvocation) Fetch(ctx context.Context) (Chunk, error) {
-	if err := fi.flaky.maybeFail("fetch"); err != nil {
-		return Chunk{}, err
-	}
-	return fi.inner.Fetch(ctx)
-}
-
-// Retry wraps a service with transient-failure retries: Invoke and Fetch
-// attempts that fail with ErrTransient are repeated up to MaxRetries
-// times, sleeping an exponentially growing backoff between attempts via
-// an injectable sleep hook. Non-transient errors, ErrExhausted and
-// context cancellation pass through immediately.
+// Retry wraps a service with policy-driven transient-failure retries:
+// Invoke and Fetch attempts that fail with ErrTransient are repeated up
+// to MaxRetries times, sleeping a jittered exponential backoff between
+// attempts. Backoff time flows through the installed TimeSource — the
+// engine installs its Clock, so virtual-clock runs charge backoff into
+// the simulated Elapsed deterministically — or through the explicit
+// Sleep hook when one is set; with neither, retries proceed without
+// delay. Non-transient errors (including ErrPermanent and ErrOpen),
+// ErrExhausted, budget exhaustion and context cancellation pass through
+// immediately. Counters are atomic: parallel joins drive a wrapped
+// service from many goroutines.
 type Retry struct {
 	inner Service
 	// MaxRetries is the number of re-attempts after the first failure
 	// (default 3 when zero).
 	MaxRetries int
-	// BaseBackoff is the first retry delay (default 10 ms); it doubles
-	// per attempt.
+	// BaseBackoff is the first retry delay (default 10 ms).
 	BaseBackoff time.Duration
-	// Sleep is the delay hook (default: real time.Sleep; tests inject a
-	// recorder).
+	// MaxBackoff caps the grown delay (default 2 s).
+	MaxBackoff time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter subtracts a uniform random share of up to Jitter (in [0,1])
+	// from each delay, decorrelating the retry storms of concurrent
+	// invocations. 0 (the default) keeps delays exact; the draw is seeded
+	// so schedules are reproducible.
+	Jitter float64
+	// Seed drives the jitter draws (same seed, same schedule).
+	Seed int64
+	// Sleep, when set, overrides the delay hook (tests inject recorders).
 	Sleep func(time.Duration)
 
-	retried int
+	clock   atomic.Pointer[tsBox]
+	retried atomic.Int64
+	giveups atomic.Int64
+
+	jmu sync.Mutex
+	rng *rand.Rand
 }
 
-// NewRetry wraps svc with default policy.
+// tsBox wraps a TimeSource so an interface value can live in an
+// atomic.Pointer (SetTimeSource may race with in-flight attempts).
+type tsBox struct{ ts TimeSource }
+
+// NewRetry wraps svc with the default policy.
 func NewRetry(svc Service) *Retry {
 	return &Retry{inner: svc}
 }
 
 // Retried reports the total retry attempts performed.
-func (r *Retry) Retried() int { return r.retried }
+func (r *Retry) Retried() int { return int(r.retried.Load()) }
+
+// Resilience implements ResilienceReporter.
+func (r *Retry) Resilience() ResilienceStats {
+	return ResilienceStats{Retries: r.retried.Load(), GiveUps: r.giveups.Load()}
+}
+
+// Unwrap implements Wrapper.
+func (r *Retry) Unwrap() Service { return r.inner }
+
+// SetTimeSource implements TimeSourceSetter: backoff sleeps are charged
+// to ts unless an explicit Sleep hook is set.
+func (r *Retry) SetTimeSource(ts TimeSource) { r.clock.Store(&tsBox{ts: ts}) }
 
 // Interface implements Service.
 func (r *Retry) Interface() *mart.Interface { return r.inner.Interface() }
@@ -109,20 +82,55 @@ func (r *Retry) Interface() *mart.Interface { return r.inner.Interface() }
 // Stats implements Service.
 func (r *Retry) Stats() Stats { return r.inner.Stats() }
 
-func (r *Retry) policy() (int, time.Duration, func(time.Duration)) {
-	max := r.MaxRetries
+// policy resolves the effective retry policy.
+func (r *Retry) policy() (max int, base, cap time.Duration, mult float64, sleep func(time.Duration)) {
+	max = r.MaxRetries
 	if max <= 0 {
 		max = 3
 	}
-	base := r.BaseBackoff
+	base = r.BaseBackoff
 	if base <= 0 {
 		base = 10 * time.Millisecond
 	}
-	sleep := r.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+	cap = r.MaxBackoff
+	if cap <= 0 {
+		cap = 2 * time.Second
 	}
-	return max, base, sleep
+	mult = r.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	sleep = r.Sleep
+	if sleep == nil {
+		if box := r.clock.Load(); box != nil && box.ts != nil {
+			sleep = box.ts.Sleep
+		} else {
+			sleep = func(time.Duration) {}
+		}
+	}
+	return max, base, cap, mult, sleep
+}
+
+// backoff computes the delay before retry attempt tries (0-based),
+// applying the seeded jitter draw.
+func (r *Retry) backoff(base, cap time.Duration, mult float64, tries int) time.Duration {
+	d := float64(base)
+	for i := 0; i < tries; i++ {
+		d *= mult
+		if d >= float64(cap) {
+			d = float64(cap)
+			break
+		}
+	}
+	if r.Jitter > 0 {
+		r.jmu.Lock()
+		if r.rng == nil {
+			r.rng = rand.New(rand.NewSource(r.Seed))
+		}
+		d -= r.Jitter * r.rng.Float64() * d
+		r.jmu.Unlock()
+	}
+	return time.Duration(d)
 }
 
 // Invoke implements Service with retries.
@@ -136,12 +144,12 @@ func (r *Retry) Invoke(ctx context.Context, in Input) (Invocation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &retryInvocation{retry: r, ctx: ctx, inner: inv}, nil
+	return &retryInvocation{retry: r, inner: inv}, nil
 }
 
 // attempt runs op with the retry policy.
 func (r *Retry) attempt(ctx context.Context, op func() error) error {
-	max, backoff, sleep := r.policy()
+	max, base, cap, mult, sleep := r.policy()
 	var err error
 	for tries := 0; ; tries++ {
 		err = op()
@@ -149,21 +157,25 @@ func (r *Retry) attempt(ctx context.Context, op func() error) error {
 			return err
 		}
 		if tries >= max {
+			r.giveups.Add(1)
 			return fmt.Errorf("service %s: giving up after %d retries: %w",
 				r.inner.Interface().Name, max, err)
 		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return ctxErr
 		}
-		r.retried++
-		sleep(backoff)
-		backoff *= 2
+		// A spent execution budget is never slept against: surface it
+		// instead of burning more simulated or real time on backoff.
+		if budgetErr := CheckBudget(ctx); budgetErr != nil {
+			return budgetErr
+		}
+		r.retried.Add(1)
+		sleep(r.backoff(base, cap, mult, tries))
 	}
 }
 
 type retryInvocation struct {
 	retry *Retry
-	ctx   context.Context
 	inner Invocation
 }
 
