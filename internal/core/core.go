@@ -126,9 +126,11 @@ type RunOptions struct {
 	// LiveLatency makes every fetch sleep the service's published
 	// latency, so wall-clock measurements reflect the cost model.
 	LiveLatency bool
-	// CacheCalls memoizes service chunks per input binding for the
-	// execution, cutting repeated pipe-join wire calls (results are
-	// unchanged).
+	// CacheCalls enables the engine's call-sharing layer: service chunks
+	// are memoized per input binding and concurrent fetches of the same
+	// chunk are deduplicated in flight, cutting repeated pipe-join wire
+	// calls (results are unchanged). Aliases bound to the same interface
+	// share one layer.
 	CacheCalls bool
 	// Materialize selects the materialize-then-truncate executor instead
 	// of the default pull-based streaming pipeline (see package engine).
@@ -239,23 +241,16 @@ func (s *System) Session(res *optimizer.Result, opts RunOptions) (*engine.Sessio
 	}), nil
 }
 
-// engineFor maps the plan's aliases to bound services.
+// engineFor maps the plan's aliases to bound services. With CacheCalls,
+// the engine's Invoker shares one dedup/memo layer per underlying service
+// value, so aliases over the same interface reuse each other's fetches.
 func (s *System) engineFor(res *optimizer.Result, opts RunOptions) (*engine.Engine, error) {
 	byAlias := map[string]service.Service{}
-	caches := map[string]service.Service{} // share one cache per interface
 	for _, ref := range res.Query.Services {
 		svc, ok := s.services[ref.Interface.Name]
 		if !ok {
 			return nil, fmt.Errorf("core: no service bound for interface %q (alias %s)",
 				ref.Interface.Name, ref.Alias)
-		}
-		if opts.CacheCalls {
-			cached, ok := caches[ref.Interface.Name]
-			if !ok {
-				cached = service.NewCache(svc)
-				caches[ref.Interface.Name] = cached
-			}
-			svc = cached
 		}
 		byAlias[ref.Alias] = svc
 	}
@@ -263,7 +258,7 @@ func (s *System) engineFor(res *optimizer.Result, opts RunOptions) (*engine.Engi
 	if opts.LiveLatency {
 		delay = time.Sleep
 	}
-	return engine.New(byAlias, delay), nil
+	return engine.NewWithConfig(byAlias, engine.Config{Delay: delay, Share: opts.CacheCalls}), nil
 }
 
 // Explain renders a human-readable description of an optimization result:

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math"
+
+	"seco/internal/plan"
+	"seco/internal/types"
+)
+
+// This file is the one home of the re-chunking helpers the parallel-join
+// operator uses to slice its two ranked input streams into the chunk grid
+// the tile explorer walks.
+
+// DefaultRechunkSize is the re-chunking granularity used for join inputs
+// that do not originate from a chunked service node (selections, exact
+// services, nested joins); override per execution with
+// Options.DefaultChunkSize.
+const DefaultRechunkSize = 10
+
+// chunkSizeOf picks the re-chunking granularity of a join input: the
+// originating service's chunk size when the predecessor is a chunked
+// service node, the configured default otherwise.
+func (ex *executor) chunkSizeOf(id string) int {
+	if n, ok := ex.ann.Plan.Node(id); ok && n.Kind == plan.KindService && n.Stats.Chunked() {
+		return n.Stats.ChunkSize
+	}
+	if ex.opts.DefaultChunkSize > 0 {
+		return ex.opts.DefaultChunkSize
+	}
+	return DefaultRechunkSize
+}
+
+// rechunk slices a ranked combination list into chunks of the given size
+// (the last chunk may run short).
+func rechunk(items []*types.Combination, size int) [][]*types.Combination {
+	if size <= 0 {
+		size = DefaultRechunkSize
+	}
+	var chunks [][]*types.Combination
+	for lo := 0; lo < len(items); lo += size {
+		hi := lo + size
+		if hi > len(items) {
+			hi = len(items)
+		}
+		chunks = append(chunks, items[lo:hi])
+	}
+	return chunks
+}
+
+// chunkTop is the score of a chunk's first (best-ranked) combination, the
+// rank the tile explorer orders chunk pairs by.
+func chunkTop(chunk []*types.Combination) float64 {
+	if len(chunk) == 0 {
+		return 0
+	}
+	return chunk[0].Score
+}
+
+// maxScore is the best score in a combination list (-Inf when empty).
+func maxScore(combos []*types.Combination) float64 {
+	m := math.Inf(-1)
+	for _, c := range combos {
+		if c.Score > m {
+			m = c.Score
+		}
+	}
+	return m
+}

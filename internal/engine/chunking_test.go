@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"seco/internal/mart"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/types"
+)
+
+func scored(score float64) *types.Combination {
+	c := types.NewCombination("A", types.NewTuple(score))
+	c.Score = score
+	return c
+}
+
+func TestRechunk(t *testing.T) {
+	var items []*types.Combination
+	for i := 0; i < 7; i++ {
+		items = append(items, scored(float64(7-i)))
+	}
+	chunks := rechunk(items, 3)
+	if len(chunks) != 3 || len(chunks[0]) != 3 || len(chunks[1]) != 3 || len(chunks[2]) != 1 {
+		t.Fatalf("rechunk(7, 3) sizes: %d chunks", len(chunks))
+	}
+	if chunks[2][0] != items[6] {
+		t.Error("short tail chunk holds the wrong item")
+	}
+	if got := rechunk(items, 0); len(got) != 1 || len(got[0]) != 7 {
+		t.Errorf("non-positive size must fall back to DefaultRechunkSize, got %d chunks", len(got))
+	}
+	if got := rechunk(nil, 3); got != nil {
+		t.Errorf("rechunk(nil) = %v", got)
+	}
+}
+
+func TestChunkTopAndMaxScore(t *testing.T) {
+	chunk := []*types.Combination{scored(0.9), scored(0.4), scored(0.7)}
+	if chunkTop(chunk) != 0.9 {
+		t.Errorf("chunkTop = %v, want the first (best-ranked) score", chunkTop(chunk))
+	}
+	if chunkTop(nil) != 0 {
+		t.Errorf("chunkTop(empty) = %v", chunkTop(nil))
+	}
+	if maxScore(chunk) != 0.9 {
+		t.Errorf("maxScore = %v", maxScore(chunk))
+	}
+	if !math.IsInf(maxScore(nil), -1) {
+		t.Errorf("maxScore(empty) = %v, want -Inf", maxScore(nil))
+	}
+}
+
+func TestChunkSizeOf(t *testing.T) {
+	reg, err := mart.MovieScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := plan.RunningExamplePlan(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plan.Annotate(p, plan.Fig10Fetches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &executor{ann: a}
+	var chunkedID, inputID string
+	for _, id := range p.NodeIDs() {
+		n, _ := p.Node(id)
+		switch {
+		case n.Kind == plan.KindService && n.Stats.Chunked() && chunkedID == "":
+			chunkedID = id
+		case n.Kind == plan.KindInput:
+			inputID = id
+		}
+	}
+	if chunkedID == "" || inputID == "" {
+		t.Fatal("fixture plan lacks a chunked service or input node")
+	}
+	n, _ := p.Node(chunkedID)
+	if got := ex.chunkSizeOf(chunkedID); got != n.Stats.ChunkSize {
+		t.Errorf("chunked service: size %d, want the service's ChunkSize %d", got, n.Stats.ChunkSize)
+	}
+	if got := ex.chunkSizeOf(inputID); got != DefaultRechunkSize {
+		t.Errorf("non-service predecessor: size %d, want default %d", got, DefaultRechunkSize)
+	}
+	ex.opts.DefaultChunkSize = 4
+	if got := ex.chunkSizeOf(inputID); got != 4 {
+		t.Errorf("override ignored: size %d, want 4", got)
+	}
+}
+
+func TestGroupJoinPredsPairsAndSkips(t *testing.T) {
+	n := &plan.Node{JoinPreds: []query.Predicate{
+		{Left: query.PathRef{Alias: "T", Path: "Movies.Title"}, Op: types.OpEq,
+			Right: query.Term{Kind: query.TermPath, Path: query.PathRef{Alias: "M", Path: "Title"}}},
+		{Left: query.PathRef{Alias: "T", Path: "Movies.Lang"}, Op: types.OpEq,
+			Right: query.Term{Kind: query.TermPath, Path: query.PathRef{Alias: "M", Path: "Language"}}},
+		{Left: query.PathRef{Alias: "R", Path: "UAddress"}, Op: types.OpEq,
+			Right: query.Term{Kind: query.TermPath, Path: query.PathRef{Alias: "T", Path: "TAddress"}}},
+		// Non-path right-hand sides are selection-shaped, not join edges.
+		{Left: query.PathRef{Alias: "T", Path: "City"}, Op: types.OpEq,
+			Right: query.Term{Kind: query.TermConst, Const: types.String("Rome")}},
+	}}
+	preds := groupJoinPreds(n)
+	if len(preds) != 2 {
+		t.Fatalf("grouped %d pairs, want 2: %v", len(preds), preds)
+	}
+	tm, ok := preds["T|M"]
+	if !ok || len(tm.pred.Conds) != 2 {
+		t.Fatalf("T|M pair missing or not merged: %+v", preds)
+	}
+	if tm.otherAlias("T") != "M" || tm.otherAlias("M") != "T" {
+		t.Error("otherAlias broken")
+	}
+	if rt, ok := preds["R|T"]; !ok || len(rt.pred.Conds) != 1 {
+		t.Fatalf("R|T pair missing: %+v", preds)
+	}
+}
+
+func TestMergeBranchesSharedComponents(t *testing.T) {
+	shared := types.NewTuple(0.5)
+	left := types.NewCombination("C", shared).Merge(types.NewCombination("F", types.NewTuple(0.6)))
+	right := types.NewCombination("C", shared).Merge(types.NewCombination("H", types.NewTuple(0.7)))
+	merged, ok := mergeBranches(left, right)
+	if !ok || len(merged.Components) != 3 {
+		t.Fatalf("shared-ancestor merge failed: ok=%v comps=%v", ok, merged)
+	}
+	if merged.Components["C"] != shared {
+		t.Error("shared component lost its tuple identity")
+	}
+	// The same alias bound to a different tuple stems from a different
+	// upstream row: the pair must not join.
+	other := types.NewCombination("C", types.NewTuple(0.5)).Merge(types.NewCombination("H", types.NewTuple(0.7)))
+	if _, ok := mergeBranches(left, other); ok {
+		t.Error("divergent shared components merged")
+	}
+}

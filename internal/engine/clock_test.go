@@ -83,11 +83,11 @@ func TestSimulatedElapsedIsChargedLatencySum(t *testing.T) {
 	}
 	var want time.Duration
 	for alias, calls := range run.Calls {
-		c, ok := e.Counter(alias)
+		lane, ok := e.Invoker().Lane(alias)
 		if !ok {
-			t.Fatalf("no counter for %s", alias)
+			t.Fatalf("no lane for %s", alias)
 		}
-		want += time.Duration(calls) * c.Stats().Latency
+		want += time.Duration(calls) * lane.Stats().Latency
 	}
 	if want == 0 {
 		t.Fatal("no latency charged; world publishes zero latencies?")

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"seco/internal/plan"
+	"seco/internal/plancheck"
+)
+
+// This file compiles a plan.Plan into the operator graph both driver
+// policies execute: one Operator per plan node (input, selection, service
+// scan, pipe join, parallel join), with fan-out nodes compiled once and
+// shared through per-consumer tees. The graph also owns the run-wide
+// bookkeeping the drivers read back: per-node emission counts, per-service
+// fetch depths, the WaitGroup tracking every pipeline goroutine, and the
+// close order of the operators.
+
+// graph is the compiled operator graph of one execution.
+type graph struct {
+	ex *executor
+	// wg tracks every goroutine the pipeline spawns (join-branch
+	// prefetchers and pipe-window invocations); the drivers wait for it
+	// after cancelling, so counters are quiescent before the Run is
+	// assembled and before the operators are closed.
+	wg      sync.WaitGroup
+	emitted map[string]*atomic.Int64
+	// depth counts request-responses per service node — the fetch depth
+	// the node reached, reported by Degradation.FetchDepth.
+	depth  map[string]*atomic.Int64
+	shared map[string]*sharedOp
+	// ops lists the compiled operators in build order (inputs before
+	// consumers); shutdown closes them in reverse, output side first.
+	ops   []Operator
+	descs []plancheck.OpDesc
+
+	outID  string
+	rootID string
+	root   Operator
+}
+
+// compile builds the operator graph rooted at the output node's single
+// predecessor.
+func compile(ex *executor, outID string) (*graph, error) {
+	preds := ex.ann.Plan.Predecessors(outID)
+	if len(preds) != 1 {
+		return nil, fmt.Errorf("engine: output node has %d predecessors", len(preds))
+	}
+	g := &graph{
+		ex: ex, outID: outID, rootID: preds[0],
+		emitted: map[string]*atomic.Int64{},
+		depth:   map[string]*atomic.Int64{},
+		shared:  map[string]*sharedOp{},
+	}
+	root, err := g.operator(g.rootID)
+	if err != nil {
+		return nil, err
+	}
+	g.root = root
+	return g, nil
+}
+
+// operator returns a reader for the node's output. Nodes with several
+// plan successors get one backing operator and a per-consumer tee, so the
+// node is evaluated once and its combinations (with their component tuple
+// identities) are shared.
+func (g *graph) operator(id string) (Operator, error) {
+	n, ok := g.ex.ann.Plan.Node(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown node %q", id)
+	}
+	if len(g.ex.ann.Plan.Successors(id)) > 1 {
+		sh, ok := g.shared[id]
+		if !ok {
+			src, err := g.makeOp(id, n)
+			if err != nil {
+				return nil, err
+			}
+			sh = &sharedOp{src: src}
+			g.shared[id] = sh
+		}
+		return &teeOp{sh: sh}, nil
+	}
+	return g.makeOp(id, n)
+}
+
+// makeOp builds the node's operator (once per node), wraps it with the
+// lifecycle-and-counting decorator, and records its description for the
+// plancheck operator-graph verification.
+func (g *graph) makeOp(id string, n *plan.Node) (Operator, error) {
+	var (
+		op   Operator
+		kind string
+		err  error
+	)
+	switch n.Kind {
+	case plan.KindInput:
+		op, kind = &inputOp{}, plancheck.OpInput
+	case plan.KindSelection:
+		var up Operator
+		up, err = g.operator(g.ex.ann.Plan.Predecessors(id)[0])
+		if err == nil {
+			op, kind = &selectionOp{ex: g.ex, n: n, up: up}, plancheck.OpSelection
+		}
+	case plan.KindService:
+		op, err = g.makeServiceOp(id, n)
+		kind = plancheck.OpScan
+		if n.PipedFrom() {
+			kind = plancheck.OpPipe
+		}
+	case plan.KindJoin:
+		op, err = g.makeJoinOp(id, n)
+		kind = plancheck.OpJoin
+	default:
+		err = fmt.Errorf("engine: unsupported node kind %v", n.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &atomic.Int64{}
+	g.emitted[id] = c
+	counted := &countedOp{inner: op, n: c}
+	g.ops = append(g.ops, counted)
+	g.descs = append(g.descs, plancheck.OpDesc{
+		Node:   id,
+		Kind:   kind,
+		Inputs: append([]string(nil), g.ex.ann.Plan.Predecessors(id)...),
+		Shared: len(g.ex.ann.Plan.Successors(id)) > 1,
+	})
+	return counted, nil
+}
+
+func (g *graph) makeServiceOp(id string, n *plan.Node) (Operator, error) {
+	up, err := g.operator(g.ex.ann.Plan.Predecessors(id)[0])
+	if err != nil {
+		return nil, err
+	}
+	counter := g.ex.scope.Counter(n.Alias)
+	if counter == nil {
+		return nil, fmt.Errorf("engine: no service bound for alias %q", n.Alias)
+	}
+	budget := g.ex.ann.Fetches[id]
+	if budget <= 0 {
+		budget = 1
+	}
+	if !n.Stats.Chunked() {
+		budget = 1
+	}
+	fixed, err := g.ex.fixedInputs(n)
+	if err != nil {
+		return nil, err
+	}
+	preds := groupJoinPreds(n)
+	w := g.ex.opts.Weights[n.Alias]
+	depth := &atomic.Int64{}
+	g.depth[id] = depth
+	if n.PipedFrom() {
+		return &pipeOp{
+			g: g, ex: g.ex, n: n, counter: counter, fixed: fixed,
+			preds: preds, budget: budget, w: w,
+			par: g.ex.opts.Parallelism, up: up, depth: depth,
+		}, nil
+	}
+	return &serviceOp{
+		ex: g.ex, n: n, counter: counter, fixed: fixed,
+		preds: preds, budget: budget, w: w, up: up, depth: depth,
+	}, nil
+}
+
+// describe reports the compiled graph for plancheck.CheckOpGraph.
+func (g *graph) describe() plancheck.OpGraph {
+	return plancheck.OpGraph{
+		Root: g.rootID,
+		Ops:  append([]plancheck.OpDesc(nil), g.descs...),
+	}
+}
+
+// shutdown closes every operator, output side first. It must run after
+// the drivers' cancel + wg.Wait, except that the operators' own Close
+// implementations drain any goroutines still owning their inputs.
+func (g *graph) shutdown() {
+	for i := len(g.ops) - 1; i >= 0; i-- {
+		_ = g.ops[i].Close()
+	}
+}

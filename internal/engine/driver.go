@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"time"
+
+	"seco/internal/types"
+)
+
+// This file implements the two driver policies over the compiled operator
+// graph. A driver owns the root pull loop and the teardown discipline
+// (cancel the pull context, wait for every pipeline goroutine, close the
+// operators output side first); the operators themselves are policy-free.
+//
+//   - runDrain (Options.Materialize) pulls the root to exhaustion, ranks,
+//     and truncates — the materialize-then-truncate baseline. It never
+//     stops early and never degrades: a failure or budget expiry surfaces
+//     as the run error.
+//   - runPull (the default) is the K-bounded pull: it maintains the K-th
+//     best score pulled so far and halts as soon as that score reaches
+//     the root's bound — no unseen combination can then enter the top-K —
+//     and, under Options.Degrade, turns mid-run failures into partial
+//     results with a certified prefix.
+
+// runDrain is the eager-drain driver policy: evaluate everything the
+// fetch budgets reach, rank, then truncate.
+func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*Run, error) {
+	pullCtx, cancel := context.WithCancel(ctx)
+	defer func() {
+		cancel()
+		g.wg.Wait()
+		g.shutdown()
+	}()
+	if err := g.root.Open(pullCtx); err != nil {
+		return nil, err
+	}
+	var all []*types.Combination
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := g.root.Next(pullCtx)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			break
+		}
+		all = append(all, c)
+	}
+	// Stop the prefetchers and wait for every pipeline goroutine before
+	// reading the counters.
+	cancel()
+	g.wg.Wait()
+
+	ranked := all
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
+	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
+		ranked = ranked[:ex.opts.TargetK]
+	}
+	run := ex.newRun(ranked, start, false)
+	for id, n := range g.emitted {
+		run.Produced[id] = int(n.Load())
+	}
+	run.Produced[g.outID] = len(all)
+	return run, nil
+}
+
+// runPull is the K-bounded pull driver policy. With a TargetK and
+// non-negative weights it maintains the K-th best score pulled so far and
+// halts as soon as that score reaches the root's bound, so the result
+// equals the full drain's top-K while the undone part of the search space
+// is never paid for. Under Options.Degrade, a service failure or budget
+// expiry ends the pull early with a partial result instead of an error
+// (see degrade.go).
+func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Run, error) {
+	pullCtx, cancel := context.WithCancel(ctx)
+	defer func() {
+		cancel()
+		g.wg.Wait()
+		g.shutdown()
+	}()
+	if err := g.root.Open(pullCtx); err != nil {
+		return nil, err
+	}
+
+	earlyStop := ex.opts.TargetK > 0 && nonNegative(ex.opts.Weights)
+	budget := ex.budgetCheck(start)
+	var (
+		all    []*types.Combination
+		kth    = &minHeap{}
+		halted bool
+		deg    *Degradation
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if budget != nil {
+			if err := budget(); err != nil {
+				d, ok := ex.classifyDegrade(ctx, err)
+				if !ok {
+					return nil, err
+				}
+				deg = d
+				break
+			}
+		}
+		c, err := g.root.Next(pullCtx)
+		if err != nil {
+			d, ok := ex.classifyDegrade(ctx, err)
+			if !ok {
+				return nil, err
+			}
+			deg = d
+			break
+		}
+		if c == nil {
+			break
+		}
+		all = append(all, c)
+		if earlyStop {
+			heap.Push(kth, c.Score)
+			if kth.Len() > ex.opts.TargetK {
+				heap.Pop(kth)
+			}
+			if kth.Len() == ex.opts.TargetK && (*kth)[0] >= g.root.Bound() {
+				halted = true
+				break
+			}
+		}
+	}
+	// The degradation report needs the stop bound before the pipeline is
+	// torn down (a cancelled operator's bound collapses).
+	var stopBound float64
+	if deg != nil {
+		stopBound = g.root.Bound()
+	}
+	// Stop the prefetchers and wait for every pipeline goroutine before
+	// reading the counters.
+	cancel()
+	g.wg.Wait()
+
+	ranked := all
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
+	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
+		ranked = ranked[:ex.opts.TargetK]
+	}
+	run := ex.newRun(ranked, start, halted)
+	for id, n := range g.emitted {
+		run.Produced[id] = int(n.Load())
+	}
+	run.Produced[g.outID] = len(all)
+	if deg != nil {
+		deg.Bound = stopBound
+		deg.CertifiedK = certifiedPrefix(ranked, stopBound, ex.opts.Weights)
+		deg.FetchDepth = map[string]int{}
+		for id, n := range g.depth {
+			deg.FetchDepth[id] = int(n.Load())
+		}
+		run.Degraded = deg
+	}
+	return run, nil
+}
+
+// nonNegative reports whether every ranking weight is ≥ 0 — the
+// monotonicity requirement of the early-stopping bound.
+func nonNegative(weights map[string]float64) bool {
+	for _, w := range weights {
+		if w < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// minHeap keeps the K best scores pulled so far; its root is the K-th
+// best, the score an unseen combination must beat to enter the top-K.
+type minHeap []float64
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *minHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }

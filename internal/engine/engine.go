@@ -1,26 +1,27 @@
 // Package engine executes fully instantiated query plans against live
-// services. The default executor is a pull-based streaming pipeline:
-// every plan node is a combination stream that fetches service chunks on
-// demand, pipe joins keep a bounded window of in-flight invocations, and
-// parallel joins drive the event-based explorer against live chunk
-// arrivals. When a TargetK is set, a threshold-style stopping rule (the
-// score bounds published by each stream, derived from the services'
-// Scoring curves) halts execution — and stops issuing request-responses —
-// as soon as the top-K set is guaranteed. Options.Materialize selects the
-// original materialize-then-truncate executor, kept as the measurement
-// baseline. Request-responses are counted per service, and an optional
-// delay hook simulates per-call latency so wall-clock experiments can
-// validate the execution-time cost model.
+// services through a unified pull-based operator runtime. A plan compiles
+// into a graph of operators (Open/Next/Close over ranked combination
+// chunks): service scans, pipe joins, parallel joins, selections, and
+// fan-out tees. Two thin driver policies execute the same graph: the
+// default K-bounded pull maintains the K-th best score pulled so far and
+// — using the score bounds each operator publishes, derived from the
+// services' Scoring curves — halts (and stops issuing request-responses)
+// as soon as the top-K set is guaranteed; Options.Materialize selects the
+// eager-drain policy, which evaluates everything the fetch budgets reach
+// before ranking and truncating — the measurement baseline.
+//
+// Beneath the operators, every service call goes through a shared
+// service.Invoker: per-run Counters give each execution isolated call
+// statistics, budget probing and latency charging, so a single Engine
+// safely executes any number of concurrent queries; an optional
+// cross-query sharing layer deduplicates in-flight calls and memoizes
+// fetched chunks between them.
 package engine
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"seco/internal/plan"
@@ -38,16 +39,16 @@ type Options struct {
 	// scored incrementally as components accumulate.
 	Weights map[string]float64
 	// TargetK truncates the ranked output to the best K combinations
-	// (0 = return everything the fetch factors produced). The streaming
-	// executor additionally uses it to stop early once the top-K set is
-	// guaranteed by the score bounds.
+	// (0 = return everything the fetch factors produced). The pull driver
+	// additionally uses it to stop early once the top-K set is guaranteed
+	// by the score bounds.
 	TargetK int
 	// Parallelism bounds the concurrent service invocations of a pipe
 	// join (default 8).
 	Parallelism int
-	// Materialize selects the original materialize-then-truncate executor
-	// instead of the streaming pipeline (baseline for measurements and
-	// equivalence tests).
+	// Materialize selects the eager-drain driver policy (materialize,
+	// rank, then truncate) instead of the default K-bounded pull —
+	// the baseline for measurements and equivalence tests.
 	Materialize bool
 	// DefaultChunkSize overrides the re-chunking granularity used for join
 	// inputs that do not originate from a chunked service node
@@ -56,24 +57,24 @@ type Options struct {
 	// SkipValidate disables the pre-execution plancheck verification.
 	// By default Execute refuses plans with Error-severity diagnostics
 	// (cycles, uncovered bindings, illegal strategies, stale annotations,
-	// negative weights under a top-K streaming run); set SkipValidate for
-	// callers that have already verified the plan and need the few
-	// microseconds back.
+	// negative weights under a top-K pull run, mis-compiled operator
+	// graphs); set SkipValidate for callers that have already verified
+	// the plan and need the few microseconds back.
 	SkipValidate bool
 	// Budget bounds the execution time on the engine's Clock (0 = no
 	// budget): wall time under WallClock, simulated time under
 	// VirtualClock. The deadline is propagated through the context into
 	// every Invoke and Fetch, so in-flight service calls stop promptly
 	// once the budget is spent. Without Degrade, expiry surfaces as
-	// ErrBudget; with Degrade, the streaming executor returns the
-	// combinations produced so far.
+	// ErrBudget; with Degrade, the pull driver returns the combinations
+	// produced so far.
 	Budget time.Duration
 	// Degrade turns permanent service failures, open circuits, exhausted
-	// retries and budget expiry into partial results: the streaming
-	// executor stops pulling, returns what it has, and fills
-	// Run.Degraded with the failure report and the provably-correct
-	// prefix length. The materializing executor does not degrade (it has
-	// no partial state to return); plancheck warns on that combination.
+	// retries and budget expiry into partial results: the pull driver
+	// stops pulling, returns what it has, and fills Run.Degraded with the
+	// failure report and the provably-correct prefix length. The drain
+	// driver does not degrade (it has no meaningful partial state to
+	// return); plancheck warns on that combination.
 	Degrade bool
 }
 
@@ -88,15 +89,15 @@ type Run struct {
 	Invocations map[string]int64
 	// Produced counts the combinations each plan node emitted — the
 	// measured counterpart of the annotation engine's tout estimates.
-	// Under the streaming executor this is the number of combinations the
-	// node actually emitted before execution stopped.
+	// Under the pull driver this is the number of combinations the node
+	// actually emitted before execution stopped.
 	Produced map[string]int
 	// CallsSaved is the number of request-responses the execution avoided
 	// relative to the annotated plan's expected total (the cost a full
 	// materializing drain is planned for); 0 when nothing was saved.
 	CallsSaved float64
-	// Halted reports that the streaming executor stopped early because
-	// the top-K set was guaranteed by the score bounds.
+	// Halted reports that the pull driver stopped early because the top-K
+	// set was guaranteed by the score bounds.
 	Halted bool
 	// Elapsed is the execution time as measured by the engine's Clock:
 	// wall-clock time under WallClock, simulated time (the serial sum of
@@ -122,9 +123,30 @@ func (r *Run) TotalCalls() int64 {
 }
 
 // Engine executes plans against a set of services keyed by query alias.
+// All service calls funnel through one shared Invoker, and every Execute
+// opens its own counting scope there, so a single Engine instance is safe
+// for concurrent executions.
 type Engine struct {
-	counters map[string]*service.Counter
-	clock    Clock
+	invoker *service.Invoker
+	clock   Clock
+}
+
+// Config configures an Engine beyond its bound services.
+type Config struct {
+	// Clock drives latency charging and elapsed-time reporting. Nil
+	// selects a VirtualClock when Delay is nil (simulated time) and
+	// WallClock otherwise.
+	Clock Clock
+	// Delay, when non-nil, is invoked with the service's published
+	// latency on every fetch (pass time.Sleep for live pacing). Nil means
+	// the clock's own Sleep charges the latency.
+	Delay func(time.Duration)
+	// Share enables the Invoker's cross-query call-sharing layer:
+	// in-flight calls for the same service, input binding and chunk are
+	// deduplicated across concurrent runs, and fetched chunks are
+	// memoized engine-wide. Results are unchanged; only wire traffic and
+	// call counts below the per-run Counters shrink.
+	Share bool
 }
 
 // New builds an engine over the given services. The delay hook, when
@@ -132,17 +154,10 @@ type Engine struct {
 // (pass time.Sleep for live pacing). A nil hook selects a VirtualClock:
 // fetches complete instantly while their published latency is charged to
 // simulated time, so Run.Elapsed reports the simulated duration of the
-// run. Callers that need a specific clock use NewWithClock.
+// run. Callers that need a specific clock or the cross-query sharing
+// layer use NewWithConfig.
 func New(services map[string]service.Service, delay func(time.Duration)) *Engine {
-	if delay == nil {
-		return NewWithClock(services, NewVirtualClock())
-	}
-	cs := make(map[string]*service.Counter, len(services))
-	for alias, svc := range services {
-		service.InstallTimeSource(svc, WallClock{})
-		cs[alias] = service.NewCounter(svc, delay)
-	}
-	return &Engine{counters: cs, clock: WallClock{}}
+	return NewWithConfig(services, Config{Delay: delay})
 }
 
 // NewWithClock builds an engine whose latency charging and elapsed-time
@@ -150,32 +165,53 @@ func New(services map[string]service.Service, delay func(time.Duration)) *Engine
 // real time, VirtualClock simulates them instantly while keeping the
 // elapsed-time accounting.
 func NewWithClock(services map[string]service.Service, clk Clock) *Engine {
-	cs := make(map[string]*service.Counter, len(services))
-	for alias, svc := range services {
+	return NewWithConfig(services, Config{Clock: clk})
+}
+
+// NewWithConfig builds an engine with explicit clock, delay-hook and
+// call-sharing configuration.
+func NewWithConfig(services map[string]service.Service, cfg Config) *Engine {
+	clk := cfg.Clock
+	if clk == nil {
+		if cfg.Delay == nil {
+			clk = NewVirtualClock()
+		} else {
+			clk = WallClock{}
+		}
+	}
+	delay := cfg.Delay
+	if delay == nil {
+		delay = clk.Sleep
+	}
+	for _, svc := range services {
 		// Route all resilience timing (retry backoff, breaker cooldowns,
 		// injected latency spikes) through this engine's clock, so a
 		// virtual-clock run charges them into simulated time.
 		service.InstallTimeSource(svc, clk)
-		cs[alias] = service.NewCounter(svc, clk.Sleep)
 	}
-	return &Engine{counters: cs, clock: clk}
+	return &Engine{
+		invoker: service.NewInvoker(services, service.InvokerOptions{Delay: delay, Share: cfg.Share}),
+		clock:   clk,
+	}
 }
 
 // Clock returns the clock driving this engine's latency charging and
 // elapsed-time reporting.
 func (e *Engine) Clock() Clock { return e.clock }
 
-// Counter exposes the per-alias request-response counter.
-func (e *Engine) Counter(alias string) (*service.Counter, bool) {
-	c, ok := e.counters[alias]
-	return c, ok
-}
+// Invoker exposes the engine's shared service-call choke point (per-alias
+// lanes, cross-query sharing statistics).
+func (e *Engine) Invoker() *service.Invoker { return e.invoker }
 
 // Execute runs the annotated plan and returns the ranked combinations.
-// Unless Options.SkipValidate is set, the plan is first verified with
-// plancheck and refused when it carries Error-severity diagnostics — a
-// hand-built or JSON-loaded plan violating the engine's invariants would
-// otherwise silently return wrong top-K results.
+// The plan compiles into an operator graph executed by one of the two
+// driver policies (see Options.Materialize). Unless Options.SkipValidate
+// is set, the plan is first verified with plancheck — and the compiled
+// operator graph checked against it — and refused when it carries
+// Error-severity diagnostics: a hand-built or JSON-loaded plan violating
+// the engine's invariants would otherwise silently return wrong top-K
+// results. Execute is safe for concurrent use on one Engine; every call
+// gets its own counting scope from the Invoker.
 func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (*Run, error) {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 8
@@ -190,15 +226,12 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 			return nil, fmt.Errorf("engine: refusing invalid plan: %w", err)
 		}
 	}
-	for _, c := range e.counters {
-		c.Reset()
-	}
 	start := e.clock.Now()
-	ex := &executor{engine: e, ann: a, opts: opts, memo: map[string][]*types.Combination{}}
+	ex := &executor{engine: e, ann: a, opts: opts, scope: e.invoker.NewRun()}
 	// Thread the execution budget through the context: every Invoke and
-	// Fetch passes the engine's Counter, which refuses calls once the
-	// budget probe reports expiry — on this engine's clock, so virtual
-	// runs expire in simulated time.
+	// Fetch passes the run's Counter, which refuses calls once the budget
+	// probe reports expiry — on this engine's clock, so virtual runs
+	// expire in simulated time.
 	if check := ex.budgetCheck(start); check != nil {
 		ctx = service.WithBudget(ctx, check)
 	}
@@ -215,137 +248,32 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 	if outID == "" {
 		return nil, fmt.Errorf("engine: plan has no output node")
 	}
+	g, err := compile(ex, outID)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipValidate {
+		if err := plancheck.CheckOpGraph(a.Plan, g.describe()).Err(); err != nil {
+			return nil, fmt.Errorf("engine: refusing mis-compiled operator graph: %w", err)
+		}
+	}
 	if opts.Materialize {
-		return ex.runMaterialized(ctx, outID, start)
+		return ex.runDrain(ctx, g, start)
 	}
-	return ex.runStreaming(ctx, outID, start)
+	return ex.runPull(ctx, g, start)
 }
 
-// runMaterialized is the original executor: evaluate every node to a full
-// combination slice, rank, then truncate.
-func (ex *executor) runMaterialized(ctx context.Context, outID string, start time.Time) (*Run, error) {
-	combos, err := ex.eval(ctx, outID)
-	if err != nil {
-		return nil, err
-	}
-	ranked := append([]*types.Combination(nil), combos...)
-	for _, c := range ranked {
-		c.Rank(ex.opts.Weights)
-	}
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
-	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
-		ranked = ranked[:ex.opts.TargetK]
-	}
-	run := ex.newRun(ranked, start, false)
-	ex.mu.Lock()
-	for id, combos := range ex.memo {
-		run.Produced[id] = len(combos)
-	}
-	ex.mu.Unlock()
-	return run, nil
+// executor is the per-run context shared by the compiled operators: the
+// engine, the annotated plan, the execution options and the run's private
+// counting scope from the Invoker.
+type executor struct {
+	engine *Engine
+	ann    *plan.Annotated
+	opts   Options
+	scope  *service.RunScope
 }
 
-// runStreaming builds the pull-based pipeline and drains it through the
-// output node. With a TargetK and non-negative weights it maintains the
-// K-th best score pulled so far and halts as soon as that score reaches
-// the root stream's bound — no unseen combination can then enter the
-// top-K, so the result equals the full drain's top-K while the undone
-// part of the search space is never paid for. Under Options.Degrade, a
-// service failure or budget expiry ends the drain early with a partial
-// result instead of an error (see degrade.go).
-func (ex *executor) runStreaming(ctx context.Context, outID string, start time.Time) (*Run, error) {
-	se := &streamExec{ex: ex, emitted: map[string]*atomic.Int64{},
-		depth: map[string]*atomic.Int64{}, shared: map[string]*sharedStream{}}
-	root, err := se.stream(ex.ann.Plan.Predecessors(outID)[0])
-	if err != nil {
-		return nil, err
-	}
-	pullCtx, cancel := context.WithCancel(ctx)
-	defer func() {
-		cancel()
-		se.wg.Wait()
-	}()
-
-	earlyStop := ex.opts.TargetK > 0 && nonNegative(ex.opts.Weights)
-	budget := ex.budgetCheck(start)
-	var (
-		all    []*types.Combination
-		kth    = &minHeap{}
-		halted bool
-		deg    *Degradation
-	)
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if budget != nil {
-			if err := budget(); err != nil {
-				d, ok := ex.classifyDegrade(ctx, err)
-				if !ok {
-					return nil, err
-				}
-				deg = d
-				break
-			}
-		}
-		c, err := root.Next(pullCtx)
-		if err != nil {
-			d, ok := ex.classifyDegrade(ctx, err)
-			if !ok {
-				return nil, err
-			}
-			deg = d
-			break
-		}
-		if c == nil {
-			break
-		}
-		all = append(all, c)
-		if earlyStop {
-			heap.Push(kth, c.Score)
-			if kth.Len() > ex.opts.TargetK {
-				heap.Pop(kth)
-			}
-			if kth.Len() == ex.opts.TargetK && (*kth)[0] >= root.Bound() {
-				halted = true
-				break
-			}
-		}
-	}
-	// The degradation report needs the stop bound before the pipeline is
-	// torn down (a cancelled stream's bound collapses).
-	var stopBound float64
-	if deg != nil {
-		stopBound = root.Bound()
-	}
-	// Stop the prefetchers and wait for every pipeline goroutine before
-	// reading the counters.
-	cancel()
-	se.wg.Wait()
-
-	ranked := all
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
-	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
-		ranked = ranked[:ex.opts.TargetK]
-	}
-	run := ex.newRun(ranked, start, halted)
-	for id, n := range se.emitted {
-		run.Produced[id] = int(n.Load())
-	}
-	run.Produced[outID] = len(all)
-	if deg != nil {
-		deg.Bound = stopBound
-		deg.CertifiedK = certifiedPrefix(ranked, stopBound, ex.opts.Weights)
-		deg.FetchDepth = map[string]int{}
-		for id, n := range se.depth {
-			deg.FetchDepth[id] = int(n.Load())
-		}
-		run.Degraded = deg
-	}
-	return run, nil
-}
-
-// newRun assembles the common Run fields from the engine's counters.
+// newRun assembles the common Run fields from the run's counting scope.
 func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted bool) *Run {
 	run := &Run{
 		Combinations: ranked,
@@ -356,7 +284,7 @@ func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted 
 		Halted:       halted,
 		Elapsed:      ex.engine.clock.Now().Sub(start),
 	}
-	for alias, c := range ex.engine.counters {
+	for alias, c := range ex.scope.Counters() {
 		run.Calls[alias] = c.Fetches()
 		run.Invocations[alias] = c.Invocations()
 		if rs := service.CollectResilience(c); !rs.Zero() {
@@ -367,107 +295,6 @@ func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted 
 		run.CallsSaved = est - float64(run.TotalCalls())
 	}
 	return run
-}
-
-// nonNegative reports whether every ranking weight is ≥ 0 — the
-// monotonicity requirement of the early-stopping bound.
-func nonNegative(weights map[string]float64) bool {
-	for _, w := range weights {
-		if w < 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// minHeap keeps the K best scores pulled so far; its root is the K-th
-// best, the score an unseen combination must beat to enter the top-K.
-type minHeap []float64
-
-func (h minHeap) Len() int           { return len(h) }
-func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x any)        { *h = append(*h, x.(float64)) }
-func (h *minHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-
-// executor evaluates plan nodes bottom-up, memoizing shared predecessors
-// (a selection node may feed several downstream services). The memo is
-// mutex-guarded because the branches of a parallel join evaluate in
-// concurrent goroutines; the branches themselves touch disjoint subgraphs
-// (shared ancestors are pre-evaluated by evalBranches).
-type executor struct {
-	engine *Engine
-	ann    *plan.Annotated
-	opts   Options
-	mu     sync.Mutex
-	memo   map[string][]*types.Combination
-}
-
-func (ex *executor) memoGet(id string) ([]*types.Combination, bool) {
-	ex.mu.Lock()
-	defer ex.mu.Unlock()
-	got, ok := ex.memo[id]
-	return got, ok
-}
-
-func (ex *executor) memoSet(id string, out []*types.Combination) {
-	ex.mu.Lock()
-	defer ex.mu.Unlock()
-	ex.memo[id] = out
-}
-
-func (ex *executor) eval(ctx context.Context, id string) ([]*types.Combination, error) {
-	if got, ok := ex.memoGet(id); ok {
-		return got, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	n, ok := ex.ann.Plan.Node(id)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown node %q", id)
-	}
-	var (
-		out []*types.Combination
-		err error
-	)
-	switch n.Kind {
-	case plan.KindInput:
-		out = []*types.Combination{{Components: map[string]*types.Tuple{}}}
-	case plan.KindOutput:
-		out, err = ex.eval(ctx, ex.ann.Plan.Predecessors(id)[0])
-	case plan.KindSelection:
-		out, err = ex.evalSelection(ctx, id, n)
-	case plan.KindService:
-		out, err = ex.evalService(ctx, id, n)
-	case plan.KindJoin:
-		out, err = ex.evalJoin(ctx, id, n)
-	default:
-		err = fmt.Errorf("engine: unsupported node kind %v", n.Kind)
-	}
-	if err != nil {
-		return nil, err
-	}
-	ex.memoSet(id, out)
-	return out, nil
-}
-
-func (ex *executor) evalSelection(ctx context.Context, id string, n *plan.Node) ([]*types.Combination, error) {
-	in, err := ex.eval(ctx, ex.ann.Plan.Predecessors(id)[0])
-	if err != nil {
-		return nil, err
-	}
-	var out []*types.Combination
-	for _, c := range in {
-		keep, err := ex.satisfiesSelections(c, n.Selections)
-		if err != nil {
-			return nil, err
-		}
-		if keep {
-			out = append(out, c)
-		}
-	}
-	return out, nil
 }
 
 // satisfiesSelections evaluates selection predicates on a combination with

@@ -207,7 +207,7 @@ func TestTermValueVariants(t *testing.T) {
 	}
 }
 
-func TestEngineCounterAccessor(t *testing.T) {
+func TestEngineInvokerAccessor(t *testing.T) {
 	reg, err := mart.MovieScenario()
 	if err != nil {
 		t.Fatal(err)
@@ -217,11 +217,11 @@ func TestEngineCounterAccessor(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := New(world.Services(), nil)
-	if _, ok := e.Counter("M"); !ok {
-		t.Error("Counter(M) missing")
+	if _, ok := e.Invoker().Lane("M"); !ok {
+		t.Error("Lane(M) missing")
 	}
-	if _, ok := e.Counter("Z"); ok {
-		t.Error("Counter(Z) found")
+	if _, ok := e.Invoker().Lane("Z"); ok {
+		t.Error("Lane(Z) found")
 	}
 	var _ service.Service // keep the service import honest
 }

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"seco/internal/join"
+	"seco/internal/plan"
+	"seco/internal/types"
+)
+
+// This file implements the parallel-join operator: the event-based join
+// explorer (merge-scan or nested-loop, per the node's strategy) driven
+// against live chunk arrivals from the two input operators. Each input is
+// wrapped in a joinBranch whose single outstanding prefetch goroutine
+// assembles the next chunk concurrently with the other branch — the
+// parallel service invocation the plan topology promises.
+
+// joinBranch is one input of the join operator. A single outstanding
+// prefetch goroutine owns the reader and assembles the next chunk;
+// results are handed over through a capacity-1 channel, so both branches
+// fetch concurrently while the explorer is driven from one goroutine.
+type joinBranch struct {
+	reader Operator
+	size   int
+	ch     chan branchPull
+	// outstanding marks a prefetch in flight whose result has not been
+	// consumed yet; Close drains it so the goroutine's reader ownership
+	// has ended before the graph closes the inputs.
+	outstanding bool
+
+	chunks   [][]*types.Combination
+	chunkMax []float64
+	bestSeen float64
+	// bound is the reader's bound snapshot as of the last completed pull
+	// (the reader itself is owned by the prefetch goroutine while a pull
+	// is outstanding).
+	bound  float64
+	noMore bool
+}
+
+type branchPull struct {
+	combos []*types.Combination
+	bound  float64
+	short  bool // the reader ran dry during this pull
+	err    error
+}
+
+func (g *graph) startPull(ctx context.Context, b *joinBranch) {
+	b.outstanding = true
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		var res branchPull
+		for len(res.combos) < b.size {
+			c, err := b.reader.Next(ctx)
+			if err != nil {
+				res.err = err
+				break
+			}
+			if c == nil {
+				res.short = true
+				break
+			}
+			res.combos = append(res.combos, c)
+		}
+		res.bound = b.reader.Bound()
+		b.ch <- res
+	}()
+}
+
+// joinOp drives the event-based join explorer against live chunk
+// arrivals. Chunk sizes, tile contents and tile order are deterministic
+// functions of the input streams (the explorer's decisions depend only on
+// fetch counts, exhaustion and processed tiles), so both driver policies
+// enumerate the same combinations in the same order.
+type joinOp struct {
+	g           *graph
+	ex          *executor
+	n           *plan.Node
+	explorer    *join.Explorer
+	left, right *joinBranch
+	preds       map[string]pairPred
+
+	pending    []*types.Combination
+	pendingIdx int
+	seen       map[join.Tile]bool
+	started    bool
+	done       bool
+}
+
+func (g *graph) makeJoinOp(id string, n *plan.Node) (Operator, error) {
+	preds := g.ex.ann.Plan.Predecessors(id)
+	if len(preds) != 2 {
+		return nil, fmt.Errorf("engine: join %s has %d predecessors", id, len(preds))
+	}
+	l, err := g.operator(preds[0])
+	if err != nil {
+		return nil, err
+	}
+	r, err := g.operator(preds[1])
+	if err != nil {
+		return nil, err
+	}
+	lb := &joinBranch{
+		reader: l, size: g.ex.chunkSizeOf(preds[0]),
+		ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: l.Bound(),
+	}
+	rb := &joinBranch{
+		reader: r, size: g.ex.chunkSizeOf(preds[1]),
+		ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: r.Bound(),
+	}
+	// No static fetch limits: branch lengths are unknown up front, so
+	// exhaustion is reported live (the explorer rolls the probing fetch
+	// back, leaving its state exactly as with a known limit).
+	explorer, err := join.NewExplorer(n.Strategy, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	explorer.SetRanker(func(t join.Tile) float64 {
+		if t.X >= len(lb.chunks) || t.Y >= len(rb.chunks) {
+			return 0
+		}
+		return chunkTop(lb.chunks[t.X]) * chunkTop(rb.chunks[t.Y])
+	})
+	return &joinOp{
+		g: g, ex: g.ex, n: n, explorer: explorer,
+		left: lb, right: rb, preds: groupJoinPreds(n),
+		seen: map[join.Tile]bool{},
+	}, nil
+}
+
+func (s *joinOp) Open(ctx context.Context) error {
+	if err := s.left.reader.Open(ctx); err != nil {
+		return err
+	}
+	return s.right.reader.Open(ctx)
+}
+
+func (s *joinOp) Next(ctx context.Context) (*types.Combination, error) {
+	for {
+		if s.pendingIdx < len(s.pending) {
+			c := s.pending[s.pendingIdx]
+			s.pendingIdx++
+			return c, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		if !s.started {
+			s.started = true
+			s.g.startPull(ctx, s.left)
+			s.g.startPull(ctx, s.right)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ev, ok := s.explorer.Next()
+		if !ok {
+			s.done = true
+			continue
+		}
+		switch ev.Kind {
+		case join.EventFetch:
+			b := s.left
+			if ev.Side == join.SideY {
+				b = s.right
+			}
+			if err := s.resolveFetch(ctx, ev.Side, b); err != nil {
+				return nil, err
+			}
+		case join.EventTile:
+			if err := s.fillTile(ev.Tile); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// resolveFetch consumes the outstanding prefetch for the side the explorer
+// asked about, reveals the chunk (or reports exhaustion) and keeps one
+// pull in flight.
+func (s *joinOp) resolveFetch(ctx context.Context, side join.Side, b *joinBranch) error {
+	if b.noMore {
+		s.explorer.ReportExhausted(side)
+		return nil
+	}
+	res := <-b.ch
+	b.outstanding = false
+	if res.err != nil {
+		return res.err
+	}
+	b.bound = res.bound
+	if res.short {
+		b.noMore = true
+	}
+	if len(res.combos) == 0 {
+		b.bound = math.Inf(-1)
+		s.explorer.ReportExhausted(side)
+		return nil
+	}
+	b.chunks = append(b.chunks, res.combos)
+	m := maxScore(res.combos)
+	b.chunkMax = append(b.chunkMax, m)
+	if m > b.bestSeen {
+		b.bestSeen = m
+	}
+	if !b.noMore {
+		s.g.startPull(ctx, b)
+	}
+	return nil
+}
+
+func (s *joinOp) fillTile(t join.Tile) error {
+	s.seen[t] = true
+	s.pending = s.pending[:0]
+	s.pendingIdx = 0
+	for _, cl := range s.left.chunks[t.X] {
+		for _, cr := range s.right.chunks[t.Y] {
+			ok, err := matchAcross(cl, cr, s.preds)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			merged, ok := mergeBranches(cl, cr)
+			if !ok {
+				continue
+			}
+			merged.Rank(s.ex.opts.Weights)
+			s.pending = append(s.pending, merged)
+		}
+	}
+	return nil
+}
+
+func (s *joinOp) Bound() float64 {
+	b := math.Inf(-1)
+	for i := s.pendingIdx; i < len(s.pending); i++ {
+		if sc := s.pending[i].Score; sc > b {
+			b = sc
+		}
+	}
+	if s.done {
+		// The explorer finished: only the pending remainder can emit.
+		return b
+	}
+	lb, rb := s.left, s.right
+	lBest := math.Max(lb.bestSeen, lb.bound)
+	rBest := math.Max(rb.bestSeen, rb.bound)
+	// Corner bounds: a future left chunk against the best right seen or
+	// still to come, and symmetrically. Weights are non-negative, so a
+	// merged score is at most the sum of the two sides (shared-alias
+	// components are double-counted, which only loosens the bound).
+	if !math.IsInf(lb.bound, -1) && !math.IsInf(rBest, -1) {
+		if v := lb.bound + rBest; v > b {
+			b = v
+		}
+	}
+	if !math.IsInf(rb.bound, -1) && !math.IsInf(lBest, -1) {
+		if v := rb.bound + lBest; v > b {
+			b = v
+		}
+	}
+	// Stored chunk pairs the explorer has not processed yet (deferred by
+	// tile ordering, triangular admission, or a future flush).
+	for x := range lb.chunks {
+		for y := range rb.chunks {
+			if s.seen[join.Tile{X: x, Y: y}] {
+				continue
+			}
+			if v := lb.chunkMax[x] + rb.chunkMax[y]; v > b {
+				b = v
+			}
+		}
+	}
+	return b
+}
+
+// Close drains any outstanding branch pulls, so the prefetch goroutines'
+// ownership of the input readers has ended (the capacity-1 hand-over
+// channel guarantees a sender never blocks) before the graph closes the
+// inputs themselves.
+func (s *joinOp) Close() error {
+	s.done = true
+	for _, b := range []*joinBranch{s.left, s.right} {
+		if b != nil && b.outstanding {
+			<-b.ch
+			b.outstanding = false
+		}
+	}
+	s.pending = nil
+	return nil
+}

@@ -1,0 +1,442 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// This file implements the two service-node operators. serviceOp is the
+// service scan of a non-piped node: the service is invoked lazily (never
+// before the first upstream combination arrives, and never at all when
+// the upstream is empty) and chunks are fetched only when the enumeration
+// demands tuples beyond the fetched prefix. pipeOp is the pipe join of a
+// piped node: a FIFO window of at most Parallelism in-flight invocations,
+// one per upstream combination, emitting results in upstream (ranking)
+// order. Both issue every service call through the run's Counter from the
+// shared Invoker, so budget probing, latency charging and call counting
+// happen at one choke point.
+
+// serviceOp runs a non-piped service node. Enumeration order is
+// upstream-outer, tuple-inner.
+type serviceOp struct {
+	ex      *executor
+	n       *plan.Node
+	counter *service.Counter
+	fixed   service.Input
+	preds   map[string]pairPred
+	budget  int
+	w       float64
+	up      Operator
+	depth   *atomic.Int64
+
+	inv       service.Invocation
+	tuples    []*types.Tuple
+	fetches   int
+	exhausted bool
+	cur       *types.Combination
+	j         int
+	done      bool
+}
+
+func (s *serviceOp) Open(ctx context.Context) error { return s.up.Open(ctx) }
+
+// canFetch reports whether another chunk may still be requested. All three
+// disqualifiers (budget spent, limit reached, service exhausted) are
+// permanent, so once an upstream combination has finished its inner loop
+// the tuple list is final — which the bound relies on.
+func (s *serviceOp) canFetch() bool {
+	if s.exhausted || s.fetches >= s.budget {
+		return false
+	}
+	if s.n.Limit > 0 && len(s.tuples) >= s.n.Limit {
+		return false
+	}
+	return true
+}
+
+func (s *serviceOp) fetch(ctx context.Context) error {
+	if s.inv == nil {
+		inv, err := s.counter.Invoke(ctx, s.fixed)
+		if err != nil {
+			return withAlias(s.n.Alias, err)
+		}
+		s.inv = inv
+	}
+	chunk, err := s.inv.Fetch(ctx)
+	if errors.Is(err, service.ErrExhausted) {
+		s.exhausted = true
+		return nil
+	}
+	if err != nil {
+		return withAlias(s.n.Alias, err)
+	}
+	s.fetches++
+	s.depth.Add(1)
+	s.tuples = append(s.tuples, chunk.Tuples...)
+	if s.n.Limit > 0 && len(s.tuples) > s.n.Limit {
+		s.tuples = s.tuples[:s.n.Limit]
+	}
+	return nil
+}
+
+func (s *serviceOp) Next(ctx context.Context) (*types.Combination, error) {
+	if s.done {
+		return nil, nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.cur == nil {
+			c, err := s.up.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				s.done = true
+				return nil, nil
+			}
+			s.cur, s.j = c, 0
+		}
+		for s.j >= len(s.tuples) && s.canFetch() {
+			if err := s.fetch(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if s.j >= len(s.tuples) {
+			s.cur = nil
+			if len(s.tuples) == 0 {
+				// The service yielded nothing: no upstream combination can
+				// ever compose, so skip the remaining upstream pulls.
+				s.done = true
+				return nil, nil
+			}
+			continue
+		}
+		tu := s.tuples[s.j]
+		s.j++
+		merged, ok, err := s.ex.compose(s.cur, s.n.Alias, tu, s.preds)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return merged, nil
+		}
+	}
+}
+
+func (s *serviceOp) Bound() float64 {
+	if s.done {
+		return math.Inf(-1)
+	}
+	b := math.Inf(-1)
+	if s.cur != nil {
+		// Remaining inner loop of the current upstream combination: the
+		// next tuple (fetched tuples are non-increasing) or, when the
+		// prefix is spent but more is fetchable, the unseen-tuple cap.
+		if s.j < len(s.tuples) {
+			b = s.cur.Score + s.w*s.tuples[s.j].Score
+		} else if s.canFetch() {
+			b = s.cur.Score + s.w*s.unseenCap()
+		}
+	}
+	if ub := s.up.Bound(); !math.IsInf(ub, -1) {
+		if v := ub + s.w*s.bestTupleCap(); v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+func (s *serviceOp) Close() error {
+	s.done = true
+	s.inv = nil
+	s.cur = nil
+	return nil
+}
+
+// unseenCap bounds the score of the next not-yet-fetched tuple: the
+// published curve at the next rank position, tightened by the last score
+// actually seen (tuples arrive in non-increasing order).
+func (s *serviceOp) unseenCap() float64 {
+	cap := scoringCap(s.n.Stats.Scoring, len(s.tuples))
+	if len(s.tuples) > 0 {
+		if last := s.tuples[len(s.tuples)-1].Score; last < cap {
+			cap = last
+		}
+	}
+	return cap
+}
+
+// bestTupleCap bounds the best tuple this service contributes to any
+// future upstream combination.
+func (s *serviceOp) bestTupleCap() float64 {
+	if len(s.tuples) > 0 {
+		return s.tuples[0].Score
+	}
+	if !s.canFetch() {
+		return 0
+	}
+	return scoringCap(s.n.Stats.Scoring, 0)
+}
+
+// scoringCap evaluates the published curve at a rank position. A
+// zero-value Scoring (constant zero) means the service never published a
+// curve; scores live in [0,1], so assume the worst.
+func scoringCap(sc service.Scoring, pos int) float64 {
+	if sc.Kind == service.ScoringConstant && sc.High == 0 {
+		return 1
+	}
+	return sc.Score(pos)
+}
+
+// pipeOp runs a piped service node: instead of a barrier over all
+// upstream rows, it keeps a FIFO window of at most Parallelism in-flight
+// invocations as a bounded prefetch, emitting results in upstream
+// (ranking) order.
+type pipeOp struct {
+	g       *graph
+	ex      *executor
+	n       *plan.Node
+	counter *service.Counter
+	fixed   service.Input
+	preds   map[string]pairPred
+	budget  int
+	w       float64
+	par     int
+	up      Operator
+	depth   *atomic.Int64
+
+	upDone  bool
+	window  []*pipeSlot
+	head    []*types.Combination
+	headIdx int
+	done    bool
+}
+
+type pipeSlot struct {
+	src  *types.Combination
+	out  []*types.Combination
+	err  error
+	done chan struct{}
+}
+
+func (s *pipeOp) Open(ctx context.Context) error { return s.up.Open(ctx) }
+
+// fill tops the window up to the parallelism bound, launching one
+// invocation goroutine per upstream combination.
+func (s *pipeOp) fill(ctx context.Context) error {
+	for !s.upDone && len(s.window) < s.par {
+		c, err := s.up.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if c == nil {
+			s.upDone = true
+			return nil
+		}
+		slot := &pipeSlot{src: c, done: make(chan struct{})}
+		s.window = append(s.window, slot)
+		s.g.wg.Add(1)
+		go func() {
+			defer s.g.wg.Done()
+			defer close(slot.done)
+			var fetched int
+			slot.out, fetched, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
+			s.depth.Add(int64(fetched))
+		}()
+	}
+	return nil
+}
+
+func (s *pipeOp) Next(ctx context.Context) (*types.Combination, error) {
+	for {
+		if s.headIdx < len(s.head) {
+			c := s.head[s.headIdx]
+			s.headIdx++
+			return c, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+		if len(s.window) == 0 {
+			s.done = true
+			return nil, nil
+		}
+		slot := s.window[0]
+		s.window = s.window[1:]
+		<-slot.done
+		if slot.err != nil {
+			return nil, withAlias(s.n.Alias, slot.err)
+		}
+		s.head, s.headIdx = slot.out, 0
+		// Refill behind the consumed slot so the window stays busy while
+		// the head results are being emitted.
+		if err := s.fill(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (s *pipeOp) Bound() float64 {
+	b := math.Inf(-1)
+	for i := s.headIdx; i < len(s.head); i++ {
+		if sc := s.head[i].Score; sc > b {
+			b = sc
+		}
+	}
+	// In-flight and future invocations: upstream score plus the best the
+	// service can possibly return (its curve at position zero). slot.src
+	// is immutable after launch, so reading it here is race-free.
+	cap := s.w * scoringCap(s.n.Stats.Scoring, 0)
+	for _, slot := range s.window {
+		if v := slot.src.Score + cap; v > b {
+			b = v
+		}
+	}
+	if ub := s.up.Bound(); !math.IsInf(ub, -1) {
+		if v := ub + cap; v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// Close waits out the in-flight window invocations (each is bounded work
+// and observes the driver's cancellation), so the operator's goroutines
+// are quiescent before its inputs are closed.
+func (s *pipeOp) Close() error {
+	s.done = true
+	for _, slot := range s.window {
+		<-slot.done
+	}
+	s.window = nil
+	s.head = nil
+	return nil
+}
+
+// pipeOne performs one piped invocation for an upstream combination,
+// also reporting how many request-responses it issued.
+func (ex *executor) pipeOne(ctx context.Context, n *plan.Node, counter *service.Counter,
+	fixed service.Input, fetches int, c *types.Combination, pairPreds map[string]pairPred) ([]*types.Combination, int, error) {
+
+	inBinding := fixed.Clone()
+	if inBinding == nil {
+		inBinding = service.Input{}
+	}
+	for _, b := range n.Bindings {
+		if b.Source.Kind != query.BindJoin {
+			continue
+		}
+		v := c.Get(b.Source.From.Alias, b.Source.From.Path)
+		if v.IsNull() {
+			return nil, 0, fmt.Errorf("engine: pipe into %s: upstream %s has no value",
+				n.Alias, b.Source.From)
+		}
+		inBinding[b.Path] = v
+	}
+	tuples, fetched, err := fetchTuples(ctx, counter, inBinding, fetches, n.Limit)
+	if err != nil {
+		return nil, fetched, err
+	}
+	var out []*types.Combination
+	for _, tu := range tuples {
+		merged, ok, err := ex.compose(c, n.Alias, tu, pairPreds)
+		if err != nil {
+			return nil, fetched, err
+		}
+		if ok {
+			out = append(out, merged)
+		}
+	}
+	return out, fetched, nil
+}
+
+// fixedInputs assembles the constant and INPUT-variable bindings of a
+// service node.
+func (ex *executor) fixedInputs(n *plan.Node) (service.Input, error) {
+	fixed := service.Input{}
+	for _, b := range n.Bindings {
+		switch b.Source.Kind {
+		case query.BindConst:
+			fixed[b.Path] = b.Source.Const
+		case query.BindInput:
+			v, ok := ex.opts.Inputs[b.Source.Input]
+			if !ok {
+				return nil, fmt.Errorf("engine: unbound input variable %s (service %s)",
+					b.Source.Input, n.Alias)
+			}
+			fixed[b.Path] = v
+		}
+	}
+	return fixed, nil
+}
+
+// fetchTuples invokes the service once and drains up to maxFetches chunks
+// (all chunks when the service is unchunked), keeping at most limit tuples
+// when limit > 0. It also reports the number of chunks fetched — the fetch
+// depth reached into the service's ranked list.
+func fetchTuples(ctx context.Context, svc service.Service, in service.Input, maxFetches, limit int) ([]*types.Tuple, int, error) {
+	inv, err := svc.Invoke(ctx, in)
+	if err != nil {
+		return nil, 0, err
+	}
+	var tuples []*types.Tuple
+	fetched := 0
+	chunked := svc.Stats().Chunked()
+	for f := 0; ; f++ {
+		if chunked && f >= maxFetches {
+			break
+		}
+		chunk, err := inv.Fetch(ctx)
+		if errors.Is(err, service.ErrExhausted) {
+			break
+		}
+		if err != nil {
+			return nil, fetched, err
+		}
+		fetched++
+		tuples = append(tuples, chunk.Tuples...)
+		if limit > 0 && len(tuples) >= limit {
+			tuples = tuples[:limit]
+			break
+		}
+		if !chunked {
+			break
+		}
+	}
+	return tuples, fetched, nil
+}
+
+// compose merges a new component into a combination, checks the node's
+// join predicates against the already-present components, and scores the
+// result incrementally.
+func (ex *executor) compose(c *types.Combination, alias string, tu *types.Tuple, preds map[string]pairPred) (*types.Combination, bool, error) {
+	for _, pp := range preds {
+		other, ok := c.Components[pp.otherAlias(alias)]
+		if !ok {
+			continue // the peer component joins later in the plan
+		}
+		ok, err := pp.match(alias, tu, other)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	merged := c.Merge(types.NewCombination(alias, tu))
+	merged.Rank(ex.opts.Weights)
+	return merged, true, nil
+}

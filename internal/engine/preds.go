@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"seco/internal/join"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/types"
+)
+
+// This file is the one home of the join-predicate plumbing shared by the
+// service operators (sequential composition), the pipe operator and the
+// parallel-join operator: grouping a node's predicates by alias pair,
+// evaluating them across the two sides of a join, and merging branch
+// combinations that may share upstream components.
+
+// pairPred bundles the join conditions between one pair of aliases into a
+// single join.Predicate so repeating-group mappings stay consistent across
+// the pair's conditions (Section 3.1 semantics).
+type pairPred struct {
+	leftAlias, rightAlias string
+	pred                  join.Predicate
+}
+
+func (pp pairPred) otherAlias(self string) string {
+	if self == pp.leftAlias {
+		return pp.rightAlias
+	}
+	return pp.leftAlias
+}
+
+// match evaluates the predicate with self's tuple on whichever side it
+// belongs to.
+func (pp pairPred) match(self string, selfT, otherT *types.Tuple) (bool, error) {
+	if self == pp.leftAlias {
+		return pp.pred.Match(selfT, otherT)
+	}
+	return pp.pred.Match(otherT, selfT)
+}
+
+// groupJoinPreds groups a node's join predicates by alias pair.
+func groupJoinPreds(n *plan.Node) map[string]pairPred {
+	out := map[string]pairPred{}
+	for _, p := range n.JoinPreds {
+		if p.Right.Kind != query.TermPath {
+			continue
+		}
+		la, ra := p.Left.Alias, p.Right.Path.Alias
+		key := la + "|" + ra
+		pp, ok := out[key]
+		if !ok {
+			pp = pairPred{leftAlias: la, rightAlias: ra}
+		}
+		pp.pred.Conds = append(pp.pred.Conds, join.Condition{
+			Left: p.Left.Path, Op: p.Op, Right: p.Right.Path.Path,
+		})
+		out[key] = pp
+	}
+	return out
+}
+
+// matchAcross evaluates the node's pair predicates between two
+// combinations about to be joined; predicates whose aliases are not split
+// across the two sides are skipped (they were checked earlier).
+func matchAcross(cl, cr *types.Combination, preds map[string]pairPred) (bool, error) {
+	for _, pp := range preds {
+		lt, lInLeft := cl.Components[pp.leftAlias]
+		rt, rInRight := cr.Components[pp.rightAlias]
+		if lInLeft && rInRight {
+			ok, err := pp.pred.Match(lt, rt)
+			if err != nil || !ok {
+				return false, err
+			}
+			continue
+		}
+		lt2, lInRight := cr.Components[pp.leftAlias]
+		rt2, rInLeft := cl.Components[pp.rightAlias]
+		if lInRight && rInLeft {
+			ok, err := pp.pred.Match(lt2, rt2)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// mergeBranches merges two combinations whose branches may share upstream
+// components (both sides of the travel plan's join carry the Conference
+// and Weather tuples that fed them). Shared aliases must hold the same
+// component tuple — otherwise the pair stems from different upstream rows
+// and does not join; disjoint aliases union.
+func mergeBranches(cl, cr *types.Combination) (*types.Combination, bool) {
+	merged := &types.Combination{Components: make(map[string]*types.Tuple, len(cl.Components)+len(cr.Components))}
+	for a, t := range cl.Components {
+		merged.Components[a] = t
+	}
+	for a, t := range cr.Components {
+		if existing, shared := merged.Components[a]; shared {
+			if existing != t {
+				return nil, false
+			}
+			continue
+		}
+		merged.Components[a] = t
+	}
+	return merged, true
+}

@@ -35,6 +35,25 @@ func ok(f *os.File) error {
 	return err
 }
 
+// operator mimics an engine pipeline stage: its Close reports drain
+// failures, and teardown goroutines are where discarding them hides best.
+type operator struct{}
+
+func (operator) Close() error { return nil }
+
+func teardown(ops []operator) {
+	go func() {
+		for _, op := range ops {
+			op.Close() // want "error from op\\.Close is discarded"
+		}
+	}()
+	go func() {
+		for _, op := range ops {
+			_ = op.Close() // sanctioned: the blank assignment documents the drop
+		}
+	}()
+}
+
 // Close here shadows nothing: a plain function named Close without an
 // error result stays silent.
 func Close() {}

@@ -1,0 +1,128 @@
+package plancheck_test
+
+import (
+	"testing"
+
+	"seco/internal/plan"
+	"seco/internal/plancheck"
+)
+
+// describePlan builds the operator-graph description a faithful compiler
+// would produce, to serve as the valid baseline the mutations break.
+func describePlan(t *testing.T, p *plan.Plan) plancheck.OpGraph {
+	t.Helper()
+	g := plancheck.OpGraph{}
+	for _, id := range p.NodeIDs() {
+		n, ok := p.Node(id)
+		if !ok {
+			t.Fatalf("node %q missing", id)
+		}
+		var kind string
+		switch n.Kind {
+		case plan.KindInput:
+			kind = plancheck.OpInput
+		case plan.KindSelection:
+			kind = plancheck.OpSelection
+		case plan.KindService:
+			kind = plancheck.OpScan
+			if n.PipedFrom() {
+				kind = plancheck.OpPipe
+			}
+		case plan.KindJoin:
+			kind = plancheck.OpJoin
+		case plan.KindOutput:
+			g.Root = p.Predecessors(id)[0]
+			continue
+		default:
+			t.Fatalf("unexpected node kind %v", n.Kind)
+		}
+		g.Ops = append(g.Ops, plancheck.OpDesc{
+			Node:   id,
+			Kind:   kind,
+			Inputs: p.Predecessors(id),
+			Shared: len(p.Successors(id)) > 1,
+		})
+	}
+	return g
+}
+
+func TestCheckOpGraphAcceptsFaithfulCompilation(t *testing.T) {
+	p, _ := movieFixture(t)
+	rep := plancheck.CheckOpGraph(p, describePlan(t, p))
+	if !rep.OK() {
+		t.Fatalf("faithful graph rejected: %v", rep.Diags)
+	}
+}
+
+func TestCheckOpGraphRejectsMiscompilations(t *testing.T) {
+	p, _ := movieFixture(t)
+	base := describePlan(t, p)
+
+	cases := []struct {
+		name   string
+		mutate func(g *plancheck.OpGraph)
+	}{
+		{"missing-operator", func(g *plancheck.OpGraph) {
+			g.Ops = g.Ops[1:]
+		}},
+		{"duplicate-operator", func(g *plancheck.OpGraph) {
+			g.Ops = append(g.Ops, g.Ops[0])
+		}},
+		{"wrong-kind", func(g *plancheck.OpGraph) {
+			for i := range g.Ops {
+				if g.Ops[i].Kind == plancheck.OpScan {
+					g.Ops[i].Kind = plancheck.OpPipe
+					return
+				}
+			}
+			t.Fatal("no scan operator in the fixture")
+		}},
+		{"wrong-inputs", func(g *plancheck.OpGraph) {
+			for i := range g.Ops {
+				if len(g.Ops[i].Inputs) > 0 {
+					g.Ops[i].Inputs = append([]string{g.Ops[i].Node}, g.Ops[i].Inputs[1:]...)
+					return
+				}
+			}
+			t.Fatal("no wired operator in the fixture")
+		}},
+		{"wrong-sharing", func(g *plancheck.OpGraph) {
+			g.Ops[0].Shared = !g.Ops[0].Shared
+		}},
+		{"wrong-root", func(g *plancheck.OpGraph) {
+			g.Root = g.Ops[0].Node
+			if g.Root == base.Root {
+				g.Root = "nowhere"
+			}
+		}},
+		{"unknown-node", func(g *plancheck.OpGraph) {
+			g.Ops = append(g.Ops, plancheck.OpDesc{Node: "ghost", Kind: plancheck.OpScan})
+		}},
+		{"operator-for-output", func(g *plancheck.OpGraph) {
+			for _, id := range p.NodeIDs() {
+				if n, _ := p.Node(id); n.Kind == plan.KindOutput {
+					g.Ops = append(g.Ops, plancheck.OpDesc{Node: id, Kind: plancheck.OpInput})
+					return
+				}
+			}
+			t.Fatal("no output node in the fixture")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := plancheck.OpGraph{Root: base.Root, Ops: append([]plancheck.OpDesc(nil), base.Ops...)}
+			tc.mutate(&g)
+			rep := plancheck.CheckOpGraph(p, g)
+			if rep.OK() {
+				t.Fatal("mis-compiled graph accepted")
+			}
+			if !rep.HasCode(plancheck.CodeCompile) {
+				t.Fatalf("want %s diagnostics, got: %v", plancheck.CodeCompile, rep.Diags)
+			}
+		})
+	}
+
+	if rep := plancheck.CheckOpGraph(nil, base); rep.OK() || !rep.HasCode(plancheck.CodeCompile) {
+		t.Error("nil plan accepted")
+	}
+}

@@ -208,6 +208,11 @@ func TestBrokenPlanCorpus(t *testing.T) {
 			}
 			return plancheck.CheckRoundTrip(base, other)
 		}},
+		{"miscompiled-operator-graph", plancheck.CodeCompile, false, func(t *testing.T) *plancheck.Report {
+			// A compiler that dropped every operator and points the root at
+			// a node that is not the output's predecessor.
+			return plancheck.CheckOpGraph(base, plancheck.OpGraph{Root: "M"})
+		}},
 	}
 
 	for _, tc := range corpus {

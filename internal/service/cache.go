@@ -20,8 +20,12 @@ import (
 // caching directly reduces the request-response cost the chapter's
 // metrics count.
 //
-// Cache is safe for concurrent use; entries are never evicted, matching
-// the engine's per-execution lifetime.
+// Cache is safe for concurrent use; entries are never evicted.
+//
+// The engine itself no longer wraps services in a Cache: its Invoker's
+// Share layer subsumes this memoization and adds in-flight deduplication
+// across concurrent runs. Cache remains for callers composing their own
+// chains outside the engine.
 type Cache struct {
 	inner   Service
 	mu      sync.Mutex

@@ -1,0 +1,114 @@
+package service
+
+import "time"
+
+// Invoker is the single service-call choke point beneath the execution
+// engine's operators. It owns, exactly once per engine, the concerns the
+// two executors used to wire separately per run:
+//
+//   - the middleware composition order: per-run Counter (budget probe,
+//     latency charge, logical call counting) over the optional Share
+//     layer (cross-query singleflight + memo) over the user-supplied
+//     chain (Retry/Breaker/chaos injectors) over the base service;
+//   - per-run counter isolation: every execution gets a fresh RunScope
+//     with its own Counters, so N concurrent queries through one engine
+//     never mix their Run stats;
+//   - cross-query call sharing: with Share enabled, aliases bound to the
+//     same underlying service funnel through one Share layer, so
+//     overlapping queries deduplicate in-flight wire calls and replay
+//     memoized chunks.
+type Invoker struct {
+	delay  func(time.Duration)
+	lanes  map[string]Service // per alias: [Share →] user chain → base
+	shares []*Share
+}
+
+// InvokerOptions configures an Invoker.
+type InvokerOptions struct {
+	// Delay, when non-nil, is invoked with the service latency on every
+	// counted fetch (real sleep or virtual-clock advance).
+	Delay func(time.Duration)
+	// Share enables the cross-query call-sharing layer. Aliases bound to
+	// the same underlying Service value share one layer, reproducing the
+	// one-cache-per-interface behavior of the former per-run Cache
+	// wrapping — but engine-wide and safe across concurrent runs.
+	Share bool
+}
+
+// NewInvoker builds the choke point over the bound services. The map
+// values are the complete user middleware chains (resilience wrappers
+// already applied); the Invoker adds its own layers above them.
+func NewInvoker(services map[string]Service, opts InvokerOptions) *Invoker {
+	inv := &Invoker{delay: opts.Delay, lanes: map[string]Service{}, shares: nil}
+	sharesBySvc := map[Service]*Share{}
+	for alias, svc := range services {
+		lane := svc
+		if opts.Share {
+			sh, ok := sharesBySvc[svc]
+			if !ok {
+				sh = NewShare(svc)
+				sharesBySvc[svc] = sh
+				inv.shares = append(inv.shares, sh)
+			}
+			lane = sh
+		}
+		inv.lanes[alias] = lane
+	}
+	return inv
+}
+
+// Aliases lists the bound aliases.
+func (inv *Invoker) Aliases() []string {
+	out := make([]string, 0, len(inv.lanes))
+	for alias := range inv.lanes {
+		out = append(out, alias)
+	}
+	return out
+}
+
+// Lane returns the alias's service chain as seen by a run's Counter
+// (including the Share layer when sharing is on). It is the anchor for
+// chain-walking helpers like InstallTimeSource and CollectResilience.
+func (inv *Invoker) Lane(alias string) (Service, bool) {
+	lane, ok := inv.lanes[alias]
+	return lane, ok
+}
+
+// Sharing reports whether the cross-query call-sharing layer is active.
+func (inv *Invoker) Sharing() bool { return len(inv.shares) > 0 }
+
+// ShareStats sums the counters of all share layers. Zero-valued when
+// sharing is off.
+func (inv *Invoker) ShareStats() ShareStats {
+	var sum ShareStats
+	for _, sh := range inv.shares {
+		sum.Add(sh.Counters())
+	}
+	return sum
+}
+
+// NewRun opens an isolated counting scope for one execution: a fresh
+// Counter per alias over the shared lanes. Concurrent runs each hold
+// their own scope and may proceed simultaneously.
+func (inv *Invoker) NewRun() *RunScope {
+	scope := &RunScope{counters: map[string]*Counter{}}
+	for alias, lane := range inv.lanes {
+		scope.counters[alias] = NewCounter(lane, inv.delay)
+	}
+	return scope
+}
+
+// RunScope is one execution's private view of the Invoker: per-alias
+// Counters (budget probe, latency charge, logical call counts) over the
+// engine-wide lanes.
+type RunScope struct {
+	counters map[string]*Counter
+}
+
+// Counter returns the run's counting wrapper for an alias, or nil when
+// the alias is not bound.
+func (r *RunScope) Counter(alias string) *Counter { return r.counters[alias] }
+
+// Counters exposes the full per-alias counter map (read-only by
+// convention) for run-report assembly.
+func (r *RunScope) Counters() map[string]*Counter { return r.counters }
