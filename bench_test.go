@@ -17,6 +17,7 @@ import (
 	"seco/internal/engine"
 	"seco/internal/join"
 	"seco/internal/mart"
+	"seco/internal/obs"
 	"seco/internal/optimizer"
 	"seco/internal/plan"
 	"seco/internal/query"
@@ -776,4 +777,110 @@ func BenchmarkE15_StreamingVsMaterializing(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkE15_MetricsSnapshot runs the movienight E15 scenario with the
+// metrics registry and the call-sharing layer enabled, and reports the
+// registry's view of the execution: request-responses, the share layer's
+// cache hit rate, and the per-call latency distribution (count-weighted
+// p50/p99 across the service aliases). CI appends this snapshot to
+// BENCH_operators.json so the operator benchmarks carry their metric
+// profile alongside ns/op.
+func BenchmarkE15_MetricsSnapshot(b *testing.B) {
+	movieReg := movieRegistry(b)
+	mp, mq, err := plan.RunningExamplePlan(movieReg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	movieWorld, err := synth.NewMovieWorld(movieReg, synth.MovieConfig{Seed: 7, TitlesPerTheatre: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma, err := plan.Annotate(mp, plan.Fig10Fetches())
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := movieWorld.Services()
+	opts := engine.Options{Inputs: movieWorld.Inputs, Weights: mq.Weights, TargetK: 5, Parallelism: 4}
+
+	reg := obs.NewRegistry()
+	e := engine.NewWithConfig(services, engine.Config{Share: true, Metrics: reg})
+	var run *engine.Run
+	for i := 0; i < b.N; i++ {
+		var err error
+		run, err = e.Execute(context.Background(), ma, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(run.TotalCalls()), "calls")
+
+	// Cache hit rate over the share layer (keyed by interface name).
+	var wire, memo int64
+	for _, svc := range services {
+		name := svc.Interface().Name
+		wire += reg.Counter("seco.share.wire_fetches." + name).Value()
+		memo += reg.Counter("seco.share.memo_hits." + name).Value()
+	}
+	if wire+memo > 0 {
+		b.ReportMetric(float64(memo)/float64(wire+memo), "cache-hit-rate")
+	}
+
+	// Count-weighted per-call latency quantiles across the alias
+	// histograms (virtual-clock charged latency, in milliseconds).
+	var p50, p99, n float64
+	for alias := range services {
+		h := reg.Histogram("seco.invoker.latency_ms."+alias, obs.LatencyBucketsMS)
+		c := float64(h.Count())
+		if c == 0 {
+			continue
+		}
+		p50 += h.Quantile(0.50) * c
+		p99 += h.Quantile(0.99) * c
+		n += c
+	}
+	if n > 0 {
+		b.ReportMetric(p50/n, "p50-latency-ms")
+		b.ReportMetric(p99/n, "p99-latency-ms")
+	}
+}
+
+// BenchmarkE15_TracingOverhead runs the movienight E15 scenario with
+// observability off (the shipping default) and with a full tracer, so CI
+// records the delta alongside the operator benchmarks. The "disabled"
+// sub-benchmark is the one held to the <5% regression budget against the
+// previous BENCH_operators.json.
+func BenchmarkE15_TracingOverhead(b *testing.B) {
+	movieReg := movieRegistry(b)
+	mp, mq, err := plan.RunningExamplePlan(movieReg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	movieWorld, err := synth.NewMovieWorld(movieReg, synth.MovieConfig{Seed: 7, TitlesPerTheatre: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma, err := plan.Annotate(mp, plan.Fig10Fetches())
+	if err != nil {
+		b.Fatal(err)
+	}
+	services := movieWorld.Services()
+	opts := engine.Options{Inputs: movieWorld.Inputs, Weights: mq.Weights, TargetK: 5, Parallelism: 4}
+
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.New(services, nil).Execute(context.Background(), ma, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Trace = obs.NewTracer()
+			if _, err := engine.New(services, nil).Execute(context.Background(), ma, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

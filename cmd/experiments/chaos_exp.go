@@ -63,6 +63,13 @@ func runE16(w io.Writer) error {
 	}
 	t.write(w)
 
+	// Machine-readable companion to the table: every cell with its
+	// degraded reason, failed aliases, certified prefix and per-alias
+	// resilience stats (retries, breaker trips, injected faults).
+	if err := writeArtifact(w, "chaos_cells.json", sum.Results); err != nil {
+		return err
+	}
+
 	violations := sum.Violations()
 	fmt.Fprintf(w, "\n  %d cells, %d injected faults, %d invariant violations\n",
 		len(sum.Results), sum.TotalInjected(), len(violations))

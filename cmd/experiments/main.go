@@ -5,15 +5,18 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -run E7    # run one experiment
+//	experiments                       # run everything
+//	experiments -run E7               # run one experiment
+//	experiments -run E16 -artifacts out/   # also write machine-readable JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -45,13 +48,45 @@ func experimentsList() []experiment {
 	}
 }
 
+// artifactsDir, when non-empty, is a directory experiments may write
+// machine-readable JSON artifacts into (next to their textual tables).
+// E16 emits chaos_cells.json there: every sweep cell with its degraded
+// reason, failed aliases, certified prefix, and per-alias resilience
+// stats.
+var artifactsDir string
+
 func main() {
 	var only = flag.String("run", "", "run a single experiment (e.g. E7)")
+	flag.StringVar(&artifactsDir, "artifacts", "", "directory for machine-readable JSON artifacts (created if missing)")
 	flag.Parse()
 	if err := run(*only, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// writeArtifact JSON-encodes v into artifactsDir/name; it is a no-op
+// when no artifacts directory was requested.
+func writeArtifact(w io.Writer, name string, v any) error {
+	if artifactsDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(artifactsDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n  artifact: %s\n", path)
+	return nil
 }
 
 func run(only string, w io.Writer) error {

@@ -8,6 +8,7 @@
 //	planviz -plan fig3       # the Conference/Weather/Flight/Hotel plan
 //	planviz -plan optimized -scenario movienight -metric execution-time
 //	planviz -plan file -in plan.json -scenario movienight
+//	planviz -plan fig10 -trace trace.json   # overlay measured calls/depth/time
 //	planviz -plan fig10 -check          # verify instead of render
 //	planviz -plan file -in plan.json -scenario movienight -check
 package main
@@ -18,9 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"seco/internal/core"
 	"seco/internal/mart"
+	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/plancheck"
 	"seco/internal/query"
@@ -43,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		format   = fs.String("format", "dot", "output format: dot or json")
 		in       = fs.String("in", "", "JSON plan file for -plan file")
 		check    = fs.Bool("check", false, "verify the plan with plancheck instead of rendering; non-zero exit on errors")
+		trace    = fs.String("trace", "", "execution trace JSON (obs format, e.g. secoserve /trace/last) to overlay per-operator calls, fetch depth and busy time on the DOT graph")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,7 +137,46 @@ func run(args []string, out io.Writer) error {
 	if *check {
 		return runCheck(out, p, a, reg)
 	}
-	return render(out, *format, p, a)
+	var overlay map[string]string
+	if *trace != "" {
+		if overlay, err = traceOverlay(*trace); err != nil {
+			return err
+		}
+	}
+	return render(out, *format, p, a, overlay)
+}
+
+// traceOverlay aggregates an execution trace into one measured label
+// line per plan node: invocations, wire fetches, deepest chunk, tuples
+// and the latency charged to the operator's lane.
+func traceOverlay(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	overlay := map[string]string{}
+	for lane, st := range tr.Summary() {
+		if st.Invokes == 0 && st.Fetches == 0 {
+			continue
+		}
+		line := fmt.Sprintf("inv=%d fetch=%d", st.Invokes, st.Fetches)
+		if st.MaxChunk > 0 {
+			line += fmt.Sprintf(" depth=%d", st.MaxChunk)
+		}
+		if st.Tuples > 0 {
+			line += fmt.Sprintf(" tuples=%d", st.Tuples)
+		}
+		if st.Busy > 0 {
+			line += fmt.Sprintf(" busy=%s", st.Busy.Round(time.Millisecond))
+		}
+		overlay[lane] = line
+	}
+	return overlay, nil
 }
 
 // scenarioRegistry maps a scenario name to its design-time registry, used
@@ -173,10 +216,10 @@ func runCheck(out io.Writer, p *plan.Plan, a *plan.Annotated, reg *mart.Registry
 }
 
 // render emits the plan in the requested format.
-func render(out io.Writer, format string, p *plan.Plan, a *plan.Annotated) error {
+func render(out io.Writer, format string, p *plan.Plan, a *plan.Annotated, overlay map[string]string) error {
 	switch format {
 	case "dot":
-		fmt.Fprint(out, p.DOT(a))
+		fmt.Fprint(out, p.DOTOverlay(a, overlay))
 		return nil
 	case "json":
 		data, err := json.MarshalIndent(p, "", "  ")

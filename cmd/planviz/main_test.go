@@ -2,7 +2,10 @@ package main
 
 import (
 	"os"
+	"time"
+
 	"path/filepath"
+	"seco/internal/obs"
 	"strings"
 	"testing"
 )
@@ -113,5 +116,50 @@ func TestPlanvizErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestPlanvizTraceOverlay(t *testing.T) {
+	// Build a small trace by hand: lane "M" gets one invocation with two
+	// fetches; lane "run" has no calls and must not appear in the overlay.
+	tr := obs.NewTracer()
+	tr.Bind(nil, true)
+	sc := tr.Scope("M")
+	sc.StartCall("invoke")(0)
+	sc.StartCall("fetch", obs.KI("chunk", 1))(100*time.Millisecond, obs.KI("tuples", 5))
+	sc.StartCall("fetch", obs.KI("chunk", 2))(50*time.Millisecond, obs.KI("tuples", 3))
+	tr.Scope("run").Event("halted")
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-plan", "fig10", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"inv=1 fetch=2", "depth=2", "tuples=8", "busy=150ms", "fillcolor"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("trace overlay missing %q:\n%s", frag, s)
+		}
+	}
+	// Only the traced service node is filled.
+	if strings.Count(s, "fillcolor") != 1 {
+		t.Errorf("expected exactly one overlaid node:\n%s", s)
+	}
+}
+
+func TestPlanvizTraceMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-plan", "fig10", "-trace", "/nonexistent/trace.json"}, &out); err == nil {
+		t.Fatal("expected error for missing trace file")
 	}
 }

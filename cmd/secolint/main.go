@@ -16,6 +16,9 @@
 //	detrange   — no ordered slices built by appending inside a
 //	             range-over-map in the plan-producing packages
 //	closedrain — no discarded Close errors on the engine's drain paths
+//	obsleak    — no engine Invoke/Fetch calls on a fresh
+//	             context.Background/TODO, which would sever the run's
+//	             trace lane
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"seco/internal/lint"
 	"seco/internal/lint/closedrain"
 	"seco/internal/lint/detrange"
+	"seco/internal/lint/obsleak"
 	"seco/internal/lint/wallclock"
 )
 
@@ -37,6 +41,7 @@ var analyzers = []*lint.Analyzer{
 	wallclock.Analyzer,
 	detrange.Analyzer,
 	closedrain.Analyzer,
+	obsleak.Analyzer,
 }
 
 func main() {

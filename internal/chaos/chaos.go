@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"seco/internal/mart"
+	"seco/internal/obs"
 	"seco/internal/service"
 )
 
@@ -181,6 +182,11 @@ type Injector struct {
 	injected  atomic.Int64
 	permanent atomic.Int64
 	spikes    atomic.Int64
+
+	// metrics mirrors, bound via BindMetrics; nil handles are no-ops.
+	mInjected  *obs.Counter
+	mPermanent *obs.Counter
+	mSpikes    *obs.Counter
 }
 
 // clockBox wraps the TimeSource interface for atomic storage.
@@ -222,9 +228,22 @@ func (j *Injector) Interface() *mart.Interface { return j.inner.Interface() }
 // Stats implements service.Service.
 func (j *Injector) Stats() service.Stats { return j.inner.Stats() }
 
+// BindMetrics registers the injector's fault counters on reg, keyed by
+// the wrapped service's interface name. A nil registry is a no-op.
+func (j *Injector) BindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	name := j.inner.Interface().Name
+	j.mInjected = reg.Counter("seco.chaos.injected." + name)
+	j.mPermanent = reg.Counter("seco.chaos.permanent." + name)
+	j.mSpikes = reg.Counter("seco.chaos.spikes." + name)
+}
+
 // intercept evaluates the rules for one call and applies the verdict:
-// charging delays, counting, and returning the injected error, if any.
-func (j *Injector) intercept(op string, in service.Input) error {
+// charging delays, counting, tracing the injected event into the
+// calling operator's lane, and returning the injected error, if any.
+func (j *Injector) intercept(ctx context.Context, op string, in service.Input) error {
 	j.mu.Lock()
 	call := Call{Seq: j.seq, Op: op, Input: in, Draw: j.rng.Float64()}
 	j.seq++
@@ -240,6 +259,8 @@ func (j *Injector) intercept(op string, in service.Input) error {
 
 	if verdict.Delay > 0 {
 		j.spikes.Add(1)
+		j.mSpikes.Add(1)
+		obs.ScopeFrom(ctx).Event("chaos-spike", obs.KV("op", op), obs.KD("delay", verdict.Delay))
 		if box := j.clock.Load(); box != nil && box.ts != nil {
 			box.ts.Sleep(verdict.Delay)
 		}
@@ -247,10 +268,14 @@ func (j *Injector) intercept(op string, in service.Input) error {
 	switch verdict.Fault {
 	case FaultTransient:
 		n := j.injected.Add(1)
+		j.mInjected.Add(1)
+		obs.ScopeFrom(ctx).Event("chaos-fault", obs.KV("op", op), obs.KV("kind", "transient"))
 		return fmt.Errorf("chaos: service %s: injected transient %s failure #%d (call %d): %w",
 			j.inner.Interface().Name, op, n, call.Seq, service.ErrTransient)
 	case FaultPermanent:
 		n := j.permanent.Add(1)
+		j.mPermanent.Add(1)
+		obs.ScopeFrom(ctx).Event("chaos-fault", obs.KV("op", op), obs.KV("kind", "permanent"))
 		return fmt.Errorf("chaos: service %s: injected permanent %s failure #%d (call %d): %w",
 			j.inner.Interface().Name, op, n, call.Seq, service.ErrPermanent)
 	}
@@ -259,7 +284,7 @@ func (j *Injector) intercept(op string, in service.Input) error {
 
 // Invoke implements service.Service under the fault schedule.
 func (j *Injector) Invoke(ctx context.Context, in service.Input) (service.Invocation, error) {
-	if err := j.intercept("invoke", in); err != nil {
+	if err := j.intercept(ctx, "invoke", in); err != nil {
 		return nil, err
 	}
 	inv, err := j.inner.Invoke(ctx, in)
@@ -276,7 +301,7 @@ type injectedInvocation struct {
 
 // Fetch implements service.Invocation under the fault schedule.
 func (ii *injectedInvocation) Fetch(ctx context.Context) (service.Chunk, error) {
-	if err := ii.injector.intercept("fetch", nil); err != nil {
+	if err := ii.injector.intercept(ctx, "fetch", nil); err != nil {
 		return service.Chunk{}, err
 	}
 	return ii.inner.Fetch(ctx)

@@ -63,8 +63,8 @@ type Result struct {
 
 	Returned   int
 	Degraded   bool
-	Reason     string
-	Failed     []string
+	Reason     string   `json:",omitempty"`
+	Failed     []string `json:",omitempty"`
 	CertifiedK int
 
 	Injected  int64
@@ -72,8 +72,13 @@ type Result struct {
 	Retries   int64
 	Spikes    int64
 
+	// Resilience is the per-alias middleware breakdown behind the
+	// aggregate counters above (retries, breaker trips and rejections,
+	// injected faults), straight from Run.Resilience.
+	Resilience map[string]service.ResilienceStats `json:",omitempty"`
+
 	// Violations lists every invariant the cell broke (empty = pass).
-	Violations []string
+	Violations []string `json:",omitempty"`
 }
 
 // Summary aggregates a sweep.
@@ -289,6 +294,7 @@ func runCell(ctx context.Context, sc *Scenario, sched Schedule, streaming bool, 
 		return res
 	}
 	res.Returned = len(run.Combinations)
+	res.Resilience = run.Resilience
 	for _, rs := range run.Resilience {
 		res.Injected += rs.Injected
 		res.Permanent += rs.Permanent

@@ -18,6 +18,7 @@ import (
 	"seco/internal/cost"
 	"seco/internal/engine"
 	"seco/internal/mart"
+	"seco/internal/obs"
 	"seco/internal/optimizer"
 	"seco/internal/plan"
 	"seco/internal/query"
@@ -142,6 +143,13 @@ type RunOptions struct {
 	// a service fails permanently or the Budget expires mid-run, instead
 	// of an error (streaming executor only).
 	Degrade bool
+	// Trace, when non-nil, records per-operator spans for the execution
+	// (see engine.Options.Trace). Pass a fresh obs.NewTracer per Run.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, registers the engine's instruments (per-alias
+	// call counters, latency/chunk-depth histograms, share-layer hits,
+	// driver counters) and fills Run.Metrics with a text snapshot.
+	Metrics *obs.Registry
 }
 
 // Run executes an optimized plan and returns the ranked combinations.
@@ -158,6 +166,7 @@ func (s *System) Run(ctx context.Context, res *optimizer.Result, opts RunOptions
 		Materialize: opts.Materialize,
 		Budget:      opts.Budget,
 		Degrade:     opts.Degrade,
+		Trace:       opts.Trace,
 	})
 }
 
@@ -194,6 +203,7 @@ func (s *System) RunToK(ctx context.Context, res *optimizer.Result, opts RunOpti
 			Materialize: opts.Materialize,
 			Budget:      opts.Budget,
 			Degrade:     opts.Degrade,
+			Trace:       opts.Trace,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -241,6 +251,15 @@ func (s *System) Session(res *optimizer.Result, opts RunOptions) (*engine.Sessio
 	}), nil
 }
 
+// Engine builds the execution engine a Run for this plan would use —
+// per-alias service bindings, clock/delay policy, sharing layer and
+// metrics registry. Long-lived callers (the secoserve debug server, the
+// Session API) hold one Engine and execute many runs against it, so the
+// sharing layer and the cumulative metrics span all of them.
+func (s *System) Engine(res *optimizer.Result, opts RunOptions) (*engine.Engine, error) {
+	return s.engineFor(res, opts)
+}
+
 // engineFor maps the plan's aliases to bound services. With CacheCalls,
 // the engine's Invoker shares one dedup/memo layer per underlying service
 // value, so aliases over the same interface reuse each other's fetches.
@@ -258,7 +277,9 @@ func (s *System) engineFor(res *optimizer.Result, opts RunOptions) (*engine.Engi
 	if opts.LiveLatency {
 		delay = time.Sleep
 	}
-	return engine.NewWithConfig(byAlias, engine.Config{Delay: delay, Share: opts.CacheCalls}), nil
+	return engine.NewWithConfig(byAlias, engine.Config{
+		Delay: delay, Share: opts.CacheCalls, Metrics: opts.Metrics,
+	}), nil
 }
 
 // Explain renders a human-readable description of an optimization result:

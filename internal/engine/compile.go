@@ -121,6 +121,9 @@ func (g *graph) makeOp(id string, n *plan.Node) (Operator, error) {
 	c := &atomic.Int64{}
 	g.emitted[id] = c
 	counted := &countedOp{inner: op, n: c}
+	if tr := g.ex.opts.Trace; tr != nil {
+		counted.sc = tr.Scope(id)
+	}
 	g.ops = append(g.ops, counted)
 	g.descs = append(g.descs, plancheck.OpDesc{
 		Node:   id,
@@ -155,16 +158,21 @@ func (g *graph) makeServiceOp(id string, n *plan.Node) (Operator, error) {
 	w := g.ex.opts.Weights[n.Alias]
 	depth := &atomic.Int64{}
 	g.depth[id] = depth
+	// The service operators carry their trace scope and attach it to the
+	// context of every Invoke/Fetch, so the per-call spans the Counter
+	// emits — and any middleware events beneath it — land in this node's
+	// lane. Scope is nil (and WithScope a no-op) when the run is untraced.
+	sc := g.ex.opts.Trace.Scope(id)
 	if n.PipedFrom() {
 		return &pipeOp{
 			g: g, ex: g.ex, n: n, counter: counter, fixed: fixed,
 			preds: preds, budget: budget, w: w,
-			par: g.ex.opts.Parallelism, up: up, depth: depth,
+			par: g.ex.opts.Parallelism, up: up, depth: depth, sc: sc,
 		}, nil
 	}
 	return &serviceOp{
 		ex: g.ex, n: n, counter: counter, fixed: fixed,
-		preds: preds, budget: budget, w: w, up: up, depth: depth,
+		preds: preds, budget: budget, w: w, up: up, depth: depth, sc: sc,
 	}, nil
 }
 

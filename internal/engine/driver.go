@@ -4,8 +4,11 @@ import (
 	"container/heap"
 	"context"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"seco/internal/obs"
 	"seco/internal/types"
 )
 
@@ -27,6 +30,8 @@ import (
 // runDrain is the eager-drain driver policy: evaluate everything the
 // fetch budgets reach, rank, then truncate.
 func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*Run, error) {
+	runSc := ex.opts.Trace.Scope("run")
+	endRun := runSc.StartTimed("run", obs.KindRun, obs.KV("policy", "drain"))
 	pullCtx, cancel := context.WithCancel(ctx)
 	defer func() {
 		cancel()
@@ -65,6 +70,7 @@ func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*R
 		run.Produced[id] = int(n.Load())
 	}
 	run.Produced[g.outID] = len(all)
+	endRun(run.Elapsed, obs.KI("combinations", int64(len(ranked))), obs.KI("pulled", int64(len(all))))
 	return run, nil
 }
 
@@ -76,6 +82,8 @@ func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*R
 // expiry ends the pull early with a partial result instead of an error
 // (see degrade.go).
 func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Run, error) {
+	runSc := ex.opts.Trace.Scope("run")
+	endRun := runSc.StartTimed("run", obs.KindRun, obs.KV("policy", "pull"))
 	pullCtx, cancel := context.WithCancel(ctx)
 	defer func() {
 		cancel()
@@ -128,6 +136,10 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 			}
 			if kth.Len() == ex.opts.TargetK && (*kth)[0] >= g.root.Bound() {
 				halted = true
+				runSc.Event("halted",
+					obs.KI("pulled", int64(len(all))),
+					obs.KV("kth", trim((*kth)[0])),
+					obs.KV("bound", trim(g.root.Bound())))
 				break
 			}
 		}
@@ -137,6 +149,12 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 	var stopBound float64
 	if deg != nil {
 		stopBound = g.root.Bound()
+		runSc.Event("degraded",
+			obs.KV("reason", string(deg.Reason)),
+			obs.KV("failed", strings.Join(deg.Failed, ",")))
+		if m := ex.engine.metrics; m != nil {
+			m.Counter("seco.engine.degraded." + string(deg.Reason)).Add(1)
+		}
 	}
 	// Stop the prefetchers and wait for every pipeline goroutine before
 	// reading the counters.
@@ -162,7 +180,24 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 		}
 		run.Degraded = deg
 	}
+	endRun(
+		run.Elapsed,
+		obs.KI("combinations", int64(len(ranked))),
+		obs.KI("pulled", int64(len(all))),
+		obs.KV("halted", boolAttr(halted)),
+		obs.KV("degraded", boolAttr(deg != nil)),
+	)
 	return run, nil
+}
+
+// trim renders a score for a trace attribute.
+func trim(f float64) string { return strconv.FormatFloat(f, 'g', 6, 64) }
+
+func boolAttr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
 }
 
 // nonNegative reports whether every ranking weight is ≥ 0 — the

@@ -21,9 +21,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/plancheck"
 	"seco/internal/query"
@@ -76,6 +78,15 @@ type Options struct {
 	// driver does not degrade (it has no meaningful partial state to
 	// return); plancheck warns on that combination.
 	Degrade bool
+	// Trace, when non-nil, records per-operator spans for this execution:
+	// operator lifecycles, every service invoke/fetch, retry and breaker
+	// events, cache hits, injected faults, and degradations. The engine
+	// binds the tracer to its Clock at the start of the run; under a
+	// VirtualClock the tracer stamps spans deterministically (lane-local
+	// charged-time cursors), so two identical virtual runs produce
+	// byte-identical traces. A Tracer records one run — pass a fresh one
+	// per Execute.
+	Trace *obs.Tracer
 }
 
 // Run is the outcome of one plan execution.
@@ -111,6 +122,11 @@ type Run struct {
 	// Options.Degrade: it names the failure, the per-node fetch depth
 	// reached, and how much of the returned prefix is provably correct.
 	Degraded *Degradation
+	// Metrics is a text dump of the engine's metrics registry as of the
+	// end of this run (empty when the engine was built without
+	// Config.Metrics). The registry is engine-wide and cumulative; the
+	// dump is the registry state, not a per-run delta.
+	Metrics string
 }
 
 // TotalCalls sums the per-alias request-responses.
@@ -129,6 +145,7 @@ func (r *Run) TotalCalls() int64 {
 type Engine struct {
 	invoker *service.Invoker
 	clock   Clock
+	metrics *obs.Registry
 }
 
 // Config configures an Engine beyond its bound services.
@@ -147,6 +164,12 @@ type Config struct {
 	// memoized engine-wide. Results are unchanged; only wire traffic and
 	// call counts below the per-run Counters shrink.
 	Share bool
+	// Metrics, when non-nil, receives the engine's instruments: per-alias
+	// call counters and latency/chunk-depth histograms from the Invoker,
+	// share-layer hit counters, and per-run driver counters. The registry
+	// is engine-wide (cumulative across runs); each Run carries a text
+	// snapshot in Run.Metrics. Nil keeps the hot path unmetered.
+	Metrics *obs.Registry
 }
 
 // New builds an engine over the given services. The delay hook, when
@@ -190,8 +213,11 @@ func NewWithConfig(services map[string]service.Service, cfg Config) *Engine {
 		service.InstallTimeSource(svc, clk)
 	}
 	return &Engine{
-		invoker: service.NewInvoker(services, service.InvokerOptions{Delay: delay, Share: cfg.Share}),
+		invoker: service.NewInvoker(services, service.InvokerOptions{
+			Delay: delay, Share: cfg.Share, Metrics: cfg.Metrics,
+		}),
 		clock:   clk,
+		metrics: cfg.Metrics,
 	}
 }
 
@@ -202,6 +228,10 @@ func (e *Engine) Clock() Clock { return e.clock }
 // Invoker exposes the engine's shared service-call choke point (per-alias
 // lanes, cross-query sharing statistics).
 func (e *Engine) Invoker() *service.Invoker { return e.invoker }
+
+// Metrics exposes the engine's metrics registry (nil when the engine was
+// built without Config.Metrics).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Execute runs the annotated plan and returns the ranked combinations.
 // The plan compiles into an operator graph executed by one of the two
@@ -225,6 +255,14 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("engine: refusing invalid plan: %w", err)
 		}
+	}
+	// Bind the tracer to this engine's clock before any span can be
+	// recorded. A VirtualClock selects the deterministic stamping mode:
+	// spans carry lane-local charged-time cursors instead of raw clock
+	// readings, so goroutine scheduling cannot perturb the trace.
+	if opts.Trace != nil {
+		_, virtual := e.clock.(*VirtualClock)
+		opts.Trace.Bind(e.clock, virtual)
 	}
 	start := e.clock.Now()
 	ex := &executor{engine: e, ann: a, opts: opts, scope: e.invoker.NewRun()}
@@ -257,10 +295,19 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 			return nil, fmt.Errorf("engine: refusing mis-compiled operator graph: %w", err)
 		}
 	}
-	if opts.Materialize {
-		return ex.runDrain(ctx, g, start)
-	}
-	return ex.runPull(ctx, g, start)
+	// Label the run's goroutines for profiling: children (join-branch
+	// prefetchers, pipe-window invocations) inherit the label, so a pprof
+	// profile partitions CPU/heap by query root.
+	var run *Run
+	var runErr error
+	pprof.Do(ctx, pprof.Labels("seco.query", g.rootID), func(ctx context.Context) {
+		if opts.Materialize {
+			run, runErr = ex.runDrain(ctx, g, start)
+		} else {
+			run, runErr = ex.runPull(ctx, g, start)
+		}
+	})
+	return run, runErr
 }
 
 // executor is the per-run context shared by the compiled operators: the
@@ -293,6 +340,20 @@ func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted 
 	}
 	if est := ex.ann.TotalCalls(); est > float64(run.TotalCalls()) {
 		run.CallsSaved = est - float64(run.TotalCalls())
+	}
+	if m := ex.engine.metrics; m != nil {
+		policy := "pull"
+		if ex.opts.Materialize {
+			policy = "drain"
+		}
+		m.Counter("seco.engine.runs." + policy).Add(1)
+		if halted {
+			m.Counter("seco.engine.halted").Add(1)
+		}
+		m.Histogram("seco.engine.combinations", obs.DepthBuckets).Observe(float64(len(ranked)))
+		m.Histogram("seco.engine.elapsed_ms", obs.LatencyBucketsMS).
+			Observe(float64(run.Elapsed) / float64(time.Millisecond))
+		run.Metrics = m.Text()
 	}
 	return run
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 
 	"seco/internal/join"
 	"seco/internal/plan"
@@ -23,8 +24,11 @@ import (
 // fetch concurrently while the explorer is driven from one goroutine.
 type joinBranch struct {
 	reader Operator
-	size   int
-	ch     chan branchPull
+	// id names the branch's input plan node — the pprof label of the
+	// prefetch goroutine when the run is observed.
+	id   string
+	size int
+	ch   chan branchPull
 	// outstanding marks a prefetch in flight whose result has not been
 	// consumed yet; Close drains it so the goroutine's reader ownership
 	// has ended before the graph closes the inputs.
@@ -50,23 +54,33 @@ type branchPull struct {
 func (g *graph) startPull(ctx context.Context, b *joinBranch) {
 	b.outstanding = true
 	g.wg.Add(1)
+	observed := g.ex.opts.Trace != nil || g.ex.engine.metrics != nil
 	go func() {
 		defer g.wg.Done()
-		var res branchPull
-		for len(res.combos) < b.size {
-			c, err := b.reader.Next(ctx)
-			if err != nil {
-				res.err = err
-				break
+		pull := func(ctx context.Context) {
+			var res branchPull
+			for len(res.combos) < b.size {
+				c, err := b.reader.Next(ctx)
+				if err != nil {
+					res.err = err
+					break
+				}
+				if c == nil {
+					res.short = true
+					break
+				}
+				res.combos = append(res.combos, c)
 			}
-			if c == nil {
-				res.short = true
-				break
-			}
-			res.combos = append(res.combos, c)
+			res.bound = b.reader.Bound()
+			b.ch <- res
 		}
-		res.bound = b.reader.Bound()
-		b.ch <- res
+		if observed {
+			// Label the prefetcher with its input node, so profiles split
+			// the two concurrently-fetching join branches.
+			pprof.Do(ctx, pprof.Labels("seco.operator", b.id), pull)
+		} else {
+			pull(ctx)
+		}
 	}()
 }
 
@@ -104,11 +118,11 @@ func (g *graph) makeJoinOp(id string, n *plan.Node) (Operator, error) {
 		return nil, err
 	}
 	lb := &joinBranch{
-		reader: l, size: g.ex.chunkSizeOf(preds[0]),
+		reader: l, id: preds[0], size: g.ex.chunkSizeOf(preds[0]),
 		ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: l.Bound(),
 	}
 	rb := &joinBranch{
-		reader: r, size: g.ex.chunkSizeOf(preds[1]),
+		reader: r, id: preds[1], size: g.ex.chunkSizeOf(preds[1]),
 		ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: r.Bound(),
 	}
 	// No static fetch limits: branch lengths are unknown up front, so

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync/atomic"
 
+	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/query"
 	"seco/internal/service"
@@ -36,6 +38,7 @@ type serviceOp struct {
 	w       float64
 	up      Operator
 	depth   *atomic.Int64
+	sc      *obs.Scope // the node's trace lane; nil when untraced
 
 	inv       service.Invocation
 	tuples    []*types.Tuple
@@ -63,6 +66,9 @@ func (s *serviceOp) canFetch() bool {
 }
 
 func (s *serviceOp) fetch(ctx context.Context) error {
+	// Attach this node's trace lane to the call context, so the Counter's
+	// per-call spans and any middleware events attribute here.
+	ctx = obs.WithScope(ctx, s.sc)
 	if s.inv == nil {
 		inv, err := s.counter.Invoke(ctx, s.fixed)
 		if err != nil {
@@ -214,6 +220,7 @@ type pipeOp struct {
 	par     int
 	up      Operator
 	depth   *atomic.Int64
+	sc      *obs.Scope // the node's trace lane; nil when untraced
 
 	upDone  bool
 	window  []*pipeSlot
@@ -246,12 +253,23 @@ func (s *pipeOp) fill(ctx context.Context) error {
 		slot := &pipeSlot{src: c, done: make(chan struct{})}
 		s.window = append(s.window, slot)
 		s.g.wg.Add(1)
+		// The slot goroutine carries the node's trace lane in its context
+		// and, when the run is observed, a seco.operator pprof label so
+		// profiles attribute the parallel invocations to this node.
+		cctx := obs.WithScope(ctx, s.sc)
 		go func() {
 			defer s.g.wg.Done()
 			defer close(slot.done)
-			var fetched int
-			slot.out, fetched, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
-			s.depth.Add(int64(fetched))
+			work := func(ctx context.Context) {
+				var fetched int
+				slot.out, fetched, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
+				s.depth.Add(int64(fetched))
+			}
+			if s.sc != nil || s.ex.engine.metrics != nil {
+				pprof.Do(cctx, pprof.Labels("seco.operator", s.n.ID), work)
+			} else {
+				work(cctx)
+			}
 		}()
 	}
 	return nil

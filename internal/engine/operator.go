@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/types"
 )
@@ -42,11 +43,17 @@ type Operator interface {
 var ErrClosed = errors.New("engine: operator closed")
 
 // countedOp decorates every compiled operator: it enforces the lifecycle
-// state machine (idempotent Open/Close, ErrClosed after Close) and counts
-// distinct emissions for Run.Produced.
+// state machine (idempotent Open/Close, ErrClosed after Close), counts
+// distinct emissions for Run.Produced, and — when the run is traced —
+// records the operator's Open→Close span with aggregate pull statistics
+// into the operator's trace lane.
 type countedOp struct {
 	inner  Operator
 	n      *atomic.Int64
+	sc     *obs.Scope // nil when the run is untraced
+	endSp  func(...obs.Attr)
+	nexts  atomic.Int64
+	bounds atomic.Int64
 	opened bool
 	closed bool
 }
@@ -57,6 +64,9 @@ func (c *countedOp) Open(ctx context.Context) error {
 	}
 	if c.opened {
 		return nil
+	}
+	if c.sc != nil {
+		c.endSp = c.sc.StartSpan("operator", obs.KindOperator)
 	}
 	if err := c.inner.Open(ctx); err != nil {
 		return err
@@ -69,6 +79,9 @@ func (c *countedOp) Next(ctx context.Context) (*types.Combination, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
+	if c.sc != nil {
+		c.nexts.Add(1)
+	}
 	combo, err := c.inner.Next(ctx)
 	if combo != nil {
 		c.n.Add(1)
@@ -80,6 +93,9 @@ func (c *countedOp) Bound() float64 {
 	if c.closed {
 		return math.Inf(-1)
 	}
+	if c.sc != nil {
+		c.bounds.Add(1)
+	}
 	return c.inner.Bound()
 }
 
@@ -88,6 +104,14 @@ func (c *countedOp) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.endSp != nil {
+		c.endSp(
+			obs.KI("nexts", c.nexts.Load()),
+			obs.KI("emitted", c.n.Load()),
+			obs.KI("bounds", c.bounds.Load()),
+		)
+		c.endSp = nil
+	}
 	return c.inner.Close()
 }
 

@@ -1,0 +1,109 @@
+// Package obsleak reports service calls that sever the run's trace
+// context. Operators reach the service layer through contexts carrying
+// their obs.Scope (obs.WithScope at the operator boundary); the invoker
+// and the resilience middleware read that scope back to emit spans into
+// the operator's trace lane. A call to Invoke or Fetch built on a fresh
+// context.Background()/context.TODO() silently drops the lane: the call
+// executes, but its spans, retries and breaker transitions vanish from
+// the trace. Inside the engine that is always a plumbing bug — the
+// operator has a request context and must pass it (or a context derived
+// from it) down.
+package obsleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"seco/internal/lint"
+)
+
+// Analyzer flags Invoke/Fetch calls on a fresh background context.
+var Analyzer = &lint.Analyzer{
+	Name:  "obsleak",
+	Doc:   "flags engine service calls (Invoke/Fetch) made with context.Background/TODO, which drop the run's trace lane",
+	Scope: []string{"seco/internal/engine"},
+	Run:   run,
+}
+
+// traced names the service-layer entry points whose context must carry
+// the operator's trace scope.
+var traced = map[string]bool{"Invoke": true, "Fetch": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || !traced[fn.Name()] || !firstParamIsContext(fn) {
+				return true
+			}
+			if fresh := freshContext(pass, call.Args[0]); fresh != "" {
+				pass.Reportf(call.Pos(),
+					"%s called with context.%s: the fresh context drops the operator's trace scope; pass the request context (or derive from it)",
+					types.ExprString(call.Fun), fresh)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callee resolves the statically-known called function or method.
+func callee(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// firstParamIsContext reports whether fn's first parameter is a
+// context.Context.
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// freshContext reports whether the argument expression is a direct
+// context.Background() or context.TODO() call, returning the function
+// name ("" otherwise).
+func freshContext(pass *lint.Pass, arg ast.Expr) string {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}

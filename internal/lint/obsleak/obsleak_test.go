@@ -1,0 +1,23 @@
+package obsleak
+
+import (
+	"testing"
+
+	"seco/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/sandbox")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"seco/internal/engine":  true,
+		"seco/internal/service": false,
+		"seco/cmd/secoserve":    false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

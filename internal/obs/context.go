@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// scopeKey follows the service package's budgetKey pattern: an unexported
+// key type so only this package can install or retrieve the scope.
+type scopeKey struct{}
+
+// WithScope attaches an operator's trace scope to the context it passes
+// into the service layer. Middleware deep in the chain (retry, breaker,
+// share, chaos) recovers it with ScopeFrom and emits events into the
+// operator's lane. A nil scope returns ctx unchanged, so untraced runs
+// allocate nothing.
+func WithScope(ctx context.Context, s *Scope) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scopeKey{}, s)
+}
+
+// ScopeFrom retrieves the trace scope installed by WithScope, or nil —
+// and a nil *Scope is itself a valid no-op, so callers never branch.
+func ScopeFrom(ctx context.Context) *Scope {
+	s, _ := ctx.Value(scopeKey{}).(*Scope)
+	return s
+}

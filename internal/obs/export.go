@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Trace is an immutable snapshot of a tracer: the spans of one run,
+// sorted by (lane, seq).
+type Trace struct {
+	Deterministic bool   `json:"deterministic"`
+	Spans         []Span `json:"spans"`
+}
+
+// WriteJSON serializes the trace as structured JSON. With sorted spans
+// and map-keyed attrs (encoding/json sorts map keys) the output is
+// byte-identical for equal traces.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadTrace parses a trace previously written by WriteJSON.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obs: decoding trace: %w", err)
+	}
+	return &tr, nil
+}
+
+// Lanes returns the distinct lane names in sorted order.
+func (tr *Trace) Lanes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sp := range tr.Spans {
+		if !seen[sp.Lane] {
+			seen[sp.Lane] = true
+			out = append(out, sp.Lane)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chromeEvent is one Chrome trace_event record. Complete spans use
+// ph "X" (ts+dur), instants ph "i", thread metadata ph "M".
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   *int64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes the trace in Chrome trace_event format: one
+// thread per lane (named via thread_name metadata), complete "X"
+// events for run/operator/call spans and instant "i" events for
+// markers. Timestamps are integer microseconds from the trace epoch.
+func (tr *Trace) WriteChrome(w io.Writer) error {
+	lanes := tr.Lanes()
+	tid := make(map[string]int, len(lanes))
+	ct := chromeTrace{DisplayUnit: "ms", TraceEvents: []chromeEvent{}}
+	for i, lane := range lanes {
+		tid[lane] = i + 1
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   i + 1,
+			Args:  map[string]string{"name": lane},
+		})
+	}
+	for _, sp := range tr.Spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  string(sp.Kind),
+			TS:   sp.Start.Microseconds(),
+			PID:  1,
+			TID:  tid[sp.Lane],
+			Args: sp.Attrs,
+		}
+		if sp.Kind == KindEvent {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Phase = "X"
+			d := sp.Dur.Microseconds()
+			ev.Dur = &d
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// LaneStats aggregates one lane's service activity for the planviz
+// overlay: call counts, the latency charged to the lane, and the
+// deepest chunk fetched.
+type LaneStats struct {
+	Invokes  int
+	Fetches  int
+	Tuples   int
+	Events   int
+	Busy     time.Duration
+	MaxChunk int
+}
+
+// Summary aggregates the trace per lane. Call spans named "invoke" and
+// "fetch" feed the counts; fetch durations sum into Busy; the "chunk"
+// attribute (1-based) feeds MaxChunk.
+func (tr *Trace) Summary() map[string]LaneStats {
+	out := map[string]LaneStats{}
+	for _, sp := range tr.Spans {
+		st := out[sp.Lane]
+		switch {
+		case sp.Kind == KindCall && sp.Name == "invoke":
+			st.Invokes++
+		case sp.Kind == KindCall && sp.Name == "fetch":
+			st.Fetches++
+			st.Busy += sp.Dur
+			if v, err := strconv.Atoi(sp.Attrs["chunk"]); err == nil && v > st.MaxChunk {
+				st.MaxChunk = v
+			}
+			if v, err := strconv.Atoi(sp.Attrs["tuples"]); err == nil {
+				st.Tuples += v
+			}
+		case sp.Kind == KindEvent:
+			st.Events++
+		}
+		out[sp.Lane] = st
+	}
+	return out
+}

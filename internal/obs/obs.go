@@ -1,0 +1,36 @@
+// Package obs is the engine's zero-dependency observability layer:
+// per-operator tracing, an atomic metrics registry, and the glue that
+// lets every layer of the runtime (operators, drivers, invoker, share,
+// resilience middleware, chaos injector) report what it is doing
+// without knowing who is listening.
+//
+// The package has three deliberately separable parts:
+//
+//   - Tracing (trace.go, context.go): a Tracer collects Spans grouped
+//     into lanes — one lane per plan node plus a synthetic "run" lane.
+//     Operators hold a *Scope (tracer + lane) and attach it to the
+//     context they pass into the service layer, so middleware deep in
+//     the chain (retry loops, breakers, the chaos injector) can emit
+//     events into the correct lane without any plumbing of its own.
+//     All Scope methods are nil-safe: an untraced run pays only a nil
+//     check per call site.
+//
+//   - Metrics (metrics.go): a Registry of named counters, gauges and
+//     fixed-bucket histograms. Instruments are cheap (atomics; a short
+//     mutex for histograms), nil-safe, and exported as expvar-style
+//     JSON or a deterministic text dump.
+//
+//   - Export (export.go): a Trace snapshot serializes as structured
+//     JSON or as Chrome trace_event format (load chrome://tracing or
+//     https://ui.perfetto.dev), and aggregates into per-lane summaries
+//     for the planviz -trace overlay.
+//
+// Clock stamping rule. The tracer is bound to the engine Clock at the
+// start of a run. Under a wall clock, spans carry real clock readings.
+// Under the engine's VirtualClock the tracer switches to deterministic
+// mode: each lane keeps a local time cursor that advances only by the
+// latency explicitly charged to that lane's calls, so the resulting
+// trace depends on per-lane call order alone and is byte-identical
+// across runs regardless of goroutine scheduling — the property the
+// golden-file trace tests pin down.
+package obs

@@ -1,0 +1,461 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for wall-mode tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestNilTracerAndScopeAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Bind(nil, true) // must not panic
+	sc := tr.Scope("x")
+	if sc != nil {
+		t.Fatal("nil tracer should hand out nil scopes")
+	}
+	sc.Event("e")
+	sc.StartCall("c")(time.Second)
+	sc.StartSpan("s", KindOperator)()
+	if got := sc.Lane(); got != "" {
+		t.Fatalf("nil scope lane = %q", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 0 {
+		t.Fatalf("nil tracer snapshot has %d spans", len(snap.Spans))
+	}
+}
+
+func TestDeterministicCursorStamping(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	sc := tr.Scope("A")
+
+	endOp := sc.StartSpan("operator", KindOperator)
+	sc.StartCall("invoke")(0)
+	sc.StartCall("fetch", KI("chunk", 1))(100 * time.Millisecond)
+	sc.Event("retry", KI("attempt", 1))
+	sc.StartCall("fetch", KI("chunk", 2))(50 * time.Millisecond)
+	endOp(KI("emitted", 3))
+
+	snap := tr.Snapshot()
+	if !snap.Deterministic {
+		t.Fatal("snapshot not marked deterministic")
+	}
+	// Sorted by (lane, seq): operator, invoke, fetch#1, retry, fetch#2.
+	want := []struct {
+		name  string
+		start time.Duration
+		dur   time.Duration
+	}{
+		{"operator", 0, 150 * time.Millisecond},
+		{"invoke", 0, 0},
+		{"fetch", 0, 100 * time.Millisecond},
+		{"retry", 100 * time.Millisecond, 0},
+		{"fetch", 100 * time.Millisecond, 50 * time.Millisecond},
+	}
+	if len(snap.Spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(snap.Spans), len(want))
+	}
+	for i, w := range want {
+		sp := snap.Spans[i]
+		if sp.Name != w.name || sp.Start != w.start || sp.Dur != w.dur {
+			t.Errorf("span %d = %s [%v +%v], want %s [%v +%v]",
+				i, sp.Name, sp.Start, sp.Dur, w.name, w.start, w.dur)
+		}
+	}
+	// Cursor semantics: the operator span covers exactly the charged time.
+	if snap.Spans[0].End() != 150*time.Millisecond {
+		t.Errorf("operator end = %v", snap.Spans[0].End())
+	}
+}
+
+func TestWallClockStamping(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	tr := NewTracer()
+	tr.Bind(clk, false)
+	sc := tr.Scope("A")
+
+	clk.advance(10 * time.Millisecond)
+	end := sc.StartCall("fetch")
+	clk.advance(30 * time.Millisecond)
+	end(time.Hour) // the charge is ignored in wall mode
+
+	snap := tr.Snapshot()
+	if snap.Deterministic {
+		t.Fatal("wall-mode snapshot marked deterministic")
+	}
+	sp := snap.Spans[0]
+	if sp.Start != 10*time.Millisecond || sp.Dur != 30*time.Millisecond {
+		t.Fatalf("wall span = [%v +%v], want [10ms +30ms]", sp.Start, sp.Dur)
+	}
+}
+
+func TestBindFirstWins(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	tr.Bind(&fakeClock{}, false) // must not flip the mode
+	if !tr.Deterministic() {
+		t.Fatal("second Bind overrode the first")
+	}
+}
+
+func TestTracerConcurrentLanes(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	const lanes, calls = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := tr.Scope(string(rune('a' + i)))
+			for j := 0; j < calls; j++ {
+				sc.StartCall("fetch")(time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if len(snap.Spans) != lanes*calls {
+		t.Fatalf("got %d spans, want %d", len(snap.Spans), lanes*calls)
+	}
+	// Per lane: seq 0..calls-1, cursor advances by 1ms per call.
+	perLane := map[string]int{}
+	for _, sp := range snap.Spans {
+		seq := perLane[sp.Lane]
+		if sp.Seq != seq {
+			t.Fatalf("lane %s: seq %d out of order (want %d)", sp.Lane, sp.Seq, seq)
+		}
+		if want := time.Duration(seq) * time.Millisecond; sp.Start != want {
+			t.Fatalf("lane %s seq %d: start %v, want %v", sp.Lane, seq, sp.Start, want)
+		}
+		perLane[sp.Lane]++
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	sc := tr.Scope("A")
+	sc.StartCall("fetch", KI("chunk", 1), KV("svc", "M"))(25 * time.Millisecond)
+	sc.Event("chaos-fault", KV("kind", "transient"))
+
+	snap := tr.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deterministic != snap.Deterministic || len(got.Spans) != len(snap.Spans) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, snap)
+	}
+	for i := range got.Spans {
+		g, w := got.Spans[i], snap.Spans[i]
+		if g.Lane != w.Lane || g.Name != w.Name || g.Kind != w.Kind ||
+			g.Start != w.Start || g.Dur != w.Dur || g.Attrs["chunk"] != w.Attrs["chunk"] {
+			t.Fatalf("span %d differs after round trip: %+v vs %+v", i, g, w)
+		}
+	}
+
+	// Serialization is deterministic: same trace, same bytes.
+	var again bytes.Buffer
+	if err := snap.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		// buf was drained by ReadTrace; re-serialize the first for a
+		// fair comparison.
+		var first bytes.Buffer
+		if err := snap.WriteJSON(&first); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatal("WriteJSON not byte-stable for equal traces")
+		}
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	a, b := tr.Scope("A"), tr.Scope("B")
+	endA := a.StartSpan("operator", KindOperator)
+	a.StartCall("fetch")(10 * time.Millisecond)
+	endA()
+	b.Event("retry")
+
+	var buf bytes.Buffer
+	if err := tr.Snapshot().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TID   int               `json:"tid"`
+			Dur   *int64            `json:"dur"`
+			Scope string            `json:"s"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete, instant int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Dur == nil {
+				t.Errorf("complete event %s without dur", ev.Name)
+			}
+		case "i":
+			instant++
+			if ev.Scope != "t" {
+				t.Errorf("instant event %s scope = %q", ev.Name, ev.Scope)
+			}
+		}
+	}
+	if meta != 2 || complete != 2 || instant != 1 {
+		t.Errorf("event mix M/X/i = %d/%d/%d, want 2/2/1", meta, complete, instant)
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	sc := tr.Scope("M")
+	sc.StartCall("invoke")(0)
+	sc.StartCall("fetch", KI("chunk", 1))(100*time.Millisecond, KI("tuples", 5))
+	sc.StartCall("fetch", KI("chunk", 3))(50*time.Millisecond, KI("tuples", 2))
+	sc.Event("share-memo-hit", KI("chunk", 2))
+
+	st := tr.Snapshot().Summary()["M"]
+	if st.Invokes != 1 || st.Fetches != 2 || st.Tuples != 7 || st.Events != 1 {
+		t.Errorf("summary counts = %+v", st)
+	}
+	if st.Busy != 150*time.Millisecond {
+		t.Errorf("busy = %v", st.Busy)
+	}
+	if st.MaxChunk != 3 {
+		t.Errorf("max chunk = %d", st.MaxChunk)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", LatencyBucketsMS)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry should hand out nil instruments")
+	}
+	c.Add(1)
+	g.Set(2)
+	g.Add(3)
+	h.Observe(4)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Text() != "" {
+		t.Fatal("nil registry Text must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "{}" {
+		t.Fatalf("nil registry JSON = %q", buf.String())
+	}
+}
+
+func TestRegistryInstrumentsAndIdentity(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("seco.test.calls")
+	c.Add(2)
+	c.Add(3)
+	if r.Counter("seco.test.calls") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("seco.test.depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	h := r.Histogram("seco.test.lat", []float64{10, 20, 40})
+	if r.Histogram("seco.test.lat", []float64{999}) != h {
+		t.Fatal("histogram lookup not idempotent (first bounds must win)")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 20, 40})
+	// 10 samples in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if h.Count() != 20 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 200 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// p50 lands exactly on the first bucket's upper edge.
+	if q := h.Quantile(0.50); q != 10 {
+		t.Errorf("p50 = %v, want 10", q)
+	}
+	// p75 interpolates halfway into the second bucket: 10 + 10*0.5 = 15.
+	if q := h.Quantile(0.75); q != 15 {
+		t.Errorf("p75 = %v, want 15", q)
+	}
+	// Overflow samples report the last bound.
+	h.Observe(1000)
+	if q := h.Quantile(1.0); q != 40 {
+		t.Errorf("p100 with overflow = %v, want 40", q)
+	}
+}
+
+func TestRegistryTextAndJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("seco.b.calls").Add(3)
+		r.Counter("seco.a.calls").Add(1)
+		r.Gauge("seco.c.depth").Set(4)
+		h := r.Histogram("seco.a.lat", []float64{10, 20})
+		h.Observe(5)
+		h.Observe(15)
+		return r
+	}
+	r1, r2 := build(), build()
+	if r1.Text() != r2.Text() {
+		t.Fatal("Text not deterministic for equal registries")
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("WriteJSON not deterministic for equal registries")
+	}
+	// Valid JSON with sorted keys and expvar-compatible scalar values.
+	var m map[string]any
+	if err := json.Unmarshal(b1.Bytes(), &m); err != nil {
+		t.Fatalf("invalid registry JSON: %v", err)
+	}
+	if m["seco.a.calls"] != float64(1) || m["seco.b.calls"] != float64(3) || m["seco.c.depth"] != float64(4) {
+		t.Fatalf("scalar values wrong: %v", m)
+	}
+	hist, ok := m["seco.a.lat"].(map[string]any)
+	if !ok || hist["count"] != float64(2) {
+		t.Fatalf("histogram JSON wrong: %v", m["seco.a.lat"])
+	}
+	// Text lines are sorted by instrument name.
+	lines := strings.Split(strings.TrimSpace(r1.Text()), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("Text lines not sorted: %q >= %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("seco.x.calls").Add(1)
+				r.Histogram("seco.x.lat", LatencyBucketsMS).Observe(float64(j % 30))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("seco.x.calls").Value(); v != 800 {
+		t.Fatalf("counter = %d, want 800", v)
+	}
+	if n := r.Histogram("seco.x.lat", LatencyBucketsMS).Count(); n != 800 {
+		t.Fatalf("histogram count = %d, want 800", n)
+	}
+}
+
+func TestScopeFromContext(t *testing.T) {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	sc := tr.Scope("A")
+	ctx := WithScope(context.Background(), sc)
+	if got := ScopeFrom(ctx); got != sc {
+		t.Fatal("ScopeFrom did not return the attached scope")
+	}
+	if got := ScopeFrom(context.Background()); got != nil {
+		t.Fatal("ScopeFrom on a bare context must be nil")
+	}
+	// Attaching a nil scope leaves the context unchanged.
+	if ctx2 := WithScope(ctx, nil); ctx2 != ctx {
+		t.Fatal("WithScope(nil) should return the context unchanged")
+	}
+}
+
+// TestDisabledPathZeroAlloc is the "observability off is free" guard:
+// every instrumentation site degrades to a nil receiver, and the nil
+// paths must not allocate — this is what keeps the engine's untraced
+// benchmarks inside the <5% regression budget.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var sc *Scope
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		sc.Event("event")
+		end := sc.StartCall("call")
+		end(time.Millisecond)
+		endSp := sc.StartSpan("span", KindOperator)
+		endSp()
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+	}); n != 0 {
+		t.Fatalf("disabled observability path allocates %v per op", n)
+	}
+}

@@ -10,7 +10,13 @@ import (
 // ("Mrecord") for search services, diamond join nodes and ellipse
 // selections. When ann is non-nil the labels carry the tin/tout/fetch
 // annotations of the fully instantiated plan.
-func (p *Plan) DOT(ann *Annotated) string {
+func (p *Plan) DOT(ann *Annotated) string { return p.DOTOverlay(ann, nil) }
+
+// DOTOverlay renders like DOT with one extra measured line per node,
+// keyed by node ID: planviz -trace feeds it the per-operator call
+// counts, fetch depth and busy time aggregated from an execution trace.
+// Overlaid nodes are filled so the traced path stands out.
+func (p *Plan) DOTOverlay(ann *Annotated, overlay map[string]string) string {
 	var b strings.Builder
 	b.WriteString("digraph plan {\n  rankdir=LR;\n")
 	for _, id := range p.NodeIDs() {
@@ -24,7 +30,12 @@ func (p *Plan) DOT(ann *Annotated) string {
 				}
 			}
 		}
-		fmt.Fprintf(&b, "  %q [label=%q shape=%s];\n", id, label, n.shape())
+		extra := ""
+		if o, ok := overlay[id]; ok && o != "" {
+			label += "\\n" + o
+			extra = ` style=filled fillcolor="#fff3c4"`
+		}
+		fmt.Fprintf(&b, "  %q [label=%q shape=%s%s];\n", id, label, n.shape(), extra)
 	}
 	for _, from := range p.NodeIDs() {
 		for _, to := range p.Successors(from) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"seco/internal/mart"
+	"seco/internal/obs"
 )
 
 // Breaker wraps a service with a per-service circuit breaker: after
@@ -133,9 +134,9 @@ func (b *Breaker) cooldown() time.Duration {
 }
 
 // admit decides whether a call may proceed, transitioning open→half-open
-// when the cooldown has elapsed. The returned release must be called
-// with the call's verdict when admit granted a half-open probe slot.
-func (b *Breaker) admit() error {
+// when the cooldown has elapsed. Rejections and the half-open
+// transition are traced into the calling operator's lane.
+func (b *Breaker) admit(ctx context.Context) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -146,6 +147,7 @@ func (b *Breaker) admit() error {
 			if box.ts.Now().Sub(b.openedAt) >= b.cooldown() {
 				b.state = breakerHalfOpen
 				b.probing = true
+				obs.ScopeFrom(ctx).Event("breaker-half-open")
 				return nil
 			}
 		}
@@ -156,6 +158,7 @@ func (b *Breaker) admit() error {
 		}
 	}
 	b.rejected.Add(1)
+	obs.ScopeFrom(ctx).Event("breaker-reject", obs.KV("state", b.state.String()))
 	return fmt.Errorf("service %s: %w", b.inner.Interface().Name, ErrOpen)
 }
 
@@ -163,7 +166,7 @@ func (b *Breaker) admit() error {
 // the service itself count toward the streak: injected faults and real
 // outages (transient or permanent), not exhaustion, cancellation or
 // binding errors.
-func (b *Breaker) record(err error) {
+func (b *Breaker) record(ctx context.Context, err error) {
 	failure := err != nil && (errors.Is(err, ErrTransient) || errors.Is(err, ErrPermanent))
 	if err != nil && !failure {
 		return // neutral outcome: leaves the streak and state alone
@@ -175,6 +178,7 @@ func (b *Breaker) record(err error) {
 		b.consecutive = 0
 		if b.state == breakerHalfOpen {
 			b.state = breakerClosed
+			obs.ScopeFrom(ctx).Event("breaker-close")
 		}
 		return
 	}
@@ -185,16 +189,17 @@ func (b *Breaker) record(err error) {
 			b.openedAt = box.ts.Now()
 		}
 		b.tripped.Add(1)
+		obs.ScopeFrom(ctx).Event("breaker-trip", obs.KI("consecutive", int64(b.consecutive)))
 	}
 }
 
 // Invoke implements Service behind the circuit.
 func (b *Breaker) Invoke(ctx context.Context, in Input) (Invocation, error) {
-	if err := b.admit(); err != nil {
+	if err := b.admit(ctx); err != nil {
 		return nil, err
 	}
 	inv, err := b.inner.Invoke(ctx, in)
-	b.record(err)
+	b.record(ctx, err)
 	if err != nil {
 		return nil, err
 	}
@@ -208,10 +213,10 @@ type breakerInvocation struct {
 
 // Fetch implements Invocation behind the circuit.
 func (bi *breakerInvocation) Fetch(ctx context.Context) (Chunk, error) {
-	if err := bi.breaker.admit(); err != nil {
+	if err := bi.breaker.admit(ctx); err != nil {
 		return Chunk{}, err
 	}
 	chunk, err := bi.inner.Fetch(ctx)
-	bi.breaker.record(err)
+	bi.breaker.record(ctx, err)
 	return chunk, err
 }

@@ -2,22 +2,32 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
 	"seco/internal/mart"
+	"seco/internal/obs"
 )
 
 // Counter wraps a Service and counts its request-responses, optionally
-// charging the service's published latency to a delay hook on every fetch.
-// The request-response cost metric and the benchmark harness read the
-// counters; the execution engine installs either a real sleep or a
+// charging the service's published latency to a delay hook on every
+// fetch. The request-response cost metric and the benchmark harness read
+// the counters; the execution engine installs either a real sleep or a
 // virtual-clock advance as the delay hook.
+//
+// The Counter is also the service layer's observability choke point: it
+// is the only wrapper that sees both the logical call (invoke/fetch) and
+// the latency charged for it, so it emits the per-call trace spans (into
+// the scope carried by the context, if any) and feeds the per-alias
+// metrics instruments installed by the Invoker.
 type Counter struct {
 	inner Service
 	// Delay, when non-nil, is invoked with the service latency on every
 	// Fetch, before the fetch is served.
 	Delay func(time.Duration)
+
+	inst *instruments // per-alias metrics; nil means unmetered
 
 	invocations atomic.Int64
 	fetches     atomic.Int64
@@ -46,11 +56,15 @@ func (c *Counter) Invoke(ctx context.Context, in Input) (Invocation, error) {
 	if err := CheckBudget(ctx); err != nil {
 		return nil, err
 	}
+	end := obs.ScopeFrom(ctx).StartCall("invoke")
 	inv, err := c.inner.Invoke(ctx, in)
 	if err != nil {
+		end(0, obs.KV("err", errClass(err)))
 		return nil, err
 	}
+	end(0)
 	c.invocations.Add(1)
+	c.inst.invoke()
 	return &countedInvocation{counter: c, inner: inv}, nil
 }
 
@@ -74,23 +88,52 @@ func (c *Counter) Reset() {
 type countedInvocation struct {
 	counter *Counter
 	inner   Invocation
+	chunks  atomic.Int64 // fetch depth served through this invocation
 }
 
 // Fetch implements Invocation: it charges latency, performs the fetch and
 // updates the counters. Exhausted fetches are not counted as
-// request-responses because no call would be issued for them.
+// request-responses — and not traced as calls — because no call would be
+// issued for them.
 func (ci *countedInvocation) Fetch(ctx context.Context) (Chunk, error) {
 	if err := CheckBudget(ctx); err != nil {
 		return Chunk{}, err
 	}
+	depth := ci.chunks.Load() + 1
+	end := obs.ScopeFrom(ctx).StartCall("fetch", obs.KI("chunk", depth))
 	chunk, err := ci.inner.Fetch(ctx)
 	if err != nil {
+		if errors.Is(err, ErrExhausted) {
+			end(0, obs.KV("exhausted", "true"))
+		} else {
+			end(0, obs.KV("err", errClass(err)))
+		}
 		return chunk, err
 	}
+	latency := ci.counter.inner.Stats().Latency
 	if d := ci.counter.Delay; d != nil {
-		d(ci.counter.inner.Stats().Latency)
+		d(latency)
 	}
+	ci.chunks.Add(1)
 	ci.counter.fetches.Add(1)
 	ci.counter.tuples.Add(int64(len(chunk.Tuples)))
+	end(latency, obs.KI("tuples", int64(len(chunk.Tuples))))
+	ci.counter.inst.fetch(latency, depth, len(chunk.Tuples))
 	return chunk, nil
+}
+
+// errClass maps a service error onto a low-cardinality trace attribute.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, ErrPermanent):
+		return "permanent"
+	case errors.Is(err, ErrOpen):
+		return "breaker-open"
+	case errors.Is(err, ErrExhausted):
+		return "exhausted"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "transient"
+	}
 }

@@ -1,6 +1,10 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"seco/internal/obs"
+)
 
 // Invoker is the single service-call choke point beneath the execution
 // engine's operators. It owns, exactly once per engine, the concerns the
@@ -21,6 +25,7 @@ type Invoker struct {
 	delay  func(time.Duration)
 	lanes  map[string]Service // per alias: [Share →] user chain → base
 	shares []*Share
+	inst   map[string]*instruments // per alias; nil when unmetered
 }
 
 // InvokerOptions configures an Invoker.
@@ -33,6 +38,11 @@ type InvokerOptions struct {
 	// one-cache-per-interface behavior of the former per-run Cache
 	// wrapping — but engine-wide and safe across concurrent runs.
 	Share bool
+	// Metrics, when non-nil, receives per-alias call counters and
+	// latency/chunk-depth histograms (fed by each run's Counters) and
+	// per-service share-layer counters. Nil keeps the hot path
+	// unmetered.
+	Metrics *obs.Registry
 }
 
 // NewInvoker builds the choke point over the bound services. The map
@@ -47,12 +57,19 @@ func NewInvoker(services map[string]Service, opts InvokerOptions) *Invoker {
 			sh, ok := sharesBySvc[svc]
 			if !ok {
 				sh = NewShare(svc)
+				sh.bindMetrics(opts.Metrics)
 				sharesBySvc[svc] = sh
 				inv.shares = append(inv.shares, sh)
 			}
 			lane = sh
 		}
 		inv.lanes[alias] = lane
+	}
+	if opts.Metrics != nil {
+		inv.inst = map[string]*instruments{}
+		for alias := range services {
+			inv.inst[alias] = newInstruments(opts.Metrics, alias)
+		}
 	}
 	return inv
 }
@@ -93,9 +110,48 @@ func (inv *Invoker) ShareStats() ShareStats {
 func (inv *Invoker) NewRun() *RunScope {
 	scope := &RunScope{counters: map[string]*Counter{}}
 	for alias, lane := range inv.lanes {
-		scope.counters[alias] = NewCounter(lane, inv.delay)
+		c := NewCounter(lane, inv.delay)
+		c.inst = inv.inst[alias]
+		scope.counters[alias] = c
 	}
 	return scope
+}
+
+// instruments bundles one alias's metrics handles. All methods are
+// nil-safe so the Counter's hot path needs no registry branching.
+type instruments struct {
+	invocations *obs.Counter
+	fetches     *obs.Counter
+	tuples      *obs.Counter
+	latencyMS   *obs.Histogram
+	chunkDepth  *obs.Histogram
+}
+
+func newInstruments(reg *obs.Registry, alias string) *instruments {
+	return &instruments{
+		invocations: reg.Counter("seco.invoker.invocations." + alias),
+		fetches:     reg.Counter("seco.invoker.fetches." + alias),
+		tuples:      reg.Counter("seco.invoker.tuples." + alias),
+		latencyMS:   reg.Histogram("seco.invoker.latency_ms."+alias, obs.LatencyBucketsMS),
+		chunkDepth:  reg.Histogram("seco.invoker.chunk_depth."+alias, obs.DepthBuckets),
+	}
+}
+
+func (i *instruments) invoke() {
+	if i == nil {
+		return
+	}
+	i.invocations.Add(1)
+}
+
+func (i *instruments) fetch(latency time.Duration, depth int64, tuples int) {
+	if i == nil {
+		return
+	}
+	i.fetches.Add(1)
+	i.tuples.Add(int64(tuples))
+	i.latencyMS.Observe(float64(latency) / float64(time.Millisecond))
+	i.chunkDepth.Observe(float64(depth))
 }
 
 // RunScope is one execution's private view of the Invoker: per-alias

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"seco/internal/mart"
+	"seco/internal/obs"
 )
 
 // Retry wraps a service with policy-driven transient-failure retries:
@@ -158,6 +159,7 @@ func (r *Retry) attempt(ctx context.Context, op func() error) error {
 		}
 		if tries >= max {
 			r.giveups.Add(1)
+			obs.ScopeFrom(ctx).Event("retry-giveup", obs.KI("attempts", int64(max)))
 			return fmt.Errorf("service %s: giving up after %d retries: %w",
 				r.inner.Interface().Name, max, err)
 		}
@@ -170,7 +172,9 @@ func (r *Retry) attempt(ctx context.Context, op func() error) error {
 			return budgetErr
 		}
 		r.retried.Add(1)
-		sleep(r.backoff(base, cap, mult, tries))
+		d := r.backoff(base, cap, mult, tries)
+		obs.ScopeFrom(ctx).Event("retry", obs.KI("attempt", int64(tries+1)), obs.KD("backoff", d))
+		sleep(d)
 	}
 }
 

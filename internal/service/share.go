@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"seco/internal/mart"
+	"seco/internal/obs"
 )
 
 // Share is the cross-query call-sharing layer of the Invoker: a
@@ -36,11 +37,30 @@ type Share struct {
 	wireFetches atomic.Int64
 	memoHits    atomic.Int64
 	dedupHits   atomic.Int64
+
+	// metrics mirrors of the counters above, registered per underlying
+	// service interface; nil handles are no-ops.
+	mWire  *obs.Counter
+	mMemo  *obs.Counter
+	mDedup *obs.Counter
 }
 
 // NewShare wraps svc in a call-sharing layer.
 func NewShare(svc Service) *Share {
 	return &Share{inner: svc, entries: map[string]*shareEntry{}}
+}
+
+// bindMetrics registers the layer's counters on reg, keyed by the
+// wrapped service's interface name. A nil registry leaves the layer
+// unmetered.
+func (s *Share) bindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	name := s.inner.Interface().Name
+	s.mWire = reg.Counter("seco.share.wire_fetches." + name)
+	s.mMemo = reg.Counter("seco.share.memo_hits." + name)
+	s.mDedup = reg.Counter("seco.share.dedup_joins." + name)
 }
 
 // ShareStats are the coherent counters of one or more Share layers.
@@ -136,8 +156,12 @@ func (e *shareEntry) fetchAt(ctx context.Context, i int) (Chunk, error) {
 			e.mu.Unlock()
 			if waited {
 				e.share.dedupHits.Add(1)
+				e.share.mDedup.Add(1)
+				obs.ScopeFrom(ctx).Event("share-dedup-join", obs.KI("chunk", int64(i+1)))
 			} else {
 				e.share.memoHits.Add(1)
+				e.share.mMemo.Add(1)
+				obs.ScopeFrom(ctx).Event("share-memo-hit", obs.KI("chunk", int64(i+1)))
 			}
 			return chunk, nil
 		}
@@ -213,6 +237,7 @@ func (e *shareEntry) extend(ctx context.Context) (Chunk, error) {
 		return Chunk{}, err
 	}
 	e.share.wireFetches.Add(1)
+	e.share.mWire.Add(1)
 	e.chunks = append(e.chunks, chunk)
 	if !chunked {
 		e.done = true
