@@ -19,6 +19,9 @@
 //	obsleak    — no engine Invoke/Fetch calls on a fresh
 //	             context.Background/TODO, which would sever the run's
 //	             trace lane
+//	hotalloc   — no map[string]types.Value literals/makes or fmt.Sprintf
+//	             inside operator Next methods, the per-combination hot
+//	             loop the compact runtime keeps allocation-free
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"seco/internal/lint"
 	"seco/internal/lint/closedrain"
 	"seco/internal/lint/detrange"
+	"seco/internal/lint/hotalloc"
 	"seco/internal/lint/obsleak"
 	"seco/internal/lint/wallclock"
 )
@@ -42,6 +46,7 @@ var analyzers = []*lint.Analyzer{
 	detrange.Analyzer,
 	closedrain.Analyzer,
 	obsleak.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {

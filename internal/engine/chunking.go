@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"seco/internal/plan"
-	"seco/internal/types"
 )
 
 // This file is the one home of the re-chunking helpers the parallel-join
@@ -30,13 +29,13 @@ func (ex *executor) chunkSizeOf(id string) int {
 	return DefaultRechunkSize
 }
 
-// rechunk slices a ranked combination list into chunks of the given size
-// (the last chunk may run short).
-func rechunk(items []*types.Combination, size int) [][]*types.Combination {
+// rechunk slices a ranked list into chunks of the given size (the last
+// chunk may run short).
+func rechunk[T any](items []T, size int) [][]T {
 	if size <= 0 {
 		size = DefaultRechunkSize
 	}
-	var chunks [][]*types.Combination
+	var chunks [][]T
 	for lo := 0; lo < len(items); lo += size {
 		hi := lo + size
 		if hi > len(items) {
@@ -49,19 +48,19 @@ func rechunk(items []*types.Combination, size int) [][]*types.Combination {
 
 // chunkTop is the score of a chunk's first (best-ranked) combination, the
 // rank the tile explorer orders chunk pairs by.
-func chunkTop(chunk []*types.Combination) float64 {
+func chunkTop(chunk []*comb) float64 {
 	if len(chunk) == 0 {
 		return 0
 	}
-	return chunk[0].Score
+	return chunk[0].score
 }
 
 // maxScore is the best score in a combination list (-Inf when empty).
-func maxScore(combos []*types.Combination) float64 {
+func maxScore(combos []*comb) float64 {
 	m := math.Inf(-1)
 	for _, c := range combos {
-		if c.Score > m {
-			m = c.Score
+		if c.score > m {
+			m = c.score
 		}
 	}
 	return m

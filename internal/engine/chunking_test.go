@@ -10,14 +10,12 @@ import (
 	"seco/internal/types"
 )
 
-func scored(score float64) *types.Combination {
-	c := types.NewCombination("A", types.NewTuple(score))
-	c.Score = score
-	return c
+func scored(score float64) *comb {
+	return &comb{score: score, comps: []*types.Tuple{types.NewTuple(score)}}
 }
 
 func TestRechunk(t *testing.T) {
-	var items []*types.Combination
+	var items []*comb
 	for i := 0; i < 7; i++ {
 		items = append(items, scored(float64(7-i)))
 	}
@@ -31,13 +29,13 @@ func TestRechunk(t *testing.T) {
 	if got := rechunk(items, 0); len(got) != 1 || len(got[0]) != 7 {
 		t.Errorf("non-positive size must fall back to DefaultRechunkSize, got %d chunks", len(got))
 	}
-	if got := rechunk(nil, 3); got != nil {
+	if got := rechunk[*comb](nil, 3); got != nil {
 		t.Errorf("rechunk(nil) = %v", got)
 	}
 }
 
 func TestChunkTopAndMaxScore(t *testing.T) {
-	chunk := []*types.Combination{scored(0.9), scored(0.4), scored(0.7)}
+	chunk := []*comb{scored(0.9), scored(0.4), scored(0.7)}
 	if chunkTop(chunk) != 0.9 {
 		t.Errorf("chunkTop = %v, want the first (best-ranked) score", chunkTop(chunk))
 	}
@@ -108,33 +106,49 @@ func TestGroupJoinPredsPairsAndSkips(t *testing.T) {
 	if len(preds) != 2 {
 		t.Fatalf("grouped %d pairs, want 2: %v", len(preds), preds)
 	}
-	tm, ok := preds["T|M"]
-	if !ok || len(tm.pred.Conds) != 2 {
+	// Pairs come back in deterministic (left, right) alias order.
+	if preds[0].leftAlias != "R" || preds[0].rightAlias != "T" || len(preds[0].pred.Conds) != 1 {
+		t.Fatalf("R|T pair missing or misplaced: %+v", preds)
+	}
+	if preds[1].leftAlias != "T" || preds[1].rightAlias != "M" || len(preds[1].pred.Conds) != 2 {
 		t.Fatalf("T|M pair missing or not merged: %+v", preds)
-	}
-	if tm.otherAlias("T") != "M" || tm.otherAlias("M") != "T" {
-		t.Error("otherAlias broken")
-	}
-	if rt, ok := preds["R|T"]; !ok || len(rt.pred.Conds) != 1 {
-		t.Fatalf("R|T pair missing: %+v", preds)
 	}
 }
 
 func TestMergeBranchesSharedComponents(t *testing.T) {
-	shared := types.NewTuple(0.5)
-	left := types.NewCombination("C", shared).Merge(types.NewCombination("F", types.NewTuple(0.6)))
-	right := types.NewCombination("C", shared).Merge(types.NewCombination("H", types.NewTuple(0.7)))
-	merged, ok := mergeBranches(left, right)
-	if !ok || len(merged.Components) != 3 {
-		t.Fatalf("shared-ancestor merge failed: ok=%v comps=%v", ok, merged)
+	layout := &aliasLayout{
+		slots:   map[string]int{"C": 0, "F": 1, "H": 2},
+		aliases: []string{"C", "F", "H"},
+		weights: []float64{1, 1, 1},
 	}
-	if merged.Components["C"] != shared {
+	arena := newCombArena(layout.width())
+	defer arena.release()
+	shared := types.NewTuple(0.5)
+	left := &comb{comps: []*types.Tuple{shared, types.NewTuple(0.6), nil}}
+	right := &comb{comps: []*types.Tuple{shared, nil, types.NewTuple(0.7)}}
+	merged, ok := mergeBranches(arena, layout, left, right)
+	if !ok {
+		t.Fatal("shared-ancestor merge failed")
+	}
+	n := 0
+	for _, c := range merged.comps {
+		if c != nil {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("merged comb has %d components, want 3", n)
+	}
+	if merged.comps[0] != shared {
 		t.Error("shared component lost its tuple identity")
+	}
+	if got := merged.score; math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("merged score = %v, want re-ranked 1.8", got)
 	}
 	// The same alias bound to a different tuple stems from a different
 	// upstream row: the pair must not join.
-	other := types.NewCombination("C", types.NewTuple(0.5)).Merge(types.NewCombination("H", types.NewTuple(0.7)))
-	if _, ok := mergeBranches(left, other); ok {
+	other := &comb{comps: []*types.Tuple{types.NewTuple(0.5), nil, types.NewTuple(0.7)}}
+	if _, ok := mergeBranches(arena, layout, left, other); ok {
 		t.Error("divergent shared components merged")
 	}
 }

@@ -41,12 +41,14 @@ type graph struct {
 }
 
 // compile builds the operator graph rooted at the output node's single
-// predecessor.
+// predecessor. It first fixes the run's alias layout — the compile-time
+// alias → slot mapping every comb of this graph is indexed by.
 func compile(ex *executor, outID string) (*graph, error) {
 	preds := ex.ann.Plan.Predecessors(outID)
 	if len(preds) != 1 {
 		return nil, fmt.Errorf("engine: output node has %d predecessors", len(preds))
 	}
+	ex.layout = newAliasLayout(ex.ann.Plan, ex.opts.Weights)
 	g := &graph{
 		ex: ex, outID: outID, rootID: preds[0],
 		emitted: map[string]*atomic.Int64{},
@@ -96,12 +98,16 @@ func (g *graph) makeOp(id string, n *plan.Node) (Operator, error) {
 	)
 	switch n.Kind {
 	case plan.KindInput:
-		op, kind = &inputOp{}, plancheck.OpInput
+		op, kind = &inputOp{width: g.ex.layout.width()}, plancheck.OpInput
 	case plan.KindSelection:
 		var up Operator
 		up, err = g.operator(g.ex.ann.Plan.Predecessors(id)[0])
 		if err == nil {
-			op, kind = &selectionOp{ex: g.ex, n: n, up: up}, plancheck.OpSelection
+			var sels []compiledSel
+			sels, err = compileSelections(n.Selections, g.ex.layout)
+			if err == nil {
+				op, kind = &selectionOp{ex: g.ex, sels: sels, up: up}, plancheck.OpSelection
+			}
 		}
 	case plan.KindService:
 		op, err = g.makeServiceOp(id, n)
@@ -154,7 +160,14 @@ func (g *graph) makeServiceOp(id string, n *plan.Node) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	preds := groupJoinPreds(n)
+	preds, err := compileSvcPreds(n, g.ex.layout)
+	if err != nil {
+		return nil, err
+	}
+	slot, err := g.ex.layout.slot(n.Alias)
+	if err != nil {
+		return nil, err
+	}
 	w := g.ex.opts.Weights[n.Alias]
 	depth := &atomic.Int64{}
 	g.depth[id] = depth
@@ -166,13 +179,14 @@ func (g *graph) makeServiceOp(id string, n *plan.Node) (Operator, error) {
 	if n.PipedFrom() {
 		return &pipeOp{
 			g: g, ex: g.ex, n: n, counter: counter, fixed: fixed,
-			preds: preds, budget: budget, w: w,
+			preds: preds, slot: slot, budget: budget, w: w,
 			par: g.ex.opts.Parallelism, up: up, depth: depth, sc: sc,
 		}, nil
 	}
 	return &serviceOp{
 		ex: g.ex, n: n, counter: counter, fixed: fixed,
-		preds: preds, budget: budget, w: w, up: up, depth: depth, sc: sc,
+		preds: preds, slot: slot, budget: budget, w: w, up: up, depth: depth, sc: sc,
+		arena: newCombArena(g.ex.layout.width()),
 	}, nil
 }
 

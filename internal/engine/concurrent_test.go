@@ -192,3 +192,60 @@ func TestConcurrentRunsThroughOneEngine(t *testing.T) {
 		t.Error("Saved() = 0 across concurrent identical queries")
 	}
 }
+
+// TestPooledBuffersHammer stresses the compact runtime's shared memory
+// machinery — the sync.Pool-backed arena blocks and chunk buffers, and the
+// engine-scoped interner feeding the Share memo — with 8 workers looping
+// runs through ONE engine. Run with -race. Every iteration recycles the
+// previous runs' buffers, so a pooled slice or arena block released while
+// still referenced shows up as a corrupted (or racy) combination: each
+// run's materialized output must keep matching the isolated reference
+// byte for byte.
+func TestPooledBuffersHammer(t *testing.T) {
+	services, scenarios := stressFixtures(t)
+	refs := map[string][]string{}
+	for _, sc := range scenarios {
+		run, err := New(services, nil).Execute(context.Background(), sc.ann, sc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(run.Combinations) == 0 {
+			t.Fatalf("%s reference returned nothing", sc.name)
+		}
+		refs[sc.name] = runKeys(run)
+	}
+
+	e := NewWithConfig(services, Config{Share: true})
+	const workers = 8
+	const iterations = 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				sc := scenarios[(w+i)%len(scenarios)]
+				run, err := e.Execute(context.Background(), sc.ann, sc.opts)
+				if err != nil {
+					t.Errorf("worker %d iter %d (%s): %v", w, i, sc.name, err)
+					return
+				}
+				keys := runKeys(run)
+				want := refs[sc.name]
+				if len(keys) != len(want) {
+					t.Errorf("worker %d iter %d (%s): %d combinations, reference %d",
+						w, i, sc.name, len(keys), len(want))
+					return
+				}
+				for j := range keys {
+					if keys[j] != want[j] {
+						t.Errorf("worker %d iter %d (%s): combination %d diverged:\n got %s\nwant %s",
+							w, i, sc.name, j, keys[j], want[j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

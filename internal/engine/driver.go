@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"container/heap"
 	"context"
 	"sort"
 	"strconv"
@@ -26,6 +25,12 @@ import (
 //     the root's bound — no unseen combination can then enter the top-K —
 //     and, under Options.Degrade, turns mid-run failures into partial
 //     results with a certified prefix.
+//
+// The drivers are the materialization boundary of the compact runtime:
+// combs are sorted and truncated in compact form, and only the surviving
+// top-K are converted back to map-backed Combinations — inside the driver
+// body, before the deferred teardown releases the operator arenas the
+// combs live in.
 
 // runDrain is the eager-drain driver policy: evaluate everything the
 // fetch budgets reach, rank, then truncate.
@@ -41,7 +46,7 @@ func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*R
 	if err := g.root.Open(pullCtx); err != nil {
 		return nil, err
 	}
-	var all []*types.Combination
+	all := make([]*comb, 0, ex.outHint(g))
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -60,12 +65,8 @@ func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*R
 	cancel()
 	g.wg.Wait()
 
-	ranked := all
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
-	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
-		ranked = ranked[:ex.opts.TargetK]
-	}
-	run := ex.newRun(ranked, start, false)
+	ranked := rankTruncate(all, ex.opts.TargetK)
+	run := ex.newRun(ex.materialize(g, ranked), start, false)
 	for id, n := range g.emitted {
 		run.Produced[id] = int(n.Load())
 	}
@@ -97,11 +98,14 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 	earlyStop := ex.opts.TargetK > 0 && nonNegative(ex.opts.Weights)
 	budget := ex.budgetCheck(start)
 	var (
-		all    []*types.Combination
-		kth    = &minHeap{}
+		all    = make([]*comb, 0, ex.outHint(g))
+		kth    minHeap
 		halted bool
 		deg    *Degradation
 	)
+	if earlyStop {
+		kth.grow(ex.opts.TargetK + 1)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -130,15 +134,15 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 		}
 		all = append(all, c)
 		if earlyStop {
-			heap.Push(kth, c.Score)
-			if kth.Len() > ex.opts.TargetK {
-				heap.Pop(kth)
+			kth.push(c.score)
+			if kth.len() > ex.opts.TargetK {
+				kth.popMin()
 			}
-			if kth.Len() == ex.opts.TargetK && (*kth)[0] >= g.root.Bound() {
+			if kth.len() == ex.opts.TargetK && kth.min() >= g.root.Bound() {
 				halted = true
 				runSc.Event("halted",
 					obs.KI("pulled", int64(len(all))),
-					obs.KV("kth", trim((*kth)[0])),
+					obs.KV("kth", trim(kth.min())),
 					obs.KV("bound", trim(g.root.Bound())))
 				break
 			}
@@ -161,19 +165,16 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 	cancel()
 	g.wg.Wait()
 
-	ranked := all
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
-	if ex.opts.TargetK > 0 && len(ranked) > ex.opts.TargetK {
-		ranked = ranked[:ex.opts.TargetK]
-	}
-	run := ex.newRun(ranked, start, halted)
+	ranked := rankTruncate(all, ex.opts.TargetK)
+	res := ex.materialize(g, ranked)
+	run := ex.newRun(res, start, halted)
 	for id, n := range g.emitted {
 		run.Produced[id] = int(n.Load())
 	}
 	run.Produced[g.outID] = len(all)
 	if deg != nil {
 		deg.Bound = stopBound
-		deg.CertifiedK = certifiedPrefix(ranked, stopBound, ex.opts.Weights)
+		deg.CertifiedK = certifiedPrefix(res, stopBound, ex.opts.Weights)
 		deg.FetchDepth = map[string]int{}
 		for id, n := range g.depth {
 			deg.FetchDepth[id] = int(n.Load())
@@ -188,6 +189,42 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 		obs.KV("degraded", boolAttr(deg != nil)),
 	)
 	return run, nil
+}
+
+// rankTruncate stable-sorts the pulled combs by decreasing score and
+// truncates to the top-K (K = 0 keeps everything) — all still in compact
+// form, so the sort moves slice headers, not alias maps.
+func rankTruncate(all []*comb, k int) []*comb {
+	ranked := all
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// materialize converts the surviving combs to the public map-backed
+// Combinations. This is the only place the runtime builds alias maps, and
+// it must run before the graph teardown releases the operator arenas.
+func (ex *executor) materialize(g *graph, ranked []*comb) []*types.Combination {
+	out := make([]*types.Combination, len(ranked))
+	for i, c := range ranked {
+		out[i] = ex.layout.materialize(c)
+	}
+	return out
+}
+
+// outHint pre-sizes the driver's pull buffer from the annotation's
+// expected output cardinality of the root node, clamped to a sane range.
+func (ex *executor) outHint(g *graph) int {
+	hint := int(ex.ann.Ann[g.rootID].TOut) + 1
+	if hint < 16 {
+		hint = 16
+	}
+	if hint > 4096 {
+		hint = 4096
+	}
+	return hint
 }
 
 // trim renders a score for a trace attribute.
@@ -213,10 +250,48 @@ func nonNegative(weights map[string]float64) bool {
 
 // minHeap keeps the K best scores pulled so far; its root is the K-th
 // best, the score an unseen combination must beat to enter the top-K.
-type minHeap []float64
+// Hand-rolled over plain float64s: the container/heap interface would box
+// every pushed score into an interface value, which is exactly the kind
+// of per-pull allocation the compact runtime exists to avoid.
+type minHeap struct{ h []float64 }
 
-func (h minHeap) Len() int           { return len(h) }
-func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x any)        { *h = append(*h, x.(float64)) }
-func (h *minHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (m *minHeap) len() int     { return len(m.h) }
+func (m *minHeap) min() float64 { return m.h[0] }
+func (m *minHeap) grow(n int)   { m.h = make([]float64, 0, n) }
+
+func (m *minHeap) push(x float64) {
+	m.h = append(m.h, x)
+	i := len(m.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if m.h[p] <= m.h[i] {
+			break
+		}
+		m.h[p], m.h[i] = m.h[i], m.h[p]
+		i = p
+	}
+}
+
+func (m *minHeap) popMin() float64 {
+	v := m.h[0]
+	n := len(m.h) - 1
+	m.h[0] = m.h[n]
+	m.h = m.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.h[l] < m.h[small] {
+			small = l
+		}
+		if r < n && m.h[r] < m.h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		m.h[i], m.h[small] = m.h[small], m.h[i]
+		i = small
+	}
+	return v
+}

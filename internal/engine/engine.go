@@ -22,13 +22,11 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/plancheck"
-	"seco/internal/query"
 	"seco/internal/service"
 	"seco/internal/types"
 )
@@ -146,6 +144,11 @@ type Engine struct {
 	invoker *service.Invoker
 	clock   Clock
 	metrics *obs.Registry
+	// intern is the engine's interning scope: one front cache over the
+	// process-global handle registry, shared by every run of this engine.
+	// The share layer canonicalizes memoized chunks through it, so a
+	// chunk cached by one query serves later queries without re-cloning.
+	intern *types.Interner
 }
 
 // Config configures an Engine beyond its bound services.
@@ -212,14 +215,21 @@ func NewWithConfig(services map[string]service.Service, cfg Config) *Engine {
 		// virtual-clock run charges them into simulated time.
 		service.InstallTimeSource(svc, clk)
 	}
+	intern := types.NewInterner()
 	return &Engine{
 		invoker: service.NewInvoker(services, service.InvokerOptions{
-			Delay: delay, Share: cfg.Share, Metrics: cfg.Metrics,
+			Delay: delay, Share: cfg.Share, Metrics: cfg.Metrics, Interner: intern,
 		}),
 		clock:   clk,
 		metrics: cfg.Metrics,
+		intern:  intern,
 	}
 }
+
+// Interner exposes the engine's interning scope; loaders can canonicalize
+// service data through it so runtime comparisons hit the handle fast
+// paths.
+func (e *Engine) Interner() *types.Interner { return e.intern }
 
 // Clock returns the clock driving this engine's latency charging and
 // elapsed-time reporting.
@@ -311,13 +321,15 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 }
 
 // executor is the per-run context shared by the compiled operators: the
-// engine, the annotated plan, the execution options and the run's private
-// counting scope from the Invoker.
+// engine, the annotated plan, the execution options, the run's private
+// counting scope from the Invoker, and the alias layout every comb of the
+// compiled graph is indexed by (set by compile).
 type executor struct {
 	engine *Engine
 	ann    *plan.Annotated
 	opts   Options
 	scope  *service.RunScope
+	layout *aliasLayout
 }
 
 // newRun assembles the common Run fields from the run's counting scope.
@@ -356,64 +368,4 @@ func (ex *executor) newRun(ranked []*types.Combination, start time.Time, halted 
 		run.Metrics = m.Text()
 	}
 	return run
-}
-
-// satisfiesSelections evaluates selection predicates on a combination with
-// existential semantics for repeating-group paths.
-func (ex *executor) satisfiesSelections(c *types.Combination, preds []query.Predicate) (bool, error) {
-	for _, p := range preds {
-		rhs, err := ex.termValue(c, p.Right)
-		if err != nil {
-			return false, err
-		}
-		t, ok := c.Components[p.Left.Alias]
-		if !ok {
-			return false, nil
-		}
-		ok, err = pathSatisfies(t, p.Left.Path, p.Op, rhs)
-		if err != nil {
-			return false, err
-		}
-		if !ok {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
-// pathSatisfies evaluates "path op value" on one tuple: atomic paths
-// directly, repeating-group paths existentially over the sub-tuples.
-func pathSatisfies(t *types.Tuple, path string, op types.Op, v types.Value) (bool, error) {
-	group, sub, dotted := strings.Cut(path, ".")
-	if !dotted {
-		return op.Eval(t.Get(path), v)
-	}
-	if _, isGroup := t.Groups[group]; !isGroup {
-		return op.Eval(t.Get(path), v)
-	}
-	for _, gv := range t.GroupValues(group, sub) {
-		ok, err := op.Eval(gv, v)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			return true, nil
-		}
-	}
-	return false, nil
-}
-
-func (ex *executor) termValue(c *types.Combination, term query.Term) (types.Value, error) {
-	switch term.Kind {
-	case query.TermConst:
-		return term.Const, nil
-	case query.TermInput:
-		v, ok := ex.opts.Inputs[term.Input]
-		if !ok {
-			return types.Null, fmt.Errorf("engine: unbound input variable %s", term.Input)
-		}
-		return v, nil
-	default:
-		return c.Get(term.Path.Alias, term.Path.Path), nil
-	}
 }

@@ -125,16 +125,26 @@ func comboIdentity(c *types.Combination) string {
 // matchAcross must evaluate a pair predicate regardless of which side of
 // the join carries the predicate's left alias.
 func TestMatchAcrossOrientation(t *testing.T) {
-	mk := func(alias, attr string, v int64) *types.Combination {
+	layout := &aliasLayout{
+		slots:   map[string]int{"A": 0, "B": 1, "C": 2},
+		aliases: []string{"A", "B", "C"},
+		weights: []float64{1, 1, 1},
+	}
+	mk := func(alias, attr string, v int64) *comb {
 		tu := types.NewTuple(1)
 		tu.Set(attr, types.Int(v))
-		return types.NewCombination(alias, tu)
+		comps := make([]*types.Tuple, layout.width())
+		comps[layout.slots[alias]] = tu
+		return &comb{comps: comps}
 	}
-	preds := groupJoinPreds(&plan.Node{JoinPreds: []query.Predicate{{
+	preds, err := compileJoinPreds(&plan.Node{JoinPreds: []query.Predicate{{
 		Left: query.PathRef{Alias: "A", Path: "X"},
 		Right: query.Term{Kind: query.TermPath,
 			Path: query.PathRef{Alias: "B", Path: "Y"}},
-	}}})
+	}}}, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Natural orientation: A on the left side.
 	ok, err := matchAcross(mk("A", "X", 5), mk("B", "Y", 5), preds)
 	if err != nil || !ok {
@@ -156,51 +166,81 @@ func TestMatchAcrossOrientation(t *testing.T) {
 	}
 }
 
-func TestPathSatisfiesVariants(t *testing.T) {
+// compileSel1 compiles one selection over a single-alias layout for the
+// path/term variant tests below.
+func compileSel1(t *testing.T, p query.Predicate) compiledSel {
+	t.Helper()
+	layout := &aliasLayout{
+		slots:   map[string]int{"A": 0},
+		aliases: []string{"A"},
+		weights: []float64{1},
+	}
+	sels, err := compileSelections([]query.Predicate{p}, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sels[0]
+}
+
+func TestCompiledSelPathVariants(t *testing.T) {
 	tu := types.NewTuple(1)
 	tu.Set("A", types.Int(5))
 	tu.AddGroup("G", types.SubTuple{"S": types.Int(1)})
 	tu.AddGroup("G", types.SubTuple{"S": types.Int(9)})
+	ex := &executor{}
+	eval := func(path string, op types.Op, rhs types.Value) (bool, error) {
+		cs := compileSel1(t, query.Predicate{
+			Left: query.PathRef{Alias: "A", Path: path}, Op: op,
+			Right: query.Term{Kind: query.TermConst, Const: rhs},
+		})
+		return cs.eval(ex, &comb{comps: []*types.Tuple{tu}})
+	}
 	// Atomic path.
-	ok, err := pathSatisfies(tu, "A", types.OpGt, types.Int(3))
+	ok, err := eval("A", types.OpGt, types.Int(3))
 	if err != nil || !ok {
 		t.Errorf("atomic: %v %v", ok, err)
 	}
 	// Group path: existential over sub-tuples.
-	ok, err = pathSatisfies(tu, "G.S", types.OpGe, types.Int(8))
+	ok, err = eval("G.S", types.OpGe, types.Int(8))
 	if err != nil || !ok {
 		t.Errorf("group existential: %v %v", ok, err)
 	}
-	ok, err = pathSatisfies(tu, "G.S", types.OpGt, types.Int(100))
+	ok, err = eval("G.S", types.OpGt, types.Int(100))
 	if err != nil || ok {
 		t.Errorf("group none: %v %v", ok, err)
 	}
 	// Dotted path on a non-group resolves to null → false.
-	ok, err = pathSatisfies(tu, "X.Y", types.OpEq, types.Int(1))
+	ok, err = eval("X.Y", types.OpEq, types.Int(1))
 	if err != nil || ok {
 		t.Errorf("missing path: %v %v", ok, err)
 	}
 	// Type error surfaces.
-	if _, err := pathSatisfies(tu, "A", types.OpLt, types.String("x")); err == nil {
+	if _, err := eval("A", types.OpLt, types.String("x")); err == nil {
 		t.Error("type mismatch silent")
 	}
 }
 
-func TestTermValueVariants(t *testing.T) {
+func TestCompiledSelTermVariants(t *testing.T) {
 	ex := &executor{opts: Options{Inputs: map[string]types.Value{"INPUT1": types.Int(7)}}}
-	c := types.NewCombination("A", types.NewTuple(1).Set("X", types.Int(3)))
-	v, err := ex.termValue(c, query.Term{Kind: query.TermConst, Const: types.Int(1)})
+	c := &comb{comps: []*types.Tuple{types.NewTuple(1).Set("X", types.Int(3))}}
+	rhs := func(term query.Term) (types.Value, error) {
+		cs := compileSel1(t, query.Predicate{
+			Left: query.PathRef{Alias: "A", Path: "X"}, Op: types.OpEq, Right: term,
+		})
+		return cs.rhs(ex, c)
+	}
+	v, err := rhs(query.Term{Kind: query.TermConst, Const: types.Int(1)})
 	if err != nil || v.IntVal() != 1 {
 		t.Errorf("const: %v %v", v, err)
 	}
-	v, err = ex.termValue(c, query.Term{Kind: query.TermInput, Input: "INPUT1"})
+	v, err = rhs(query.Term{Kind: query.TermInput, Input: "INPUT1"})
 	if err != nil || v.IntVal() != 7 {
 		t.Errorf("input: %v %v", v, err)
 	}
-	if _, err := ex.termValue(c, query.Term{Kind: query.TermInput, Input: "INPUT9"}); err == nil {
+	if _, err := rhs(query.Term{Kind: query.TermInput, Input: "INPUT9"}); err == nil {
 		t.Error("unbound input silent")
 	}
-	v, err = ex.termValue(c, query.Term{Kind: query.TermPath,
+	v, err = rhs(query.Term{Kind: query.TermPath,
 		Path: query.PathRef{Alias: "A", Path: "X"}})
 	if err != nil || v.IntVal() != 3 {
 		t.Errorf("path: %v %v", v, err)

@@ -17,6 +17,17 @@ import (
 // wrapped in a joinBranch whose single outstanding prefetch goroutine
 // assembles the next chunk concurrently with the other branch — the
 // parallel service invocation the plan topology promises.
+//
+// Tile filling has two modes. When every pair predicate of the node is a
+// pure atomic equality, the operator builds a hash index over each right
+// chunk — pre-sized from the branch chunk sizes the optimizer's plan
+// statistics determine — and probes it with the left rows, verifying
+// bucket candidates with the compiled predicates (hash-then-verify, so
+// false hash positives are impossible). The nested-loop scan remains both
+// the fallback for non-equality predicates and the runtime escape hatch
+// whenever a key column carries mixed value classes, where the hash path
+// could hide the cross-kind comparison errors the scan would surface.
+// Both modes emit identical combinations in identical order.
 
 // joinBranch is one input of the join operator. A single outstanding
 // prefetch goroutine owns the reader and assembles the next chunk;
@@ -34,7 +45,7 @@ type joinBranch struct {
 	// has ended before the graph closes the inputs.
 	outstanding bool
 
-	chunks   [][]*types.Combination
+	chunks   [][]*comb
 	chunkMax []float64
 	bestSeen float64
 	// bound is the reader's bound snapshot as of the last completed pull
@@ -45,7 +56,7 @@ type joinBranch struct {
 }
 
 type branchPull struct {
-	combos []*types.Combination
+	combos []*comb
 	bound  float64
 	short  bool // the reader ran dry during this pull
 	err    error
@@ -59,7 +70,8 @@ func (g *graph) startPull(ctx context.Context, b *joinBranch) {
 		defer g.wg.Done()
 		pull := func(ctx context.Context) {
 			var res branchPull
-			for len(res.combos) < b.size {
+			buf := getCombSlice(b.size)
+			for len(buf) < b.size {
 				c, err := b.reader.Next(ctx)
 				if err != nil {
 					res.err = err
@@ -69,8 +81,9 @@ func (g *graph) startPull(ctx context.Context, b *joinBranch) {
 					res.short = true
 					break
 				}
-				res.combos = append(res.combos, c)
+				buf = append(buf, c)
 			}
+			res.combos = buf
 			res.bound = b.reader.Bound()
 			b.ch <- res
 		}
@@ -95,9 +108,22 @@ type joinOp struct {
 	n           *plan.Node
 	explorer    *join.Explorer
 	left, right *joinBranch
-	preds       map[string]pairPred
+	preds       []joinPred
+	arena       *combArena
 
-	pending    []*types.Combination
+	// hashable marks that every pair predicate is a pure atomic equality,
+	// so tiles may be filled through the pre-sized hash index; nested
+	// remains the per-tile fallback on key-class conflicts.
+	hashable bool
+	// orient caches the per-predicate orientation (which branch holds
+	// which predicate side), resolved once from the first tile — branch
+	// alias sets are uniform across a branch's combs.
+	orient      []int8 // 0 = undetermined/skip, 1 = pred left on X, 2 = pred left on Y
+	orientReady bool
+	// rIdx lazily caches one hash index per right (Y) chunk.
+	rIdx []*chunkIndex
+
+	pending    []*comb
 	pendingIdx int
 	seen       map[join.Tile]bool
 	started    bool
@@ -138,10 +164,24 @@ func (g *graph) makeJoinOp(id string, n *plan.Node) (Operator, error) {
 		}
 		return chunkTop(lb.chunks[t.X]) * chunkTop(rb.chunks[t.Y])
 	})
+	jps, err := compileJoinPreds(n, g.ex.layout)
+	if err != nil {
+		return nil, err
+	}
+	hashable := len(jps) > 0
+	for i := range jps {
+		if jps[i].eqLeft == nil {
+			hashable = false
+			break
+		}
+	}
 	return &joinOp{
 		g: g, ex: g.ex, n: n, explorer: explorer,
-		left: lb, right: rb, preds: groupJoinPreds(n),
-		seen: map[join.Tile]bool{},
+		left: lb, right: rb, preds: jps,
+		arena:    newCombArena(g.ex.layout.width()),
+		hashable: hashable,
+		orient:   make([]int8, len(jps)),
+		seen:     map[join.Tile]bool{},
 	}, nil
 }
 
@@ -152,7 +192,7 @@ func (s *joinOp) Open(ctx context.Context) error {
 	return s.right.reader.Open(ctx)
 }
 
-func (s *joinOp) Next(ctx context.Context) (*types.Combination, error) {
+func (s *joinOp) Next(ctx context.Context) (*comb, error) {
 	for {
 		if s.pendingIdx < len(s.pending) {
 			c := s.pending[s.pendingIdx]
@@ -203,6 +243,7 @@ func (s *joinOp) resolveFetch(ctx context.Context, side join.Side, b *joinBranch
 	res := <-b.ch
 	b.outstanding = false
 	if res.err != nil {
+		putCombSlice(res.combos)
 		return res.err
 	}
 	b.bound = res.bound
@@ -210,6 +251,7 @@ func (s *joinOp) resolveFetch(ctx context.Context, side join.Side, b *joinBranch
 		b.noMore = true
 	}
 	if len(res.combos) == 0 {
+		putCombSlice(res.combos)
 		b.bound = math.Inf(-1)
 		s.explorer.ReportExhausted(side)
 		return nil
@@ -226,34 +268,316 @@ func (s *joinOp) resolveFetch(ctx context.Context, side join.Side, b *joinBranch
 	return nil
 }
 
+// resolveOrient fixes, from one concrete chunk pair, which branch holds
+// each predicate's sides. Alias sets are uniform within a branch, so the
+// answer holds for every subsequent tile.
+func (s *joinOp) resolveOrient(cl, cr *comb) {
+	for i := range s.preds {
+		jp := &s.preds[i]
+		switch {
+		case cl.comps[jp.leftSlot] != nil && cr.comps[jp.rightSlot] != nil:
+			s.orient[i] = 1
+		case cr.comps[jp.leftSlot] != nil && cl.comps[jp.rightSlot] != nil:
+			s.orient[i] = 2
+		default:
+			s.orient[i] = 0 // not split across the branches; checked earlier
+		}
+	}
+	s.orientReady = true
+}
+
 func (s *joinOp) fillTile(t join.Tile) error {
 	s.seen[t] = true
+	if s.pending == nil {
+		s.pending = getCombSlice(s.left.size * s.right.size / 4)
+	}
 	s.pending = s.pending[:0]
 	s.pendingIdx = 0
-	for _, cl := range s.left.chunks[t.X] {
-		for _, cr := range s.right.chunks[t.Y] {
-			ok, err := matchAcross(cl, cr, s.preds)
+	cl, cr := s.left.chunks[t.X], s.right.chunks[t.Y]
+	if len(cl) == 0 || len(cr) == 0 {
+		return nil
+	}
+	if !s.orientReady {
+		s.resolveOrient(cl[0], cr[0])
+	}
+	if s.hashable {
+		if done, err := s.fillTileHash(t, cl, cr); done || err != nil {
+			return err
+		}
+		// Key-class conflict: rerun the tile through the exact scan.
+		s.pending = s.pending[:0]
+	}
+	for _, l := range cl {
+		for _, r := range cr {
+			ok, err := matchAcross(l, r, s.preds)
 			if err != nil {
 				return err
 			}
 			if !ok {
 				continue
 			}
-			merged, ok := mergeBranches(cl, cr)
+			merged, ok := mergeBranches(s.arena, s.ex.layout, l, r)
 			if !ok {
 				continue
 			}
-			merged.Rank(s.ex.opts.Weights)
 			s.pending = append(s.pending, merged)
 		}
 	}
 	return nil
 }
 
+// fillTileHash fills the tile through a hash index over the right chunk,
+// probing with the left rows and verifying candidates with the compiled
+// predicates. It reports done=false (leaving partial pending state for
+// the caller to reset) when a key column carries mixed value classes —
+// the case where only the nested scan reproduces the error semantics of
+// pairwise evaluation.
+func (s *joinOp) fillTileHash(t join.Tile, cl, cr []*comb) (bool, error) {
+	idx := s.indexFor(t.Y, cr)
+	if idx == nil {
+		return false, nil
+	}
+	var clsArr [16]uint8
+	for _, l := range cl {
+		h, cls, null, bad := s.probeKey(l, clsArr[:0])
+		if bad {
+			return false, nil
+		}
+		if null {
+			continue // a null key never equals anything: no match, no error
+		}
+		if !idx.classesCompatible(cls) {
+			return false, nil
+		}
+		for _, ri := range idx.buckets[h] {
+			r := cr[ri]
+			ok, err := matchAcross(l, r, s.preds)
+			if err != nil {
+				return true, err
+			}
+			if !ok {
+				continue // hash collision; verification rejected it
+			}
+			merged, ok := mergeBranches(s.arena, s.ex.layout, l, r)
+			if !ok {
+				continue
+			}
+			s.pending = append(s.pending, merged)
+		}
+	}
+	return true, nil
+}
+
+// valueClass buckets a value's kind for hash-compatibility tracking:
+// numeric kinds share a class (they compare with each other), every other
+// kind is its own class. classNull marks a null (absent) key part.
+const (
+	classNull = iota
+	classNumeric
+	classString
+	classBool
+	classDate
+)
+
+func valueClass(v types.Value) uint8 {
+	switch v.Kind() {
+	case types.KindInt, types.KindFloat:
+		return classNumeric
+	case types.KindString:
+		return classString
+	case types.KindBool:
+		return classBool
+	case types.KindDate:
+		return classDate
+	default:
+		return classNull
+	}
+}
+
+// hashValue folds a value into an FNV-1a hash using a canonical encoding
+// per class, so numerically equal int/float keys hash identically.
+func hashValue(h uint64, v types.Value) uint64 {
+	const prime = 1099511628211
+	switch valueClass(v) {
+	case classNumeric:
+		bits := math.Float64bits(v.FloatVal())
+		for i := 0; i < 8; i++ {
+			h = (h ^ (bits & 0xff)) * prime
+			bits >>= 8
+		}
+	case classString:
+		s := v.Str()
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
+		h = (h ^ 0xff) * prime // length delimiter for multi-column keys
+	case classBool:
+		b := uint64(0)
+		if v.BoolVal() {
+			b = 1
+		}
+		h = (h ^ b) * prime
+	case classDate:
+		bits := uint64(v.Time().UnixNano())
+		for i := 0; i < 8; i++ {
+			h = (h ^ (bits & 0xff)) * prime
+			bits >>= 8
+		}
+	}
+	return h
+}
+
+// chunkIndex is the hash index of one right chunk: bucket → row indices
+// in chunk order, plus the per-column value class the index saw. A nil
+// chunkIndex (or classes conflict) routes the tile to the nested scan.
+type chunkIndex struct {
+	buckets map[uint64][]int
+	classes []uint8 // one per key column; classNull until a value is seen
+}
+
+// keyCols enumerates the key columns of the join in predicate order: for
+// each split predicate, the (slot, attr) the given branch side
+// contributes. left selects the X branch's columns.
+func (s *joinOp) keyCols(left bool, fn func(slot int, attr string)) {
+	for i := range s.preds {
+		jp := &s.preds[i]
+		switch s.orient[i] {
+		case 1: // predicate left side lives on X
+			if left {
+				for _, a := range jp.eqLeft {
+					fn(jp.leftSlot, a)
+				}
+			} else {
+				for _, a := range jp.eqRight {
+					fn(jp.rightSlot, a)
+				}
+			}
+		case 2: // predicate left side lives on Y
+			if left {
+				for _, a := range jp.eqRight {
+					fn(jp.rightSlot, a)
+				}
+			} else {
+				for _, a := range jp.eqLeft {
+					fn(jp.leftSlot, a)
+				}
+			}
+		}
+	}
+}
+
+// indexFor returns the (cached) hash index of right chunk y, or nil when
+// the chunk cannot be indexed consistently (mixed classes in a key
+// column) or the join has no active key columns.
+func (s *joinOp) indexFor(y int, cr []*comb) *chunkIndex {
+	for len(s.rIdx) <= y {
+		s.rIdx = append(s.rIdx, nil)
+	}
+	if idx := s.rIdx[y]; idx != nil {
+		if idx.buckets == nil {
+			return nil // previously found unindexable
+		}
+		return idx
+	}
+	nCols := 0
+	s.keyCols(false, func(int, string) { nCols++ })
+	if nCols == 0 {
+		s.rIdx[y] = &chunkIndex{}
+		return nil
+	}
+	// Pre-size the bucket table to the chunk size the plan's service
+	// statistics fixed for this branch — the hash join never rehashes.
+	idx := &chunkIndex{
+		buckets: make(map[uint64][]int, len(cr)),
+		classes: make([]uint8, nCols),
+	}
+	bad := false
+	for ri, r := range cr {
+		h := uint64(14695981039346656037)
+		null := false
+		col := 0
+		s.keyCols(false, func(slot int, attr string) {
+			if bad {
+				return
+			}
+			t := r.comps[slot]
+			if t == nil {
+				// Unexpectedly absent component: only the scan's per-pair
+				// split checks are exact here.
+				bad = true
+				return
+			}
+			v := t.Atomic(attr)
+			cls := valueClass(v)
+			if cls == classNull {
+				null = true
+			} else if idx.classes[col] == classNull {
+				idx.classes[col] = cls
+			} else if idx.classes[col] != cls {
+				bad = true // mixed classes: unindexable
+				return
+			}
+			h = hashValue(h, v)
+			col++
+		})
+		if bad {
+			s.rIdx[y] = &chunkIndex{}
+			return nil
+		}
+		if null {
+			continue // rows with a null key part can never match
+		}
+		idx.buckets[h] = append(idx.buckets[h], ri)
+	}
+	s.rIdx[y] = idx
+	return idx
+}
+
+// probeKey computes a left row's key hash and column classes; null
+// reports a null key part (the row matches nothing), bad an absent
+// component (the tile must fall back to the scan).
+func (s *joinOp) probeKey(l *comb, cls []uint8) (h uint64, out []uint8, null, bad bool) {
+	h = 14695981039346656037
+	out = cls[:0]
+	s.keyCols(true, func(slot int, attr string) {
+		if bad {
+			return
+		}
+		t := l.comps[slot]
+		if t == nil {
+			bad = true
+			return
+		}
+		v := t.Atomic(attr)
+		c := valueClass(v)
+		if c == classNull {
+			null = true
+		}
+		out = append(out, c)
+		h = hashValue(h, v)
+	})
+	return h, out, null, bad
+}
+
+// classesCompatible reports whether a probe's column classes agree with
+// everything the index saw: any non-null class pair that differs would
+// make some row pair comparison a cross-kind error under the scan.
+func (idx *chunkIndex) classesCompatible(cls []uint8) bool {
+	for i, c := range cls {
+		if c == classNull || i >= len(idx.classes) {
+			continue
+		}
+		if idx.classes[i] != classNull && idx.classes[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *joinOp) Bound() float64 {
 	b := math.Inf(-1)
 	for i := s.pendingIdx; i < len(s.pending); i++ {
-		if sc := s.pending[i].Score; sc > b {
+		if sc := s.pending[i].score; sc > b {
 			b = sc
 		}
 	}
@@ -296,15 +620,29 @@ func (s *joinOp) Bound() float64 {
 // Close drains any outstanding branch pulls, so the prefetch goroutines'
 // ownership of the input readers has ended (the capacity-1 hand-over
 // channel guarantees a sender never blocks) before the graph closes the
-// inputs themselves.
+// inputs themselves; then the chunk buffers go back to their pool and the
+// arena's blocks are released.
 func (s *joinOp) Close() error {
 	s.done = true
 	for _, b := range []*joinBranch{s.left, s.right} {
-		if b != nil && b.outstanding {
-			<-b.ch
-			b.outstanding = false
+		if b == nil {
+			continue
 		}
+		if b.outstanding {
+			res := <-b.ch
+			b.outstanding = false
+			putCombSlice(res.combos)
+		}
+		for _, ch := range b.chunks {
+			putCombSlice(ch)
+		}
+		b.chunks = nil
 	}
-	s.pending = nil
+	if s.pending != nil {
+		putCombSlice(s.pending)
+		s.pending = nil
+	}
+	s.rIdx = nil
+	s.arena.release()
 	return nil
 }

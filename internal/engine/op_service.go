@@ -24,7 +24,9 @@ import (
 // one per upstream combination, emitting results in upstream (ranking)
 // order. Both issue every service call through the run's Counter from the
 // shared Invoker, so budget probing, latency charging and call counting
-// happen at one choke point.
+// happen at one choke point. Combinations are composed into per-operator
+// arenas; the fetched-tuple prefix lives in a pooled buffer pre-sized
+// from the node's fetch budget and chunk size, both returned on Close.
 
 // serviceOp runs a non-piped service node. Enumeration order is
 // upstream-outer, tuple-inner.
@@ -33,18 +35,20 @@ type serviceOp struct {
 	n       *plan.Node
 	counter *service.Counter
 	fixed   service.Input
-	preds   map[string]pairPred
+	preds   []svcPred
+	slot    int
 	budget  int
 	w       float64
 	up      Operator
 	depth   *atomic.Int64
 	sc      *obs.Scope // the node's trace lane; nil when untraced
 
+	arena     *combArena
 	inv       service.Invocation
 	tuples    []*types.Tuple
 	fetches   int
 	exhausted bool
-	cur       *types.Combination
+	cur       *comb
 	j         int
 	done      bool
 }
@@ -86,6 +90,11 @@ func (s *serviceOp) fetch(ctx context.Context) error {
 	}
 	s.fetches++
 	s.depth.Add(1)
+	if s.tuples == nil {
+		// Pre-size the prefix buffer from the plan's fetch budget and the
+		// service's published chunk size.
+		s.tuples = getTupleSlice(prefixHint(s.n, s.budget))
+	}
 	s.tuples = append(s.tuples, chunk.Tuples...)
 	if s.n.Limit > 0 && len(s.tuples) > s.n.Limit {
 		s.tuples = s.tuples[:s.n.Limit]
@@ -93,7 +102,25 @@ func (s *serviceOp) fetch(ctx context.Context) error {
 	return nil
 }
 
-func (s *serviceOp) Next(ctx context.Context) (*types.Combination, error) {
+// prefixHint estimates the fetched-tuple prefix a service scan reaches:
+// fetch budget × chunk size, capped by the node limit.
+func prefixHint(n *plan.Node, budget int) int {
+	hint := 16
+	if n.Stats.Chunked() && n.Stats.ChunkSize > 0 {
+		hint = budget * n.Stats.ChunkSize
+	} else if n.Stats.AvgCardinality > 0 {
+		hint = int(n.Stats.AvgCardinality) + 1
+	}
+	if n.Limit > 0 && n.Limit < hint {
+		hint = n.Limit
+	}
+	if hint < 1 {
+		hint = 1
+	}
+	return hint
+}
+
+func (s *serviceOp) Next(ctx context.Context) (*comb, error) {
 	if s.done {
 		return nil, nil
 	}
@@ -129,7 +156,7 @@ func (s *serviceOp) Next(ctx context.Context) (*types.Combination, error) {
 		}
 		tu := s.tuples[s.j]
 		s.j++
-		merged, ok, err := s.ex.compose(s.cur, s.n.Alias, tu, s.preds)
+		merged, ok, err := compose(s.arena, s.ex.layout, s.cur, s.slot, tu, s.preds)
 		if err != nil {
 			return nil, err
 		}
@@ -149,9 +176,9 @@ func (s *serviceOp) Bound() float64 {
 		// next tuple (fetched tuples are non-increasing) or, when the
 		// prefix is spent but more is fetchable, the unseen-tuple cap.
 		if s.j < len(s.tuples) {
-			b = s.cur.Score + s.w*s.tuples[s.j].Score
+			b = s.cur.score + s.w*s.tuples[s.j].Score
 		} else if s.canFetch() {
-			b = s.cur.Score + s.w*s.unseenCap()
+			b = s.cur.score + s.w*s.unseenCap()
 		}
 	}
 	if ub := s.up.Bound(); !math.IsInf(ub, -1) {
@@ -166,6 +193,11 @@ func (s *serviceOp) Close() error {
 	s.done = true
 	s.inv = nil
 	s.cur = nil
+	if s.tuples != nil {
+		putTupleSlice(s.tuples)
+		s.tuples = nil
+	}
+	s.arena.release()
 	return nil
 }
 
@@ -207,14 +239,17 @@ func scoringCap(sc service.Scoring, pos int) float64 {
 // pipeOp runs a piped service node: instead of a barrier over all
 // upstream rows, it keeps a FIFO window of at most Parallelism in-flight
 // invocations as a bounded prefetch, emitting results in upstream
-// (ranking) order.
+// (ranking) order. Each window slot composes into its own arena (the slot
+// goroutine is the arena's single owner until the slot's done channel
+// closes); the operator collects the arenas and releases them on Close.
 type pipeOp struct {
 	g       *graph
 	ex      *executor
 	n       *plan.Node
 	counter *service.Counter
 	fixed   service.Input
-	preds   map[string]pairPred
+	preds   []svcPred
+	slot    int
 	budget  int
 	w       float64
 	par     int
@@ -224,16 +259,18 @@ type pipeOp struct {
 
 	upDone  bool
 	window  []*pipeSlot
-	head    []*types.Combination
+	arenas  []*combArena
+	head    []*comb
 	headIdx int
 	done    bool
 }
 
 type pipeSlot struct {
-	src  *types.Combination
-	out  []*types.Combination
-	err  error
-	done chan struct{}
+	src   *comb
+	arena *combArena
+	out   []*comb
+	err   error
+	done  chan struct{}
 }
 
 func (s *pipeOp) Open(ctx context.Context) error { return s.up.Open(ctx) }
@@ -250,8 +287,9 @@ func (s *pipeOp) fill(ctx context.Context) error {
 			s.upDone = true
 			return nil
 		}
-		slot := &pipeSlot{src: c, done: make(chan struct{})}
+		slot := &pipeSlot{src: c, arena: newCombArena(s.ex.layout.width()), done: make(chan struct{})}
 		s.window = append(s.window, slot)
+		s.arenas = append(s.arenas, slot.arena)
 		s.g.wg.Add(1)
 		// The slot goroutine carries the node's trace lane in its context
 		// and, when the run is observed, a seco.operator pprof label so
@@ -262,7 +300,7 @@ func (s *pipeOp) fill(ctx context.Context) error {
 			defer close(slot.done)
 			work := func(ctx context.Context) {
 				var fetched int
-				slot.out, fetched, slot.err = s.ex.pipeOne(ctx, s.n, s.counter, s.fixed, s.budget, slot.src, s.preds)
+				slot.out, fetched, slot.err = s.pipeOne(ctx, slot)
 				s.depth.Add(int64(fetched))
 			}
 			if s.sc != nil || s.ex.engine.metrics != nil {
@@ -275,7 +313,7 @@ func (s *pipeOp) fill(ctx context.Context) error {
 	return nil
 }
 
-func (s *pipeOp) Next(ctx context.Context) (*types.Combination, error) {
+func (s *pipeOp) Next(ctx context.Context) (*comb, error) {
 	for {
 		if s.headIdx < len(s.head) {
 			c := s.head[s.headIdx]
@@ -298,7 +336,13 @@ func (s *pipeOp) Next(ctx context.Context) (*types.Combination, error) {
 		if slot.err != nil {
 			return nil, withAlias(s.n.Alias, slot.err)
 		}
+		if s.head != nil {
+			// The previous head has been fully emitted; its combs live on
+			// downstream but the buffer itself is recyclable.
+			putCombSlice(s.head)
+		}
 		s.head, s.headIdx = slot.out, 0
+		slot.out = nil
 		// Refill behind the consumed slot so the window stays busy while
 		// the head results are being emitted.
 		if err := s.fill(ctx); err != nil {
@@ -310,7 +354,7 @@ func (s *pipeOp) Next(ctx context.Context) (*types.Combination, error) {
 func (s *pipeOp) Bound() float64 {
 	b := math.Inf(-1)
 	for i := s.headIdx; i < len(s.head); i++ {
-		if sc := s.head[i].Score; sc > b {
+		if sc := s.head[i].score; sc > b {
 			b = sc
 		}
 	}
@@ -319,7 +363,7 @@ func (s *pipeOp) Bound() float64 {
 	// is immutable after launch, so reading it here is race-free.
 	cap := s.w * scoringCap(s.n.Stats.Scoring, 0)
 	for _, slot := range s.window {
-		if v := slot.src.Score + cap; v > b {
+		if v := slot.src.score + cap; v > b {
 			b = v
 		}
 	}
@@ -333,52 +377,84 @@ func (s *pipeOp) Bound() float64 {
 
 // Close waits out the in-flight window invocations (each is bounded work
 // and observes the driver's cancellation), so the operator's goroutines
-// are quiescent before its inputs are closed.
+// are quiescent before its inputs are closed and before the slot arenas
+// are released.
 func (s *pipeOp) Close() error {
 	s.done = true
 	for _, slot := range s.window {
 		<-slot.done
+		if slot.out != nil {
+			putCombSlice(slot.out)
+			slot.out = nil
+		}
 	}
 	s.window = nil
-	s.head = nil
+	if s.head != nil {
+		putCombSlice(s.head)
+		s.head = nil
+	}
+	for _, a := range s.arenas {
+		a.release()
+	}
+	s.arenas = nil
 	return nil
 }
 
 // pipeOne performs one piped invocation for an upstream combination,
-// also reporting how many request-responses it issued.
-func (ex *executor) pipeOne(ctx context.Context, n *plan.Node, counter *service.Counter,
-	fixed service.Input, fetches int, c *types.Combination, pairPreds map[string]pairPred) ([]*types.Combination, int, error) {
-
-	inBinding := fixed.Clone()
+// also reporting how many request-responses it issued. It runs on the
+// slot's goroutine and composes into the slot's own arena.
+func (s *pipeOp) pipeOne(ctx context.Context, slot *pipeSlot) ([]*comb, int, error) {
+	inBinding := s.fixed.Clone()
 	if inBinding == nil {
 		inBinding = service.Input{}
 	}
-	for _, b := range n.Bindings {
+	for _, b := range s.n.Bindings {
 		if b.Source.Kind != query.BindJoin {
 			continue
 		}
-		v := c.Get(b.Source.From.Alias, b.Source.From.Path)
+		v := combGet(s.ex.layout, slot.src, b.Source.From.Alias, b.Source.From.Path)
 		if v.IsNull() {
 			return nil, 0, fmt.Errorf("engine: pipe into %s: upstream %s has no value",
-				n.Alias, b.Source.From)
+				s.n.Alias, b.Source.From)
 		}
 		inBinding[b.Path] = v
 	}
-	tuples, fetched, err := fetchTuples(ctx, counter, inBinding, fetches, n.Limit)
+	scratch := getTupleSlice(prefixHint(s.n, s.budget))
+	tuples, fetched, err := fetchTuples(ctx, s.counter, inBinding, s.budget, s.n.Limit, scratch)
 	if err != nil {
+		putTupleSlice(scratch)
 		return nil, fetched, err
 	}
-	var out []*types.Combination
+	var out []*comb
 	for _, tu := range tuples {
-		merged, ok, err := ex.compose(c, n.Alias, tu, pairPreds)
+		merged, ok, err := compose(slot.arena, s.ex.layout, slot.src, s.slot, tu, s.preds)
 		if err != nil {
+			putTupleSlice(tuples)
 			return nil, fetched, err
 		}
 		if ok {
+			if out == nil {
+				out = getCombSlice(len(tuples))
+			}
 			out = append(out, merged)
 		}
 	}
+	putTupleSlice(tuples)
 	return out, fetched, nil
+}
+
+// combGet resolves "alias.path" against a comb through the layout — the
+// compact counterpart of Combination.Get.
+func combGet(l *aliasLayout, c *comb, alias, path string) types.Value {
+	slot, ok := l.slots[alias]
+	if !ok {
+		return types.Null
+	}
+	t := c.comps[slot]
+	if t == nil {
+		return types.Null
+	}
+	return t.Get(path)
 }
 
 // fixedInputs assembles the constant and INPUT-variable bindings of a
@@ -403,14 +479,15 @@ func (ex *executor) fixedInputs(n *plan.Node) (service.Input, error) {
 
 // fetchTuples invokes the service once and drains up to maxFetches chunks
 // (all chunks when the service is unchunked), keeping at most limit tuples
-// when limit > 0. It also reports the number of chunks fetched — the fetch
-// depth reached into the service's ranked list.
-func fetchTuples(ctx context.Context, svc service.Service, in service.Input, maxFetches, limit int) ([]*types.Tuple, int, error) {
+// when limit > 0. It appends into dst (reusing its backing array) and also
+// reports the number of chunks fetched — the fetch depth reached into the
+// service's ranked list.
+func fetchTuples(ctx context.Context, svc service.Service, in service.Input, maxFetches, limit int, dst []*types.Tuple) ([]*types.Tuple, int, error) {
 	inv, err := svc.Invoke(ctx, in)
 	if err != nil {
 		return nil, 0, err
 	}
-	var tuples []*types.Tuple
+	tuples := dst[:0]
 	fetched := 0
 	chunked := svc.Stats().Chunked()
 	for f := 0; ; f++ {
@@ -435,26 +512,4 @@ func fetchTuples(ctx context.Context, svc service.Service, in service.Input, max
 		}
 	}
 	return tuples, fetched, nil
-}
-
-// compose merges a new component into a combination, checks the node's
-// join predicates against the already-present components, and scores the
-// result incrementally.
-func (ex *executor) compose(c *types.Combination, alias string, tu *types.Tuple, preds map[string]pairPred) (*types.Combination, bool, error) {
-	for _, pp := range preds {
-		other, ok := c.Components[pp.otherAlias(alias)]
-		if !ok {
-			continue // the peer component joins later in the plan
-		}
-		ok, err := pp.match(alias, tu, other)
-		if err != nil {
-			return nil, false, err
-		}
-		if !ok {
-			return nil, false, nil
-		}
-	}
-	merged := c.Merge(types.NewCombination(alias, tu))
-	merged.Rank(ex.opts.Weights)
-	return merged, true, nil
 }

@@ -8,12 +8,13 @@ import (
 	"sync/atomic"
 
 	"seco/internal/obs"
-	"seco/internal/plan"
 	"seco/internal/types"
 )
 
 // Operator is the pull-based face of one plan node in the compiled
-// operator graph. The lifecycle is Open → Next* → Close:
+// operator graph. Operators exchange compact combinations (combs, see
+// compact.go); the map-backed public Combination exists only past the
+// driver's result boundary. The lifecycle is Open → Next* → Close:
 //
 //   - Open prepares the operator (and its inputs) for pulling. It never
 //     issues service calls — invocation stays lazy, so an operator whose
@@ -25,15 +26,17 @@ import (
 //     future Next can return (-Inf when none remain), derived from the
 //     services' published Scoring curves and the scores already observed.
 //     The pull driver uses the root bound as its top-k stopping rule.
-//   - Close releases the operator's resources. Close is idempotent and
-//     must leave any goroutines the operator spawned quiescent.
+//   - Close releases the operator's resources — including its comb arena
+//     and pooled buffers, which is why teardown must run only after the
+//     driver has materialized its results. Close is idempotent and must
+//     leave any goroutines the operator spawned quiescent.
 //
 // Operators are not safe for concurrent use; the join-branch prefetcher
 // and the pipe window own their inputs exclusively, and fan-out nodes are
 // compiled to a mutex-guarded sharedOp with per-consumer tee cursors.
 type Operator interface {
 	Open(ctx context.Context) error
-	Next(ctx context.Context) (*types.Combination, error)
+	Next(ctx context.Context) (*comb, error)
 	Bound() float64
 	Close() error
 }
@@ -75,7 +78,7 @@ func (c *countedOp) Open(ctx context.Context) error {
 	return nil
 }
 
-func (c *countedOp) Next(ctx context.Context) (*types.Combination, error) {
+func (c *countedOp) Next(ctx context.Context) (*comb, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
@@ -116,16 +119,19 @@ func (c *countedOp) Close() error {
 }
 
 // inputOp emits the single empty combination every plan starts from.
-type inputOp struct{ done bool }
+type inputOp struct {
+	width int
+	done  bool
+}
 
 func (s *inputOp) Open(context.Context) error { return nil }
 
-func (s *inputOp) Next(context.Context) (*types.Combination, error) {
+func (s *inputOp) Next(context.Context) (*comb, error) {
 	if s.done {
 		return nil, nil
 	}
 	s.done = true
-	return &types.Combination{Components: map[string]*types.Tuple{}}, nil
+	return &comb{comps: make([]*types.Tuple, s.width)}, nil
 }
 
 func (s *inputOp) Bound() float64 {
@@ -143,22 +149,29 @@ func (s *inputOp) Close() error {
 // selectionOp filters its input; selections never change scores, so the
 // input bound carries over.
 type selectionOp struct {
-	ex *executor
-	n  *plan.Node
-	up Operator
+	ex   *executor
+	sels []compiledSel
+	up   Operator
 }
 
 func (s *selectionOp) Open(ctx context.Context) error { return s.up.Open(ctx) }
 
-func (s *selectionOp) Next(ctx context.Context) (*types.Combination, error) {
+func (s *selectionOp) Next(ctx context.Context) (*comb, error) {
 	for {
 		c, err := s.up.Next(ctx)
 		if err != nil || c == nil {
 			return nil, err
 		}
-		keep, err := s.ex.satisfiesSelections(c, s.n.Selections)
-		if err != nil {
-			return nil, err
+		keep := true
+		for i := range s.sels {
+			ok, err := s.sels[i].eval(s.ex, c)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
 		}
 		if keep {
 			return c, nil
@@ -171,13 +184,13 @@ func (s *selectionOp) Bound() float64 { return s.up.Bound() }
 func (s *selectionOp) Close() error { return nil }
 
 // sharedOp buffers a fan-out node's output so several consumers can
-// replay it independently; combination (and component tuple) identity is
+// replay it independently; comb (and component tuple) identity is
 // preserved, which the join's shared-ancestor glue relies on.
 type sharedOp struct {
 	mu     sync.Mutex
 	src    Operator
 	opened bool
-	buf    []*types.Combination
+	buf    []*comb
 	done   bool
 	err    error
 }
@@ -203,7 +216,7 @@ type teeOp struct {
 
 func (t *teeOp) Open(ctx context.Context) error { return t.sh.open(ctx) }
 
-func (t *teeOp) Next(ctx context.Context) (*types.Combination, error) {
+func (t *teeOp) Next(ctx context.Context) (*comb, error) {
 	s := t.sh
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -238,7 +251,7 @@ func (t *teeOp) Bound() float64 {
 	defer s.mu.Unlock()
 	b := math.Inf(-1)
 	for i := t.pos; i < len(s.buf); i++ {
-		if sc := s.buf[i].Score; sc > b {
+		if sc := s.buf[i].score; sc > b {
 			b = sc
 		}
 	}

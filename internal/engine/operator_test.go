@@ -195,8 +195,13 @@ func TestInputOpLifecycle(t *testing.T) {
 		t.Errorf("input bound before exhaustion = %v", op.Bound())
 	}
 	c, err := op.Next(ctx)
-	if err != nil || c == nil || len(c.Components) != 0 {
+	if err != nil || c == nil {
 		t.Fatalf("input op first pull: %v %v", c, err)
+	}
+	for _, comp := range c.comps {
+		if comp != nil {
+			t.Fatal("input op seeded a non-empty combination")
+		}
 	}
 	c, err = op.Next(ctx)
 	if err != nil || c != nil {

@@ -1,6 +1,10 @@
 package engine
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"seco/internal/join"
 	"seco/internal/plan"
 	"seco/internal/query"
@@ -9,9 +13,13 @@ import (
 
 // This file is the one home of the join-predicate plumbing shared by the
 // service operators (sequential composition), the pipe operator and the
-// parallel-join operator: grouping a node's predicates by alias pair,
-// evaluating them across the two sides of a join, and merging branch
-// combinations that may share upstream components.
+// parallel-join operator — all in compiled form: a node's predicates are
+// grouped by alias pair once at compile time, their dotted paths are cut
+// by join.Compile, and alias routing is resolved to layout slots, so the
+// per-tuple hot loop performs no string cutting, map building or alias
+// hashing. Branch merging (mergeBranches) checks shared-component
+// identity before allocating, which is what keeps the parallel join's
+// candidate explosion off the allocator.
 
 // pairPred bundles the join conditions between one pair of aliases into a
 // single join.Predicate so repeating-group mappings stay consistent across
@@ -21,61 +29,125 @@ type pairPred struct {
 	pred                  join.Predicate
 }
 
-func (pp pairPred) otherAlias(self string) string {
-	if self == pp.leftAlias {
-		return pp.rightAlias
-	}
-	return pp.leftAlias
-}
-
-// match evaluates the predicate with self's tuple on whichever side it
-// belongs to.
-func (pp pairPred) match(self string, selfT, otherT *types.Tuple) (bool, error) {
-	if self == pp.leftAlias {
-		return pp.pred.Match(selfT, otherT)
-	}
-	return pp.pred.Match(otherT, selfT)
-}
-
-// groupJoinPreds groups a node's join predicates by alias pair.
-func groupJoinPreds(n *plan.Node) map[string]pairPred {
-	out := map[string]pairPred{}
+// groupJoinPreds groups a node's join predicates by alias pair, in
+// deterministic (left, right) alias order.
+func groupJoinPreds(n *plan.Node) []pairPred {
+	byKey := map[string]int{}
+	var out []pairPred
 	for _, p := range n.JoinPreds {
 		if p.Right.Kind != query.TermPath {
 			continue
 		}
 		la, ra := p.Left.Alias, p.Right.Path.Alias
 		key := la + "|" + ra
-		pp, ok := out[key]
+		i, ok := byKey[key]
 		if !ok {
-			pp = pairPred{leftAlias: la, rightAlias: ra}
+			i = len(out)
+			byKey[key] = i
+			out = append(out, pairPred{leftAlias: la, rightAlias: ra})
 		}
-		pp.pred.Conds = append(pp.pred.Conds, join.Condition{
+		out[i].pred.Conds = append(out[i].pred.Conds, join.Condition{
 			Left: p.Left.Path, Op: p.Op, Right: p.Right.Path.Path,
 		})
-		out[key] = pp
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].leftAlias != out[j].leftAlias {
+			return out[i].leftAlias < out[j].leftAlias
+		}
+		return out[i].rightAlias < out[j].rightAlias
+	})
 	return out
 }
 
-// matchAcross evaluates the node's pair predicates between two
-// combinations about to be joined; predicates whose aliases are not split
-// across the two sides are skipped (they were checked earlier).
-func matchAcross(cl, cr *types.Combination, preds map[string]pairPred) (bool, error) {
-	for _, pp := range preds {
-		lt, lInLeft := cl.Components[pp.leftAlias]
-		rt, rInRight := cr.Components[pp.rightAlias]
-		if lInLeft && rInRight {
-			ok, err := pp.pred.Match(lt, rt)
+// svcPred is one compiled pair predicate as seen from a service node: the
+// new component is matched against the already-present peer component at
+// otherSlot, on whichever predicate side the node's alias occupies.
+type svcPred struct {
+	cp        *join.CompiledPredicate
+	selfLeft  bool
+	otherSlot int
+}
+
+// compileSvcPreds compiles a service node's pair predicates against the
+// layout.
+func compileSvcPreds(n *plan.Node, layout *aliasLayout) ([]svcPred, error) {
+	pps := groupJoinPreds(n)
+	out := make([]svcPred, 0, len(pps))
+	for _, pp := range pps {
+		sp := svcPred{cp: join.Compile(pp.pred), selfLeft: n.Alias == pp.leftAlias}
+		other := pp.leftAlias
+		if sp.selfLeft {
+			other = pp.rightAlias
+		}
+		slot, err := layout.slot(other)
+		if err != nil {
+			return nil, err
+		}
+		sp.otherSlot = slot
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// match evaluates the predicate with the node's own tuple on whichever
+// side it belongs to.
+func (sp *svcPred) match(selfT, otherT *types.Tuple) (bool, error) {
+	if sp.selfLeft {
+		return sp.cp.Match(selfT, otherT)
+	}
+	return sp.cp.Match(otherT, selfT)
+}
+
+// joinPred is one compiled pair predicate as seen from a parallel join:
+// both alias slots resolved, plus the equality-column split the hash tile
+// fill keys on (empty when the predicate is not a pure atomic equality).
+type joinPred struct {
+	cp                  *join.CompiledPredicate
+	leftSlot, rightSlot int
+	// eqLeft/eqRight are the per-condition atomic equality columns when
+	// the predicate is hashable (HasOnlyAtomicEq); nil otherwise.
+	eqLeft, eqRight []string
+}
+
+// compileJoinPreds compiles a join node's pair predicates against the
+// layout.
+func compileJoinPreds(n *plan.Node, layout *aliasLayout) ([]joinPred, error) {
+	pps := groupJoinPreds(n)
+	out := make([]joinPred, 0, len(pps))
+	for _, pp := range pps {
+		jp := joinPred{cp: join.Compile(pp.pred)}
+		var err error
+		if jp.leftSlot, err = layout.slot(pp.leftAlias); err != nil {
+			return nil, err
+		}
+		if jp.rightSlot, err = layout.slot(pp.rightAlias); err != nil {
+			return nil, err
+		}
+		if jp.cp.HasOnlyAtomicEq() {
+			jp.eqLeft, jp.eqRight = jp.cp.EqKeyColumns()
+		}
+		out = append(out, jp)
+	}
+	return out, nil
+}
+
+// matchAcross evaluates the node's pair predicates between two combs
+// about to be joined; predicates whose aliases are not split across the
+// two sides are skipped (they were checked earlier).
+func matchAcross(cl, cr *comb, preds []joinPred) (bool, error) {
+	for i := range preds {
+		jp := &preds[i]
+		lt, rt := cl.comps[jp.leftSlot], cr.comps[jp.rightSlot]
+		if lt != nil && rt != nil {
+			ok, err := jp.cp.Match(lt, rt)
 			if err != nil || !ok {
 				return false, err
 			}
 			continue
 		}
-		lt2, lInRight := cr.Components[pp.leftAlias]
-		rt2, rInLeft := cl.Components[pp.rightAlias]
-		if lInRight && rInLeft {
-			ok, err := pp.pred.Match(lt2, rt2)
+		lt2, rt2 := cr.comps[jp.leftSlot], cl.comps[jp.rightSlot]
+		if lt2 != nil && rt2 != nil {
+			ok, err := jp.cp.Match(lt2, rt2)
 			if err != nil || !ok {
 				return false, err
 			}
@@ -84,24 +156,166 @@ func matchAcross(cl, cr *types.Combination, preds map[string]pairPred) (bool, er
 	return true, nil
 }
 
-// mergeBranches merges two combinations whose branches may share upstream
+// mergeBranches merges two combs whose branches may share upstream
 // components (both sides of the travel plan's join carry the Conference
-// and Weather tuples that fed them). Shared aliases must hold the same
+// and Weather tuples that fed them). Shared slots must hold the same
 // component tuple — otherwise the pair stems from different upstream rows
-// and does not join; disjoint aliases union.
-func mergeBranches(cl, cr *types.Combination) (*types.Combination, bool) {
-	merged := &types.Combination{Components: make(map[string]*types.Tuple, len(cl.Components)+len(cr.Components))}
-	for a, t := range cl.Components {
-		merged.Components[a] = t
-	}
-	for a, t := range cr.Components {
-		if existing, shared := merged.Components[a]; shared {
-			if existing != t {
-				return nil, false
-			}
-			continue
+// and does not join; the identity check runs before any allocation, so
+// the (dominant) rejected candidates never touch the arena.
+func mergeBranches(a *combArena, layout *aliasLayout, cl, cr *comb) (*comb, bool) {
+	for i, t := range cr.comps {
+		if t != nil && cl.comps[i] != nil && cl.comps[i] != t {
+			return nil, false
 		}
-		merged.Components[a] = t
 	}
-	return merged, true
+	m := a.clone(cl)
+	for i, t := range cr.comps {
+		if t != nil {
+			m.comps[i] = t
+		}
+	}
+	layout.rank(m)
+	return m, true
+}
+
+// compose merges a new component into a comb, checks the node's compiled
+// pair predicates against the already-present peer components, and
+// re-scores the result.
+func compose(a *combArena, layout *aliasLayout, c *comb, slot int, tu *types.Tuple, preds []svcPred) (*comb, bool, error) {
+	for i := range preds {
+		sp := &preds[i]
+		other := c.comps[sp.otherSlot]
+		if other == nil {
+			continue // the peer component joins later in the plan
+		}
+		ok, err := sp.match(tu, other)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	if c.comps[slot] != nil {
+		panic(fmt.Sprintf("engine: duplicate slot %d in composition", slot))
+	}
+	m := a.clone(c)
+	m.comps[slot] = tu
+	layout.rank(m)
+	return m, true, nil
+}
+
+// compiledSel is one selection predicate with its left path pre-cut and
+// its alias resolved to a slot. The right term stays lazily resolved so
+// unbound-input errors keep surfacing at evaluation time, as before.
+type compiledSel struct {
+	src    query.Predicate
+	slot   int
+	op     types.Op
+	dotted bool
+	atom   string
+	group  string
+	sub    string
+	// Right-hand term, pre-resolved where possible.
+	constV    types.Value
+	isConst   bool
+	inputName string
+	rSlot     int // TermPath: peer component slot
+	rDotted   bool
+	rAtom     string
+	rGroup    string
+	rSub      string
+	isPath    bool
+}
+
+// compileSelections compiles a selection node's predicates against the
+// layout.
+func compileSelections(preds []query.Predicate, layout *aliasLayout) ([]compiledSel, error) {
+	out := make([]compiledSel, 0, len(preds))
+	for _, p := range preds {
+		cs := compiledSel{src: p, op: p.Op}
+		slot, err := layout.slot(p.Left.Alias)
+		if err != nil {
+			return nil, err
+		}
+		cs.slot = slot
+		if g, sub, ok := strings.Cut(p.Left.Path, "."); ok {
+			cs.dotted, cs.group, cs.sub = true, g, sub
+		} else {
+			cs.atom = p.Left.Path
+		}
+		switch p.Right.Kind {
+		case query.TermConst:
+			cs.isConst, cs.constV = true, p.Right.Const
+		case query.TermInput:
+			cs.inputName = p.Right.Input
+		default:
+			cs.isPath = true
+			if cs.rSlot, err = layout.slot(p.Right.Path.Alias); err != nil {
+				return nil, err
+			}
+			if g, sub, ok := strings.Cut(p.Right.Path.Path, "."); ok {
+				cs.rDotted, cs.rGroup, cs.rSub = true, g, sub
+			} else {
+				cs.rAtom = p.Right.Path.Path
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// rhs resolves the right-hand term of the selection against the comb.
+func (cs *compiledSel) rhs(ex *executor, c *comb) (types.Value, error) {
+	switch {
+	case cs.isConst:
+		return cs.constV, nil
+	case cs.isPath:
+		t := c.comps[cs.rSlot]
+		if t == nil {
+			return types.Null, nil
+		}
+		if cs.rDotted {
+			return t.GroupFirst(cs.rGroup, cs.rSub), nil
+		}
+		return t.Atomic(cs.rAtom), nil
+	default:
+		v, ok := ex.opts.Inputs[cs.inputName]
+		if !ok {
+			return types.Null, fmt.Errorf("engine: unbound input variable %s", cs.inputName)
+		}
+		return v, nil
+	}
+}
+
+// eval evaluates the selection on a comb: atomic paths directly,
+// repeating-group paths existentially over the sub-tuples.
+func (cs *compiledSel) eval(ex *executor, c *comb) (bool, error) {
+	rhs, err := cs.rhs(ex, c)
+	if err != nil {
+		return false, err
+	}
+	t := c.comps[cs.slot]
+	if t == nil {
+		return false, nil
+	}
+	if !cs.dotted {
+		return cs.op.Eval(t.Atomic(cs.atom), rhs)
+	}
+	subs, isGroup := t.Groups[cs.group]
+	if !isGroup {
+		// A dotted path on a tuple without that group resolves to Null,
+		// exactly as the uncompiled Tuple.Get did.
+		return cs.op.Eval(types.Null, rhs)
+	}
+	for _, st := range subs {
+		ok, err := cs.op.Eval(st[cs.sub], rhs)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// the allocation-regression tests skip themselves under it, since the
+// instrumentation allocates on its own.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
 
 	"seco/internal/cost"
@@ -68,7 +69,7 @@ func refSatisfies(t *testing.T, q *query.Query, aliases []string, combo []*types
 		if p.Right.Kind == query.TermInput {
 			rhs = inputs[p.Right.Input]
 		}
-		ok, err := pathSatisfies(bound[aliases[upto]], p.Left.Path, p.Op, rhs)
+		ok, err := refPathSatisfies(bound[aliases[upto]], p.Left.Path, p.Op, rhs)
 		if err != nil || !ok {
 			return false
 		}
@@ -109,6 +110,31 @@ func refSatisfies(t *testing.T, q *query.Query, aliases []string, combo []*types
 		}
 	}
 	return true
+}
+
+// refPathSatisfies is the oracle's own path semantics (kept independent
+// of the engine's compiled selections): atomic paths evaluate directly,
+// dotted paths existentially over the group's sub-tuples, and a dotted
+// path on a missing group resolves to Null.
+func refPathSatisfies(tu *types.Tuple, path string, op types.Op, rhs types.Value) (bool, error) {
+	g, sub, dotted := strings.Cut(path, ".")
+	if !dotted {
+		return op.Eval(tu.Get(path), rhs)
+	}
+	subs, ok := tu.Groups[g]
+	if !ok {
+		return op.Eval(types.Null, rhs)
+	}
+	for _, st := range subs {
+		ok, err := op.Eval(st[sub], rhs)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // drainTable enumerates the rows of a workload table by invoking it for

@@ -1,0 +1,233 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seco/internal/types"
+)
+
+// CompiledPredicate is a Predicate whose dotted paths have been cut and
+// whose repeating-group references have been collected once, ahead of the
+// match loop. Match on the compiled form is allocation-free for
+// predicates that touch only atomic attributes (the overwhelmingly common
+// case for connection patterns) and performs no per-call strings.Cut,
+// map building or ref sorting for group predicates.
+type CompiledPredicate struct {
+	conds []compiledCond
+	// refs lists the repeating groups mentioned by the conditions, in the
+	// same deterministic (side, group) order the dynamic Match enumerates,
+	// so compiled and uncompiled evaluation explore mappings identically.
+	refs []groupRef
+}
+
+// compiledCond is one condition with both paths pre-cut. For a dotted
+// path the ref index selects the matching entry of CompiledPredicate.refs
+// so evalUnder can look its chosen sub-tuple up without hashing.
+type compiledCond struct {
+	src         Condition // original form, for error messages
+	op          types.Op
+	leftDotted  bool
+	leftA       string // atomic attribute (undotted) …
+	leftG       string // … or group / sub-attribute (dotted)
+	leftS       string
+	leftRef     int
+	rightDotted bool
+	rightA      string
+	rightG      string
+	rightS      string
+	rightRef    int
+}
+
+// Compile cuts the predicate's paths and fixes the group-enumeration
+// order. The compiled form evaluates exactly like p.Match.
+func Compile(p Predicate) *CompiledPredicate {
+	cp := &CompiledPredicate{conds: make([]compiledCond, 0, len(p.Conds))}
+	refIdx := make(map[groupRef]int)
+	addRef := func(s side, group string) int {
+		ref := groupRef{side: s, group: group}
+		if i, ok := refIdx[ref]; ok {
+			return i
+		}
+		refIdx[ref] = len(cp.refs)
+		cp.refs = append(cp.refs, ref)
+		return len(cp.refs) - 1
+	}
+	for _, c := range p.Conds {
+		cc := compiledCond{src: c, op: c.Op}
+		if g, sub, ok := strings.Cut(c.Left, "."); ok {
+			cc.leftDotted, cc.leftG, cc.leftS = true, g, sub
+			cc.leftRef = addRef(leftSide, g)
+		} else {
+			cc.leftA = c.Left
+		}
+		if g, sub, ok := strings.Cut(c.Right, "."); ok {
+			cc.rightDotted, cc.rightG, cc.rightS = true, g, sub
+			cc.rightRef = addRef(rightSide, g)
+		} else {
+			cc.rightA = c.Right
+		}
+		cp.conds = append(cp.conds, cc)
+	}
+	// Same enumeration order as the dynamic Match: side, then group name.
+	order := make([]int, len(cp.refs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := cp.refs[order[i]], cp.refs[order[j]]
+		if a.side != b.side {
+			return a.side < b.side
+		}
+		return a.group < b.group
+	})
+	sorted := make([]groupRef, len(cp.refs))
+	remap := make([]int, len(cp.refs))
+	for newI, oldI := range order {
+		sorted[newI] = cp.refs[oldI]
+		remap[oldI] = newI
+	}
+	cp.refs = sorted
+	for i := range cp.conds {
+		if cp.conds[i].leftDotted {
+			cp.conds[i].leftRef = remap[cp.conds[i].leftRef]
+		}
+		if cp.conds[i].rightDotted {
+			cp.conds[i].rightRef = remap[cp.conds[i].rightRef]
+		}
+	}
+	return cp
+}
+
+// maxStackRefs bounds the group-choice vector kept on the stack; deeper
+// predicates fall back to a heap slice.
+const maxStackRefs = 8
+
+// Match evaluates the compiled predicate over a pair of tuples with the
+// semantics of Predicate.Match: all conditions on the same repeating
+// group must be satisfied by one consistent sub-tuple choice.
+func (cp *CompiledPredicate) Match(x, y *types.Tuple) (bool, error) {
+	if len(cp.conds) == 0 {
+		return true, nil
+	}
+	if len(cp.refs) == 0 {
+		// Atomic-only fast path: no mapping to enumerate, no allocation.
+		for i := range cp.conds {
+			c := &cp.conds[i]
+			ok, err := c.op.Eval(x.Atomic(c.leftA), y.Atomic(c.rightA))
+			if err != nil {
+				return false, fmt.Errorf("join: evaluating %s: %w", c.src, err)
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	var countsArr, choiceArr [maxStackRefs]int
+	counts, choice := countsArr[:0], choiceArr[:0]
+	if len(cp.refs) > maxStackRefs {
+		counts = make([]int, 0, len(cp.refs))
+		choice = make([]int, len(cp.refs))
+	} else {
+		choice = choiceArr[:len(cp.refs)]
+	}
+	for _, ref := range cp.refs {
+		t := x
+		if ref.side == rightSide {
+			t = y
+		}
+		n := len(t.Groups[ref.group])
+		if n == 0 {
+			// An empty referenced group can never satisfy its conditions.
+			return false, nil
+		}
+		counts = append(counts, n)
+	}
+	return cp.try(x, y, counts, choice, 0)
+}
+
+// try enumerates sub-tuple choices for refs[i:] and evaluates the
+// conditions under each complete mapping.
+func (cp *CompiledPredicate) try(x, y *types.Tuple, counts, choice []int, i int) (bool, error) {
+	if i == len(cp.refs) {
+		return cp.evalUnder(x, y, choice)
+	}
+	for k := 0; k < counts[i]; k++ {
+		choice[i] = k
+		ok, err := cp.try(x, y, counts, choice, i+1)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalUnder evaluates every condition with the given sub-tuple choices.
+func (cp *CompiledPredicate) evalUnder(x, y *types.Tuple, choice []int) (bool, error) {
+	for i := range cp.conds {
+		c := &cp.conds[i]
+		var lv, rv types.Value
+		if c.leftDotted {
+			lv = groupAt(x, c.leftG, c.leftS, choice[c.leftRef])
+		} else {
+			lv = x.Atomic(c.leftA)
+		}
+		if c.rightDotted {
+			rv = groupAt(y, c.rightG, c.rightS, choice[c.rightRef])
+		} else {
+			rv = y.Atomic(c.rightA)
+		}
+		ok, err := c.op.Eval(lv, rv)
+		if err != nil {
+			return false, fmt.Errorf("join: evaluating %s: %w", c.src, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// groupAt returns sub-attribute sub of sub-tuple k of the group, Null
+// when out of range.
+func groupAt(t *types.Tuple, group, sub string, k int) types.Value {
+	subs := t.Groups[group]
+	if k >= len(subs) {
+		return types.Null
+	}
+	return subs[k][sub]
+}
+
+// EqKeyColumns reports the condition paths usable as a hash-join key: the
+// pairs (leftPath, rightPath) of every equality condition over atomic
+// attributes on both sides. Group-referencing or non-equality conditions
+// are excluded — a hash index can only cover the returned columns, with
+// residual conditions re-checked by Match.
+func (cp *CompiledPredicate) EqKeyColumns() (left, right []string) {
+	for i := range cp.conds {
+		c := &cp.conds[i]
+		if c.op == types.OpEq && !c.leftDotted && !c.rightDotted {
+			left = append(left, c.leftA)
+			right = append(right, c.rightA)
+		}
+	}
+	return left, right
+}
+
+// HasOnlyAtomicEq reports whether every condition is an atomic-attribute
+// equality — the case where a hash index fully decides Match and no
+// residual evaluation is needed.
+func (cp *CompiledPredicate) HasOnlyAtomicEq() bool {
+	for i := range cp.conds {
+		c := &cp.conds[i]
+		if c.op != types.OpEq || c.leftDotted || c.rightDotted {
+			return false
+		}
+	}
+	return len(cp.conds) > 0
+}

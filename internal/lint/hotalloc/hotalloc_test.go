@@ -1,0 +1,24 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"seco/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/hotbox")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"seco/internal/engine":  true,
+		"seco/internal/service": false,
+		"seco/internal/types":   false,
+		"seco/cmd/experiments":  false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package hotbox exercises the hotalloc analyzer: allocation shapes the
+// compact runtime banned from operator Next methods, plus the same shapes
+// in places the analyzer must leave alone.
+package hotbox
+
+import (
+	"fmt"
+
+	"seco/internal/types"
+)
+
+// binding is a named form of the banned map shape; the analyzer checks
+// underlying types, so it is flagged the same as the spelled-out literal.
+type binding map[string]types.Value
+
+type op struct {
+	n    int
+	memo map[string]types.Value
+}
+
+type result struct {
+	vals map[string]types.Value
+}
+
+func (o *op) Next() (*result, error) {
+	m := map[string]types.Value{"x": types.Int(1)} // want "map\\[string\\]types.Value literal in op.Next"
+	_ = binding{"y": types.Int(2)}                 // want "map\\[string\\]types.Value literal in op.Next"
+	scratch := make(map[string]types.Value, o.n)   // want "make of map\\[string\\]types.Value in op.Next"
+	key := fmt.Sprintf("k-%d", o.n)                // want "fmt.Sprintf in op.Next"
+	scratch[key] = types.Int(3)
+	return &result{vals: m}, nil
+}
+
+// Open is setup, not the hot loop: the same shapes pass unflagged.
+func (o *op) Open() error {
+	o.memo = map[string]types.Value{}
+	o.memo["k"] = types.Int(1)
+	_ = make(map[string]types.Value, 4)
+	_ = fmt.Sprintf("setup-%d", o.n)
+	return nil
+}
+
+// Next as a plain function (no receiver) is not an operator method.
+func Next() map[string]types.Value {
+	return map[string]types.Value{"free": types.Int(0)}
+}
+
+type quiet struct{}
+
+// Next with none of the banned shapes stays quiet: non-Value maps,
+// Sprint (not Sprintf) and slice makes are all fine.
+func (q *quiet) Next() (*result, error) {
+	counts := make(map[string]int, 2)
+	counts[fmt.Sprint("a")] = 1
+	_ = make([]types.Value, 8)
+	return nil, nil
+}

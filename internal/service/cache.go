@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -70,7 +69,10 @@ func (c *Cache) Invoke(ctx context.Context, in Input) (Invocation, error) {
 	return &cachedInvocation{entry: entry}, nil
 }
 
-// inputKey canonicalizes a binding for use as a map key.
+// inputKey canonicalizes a binding for use as a map key. Built with
+// direct writes rather than Fprintf: this runs on every Invoke through
+// the Share and Cache layers, and the formatter's reflection would
+// allocate per path.
 func inputKey(in Input) string {
 	paths := make([]string, 0, len(in))
 	for p := range in {
@@ -79,7 +81,10 @@ func inputKey(in Input) string {
 	sort.Strings(paths)
 	var b strings.Builder
 	for _, p := range paths {
-		fmt.Fprintf(&b, "%s=%s;", p, in[p])
+		b.WriteString(p)
+		b.WriteByte('=')
+		b.WriteString(in[p].String())
+		b.WriteByte(';')
 	}
 	return b.String()
 }

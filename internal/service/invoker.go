@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"seco/internal/obs"
+	"seco/internal/types"
 )
 
 // Invoker is the single service-call choke point beneath the execution
@@ -43,6 +44,11 @@ type InvokerOptions struct {
 	// per-service share-layer counters. Nil keeps the hot path
 	// unmetered.
 	Metrics *obs.Registry
+	// Interner, when non-nil, canonicalizes the string values of every
+	// memoized chunk at wire-fetch time, so replayed chunks carry interned
+	// tuples whose equality checks are handle comparisons. The engine
+	// passes its per-engine interner here; nil leaves chunks as fetched.
+	Interner *types.Interner
 }
 
 // NewInvoker builds the choke point over the bound services. The map
@@ -57,6 +63,7 @@ func NewInvoker(services map[string]Service, opts InvokerOptions) *Invoker {
 			sh, ok := sharesBySvc[svc]
 			if !ok {
 				sh = NewShare(svc)
+				sh.intern = opts.Interner
 				sh.bindMetrics(opts.Metrics)
 				sharesBySvc[svc] = sh
 				inv.shares = append(inv.shares, sh)

@@ -40,8 +40,17 @@ func NewTable(si *mart.Interface, stats Stats) (*Table, error) {
 // "row value op bound value".
 func (t *Table) SetMatchOp(path string, op types.Op) { t.matchOps[path] = op }
 
-// Add appends rows to the table.
-func (t *Table) Add(rows ...*types.Tuple) { t.rows = append(t.rows, rows...) }
+// Add appends rows to the table, interning their string values in the
+// process-global scope. Load time is the one point the table exclusively
+// owns its rows, so the in-place rewrite is safe, and every value served
+// afterwards carries an intern handle — equality during matching and
+// joining is then a handle comparison.
+func (t *Table) Add(rows ...*types.Tuple) {
+	for _, row := range rows {
+		types.InternTupleInPlace(row)
+	}
+	t.rows = append(t.rows, rows...)
+}
 
 // Len returns the number of rows loaded.
 func (t *Table) Len() int { return len(t.rows) }
@@ -62,9 +71,10 @@ func (t *Table) Invoke(ctx context.Context, in Input) (Invocation, error) {
 	if err := CheckInput(t.si, in); err != nil {
 		return nil, err
 	}
+	mp := t.planMatch(in)
 	var matches []*types.Tuple
 	for _, row := range t.rows {
-		ok, err := t.matches(row, in)
+		ok, err := t.matches(row, in, mp)
 		if err != nil {
 			return nil, err
 		}
@@ -78,41 +88,76 @@ func (t *Table) Invoke(ctx context.Context, in Input) (Invocation, error) {
 	return &tableInvocation{table: t, matches: matches}, nil
 }
 
+// matchPlan is the per-invocation decomposition of an input binding:
+// atomic paths and per-group dotted paths split and sorted once, instead
+// of rebuilding the grouping map (and re-cutting every path) per row.
+type matchPlan struct {
+	atomics []string
+	groups  []matchGroup
+}
+
+type matchGroup struct {
+	name  string
+	paths []string // full dotted paths, sorted
+	subs  []string // the sub-attribute of each path
+}
+
+// planMatch decomposes the binding for one invocation's row scan.
+func (t *Table) planMatch(in Input) matchPlan {
+	var mp matchPlan
+	byGroup := map[string]int{}
+	for p := range in {
+		g, _, dotted := strings.Cut(p, ".")
+		if !dotted {
+			mp.atomics = append(mp.atomics, p)
+			continue
+		}
+		i, ok := byGroup[g]
+		if !ok {
+			i = len(mp.groups)
+			byGroup[g] = i
+			mp.groups = append(mp.groups, matchGroup{name: g})
+		}
+		mp.groups[i].paths = append(mp.groups[i].paths, p)
+	}
+	for i := range mp.groups {
+		sort.Strings(mp.groups[i].paths)
+		mp.groups[i].subs = make([]string, len(mp.groups[i].paths))
+		for j, p := range mp.groups[i].paths {
+			_, sub, _ := strings.Cut(p, ".")
+			mp.groups[i].subs[j] = sub
+		}
+	}
+	return mp
+}
+
 // matches evaluates the input binding against one row. Atomic paths must
 // satisfy their operator directly. Input paths on the same repeating group
 // must be satisfied together by a single sub-tuple, realizing the
 // existential single-mapping semantics of Section 3.1.
-func (t *Table) matches(row *types.Tuple, in Input) (bool, error) {
-	groups := make(map[string][]string)
-	for p := range in {
-		if g, _, dotted := strings.Cut(p, "."); dotted {
-			groups[g] = append(groups[g], p)
-		} else {
-			op := t.op(p)
-			ok, err := op.Eval(row.Get(p), in[p])
-			if err != nil {
-				return false, fmt.Errorf("service %s: matching %q: %w", t.si.Name, p, err)
-			}
-			if !ok {
-				return false, nil
-			}
+func (t *Table) matches(row *types.Tuple, in Input, mp matchPlan) (bool, error) {
+	for _, p := range mp.atomics {
+		ok, err := t.op(p).Eval(row.Get(p), in[p])
+		if err != nil {
+			return false, fmt.Errorf("service %s: matching %q: %w", t.si.Name, p, err)
+		}
+		if !ok {
+			return false, nil
 		}
 	}
-	for g, paths := range groups {
-		sort.Strings(paths)
-		if !t.groupMatches(row, g, paths, in) {
+	for i := range mp.groups {
+		if !t.groupMatches(row, &mp.groups[i], in) {
 			return false, nil
 		}
 	}
 	return true, nil
 }
 
-func (t *Table) groupMatches(row *types.Tuple, group string, paths []string, in Input) bool {
-	for _, st := range row.Groups[group] {
+func (t *Table) groupMatches(row *types.Tuple, g *matchGroup, in Input) bool {
+	for _, st := range row.Groups[g.name] {
 		all := true
-		for _, p := range paths {
-			_, sub, _ := strings.Cut(p, ".")
-			ok, err := t.op(p).Eval(st[sub], in[p])
+		for j, p := range g.paths {
+			ok, err := t.op(p).Eval(st[g.subs[j]], in[p])
 			if err != nil || !ok {
 				all = false
 				break

@@ -1,0 +1,116 @@
+package types
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternCanonicalHandles(t *testing.T) {
+	a := Intern("Casablanca")
+	b := Intern("Casablanca")
+	if !a.Interned() || !b.Interned() {
+		t.Fatal("interned values carry no handle")
+	}
+	if a.iid != b.iid {
+		t.Errorf("same string interned twice: handles %d and %d", a.iid, b.iid)
+	}
+	c := Intern("Metropolis")
+	if c.iid == a.iid {
+		t.Error("distinct strings share a handle")
+	}
+	// Handle fast paths must agree with the byte-wise slow paths, in every
+	// interned/uninterned pairing.
+	plain := String("Casablanca")
+	for _, pair := range [][2]Value{{a, b}, {a, plain}, {plain, a}, {a, c}} {
+		cmpFast := pair[0].Equal(pair[1])
+		cmpSlow := pair[0].Str() == pair[1].Str()
+		if cmpFast != cmpSlow {
+			t.Errorf("Equal(%v, %v) = %v, byte-wise %v", pair[0], pair[1], cmpFast, cmpSlow)
+		}
+		ok, err := OpEq.Eval(pair[0], pair[1])
+		if err != nil || ok != cmpSlow {
+			t.Errorf("OpEq(%v, %v) = %v %v, want %v", pair[0], pair[1], ok, err, cmpSlow)
+		}
+	}
+	if n, err := a.Compare(b); err != nil || n != 0 {
+		t.Errorf("Compare(interned, interned) = %d %v", n, err)
+	}
+}
+
+func TestInternValuePassThrough(t *testing.T) {
+	in := NewInterner()
+	for _, v := range []Value{Int(3), Float(1.5), Bool(true)} {
+		if got := in.Value(v); !got.Equal(v) || got.Interned() {
+			t.Errorf("non-string %v changed by interning: %v", v, got)
+		}
+	}
+	if got := in.Value(Null); !got.IsNull() || got.Interned() {
+		t.Errorf("Null changed by interning: %v", got)
+	}
+	s := in.Value(String("x"))
+	if !s.Interned() || s.Str() != "x" {
+		t.Errorf("string not interned: %v", s)
+	}
+	if again := in.Value(s); again.iid != s.iid {
+		t.Error("re-interning an interned value changed its handle")
+	}
+}
+
+func TestInternerTupleSemantics(t *testing.T) {
+	in := NewInterner()
+	tu := NewTuple(0.5)
+	tu.Set("City", String("Rome"))
+	tu.AddGroup("Openings", SubTuple{"Cinema": String("Odeon")})
+	canon := in.Tuple(tu)
+	if canon == tu {
+		t.Fatal("uninterned tuple returned as its own canonical form")
+	}
+	if tu.Get("City").Interned() {
+		t.Error("Interner.Tuple mutated the original")
+	}
+	if !canon.Get("City").Interned() || !canon.Get("Openings.Cinema").Interned() {
+		t.Error("canonical copy not fully interned")
+	}
+	// A fully interned tuple is its own canonical form: pointer identity is
+	// preserved, which the Share layer's memo relies on.
+	if again := in.Tuple(canon); again != canon {
+		t.Error("interned tuple was copied again")
+	}
+}
+
+// TestInternRegistryHammer drives the global handle registry from many
+// goroutines through separate Interner fronts, with heavily overlapping
+// string sets. Run with -race. The invariant is process-wide handle
+// coherence: equal strings always map to equal handles, regardless of
+// which front interned them first.
+func TestInternRegistryHammer(t *testing.T) {
+	const workers = 8
+	const strings = 200
+	handles := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := NewInterner()
+			handles[w] = make([]uint32, strings)
+			for i := 0; i < strings; i++ {
+				// Every worker interleaves the shared set with its private
+				// strings, so shards see registration races and cache hits.
+				v := in.String(fmt.Sprintf("shared-%d", i))
+				_ = in.String(fmt.Sprintf("private-%d-%d", w, i))
+				handles[w][i] = v.iid
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < strings; i++ {
+			if handles[w][i] != handles[0][i] {
+				t.Fatalf("worker %d got handle %d for shared-%d, worker 0 got %d",
+					w, handles[w][i], i, handles[0][i])
+			}
+		}
+	}
+}

@@ -37,18 +37,33 @@ func NewTuple(score float64) *Tuple {
 // returns the value of sub-attribute A in the first sub-tuple, which is
 // only appropriate for display; predicate evaluation must use GroupValues
 // to honour the existential single-sub-tuple semantics of Section 3.1.
+// Hot paths that evaluate the same path repeatedly should cut it once and
+// use Atomic/GroupFirst instead.
 func (t *Tuple) Get(path string) Value {
 	if group, sub, ok := strings.Cut(path, "."); ok {
-		subs := t.Groups[group]
-		if len(subs) == 0 {
-			return Null
-		}
-		return subs[0][sub]
+		return t.GroupFirst(group, sub)
 	}
-	if v, ok := t.Attrs[path]; ok {
+	return t.Atomic(path)
+}
+
+// Atomic resolves an atomic attribute (Null when absent) without the
+// dotted-path scan of Get.
+func (t *Tuple) Atomic(name string) Value {
+	if v, ok := t.Attrs[name]; ok {
 		return v
 	}
 	return Null
+}
+
+// GroupFirst returns sub-attribute sub of the first sub-tuple of the
+// repeating group (Null when the group is empty) — the pre-cut form of
+// Get on a dotted path.
+func (t *Tuple) GroupFirst(group, sub string) Value {
+	subs := t.Groups[group]
+	if len(subs) == 0 {
+		return Null
+	}
+	return subs[0][sub]
 }
 
 // GroupValues returns all values of sub-attribute sub within repeating
@@ -159,11 +174,24 @@ type Combination struct {
 	// Score is the value of the query's ranking function
 	// f = w1·S1 + … + wn·Sn on this combination.
 	Score float64
+	// sorted caches the sorted alias list when the combination was built
+	// through NewCombinationPre; Aliases falls back to sorting fresh
+	// whenever the cache no longer matches Components.
+	sorted []string
 }
 
 // NewCombination returns a combination holding a single component.
 func NewCombination(alias string, t *Tuple) *Combination {
 	return &Combination{Components: map[string]*Tuple{alias: t}}
+}
+
+// NewCombinationPre builds a combination whose sorted alias list is
+// already known — the engine's result-materialization boundary resolves
+// aliases from its compile-time layout, so Aliases and String never
+// re-sort. aliases must be the keys of components in sorted order; the
+// slice is retained.
+func NewCombinationPre(components map[string]*Tuple, aliases []string, score float64) *Combination {
+	return &Combination{Components: components, Score: score, sorted: aliases}
 }
 
 // Merge returns a new combination holding the union of components of c and
@@ -205,8 +233,13 @@ func (c *Combination) Rank(weights map[string]float64) float64 {
 	return s
 }
 
-// Aliases returns the component aliases in sorted order.
+// Aliases returns the component aliases in sorted order. Combinations
+// built by the engine carry the list precomputed; callers must treat the
+// returned slice as read-only.
 func (c *Combination) Aliases() []string {
+	if len(c.sorted) == len(c.Components) {
+		return c.sorted
+	}
 	as := make([]string, 0, len(c.Components))
 	for a := range c.Components {
 		as = append(as, a)

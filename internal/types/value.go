@@ -62,7 +62,11 @@ type Value struct {
 	i    int64
 	f    float64
 	b    bool
-	t    time.Time
+	// iid is the intern handle of a canonicalized string value (see
+	// intern.go); 0 means not interned. Handles are process-globally
+	// coherent: equal handles ⟺ equal strings.
+	iid uint32
+	t   time.Time
 }
 
 // Null is the null value.
@@ -132,8 +136,12 @@ func (v Value) String() string {
 }
 
 // Equal reports deep equality of two values. Numeric values of different
-// kinds are equal when they denote the same number.
+// kinds are equal when they denote the same number. Two interned values
+// compare by handle — one integer comparison instead of a string walk.
 func (v Value) Equal(w Value) bool {
+	if v.iid != 0 && w.iid != 0 {
+		return v.iid == w.iid
+	}
 	c, err := v.Compare(w)
 	return err == nil && c == 0
 }
@@ -145,6 +153,9 @@ func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat 
 // for incompatible kinds or null operands (three-valued logic is handled by
 // predicate evaluation, not by Compare).
 func (v Value) Compare(w Value) (int, error) {
+	if v.iid != 0 && v.iid == w.iid {
+		return 0, nil
+	}
 	if v.kind == KindNull || w.kind == KindNull {
 		return 0, fmt.Errorf("types: cannot compare null values")
 	}
