@@ -3,28 +3,38 @@
 //
 //	secolint ./...                 # run every analyzer in its scope
 //	secolint -only wallclock ./... # run a subset everywhere it applies
+//	secolint -json ./...           # findings as a JSON array on stdout
 //	secolint -list                 # describe the analyzers
 //
-// Findings print as file:line:col: analyzer: message and make the exit
-// status 1; a driver or loading failure exits 2.
+// Findings print as file:line:col: analyzer: message (or, with -json, as
+// a JSON array of {file, line, col, analyzer, message} objects) and make
+// the exit status 1; a driver or loading failure exits 2.
 //
 // The analyzers:
 //
-//	wallclock  — no time.Now/time.Sleep-style calls outside the
-//	             sanctioned clock files (engine Clock, live estimator,
-//	             measurement harness)
-//	detrange   — no ordered slices built by appending inside a
-//	             range-over-map in the plan-producing packages
-//	closedrain — no discarded Close errors on the engine's drain paths
-//	obsleak    — no engine Invoke/Fetch calls on a fresh
-//	             context.Background/TODO, which would sever the run's
-//	             trace lane
-//	hotalloc   — no map[string]types.Value literals/makes or fmt.Sprintf
-//	             inside operator Next methods, the per-combination hot
-//	             loop the compact runtime keeps allocation-free
+//	wallclock   — no time.Now/time.Sleep-style calls outside the
+//	              sanctioned clock files (engine Clock, live estimator,
+//	              measurement harness)
+//	detrange    — no ordered slices built by appending inside a
+//	              range-over-map in the plan-producing packages
+//	closedrain  — no discarded Close errors on the engine's drain paths
+//	obsleak     — no engine Invoke/Fetch calls on a fresh
+//	              context.Background/TODO, which would sever the run's
+//	              trace lane
+//	hotalloc    — no map[string]types.Value literals/makes or fmt.Sprintf
+//	              inside operator Next methods, the per-combination hot
+//	              loop the compact runtime keeps allocation-free
+//	arenaescape — no combArena-allocated comb stored, sent, or captured
+//	              anywhere that outlives the owning operator's Close, and
+//	              no use after the arena's release
+//	poolpair    — every sync.Pool-derived buffer reaches its put on all
+//	              exit paths, with no use after the put
+//	interneq    — no raw string ==/strings.Compare over interned
+//	              Value.Str()/String() in operator hot paths
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,10 +43,13 @@ import (
 	"strings"
 
 	"seco/internal/lint"
+	"seco/internal/lint/arenaescape"
 	"seco/internal/lint/closedrain"
 	"seco/internal/lint/detrange"
 	"seco/internal/lint/hotalloc"
+	"seco/internal/lint/interneq"
 	"seco/internal/lint/obsleak"
+	"seco/internal/lint/poolpair"
 	"seco/internal/lint/wallclock"
 )
 
@@ -47,6 +60,9 @@ var analyzers = []*lint.Analyzer{
 	closedrain.Analyzer,
 	obsleak.Analyzer,
 	hotalloc.Analyzer,
+	arenaescape.Analyzer,
+	poolpair.Analyzer,
+	interneq.Analyzer,
 }
 
 func main() {
@@ -57,8 +73,9 @@ func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("secolint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		only = fs.String("only", "", "comma-separated analyzer names to run (default: all, each in its scope)")
-		list = fs.Bool("list", false, "describe the analyzers and exit")
+		only    = fs.String("only", "", "comma-separated analyzer names to run (default: all, each in its scope)")
+		list    = fs.Bool("list", false, "describe the analyzers and exit")
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array on stdout instead of vet-style lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,14 +128,51 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		return a.Column < b.Column
 	})
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *jsonOut {
+		if err := writeJSON(out, diags); err != nil {
+			fmt.Fprintln(errw, "secolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errw, "secolint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is the stable machine-readable finding shape; the
+// GitHub Actions problem matcher in .github/secolint-matcher.json keys
+// off the vet-style text form, while tooling that wants structure
+// consumes this.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as one JSON array. An empty run emits
+// [], not null, so consumers can range without a nil check.
+func writeJSON(out io.Writer, diags []lint.Diagnostic) error {
+	js := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		js = append(js, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "\t")
+	return enc.Encode(js)
 }
 
 // selectAnalyzers resolves the -only flag against the suite.

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"seco/internal/lint"
 )
 
 // TestRepoIsClean is the enforcement point: the whole module must pass
@@ -23,6 +27,37 @@ func TestListDescribesEveryAnalyzer(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestJSONOutput locks the machine-readable shape: a clean run is the
+// empty array, so consumers range without a nil check.
+func TestJSONOutput(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-json", "seco/internal/plan"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json run printed %q, want []", got)
+	}
+
+	var diags []lint.Diagnostic
+	diags = append(diags, lint.Diagnostic{
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Analyzer: "poolpair",
+		Message:  `buffer leaks on the "error" path`,
+	})
+	var buf strings.Builder
+	if err := writeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []jsonDiagnostic
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	want := jsonDiagnostic{File: "a.go", Line: 3, Col: 7, Analyzer: "poolpair", Message: `buffer leaks on the "error" path`}
+	if len(decoded) != 1 || decoded[0] != want {
+		t.Errorf("round-trip got %+v, want %+v", decoded, want)
 	}
 }
 

@@ -222,12 +222,15 @@ var tupleSlicePool = sync.Pool{New: func() any {
 }}
 
 // getCombSlice returns an empty pooled comb buffer, grown to the hint.
+// An undersized pooled buffer goes back to the pool before the fresh
+// allocation replaces it, so large hints don't drain the pool.
 func getCombSlice(hint int) []*comb {
-	s := (*combSlicePool.Get().(*[]*comb))[:0]
-	if hint > cap(s) {
-		s = make([]*comb, 0, hint)
+	b := combSlicePool.Get().(*[]*comb)
+	if hint > cap(*b) {
+		combSlicePool.Put(b)
+		return make([]*comb, 0, hint)
 	}
-	return s
+	return (*b)[:0]
 }
 
 // putCombSlice clears and returns a comb buffer to the pool.
@@ -242,12 +245,15 @@ func putCombSlice(s []*comb) {
 }
 
 // getTupleSlice returns an empty pooled tuple buffer, grown to the hint.
+// An undersized pooled buffer goes back to the pool before the fresh
+// allocation replaces it, so large hints don't drain the pool.
 func getTupleSlice(hint int) []*types.Tuple {
-	s := (*tupleSlicePool.Get().(*[]*types.Tuple))[:0]
-	if hint > cap(s) {
-		s = make([]*types.Tuple, 0, hint)
+	b := tupleSlicePool.Get().(*[]*types.Tuple)
+	if hint > cap(*b) {
+		tupleSlicePool.Put(b)
+		return make([]*types.Tuple, 0, hint)
 	}
-	return s
+	return (*b)[:0]
 }
 
 // putTupleSlice clears and returns a tuple buffer to the pool.

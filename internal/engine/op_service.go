@@ -430,6 +430,7 @@ func (s *pipeOp) pipeOne(ctx context.Context, slot *pipeSlot) ([]*comb, int, err
 		merged, ok, err := compose(slot.arena, s.ex.layout, slot.src, s.slot, tu, s.preds)
 		if err != nil {
 			putTupleSlice(tuples)
+			putCombSlice(out) // lazily acquired; a cap-0 nil slice is a no-op
 			return nil, fetched, err
 		}
 		if ok {

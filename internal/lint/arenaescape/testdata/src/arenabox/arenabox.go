@@ -1,0 +1,118 @@
+// Package arenabox seeds every escape and lifecycle violation the
+// arenaescape analyzer reports, against local doubles of the engine's
+// arena types.
+package arenabox
+
+import "sync"
+
+type tuple struct{ score float64 }
+
+type comb struct {
+	score float64
+	comps []*tuple
+}
+
+type combArena struct {
+	width  int
+	blocks [][]comb
+}
+
+func newCombArena(w int) *combArena { return &combArena{width: w} }
+
+func (a *combArena) new() *comb {
+	return &comb{comps: make([]*tuple, a.width)}
+}
+
+func (a *combArena) clone(c *comb) *comb {
+	d := a.new()
+	copy(d.comps, c.comps)
+	d.score = c.score
+	return d
+}
+
+func (a *combArena) release() { a.blocks = nil }
+
+var sink *comb
+
+var mu sync.Mutex
+
+type result struct {
+	c  *comb
+	cs []*tuple
+}
+
+type op struct {
+	arena *combArena
+	cur   *comb
+}
+
+// storeToOtherField parks the comb in an object the operator does not
+// own.
+func (o *op) storeToOtherField(r *result) {
+	m := o.arena.new()
+	r.c = m // want "stored into a field of another object"
+}
+
+// storeToGlobal parks the comb in a package-level variable.
+func (o *op) storeToGlobal() {
+	mu.Lock()
+	defer mu.Unlock()
+	sink = o.arena.new() // want "stored into a package-level variable"
+}
+
+// sendComb hands the comb to whatever goroutine drains the channel.
+func (o *op) sendComb(ch chan *comb) {
+	m := o.arena.clone(o.cur)
+	ch <- m // want "sent on a channel"
+}
+
+// captureComb lets a goroutine outlive the frame with the comb in hand.
+func (o *op) captureComb(done chan struct{}) {
+	m := o.arena.new()
+	go func() {
+		_ = m.score // want "captured by a goroutine"
+		close(done)
+	}()
+}
+
+// placeInComposite buries the comb in a literal with unknown lifetime.
+func (o *op) placeInComposite() *result {
+	m := o.arena.new()
+	return &result{c: m} // want "placed into a composite literal"
+}
+
+// compsEscape leaks the component vector, which dies with the arena just
+// like its comb.
+func (o *op) compsEscape(ch chan []*tuple) {
+	m := o.arena.new()
+	ps := m.comps
+	ch <- ps // want "sent on a channel"
+}
+
+// Close returning a comb hands out memory the same call just released.
+func (o *op) Close() *comb {
+	m := o.arena.new()
+	o.arena.release()
+	return m // want "returned from op.Close"
+}
+
+// leakArena never releases the locally created arena.
+func leakArena(w int) {
+	a := newCombArena(w) // want "not released on every exit path"
+	_ = a.new()
+}
+
+// useAfterRelease dereferences a comb after its arena released.
+func useAfterRelease(w int) float64 {
+	a := newCombArena(w)
+	m := a.new()
+	a.release()
+	return m.score // want "used after the arena's release"
+}
+
+// allocAfterRelease bump-allocates from a released arena.
+func allocAfterRelease(w int) {
+	a := newCombArena(w)
+	a.release()
+	_ = a.new() // want "used after the arena's release"
+}

@@ -1,0 +1,123 @@
+// Package arenaclean mirrors the sanctioned arena idioms from the
+// engine; the arenaescape analyzer must stay silent on all of them.
+package arenaclean
+
+type tuple struct{ score float64 }
+
+type comb struct {
+	score float64
+	comps []*tuple
+}
+
+type combArena struct {
+	width  int
+	blocks [][]comb
+}
+
+func newCombArena(w int) *combArena { return &combArena{width: w} }
+
+func (a *combArena) new() *comb {
+	return &comb{comps: make([]*tuple, a.width)}
+}
+
+func (a *combArena) clone(c *comb) *comb {
+	d := a.new()
+	copy(d.comps, c.comps)
+	d.score = c.score
+	return d
+}
+
+func (a *combArena) release() { a.blocks = nil }
+
+type layout struct{ weights []float64 }
+
+func (l *layout) rank(c *comb) float64 { return c.score }
+
+func cond() bool { return false }
+
+type joinOp struct {
+	arena   *combArena
+	cur     *comb
+	pending []*comb
+	rank    *layout
+}
+
+// mergeLocal builds a comb and returns it to the caller, the way
+// mergeBranches does: the caller is the same operator, so the arena
+// still owns it.
+func (j *joinOp) mergeLocal(l, r *comb) *comb {
+	m := j.arena.new()
+	copy(m.comps, l.comps)
+	m.score = l.score + r.score
+	return m
+}
+
+// stash keeps the comb in the operator's own state; receiver fields die
+// with the operator and its Close releases the arena.
+func (j *joinOp) stash(c *comb) {
+	m := j.arena.clone(c)
+	j.cur = m
+	j.pending = append(j.pending, m)
+}
+
+// score passes the comb to a helper by argument; the callee does not
+// outlive the call.
+func (j *joinOp) score(c *comb) float64 {
+	m := j.arena.clone(c)
+	return j.rank.rank(m)
+}
+
+// Close releases the arena without handing any comb out.
+func (j *joinOp) Close() {
+	j.cur = nil
+	j.pending = nil
+	j.arena.release()
+}
+
+// buildOp places a freshly created arena into the operator it will
+// belong to; creating an owner is not an escape of arena memory.
+func buildOp(w int) *joinOp {
+	return &joinOp{arena: newCombArena(w), rank: &layout{}}
+}
+
+// scopedArena pairs a local arena with its release on every path.
+func scopedArena(w, n int) float64 {
+	a := newCombArena(w)
+	var total float64
+	for i := 0; i < n; i++ {
+		m := a.new()
+		m.score = float64(i)
+		total += m.score
+	}
+	a.release()
+	return total
+}
+
+// deferredArena releases through defer across early returns.
+func deferredArena(w int) float64 {
+	a := newCombArena(w)
+	defer a.release()
+	m := a.new()
+	if cond() {
+		return 0
+	}
+	return m.score
+}
+
+// releasedBothArms releases on each branch.
+func releasedBothArms(w int) {
+	a := newCombArena(w)
+	if cond() {
+		a.release()
+		return
+	}
+	_ = a.new()
+	a.release()
+}
+
+// handOff transfers the locally created arena into a struct the caller
+// owns; ownership moves with it.
+func handOff(w int) *joinOp {
+	a := newCombArena(w)
+	return &joinOp{arena: a, rank: &layout{}}
+}

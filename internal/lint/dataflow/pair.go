@@ -1,0 +1,1031 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"seco/internal/lint/inspect"
+)
+
+// PairState is the per-path lattice of one tracked resource.
+type PairState uint8
+
+const (
+	// Held: acquired and not yet released on this path.
+	Held PairState = iota
+	// Released: released on this path; any further use is a bug.
+	Released
+	// Escaped: ownership left the function (stored, returned, sent,
+	// captured, or passed on). No pairing obligation remains.
+	Escaped
+	// MaybeReleased: released on some merged-in paths but not all — an
+	// exit in this state means the release does not cover every path.
+	MaybeReleased
+)
+
+// PairKind enumerates the violations the tracker reports.
+type PairKind uint8
+
+const (
+	// MissingRelease: some exit path leaves the resource held.
+	MissingRelease PairKind = iota
+	// UseAfterRelease: the resource (or a value derived from it) is
+	// used on a path where it has definitely been released.
+	UseAfterRelease
+	// DoubleRelease: released twice on one path.
+	DoubleRelease
+	// OverwriteWhileHeld: the only binding of a held resource is
+	// overwritten, so the resource can no longer reach its release.
+	OverwriteWhileHeld
+	// DroppedAcquire: an acquire call's result is discarded outright.
+	DroppedAcquire
+)
+
+// PairViolation is one finding of Track.
+type PairViolation struct {
+	Kind PairKind
+	// Pos is the offending site: the use, the overwriting assignment,
+	// the second release — or the acquire itself for MissingRelease and
+	// DroppedAcquire.
+	Pos token.Pos
+	// Acquire is where the resource was acquired.
+	Acquire token.Pos
+	// Derived marks violations observed through a derived value (one
+	// tied to the resource by PairSpec.Derive) rather than the resource
+	// binding itself.
+	Derived bool
+}
+
+// PairSpec configures the tracker with an acquire/release protocol.
+type PairSpec struct {
+	Info *types.Info
+	// Acquire reports whether the call yields a tracked resource and at
+	// which result index it sits.
+	Acquire func(call *ast.CallExpr) (int, bool)
+	// Release returns the expression whose resource the call releases
+	// (an argument, or the method receiver), or nil.
+	Release func(call *ast.CallExpr) ast.Expr
+	// Derive optionally ties a call's first result to the resource of
+	// another expression (an arena method's receiver: a.new() derives
+	// from a). Derived bindings are checked for use-after-release, but
+	// their stores and escapes do not change the resource's state.
+	Derive func(call *ast.CallExpr) ast.Expr
+	// AllowDoubleRelease suppresses DoubleRelease for idempotent APIs.
+	AllowDoubleRelease bool
+	// Report receives each violation, deduplicated by kind and site.
+	Report func(PairViolation)
+}
+
+// Track runs the pair protocol over one function body, exploring its
+// control flow path-sensitively: branches fork the abstract state,
+// joins merge it, loop bodies run to a (two-iteration) fixpoint, and
+// every exit is checked for unreleased resources. Deferred release
+// calls satisfy the obligation on every exit they cover.
+func Track(spec PairSpec, fn inspect.Func) {
+	t := &pairTracker{
+		spec:     spec,
+		fn:       fn,
+		reported: map[violationKey]bool{},
+	}
+	env := &pairEnv{
+		vars:     map[*types.Var]pairBinding{},
+		states:   map[int]PairState{},
+		deferred: map[int]bool{},
+	}
+	t.execBlock(fn.Body, env)
+	if !env.unreachable {
+		t.checkExit(env)
+	}
+}
+
+type violationKey struct {
+	kind PairKind
+	pos  token.Pos
+	acq  token.Pos
+}
+
+type pairBinding struct {
+	id      int
+	derived bool
+}
+
+// pairEnv is the abstract state along one path.
+type pairEnv struct {
+	vars        map[*types.Var]pairBinding
+	states      map[int]PairState
+	deferred    map[int]bool
+	unreachable bool
+}
+
+func (e *pairEnv) clone() *pairEnv {
+	c := &pairEnv{
+		vars:        make(map[*types.Var]pairBinding, len(e.vars)),
+		states:      make(map[int]PairState, len(e.states)),
+		deferred:    make(map[int]bool, len(e.deferred)),
+		unreachable: e.unreachable,
+	}
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	for k, v := range e.states {
+		c.states[k] = v
+	}
+	for k, v := range e.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// merge folds b into a (both non-nil, both reachable). A binding present
+// on only one path is kept — the resource exists only there and dropping
+// the name would orphan its release. Conflicting bindings that stem from
+// the same acquire site (successive loop-fixpoint passes over one call)
+// are unified onto a's copy, with b's copy absorbed; truly distinct
+// bindings lose the name.
+func (t *pairTracker) merge(a, b *pairEnv) {
+	var absorbed map[int]bool
+	for v, bind := range a.vars {
+		other, ok := b.vars[v]
+		if !ok || other == bind {
+			continue
+		}
+		if !bind.derived && !other.derived &&
+			t.resources[bind.id] == t.resources[other.id] {
+			if absorbed == nil {
+				absorbed = map[int]bool{}
+			}
+			absorbed[other.id] = true
+			continue
+		}
+		delete(a.vars, v)
+	}
+	for v, bind := range b.vars {
+		if _, ok := a.vars[v]; !ok {
+			a.vars[v] = bind
+		}
+	}
+	for id, sb := range b.states {
+		if absorbed[id] {
+			sb = Escaped // obligation carried by the unified copy
+		}
+		sa, ok := a.states[id]
+		if !ok {
+			a.states[id] = sb // created on b's path only
+			continue
+		}
+		a.states[id] = joinState(sa, sb)
+	}
+	// Deferred releases hold only when every merged path registered them.
+	for id := range a.deferred {
+		if !b.deferred[id] {
+			delete(a.deferred, id)
+		}
+	}
+}
+
+func joinState(a, b PairState) PairState {
+	if a == b {
+		return a
+	}
+	if a == Escaped || b == Escaped {
+		return Escaped
+	}
+	return MaybeReleased
+}
+
+// mergeInto folds src into dst, handling unreachable paths; returns dst
+// (or src when dst is nil / dead).
+func (t *pairTracker) mergeInto(dst, src *pairEnv) *pairEnv {
+	if src == nil || src.unreachable {
+		return dst
+	}
+	if dst == nil || dst.unreachable {
+		return src
+	}
+	t.merge(dst, src)
+	return dst
+}
+
+// loopCtx collects the break/continue states of one loop (or the break
+// states of a switch/select).
+type loopCtx struct {
+	label  string
+	isLoop bool
+	breaks []*pairEnv
+	conts  []*pairEnv
+}
+
+type pairTracker struct {
+	spec         PairSpec
+	fn           inspect.Func
+	resources    []token.Pos // id → acquire position
+	reported     map[violationKey]bool
+	loops        []*loopCtx
+	pendingLabel string
+}
+
+func (t *pairTracker) report(kind PairKind, pos, acq token.Pos, derived bool) {
+	key := violationKey{kind, pos, acq}
+	if t.reported[key] {
+		return
+	}
+	t.reported[key] = true
+	if t.spec.Report != nil {
+		t.spec.Report(PairViolation{Kind: kind, Pos: pos, Acquire: acq, Derived: derived})
+	}
+}
+
+// checkExit reports resources that a function exit leaves held.
+func (t *pairTracker) checkExit(env *pairEnv) {
+	for id, st := range env.states {
+		if env.deferred[id] {
+			continue
+		}
+		if st == Held || st == MaybeReleased {
+			t.report(MissingRelease, t.resources[id], t.resources[id], false)
+		}
+	}
+}
+
+// resRef is the abstract value of an expression.
+type resRef struct {
+	ok      bool
+	id      int
+	derived bool
+	fresh   bool // created by this very expression (an acquire call)
+}
+
+// ---- statement execution ----
+
+func (t *pairTracker) execBlock(b *ast.BlockStmt, env *pairEnv) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		if env.unreachable {
+			return
+		}
+		t.execStmt(s, env)
+	}
+}
+
+func (t *pairTracker) execStmt(s ast.Stmt, env *pairEnv) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		t.execBlock(s, env)
+	case *ast.ExprStmt:
+		ref := t.evalExpr(s.X, env)
+		if ref.ok && ref.fresh && !ref.derived {
+			// The acquire's result is discarded on the spot. Mark it
+			// escaped so the exit check does not pile on MissingRelease.
+			t.report(DroppedAcquire, t.resources[ref.id], t.resources[ref.id], false)
+			env.states[ref.id] = Escaped
+		}
+	case *ast.AssignStmt:
+		t.execAssign(s, env)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					t.execValueSpec(vs, env)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		t.evalExpr(s.X, env)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ref := t.evalExpr(r, env)
+			t.escapeRef(ref, env)
+		}
+		t.checkExit(env)
+		env.unreachable = true
+	case *ast.IfStmt:
+		t.execIf(s, env)
+	case *ast.ForStmt:
+		t.execFor(s, env)
+	case *ast.RangeStmt:
+		t.execRange(s, env)
+	case *ast.SwitchStmt:
+		t.execSwitch(s, env)
+	case *ast.TypeSwitchStmt:
+		t.execTypeSwitch(s, env)
+	case *ast.SelectStmt:
+		t.execSelect(s, env)
+	case *ast.SendStmt:
+		t.evalExpr(s.Chan, env)
+		ref := t.evalExpr(s.Value, env)
+		t.escapeRef(ref, env)
+	case *ast.GoStmt:
+		t.execGo(s.Call, env)
+	case *ast.DeferStmt:
+		t.execDefer(s.Call, env)
+	case *ast.BranchStmt:
+		t.execBranch(s, env)
+	case *ast.LabeledStmt:
+		t.pendingLabel = s.Label.Name
+		t.execStmt(s.Stmt, env)
+		t.pendingLabel = ""
+	}
+}
+
+func (t *pairTracker) execValueSpec(vs *ast.ValueSpec, env *pairEnv) {
+	if len(vs.Names) > 1 && len(vs.Values) == 1 {
+		ref := t.evalExpr(vs.Values[0], env)
+		if ref.ok {
+			if call, isCall := ast.Unparen(vs.Values[0]).(*ast.CallExpr); isCall {
+				if idx, ok := t.acquireIndex(call); ok && idx < len(vs.Names) {
+					t.bindIdent(vs.Names[idx], ref, env)
+				}
+			}
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		var ref resRef
+		if i < len(vs.Values) {
+			ref = t.evalExpr(vs.Values[i], env)
+		}
+		t.bindIdent(name, ref, env)
+	}
+}
+
+func (t *pairTracker) acquireIndex(call *ast.CallExpr) (int, bool) {
+	if t.spec.Acquire == nil {
+		return 0, false
+	}
+	return t.spec.Acquire(call)
+}
+
+func (t *pairTracker) execAssign(s *ast.AssignStmt, env *pairEnv) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment: both a read and a write of the left side.
+		for _, e := range append(append([]ast.Expr{}, s.Rhs...), s.Lhs...) {
+			t.evalExpr(e, env)
+		}
+		return
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Multi-value bind: only an acquire call's matched result index
+		// carries the resource.
+		ref := t.evalExpr(s.Rhs[0], env)
+		boundIdx := -1
+		if ref.ok {
+			if call, isCall := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); isCall {
+				if idx, ok := t.acquireIndex(call); ok {
+					boundIdx = idx
+				} else if t.spec.Derive != nil && t.spec.Derive(call) != nil {
+					boundIdx = 0
+				}
+			}
+		}
+		for i, lhs := range s.Lhs {
+			r := resRef{}
+			if i == boundIdx {
+				r = ref
+			}
+			t.assignTo(lhs, r, s.Pos(), s.Tok == token.DEFINE, env)
+		}
+		return
+	}
+	refs := make([]resRef, len(s.Rhs))
+	for i, rhs := range s.Rhs {
+		refs[i] = t.evalExpr(rhs, env)
+	}
+	for i, lhs := range s.Lhs {
+		var r resRef
+		if i < len(refs) {
+			r = refs[i]
+		}
+		t.assignTo(lhs, r, s.Pos(), s.Tok == token.DEFINE, env)
+	}
+}
+
+// assignTo stores an abstract value into an assignment target.
+func (t *pairTracker) assignTo(lhs ast.Expr, ref resRef, at token.Pos, define bool, env *pairEnv) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			t.escapeRef(ref, env) // explicitly discarded: treat as handed off
+			return
+		}
+		if v := inspect.LocalVar(t.spec.Info, id); v != nil {
+			t.bindVar(v, ref, at, define, env)
+			return
+		}
+		// Package-level variable: the value escapes the function.
+		t.escapeRef(ref, env)
+		return
+	}
+	// Field, index or dereference target: evaluate the target's base for
+	// use-after-release, then let the value escape through it.
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		t.evalExpr(l.X, env)
+	case *ast.IndexExpr:
+		t.evalExpr(l.X, env)
+		t.evalExpr(l.Index, env)
+	case *ast.StarExpr:
+		t.evalExpr(l.X, env)
+	}
+	t.escapeRef(ref, env)
+}
+
+func (t *pairTracker) bindIdent(id *ast.Ident, ref resRef, env *pairEnv) {
+	if id.Name == "_" {
+		t.escapeRef(ref, env)
+		return
+	}
+	if v := inspect.LocalVar(t.spec.Info, id); v != nil {
+		t.bindVar(v, ref, id.Pos(), true, env)
+	}
+}
+
+// bindVar rebinds a local variable, reporting a held resource whose
+// only binding is overwritten by an unrelated value. A define (:=)
+// introduces a fresh variable per loop iteration rather than clobbering
+// the old one, so there the still-held resource is left for the exit
+// check instead.
+func (t *pairTracker) bindVar(v *types.Var, ref resRef, at token.Pos, define bool, env *pairEnv) {
+	if old, ok := env.vars[v]; ok && !old.derived && !define {
+		if st := env.states[old.id]; st == Held && (!ref.ok || ref.id != old.id) && !env.deferred[old.id] {
+			t.report(OverwriteWhileHeld, at, t.resources[old.id], false)
+			// The resource can no longer be released; silence the exit check.
+			env.states[old.id] = Escaped
+		}
+	}
+	if ref.ok {
+		env.vars[v] = pairBinding{id: ref.id, derived: ref.derived}
+	} else {
+		delete(env.vars, v)
+	}
+}
+
+// escapeRef marks a primary resource as escaped (ownership transfer).
+// Derived values never change their resource's state.
+func (t *pairTracker) escapeRef(ref resRef, env *pairEnv) {
+	if !ref.ok || ref.derived {
+		return
+	}
+	if env.states[ref.id] == Held {
+		env.states[ref.id] = Escaped
+	}
+}
+
+// ---- control flow ----
+
+func (t *pairTracker) execIf(s *ast.IfStmt, env *pairEnv) {
+	if s.Init != nil {
+		t.execStmt(s.Init, env)
+	}
+	t.evalExpr(s.Cond, env)
+	thenEnv := env.clone()
+	elseEnv := env.clone()
+	t.refineNilCheck(s.Cond, thenEnv, elseEnv)
+	t.execBlock(s.Body, thenEnv)
+	if s.Else != nil {
+		t.execStmt(s.Else, elseEnv)
+	}
+	merged := t.mergeInto(thenEnv, elseEnv)
+	if merged == nil || (thenEnv.unreachable && elseEnv.unreachable) {
+		env.unreachable = true
+		return
+	}
+	*env = *merged
+}
+
+// refineNilCheck models `if x == nil` / `if x != nil` conditions: on the
+// branch where x is provably nil, x cannot name a tracked resource, so
+// its binding is dropped there. This is what keeps the lazy-acquire
+// idiom (`if buf == nil { buf = get(...) }`) from reading as an
+// overwrite of a held buffer on the loop fixpoint's second pass.
+func (t *pairTracker) refineNilCheck(cond ast.Expr, thenEnv, elseEnv *pairEnv) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return
+	}
+	var x ast.Expr
+	switch {
+	case isNilIdent(t.spec.Info, be.Y):
+		x = be.X
+	case isNilIdent(t.spec.Info, be.X):
+		x = be.Y
+	default:
+		return
+	}
+	v := inspect.LocalVar(t.spec.Info, x)
+	if v == nil {
+		return
+	}
+	if be.Op == token.EQL {
+		delete(thenEnv.vars, v)
+	} else {
+		delete(elseEnv.vars, v)
+	}
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func (t *pairTracker) pushLoop(isLoop bool) *loopCtx {
+	ctx := &loopCtx{label: t.pendingLabel, isLoop: isLoop}
+	t.pendingLabel = ""
+	t.loops = append(t.loops, ctx)
+	return ctx
+}
+
+func (t *pairTracker) popLoop() {
+	t.loops = t.loops[:len(t.loops)-1]
+}
+
+// execLoopBody runs a loop body to a two-iteration fixpoint: the second
+// pass re-executes the body from the merged header state, which is what
+// surfaces resources acquired in iteration N still held when iteration
+// N+1 rebinds their variable.
+func (t *pairTracker) execLoopBody(env *pairEnv, cond func(*pairEnv), body *ast.BlockStmt, post ast.Stmt) {
+	ctx := t.pushLoop(true)
+	defer t.popLoop()
+	header := env.clone()
+	for i := 0; i < 2; i++ {
+		if cond != nil {
+			cond(header)
+		}
+		iter := header.clone()
+		t.execBlock(body, iter)
+		for _, c := range ctx.conts {
+			iter = t.mergeInto(iter, c)
+		}
+		ctx.conts = nil
+		if iter != nil && !iter.unreachable {
+			if post != nil {
+				t.execStmt(post, iter)
+			}
+			header = t.mergeInto(header, iter)
+		}
+	}
+	if cond != nil {
+		cond(header)
+	}
+	// After the loop: the not-entered/condition-false state joined with
+	// every break state.
+	out := header
+	for _, b := range ctx.breaks {
+		out = t.mergeInto(out, b)
+	}
+	*env = *out
+}
+
+func (t *pairTracker) execFor(s *ast.ForStmt, env *pairEnv) {
+	if s.Init != nil {
+		t.execStmt(s.Init, env)
+	}
+	var cond func(*pairEnv)
+	if s.Cond != nil {
+		cond = func(e *pairEnv) { t.evalExprIn(s.Cond, e) }
+	}
+	t.execLoopBody(env, cond, s.Body, s.Post)
+}
+
+func (t *pairTracker) execRange(s *ast.RangeStmt, env *pairEnv) {
+	t.evalExpr(s.X, env)
+	cond := func(e *pairEnv) {
+		if s.Tok == token.DEFINE || s.Tok == token.ASSIGN {
+			for _, kv := range []ast.Expr{s.Key, s.Value} {
+				if kv == nil {
+					continue
+				}
+				if id, ok := kv.(*ast.Ident); ok && id.Name != "_" {
+					if v := inspect.LocalVar(t.spec.Info, id); v != nil {
+						t.bindVar(v, resRef{}, id.Pos(), s.Tok == token.DEFINE, e)
+					}
+				}
+			}
+		}
+	}
+	t.execLoopBody(env, cond, s.Body, nil)
+}
+
+func (t *pairTracker) execSwitch(s *ast.SwitchStmt, env *pairEnv) {
+	if s.Init != nil {
+		t.execStmt(s.Init, env)
+	}
+	if s.Tag != nil {
+		t.evalExpr(s.Tag, env)
+	}
+	t.execClauses(s.Body, env, func(c ast.Stmt, e *pairEnv) []ast.Stmt {
+		cc := c.(*ast.CaseClause)
+		for _, x := range cc.List {
+			t.evalExprIn(x, e)
+		}
+		return cc.Body
+	}, hasDefaultCase(s.Body))
+}
+
+func (t *pairTracker) execTypeSwitch(s *ast.TypeSwitchStmt, env *pairEnv) {
+	if s.Init != nil {
+		t.execStmt(s.Init, env)
+	}
+	t.execStmt(s.Assign, env)
+	t.execClauses(s.Body, env, func(c ast.Stmt, e *pairEnv) []ast.Stmt {
+		return c.(*ast.CaseClause).Body
+	}, hasDefaultCase(s.Body))
+}
+
+func (t *pairTracker) execSelect(s *ast.SelectStmt, env *pairEnv) {
+	t.execClauses(s.Body, env, func(c ast.Stmt, e *pairEnv) []ast.Stmt {
+		cc := c.(*ast.CommClause)
+		if cc.Comm != nil {
+			t.execStmtIn(cc.Comm, e)
+		}
+		return cc.Body
+	}, hasDefaultComm(s.Body))
+}
+
+func hasDefaultCase(b *ast.BlockStmt) bool {
+	for _, c := range b.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDefaultComm(b *ast.BlockStmt) bool {
+	for _, c := range b.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// execClauses runs each case from the pre-state and merges the ends. A
+// switch with no default keeps the pre-state as one merged-in path.
+func (t *pairTracker) execClauses(body *ast.BlockStmt, env *pairEnv,
+	head func(ast.Stmt, *pairEnv) []ast.Stmt, hasDefault bool) {
+	ctx := t.pushLoop(false)
+	defer t.popLoop()
+	var out *pairEnv
+	for _, clause := range body.List {
+		ce := env.clone()
+		stmts := head(clause, ce)
+		for _, st := range stmts {
+			if ce.unreachable {
+				break
+			}
+			t.execStmt(st, ce)
+		}
+		out = t.mergeInto(out, ce)
+	}
+	if !hasDefault || len(body.List) == 0 {
+		out = t.mergeInto(out, env.clone())
+	}
+	for _, b := range ctx.breaks {
+		out = t.mergeInto(out, b)
+	}
+	if out == nil {
+		env.unreachable = true
+		return
+	}
+	*env = *out
+}
+
+func (t *pairTracker) execBranch(s *ast.BranchStmt, env *pairEnv) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if ctx := t.findCtx(label, false); ctx != nil {
+			ctx.breaks = append(ctx.breaks, env.clone())
+		}
+		env.unreachable = true
+	case token.CONTINUE:
+		if ctx := t.findCtx(label, true); ctx != nil {
+			ctx.conts = append(ctx.conts, env.clone())
+		}
+		env.unreachable = true
+	case token.GOTO:
+		// Rare and unstructured: abandon the path rather than guess.
+		env.unreachable = true
+	case token.FALLTHROUGH:
+		// The next clause is analyzed from the pre-state anyway; ending
+		// the path here only loses the accumulated facts, so keep going.
+	}
+}
+
+func (t *pairTracker) findCtx(label string, needLoop bool) *loopCtx {
+	for i := len(t.loops) - 1; i >= 0; i-- {
+		ctx := t.loops[i]
+		if needLoop && !ctx.isLoop {
+			continue
+		}
+		if label == "" || ctx.label == label {
+			return ctx
+		}
+	}
+	return nil
+}
+
+func (t *pairTracker) execGo(call *ast.CallExpr, env *pairEnv) {
+	// Arguments (and closure captures) cross into another goroutine.
+	for _, a := range call.Args {
+		ref := t.evalExpr(a, env)
+		t.escapeRef(ref, env)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		t.escapeCaptured(lit, env)
+	} else {
+		t.evalExpr(call.Fun, env)
+	}
+}
+
+// escapeCaptured marks every tracked variable referenced inside a
+// closure as escaped.
+func (t *pairTracker) escapeCaptured(lit *ast.FuncLit, env *pairEnv) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := inspect.LocalVar(t.spec.Info, id); v != nil {
+			if bind, ok := env.vars[v]; ok && !bind.derived {
+				if env.states[bind.id] == Held {
+					env.states[bind.id] = Escaped
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (t *pairTracker) execDefer(call *ast.CallExpr, env *pairEnv) {
+	if t.spec.Release != nil {
+		if rexpr := t.spec.Release(call); rexpr != nil {
+			if ref := t.resolveRef(rexpr, env); ref.ok {
+				env.deferred[ref.id] = true
+			}
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// A deferred closure that releases a tracked resource covers the
+		// exits below it; other captures are left alone (the closure runs
+		// within this frame's lifetime).
+		if t.spec.Release != nil {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				inner, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if rexpr := t.spec.Release(inner); rexpr != nil {
+					if ref := t.resolveRef(rexpr, env); ref.ok {
+						env.deferred[ref.id] = true
+					}
+				}
+				return true
+			})
+		}
+		return
+	}
+	// Deferring an arbitrary call with the resource as argument hands it
+	// off just like a direct call.
+	for _, a := range call.Args {
+		ref := t.resolveRef(a, env)
+		t.escapeRef(ref, env)
+	}
+}
+
+// ---- expression evaluation ----
+
+// evalExprIn is evalExpr against an explicit environment (loop helper).
+func (t *pairTracker) evalExprIn(e ast.Expr, env *pairEnv) { t.evalExpr(e, env) }
+
+func (t *pairTracker) execStmtIn(s ast.Stmt, env *pairEnv) { t.execStmt(s, env) }
+
+// evalExpr abstractly evaluates an expression: it performs
+// use-after-release checks on identifier reads, applies acquire /
+// release / derive semantics to calls, lets resources escape through
+// non-benign contexts, and returns the expression's abstract value.
+func (t *pairTracker) evalExpr(e ast.Expr, env *pairEnv) resRef {
+	switch e := e.(type) {
+	case nil:
+		return resRef{}
+	case *ast.Ident:
+		return t.evalIdent(e, env)
+	case *ast.ParenExpr:
+		return t.evalExpr(e.X, env)
+	case *ast.CallExpr:
+		return t.evalCall(e, env)
+	case *ast.SelectorExpr:
+		t.evalExpr(e.X, env)
+		return resRef{}
+	case *ast.StarExpr:
+		return t.evalExpr(e.X, env)
+	case *ast.TypeAssertExpr:
+		return t.evalExpr(e.X, env)
+	case *ast.SliceExpr:
+		ref := t.evalExpr(e.X, env)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				t.evalExpr(idx, env)
+			}
+		}
+		return ref // a re-slice is the same buffer
+	case *ast.IndexExpr:
+		ref := t.evalExpr(e.X, env)
+		t.evalExpr(e.Index, env)
+		if ref.ok {
+			// An element of a tracked container: tied to it, but moving
+			// the element does not move the container.
+			return resRef{ok: true, id: ref.id, derived: true}
+		}
+		return resRef{}
+	case *ast.UnaryExpr:
+		ref := t.evalExpr(e.X, env)
+		if e.Op == token.AND {
+			return ref // &buf aliases buf (sync.Pool.Put(&s) idiom)
+		}
+		return resRef{}
+	case *ast.BinaryExpr:
+		t.evalExpr(e.X, env)
+		t.evalExpr(e.Y, env)
+		return resRef{}
+	case *ast.KeyValueExpr:
+		t.evalExpr(e.Key, env)
+		ref := t.evalExpr(e.Value, env)
+		t.escapeRef(ref, env)
+		return resRef{}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			ref := t.evalExpr(el, env)
+			t.escapeRef(ref, env)
+		}
+		return resRef{}
+	case *ast.FuncLit:
+		// A plain closure may stash or release the resource later; be
+		// conservative and drop the pairing obligation for captures.
+		t.escapeCaptured(e, env)
+		return resRef{}
+	default:
+		return resRef{}
+	}
+}
+
+func (t *pairTracker) evalIdent(id *ast.Ident, env *pairEnv) resRef {
+	v := inspect.LocalVar(t.spec.Info, id)
+	if v == nil {
+		return resRef{}
+	}
+	bind, ok := env.vars[v]
+	if !ok {
+		return resRef{}
+	}
+	if env.states[bind.id] == Released {
+		t.report(UseAfterRelease, id.Pos(), t.resources[bind.id], bind.derived)
+	}
+	return resRef{ok: true, id: bind.id, derived: bind.derived}
+}
+
+// resolveRef resolves an expression to its resource binding without
+// triggering use checks or escapes (for release arguments).
+func (t *pairTracker) resolveRef(e ast.Expr, env *pairEnv) resRef {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := inspect.LocalVar(t.spec.Info, e); v != nil {
+			if bind, ok := env.vars[v]; ok {
+				return resRef{ok: true, id: bind.id, derived: bind.derived}
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return t.resolveRef(e.X, env)
+		}
+	case *ast.StarExpr:
+		return t.resolveRef(e.X, env)
+	case *ast.SliceExpr:
+		return t.resolveRef(e.X, env)
+	case *ast.TypeAssertExpr:
+		return t.resolveRef(e.X, env)
+	}
+	return resRef{}
+}
+
+func (t *pairTracker) evalCall(call *ast.CallExpr, env *pairEnv) resRef {
+	// Release calls first: the released expression must not double as a
+	// "use" (put(s) after put(s) is one DoubleRelease, not also a
+	// use-after-release).
+	if t.spec.Release != nil {
+		if rexpr := t.spec.Release(call); rexpr != nil {
+			t.evalArgsExcept(call, rexpr, env)
+			ref := t.resolveRef(rexpr, env)
+			if !ref.ok {
+				return resRef{}
+			}
+			switch env.states[ref.id] {
+			case Released:
+				if !t.spec.AllowDoubleRelease {
+					t.report(DoubleRelease, call.Pos(), t.resources[ref.id], ref.derived)
+				}
+			default:
+				env.states[ref.id] = Released
+			}
+			return resRef{}
+		}
+	}
+	if idx, ok := t.acquireIndex(call); ok {
+		t.evalReceiver(call, env)
+		for _, a := range call.Args {
+			ref := t.evalExpr(a, env)
+			t.escapeRef(ref, env)
+		}
+		id := len(t.resources)
+		t.resources = append(t.resources, call.Pos())
+		env.states[id] = Held
+		_ = idx // the result index matters to multi-value binds only
+		return resRef{ok: true, id: id, fresh: true}
+	}
+	if t.spec.Derive != nil {
+		if dexpr := t.spec.Derive(call); dexpr != nil {
+			t.evalReceiver(call, env)
+			for _, a := range call.Args {
+				if a == dexpr {
+					continue // the origin is consulted, not consumed
+				}
+				ref := t.evalExpr(a, env)
+				t.escapeRef(ref, env)
+			}
+			origin := t.resolveRef(dexpr, env)
+			if origin.ok {
+				if env.states[origin.id] == Released {
+					t.report(UseAfterRelease, call.Pos(), t.resources[origin.id], true)
+				}
+				return resRef{ok: true, id: origin.id, derived: true}
+			}
+			return resRef{}
+		}
+	}
+	// append propagates its first argument's buffer; the other pure
+	// builtins only read.
+	if inspect.IsBuiltin(t.spec.Info, call, "append") {
+		var first resRef
+		for i, a := range call.Args {
+			ref := t.evalExpr(a, env)
+			if i == 0 {
+				first = ref
+			}
+		}
+		return first
+	}
+	for _, name := range []string{"len", "cap", "copy", "clear", "delete", "print", "println", "panic"} {
+		if inspect.IsBuiltin(t.spec.Info, call, name) {
+			for _, a := range call.Args {
+				t.evalExpr(a, env)
+			}
+			return resRef{}
+		}
+	}
+	// Plain call: arguments are handed off; a tracked receiver is only
+	// consulted.
+	t.evalReceiver(call, env)
+	if _, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); !isSel {
+		if _, isIdent := ast.Unparen(call.Fun).(*ast.Ident); !isIdent {
+			t.evalExpr(call.Fun, env)
+		}
+	}
+	for _, a := range call.Args {
+		ref := t.evalExpr(a, env)
+		t.escapeRef(ref, env)
+	}
+	return resRef{}
+}
+
+// evalReceiver evaluates the receiver expression of a method call (for
+// use-after-release checks) without treating it as an escape.
+func (t *pairTracker) evalReceiver(call *ast.CallExpr, env *pairEnv) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		t.evalExpr(sel.X, env)
+	}
+}
+
+// evalArgsExcept evaluates a release call's receiver and arguments,
+// skipping the released expression itself.
+func (t *pairTracker) evalArgsExcept(call *ast.CallExpr, skip ast.Expr, env *pairEnv) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.X != skip {
+		t.evalExpr(sel.X, env)
+	}
+	for _, a := range call.Args {
+		if a == skip {
+			continue
+		}
+		t.evalExpr(a, env)
+	}
+}

@@ -1,0 +1,29 @@
+package interneq
+
+import (
+	"testing"
+
+	"seco/internal/lint/linttest"
+)
+
+// TestTree runs both corpus packages through the multi-package walker:
+// eqhot carries the seeded violations, eqcold asserts silence.
+func TestTree(t *testing.T) {
+	linttest.RunTree(t, Analyzer, "testdata/src")
+}
+
+func TestClean(t *testing.T) {
+	linttest.RunClean(t, Analyzer, "testdata/src/eqcold")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"seco/internal/engine":  true,
+		"seco/internal/service": false,
+		"seco/internal/types":   false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package eqcold mirrors the sanctioned comparison idioms; the interneq
+// analyzer must stay silent on all of them.
+package eqcold
+
+import (
+	"fmt"
+	"strings"
+
+	"seco/internal/types"
+)
+
+type tuple struct{ vals []types.Value }
+
+type comb struct {
+	score float64
+	comps []*tuple
+}
+
+type joinOp struct {
+	left []*comb
+	key  types.Value
+	mode string
+}
+
+// Next comparing interned handles is the sanctioned hot-path idiom.
+func (j *joinOp) Next() (*comb, bool) {
+	for _, c := range j.left {
+		if c.comps[0].vals[0].Equal(j.key) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// literalGuard compares against a string literal, which has no interned
+// handle; exempt even in a hot path.
+func (j *joinOp) literalGuard(c *comb) bool {
+	return c.comps[0].vals[0].Str() == "public"
+}
+
+// rank uses Value.Compare, the handle-aware ordered comparison.
+func rank(a, b *comb) (bool, error) {
+	cmp, err := a.comps[0].vals[0].Compare(b.comps[0].vals[0])
+	return cmp < 0, err
+}
+
+// modeGuard compares two plain string fields; no Value is involved.
+func (j *joinOp) modeGuard(other string) bool {
+	return j.mode == other
+}
+
+// describe runs at the materialization boundary, not per combination:
+// no comb parameter, not an operator method, not Next.
+func describe(v, w types.Value) string {
+	if v.Str() == w.Str() {
+		return "duplicate"
+	}
+	if strings.Compare(v.Str(), w.Str()) < 0 {
+		return "before"
+	}
+	return fmt.Sprintf("%s after %s", v.Str(), w.Str())
+}

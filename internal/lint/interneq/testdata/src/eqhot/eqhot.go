@@ -1,0 +1,72 @@
+// Package eqhot seeds raw-string comparisons on interned values inside
+// hot-path functions; the interneq analyzer must flag each one.
+package eqhot
+
+import (
+	"strings"
+
+	"seco/internal/types"
+)
+
+type tuple struct{ vals []types.Value }
+
+type comb struct {
+	score float64
+	comps []*tuple
+}
+
+type joinOp struct {
+	left []*comb
+	key  types.Value
+	name string
+}
+
+// Next is a hot path by name: every produced combination funnels
+// through it.
+func (j *joinOp) Next() (*comb, bool) {
+	for _, c := range j.left {
+		v := c.comps[0].vals[0]
+		if v.Str() == j.key.Str() { // want "raw string == on Value.Str result in hot path"
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// advance is hot by receiver: methods of operator types run per
+// combination.
+func (j *joinOp) advance(c *comb) bool {
+	v := c.comps[0].vals[0]
+	return v.String() != j.name // want "raw string != on Value.String result in hot path"
+}
+
+// matches is hot by parameter shape: it takes a comb, the predicate
+// helper signature.
+func matches(c *comb, want types.Value) bool {
+	return c.comps[0].vals[0].Str() == want.Str() // want "raw string == on Value.Str result in hot path"
+}
+
+// order is the ordered-comparison variant of the same mistake.
+func order(a, b *comb) bool {
+	return strings.Compare(a.comps[0].vals[0].Str(), b.comps[0].vals[0].Str()) < 0 // want "strings.Compare over Value.Str result in hot path"
+}
+
+// fold loses the handle and the case-sensitivity contract at once.
+func fold(c *comb, want types.Value) bool {
+	return strings.EqualFold(c.comps[0].vals[0].Str(), want.Str()) // want "strings.EqualFold over Value.Str result in hot path"
+}
+
+// inClosure hides the comparison inside a literal nested in a hot
+// function; the declaration walk still covers it.
+func inClosure(cs []*comb, want types.Value) int {
+	n := 0
+	each := func(c *comb) {
+		if c.comps[0].vals[0].Str() == want.Str() { // want "raw string == on Value.Str result in hot path"
+			n++
+		}
+	}
+	for _, c := range cs {
+		each(c)
+	}
+	return n
+}

@@ -17,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -81,7 +82,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies the analyzer to the package and returns its findings in
-// file/line/column order.
+// file/line/column order. Findings on a line carrying (or directly below)
+// a `//lint:allow <name>` comment naming the analyzer are suppressed —
+// the escape hatch for sites a human has vetted.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
@@ -93,8 +96,9 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 	}
-	sort.Slice(pass.diags, func(i, j int) bool {
-		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+	diags := suppressAllowed(a.Name, pkg, pass.diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -103,5 +107,46 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		}
 		return a.Column < b.Column
 	})
-	return pass.diags, nil
+	return diags, nil
+}
+
+// allowKey locates one //lint:allow annotation: the line it sits on.
+type allowKey struct {
+	file string
+	line int
+}
+
+// suppressAllowed drops diagnostics annotated with //lint:allow <name>,
+// matched on the diagnostic's own line or the line directly above it
+// (a comment line over the flagged statement).
+func suppressAllowed(name string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				for _, n := range strings.Fields(text[len("lint:allow"):]) {
+					if n == name {
+						pos := pkg.Fset.Position(c.Pos())
+						allowed[allowKey{pos.Filename, pos.Line}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[allowKey{d.Pos.Filename, d.Pos.Line}] ||
+			allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
 }

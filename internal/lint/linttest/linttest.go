@@ -3,11 +3,20 @@
 // the manner of golang.org/x/tools/go/analysis/analysistest: every
 // diagnostic must match a want expectation on its line, and every
 // expectation must be matched by a diagnostic.
+//
+// Run checks one package directory. RunTree walks a corpus root and
+// checks every package under it, which is how multi-file and
+// multi-package corpora are laid out. RunClean asserts the opposite
+// contract: the directory holds only sanctioned idioms, carries no want
+// comments, and any diagnostic at all is a false positive.
 package linttest
 
 import (
 	"fmt"
+	"io/fs"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -33,6 +42,73 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
+	checkPkg(t, a, pkg)
+}
+
+// RunTree applies the analyzer to every package under root: each
+// directory holding .go files is loaded as its own package, which is how
+// multi-file and multi-package corpora (including packages importing one
+// another through their full module paths) are laid out.
+func RunTree(t *testing.T, a *lint.Analyzer, root string) {
+	t.Helper()
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".go" {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no Go packages under %s", root)
+	}
+	var sorted []string
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, dir := range sorted {
+		pkg, err := lint.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		checkPkg(t, a, pkg)
+	}
+}
+
+// RunClean asserts the corpus is a negative one: the analyzer must
+// produce no diagnostics, and the sources must carry no want comments
+// (a want in a clean corpus is a corpus bug).
+func RunClean(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) > 0 {
+		t.Errorf("%s: clean corpus carries %d want comment(s); move them to the violation corpus", dir, len(wants))
+	}
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("false positive on clean corpus: %s", d)
+	}
+}
+
+// checkPkg matches one loaded package's findings against its wants.
+func checkPkg(t *testing.T, a *lint.Analyzer, pkg *lint.Package) {
+	t.Helper()
 	wants, err := collectWants(pkg)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -142,8 +143,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // LoadDir type-checks the single package formed by every .go file
 // directly inside dir, including _test.go files. It exists for testdata
 // packages, which live under directories the go tool refuses to list;
-// their imports (standard library only, in practice) are resolved
-// through `go list -export` export data just like Load's.
+// their imports (standard library and this module, in practice) are
+// resolved through `go list -export` export data just like Load's.
+// Files excluded by build constraints (//go:build lines or GOOS/GOARCH
+// file-name suffixes) for the current configuration are skipped, the way
+// the go tool itself would skip them.
 func LoadDir(dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -152,8 +156,14 @@ func LoadDir(dir string) (*Package, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	imports := map[string]bool{}
+	buildCtx := build.Default
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		if match, err := buildCtx.MatchFile(dir, e.Name()); err != nil {
+			return nil, fmt.Errorf("checking build constraints of %s: %w", e.Name(), err)
+		} else if !match {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -2,6 +2,12 @@ package lint
 
 import (
 	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -55,6 +61,83 @@ func TestAppliesTo(t *testing.T) {
 	}
 	if !(&Analyzer{}).AppliesTo("anything") {
 		t.Error("empty scope should cover every package")
+	}
+}
+
+func writeSrcFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDirSkipsBuildConstrained proves LoadDir applies build
+// constraints the way the go tool does: the excluded files reference
+// symbols that do not exist, so including either one would fail the
+// type check.
+func TestLoadDirSkipsBuildConstrained(t *testing.T) {
+	dir := t.TempDir()
+	writeSrcFile(t, dir, "a.go", "package p\n\nfunc ok() int { return 1 }\n")
+	writeSrcFile(t, dir, "b.go", "//go:build neverenabled\n\npackage p\n\nvar _ = doesNotExist\n")
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	writeSrcFile(t, dir, "c_"+otherOS+".go", "package p\n\nvar _ = alsoMissing\n")
+
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("LoadDir loaded %d files, want 1 (constrained files must be skipped)", len(pkg.Files))
+	}
+	name := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	if filepath.Base(name) != "a.go" {
+		t.Errorf("loaded %s, want a.go", name)
+	}
+}
+
+// TestLoadDirMalformedConstraint surfaces MatchFile errors instead of
+// silently including or dropping the file.
+func TestLoadDirMalformedConstraint(t *testing.T) {
+	dir := t.TempDir()
+	writeSrcFile(t, dir, "a.go", "//go:build linux &&\n\npackage p\n")
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir accepted a malformed build constraint")
+	} else if !strings.Contains(err.Error(), "build constraints") {
+		t.Errorf("error %q does not mention build constraints", err)
+	}
+}
+
+// TestLoadDirNoGoFiles rejects an empty directory outright.
+func TestLoadDirNoGoFiles(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("LoadDir succeeded on a directory with no Go files")
+	} else if !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("error %q does not mention the missing files", err)
+	}
+}
+
+// TestExportImporterMissingExport exercises the typecheck path when go
+// list reported no export data for an import: the error must name the
+// package so a missing -export run is diagnosable.
+func TestExportImporterMissingExport(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go",
+		"package p\n\nimport \"fmt\"\n\nfunc hello() { fmt.Println(\"hi\") }\n", parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := exportImporter(fset, map[string]string{
+		"fmt": "", // listed but never compiled: Export is empty
+	})
+	_, err = typecheck(fset, "p", []*ast.File{f}, imp)
+	if err == nil {
+		t.Fatal("typecheck succeeded without export data for fmt")
+	}
+	if !strings.Contains(err.Error(), `no export data for "fmt"`) {
+		t.Errorf("error %q does not name the missing export", err)
 	}
 }
 

@@ -1,0 +1,26 @@
+package poolbox
+
+// Second file of the corpus: loop-shaped leaks, exercising the
+// multi-file load path and the tracker's loop fixpoint.
+
+// leakPerIteration acquires a fresh buffer every pass and releases none.
+func leakPerIteration(n int) {
+	for i := 0; i < n; i++ {
+		buf := getTupleSlice(n) // want "does not reach its put on every exit path"
+		buf = append(buf, &tuple{})
+		if len(buf) > n {
+			return
+		}
+	}
+}
+
+// continueSkipsPut leaks on the continue path only.
+func continueSkipsPut(n int) {
+	for i := 0; i < n; i++ {
+		buf := getTupleSlice(n) // want "does not reach its put on every exit path"
+		if cond() {
+			continue
+		}
+		putTupleSlice(buf)
+	}
+}

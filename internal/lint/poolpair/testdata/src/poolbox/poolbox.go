@@ -1,0 +1,107 @@
+// Package poolbox seeds every violation class the poolpair analyzer
+// reports, against local doubles of the engine's pooled-buffer helpers.
+package poolbox
+
+import "sync"
+
+type comb struct{ score float64 }
+
+type tuple struct{ score float64 }
+
+var combSlicePool = sync.Pool{New: func() any {
+	s := make([]*comb, 0, 32)
+	return &s
+}}
+
+var tupleSlicePool = sync.Pool{New: func() any {
+	s := make([]*tuple, 0, 64)
+	return &s
+}}
+
+func putCombSlice(s []*comb) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	combSlicePool.Put(&s)
+}
+
+func putTupleSlice(s []*tuple) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	tupleSlicePool.Put(&s)
+}
+
+// getCombSlice reproduces the pre-fix engine helper: when the pooled
+// buffer is too small it is overwritten by a fresh allocation and never
+// put back, draining the pool one buffer per large hint.
+func getCombSlice(hint int) []*comb {
+	s := (*combSlicePool.Get().(*[]*comb))[:0]
+	if hint > cap(s) {
+		s = make([]*comb, 0, hint) // want "overwritten while still held"
+	}
+	return s
+}
+
+func cond() bool { return false }
+
+// missingPut releases only on one branch.
+func missingPut(n int) {
+	buf := getTupleSlice(n) // want "does not reach its put on every exit path"
+	if cond() {
+		putTupleSlice(buf)
+	}
+}
+
+// earlyReturn leaks the buffer on the early exit.
+func earlyReturn(n int) {
+	buf := getTupleSlice(n) // want "does not reach its put on every exit path"
+	for i := 0; i < n; i++ {
+		if cond() {
+			return
+		}
+	}
+	putTupleSlice(buf)
+}
+
+// useAfterPut touches the buffer after returning it.
+func useAfterPut(n int) int {
+	buf := getTupleSlice(n)
+	putTupleSlice(buf)
+	return len(buf) // want "used after being returned to the pool"
+}
+
+// doublePut returns the same buffer twice on one path.
+func doublePut(n int) {
+	buf := getTupleSlice(n)
+	putTupleSlice(buf)
+	putTupleSlice(buf) // want "returned to the pool twice"
+}
+
+// dropped discards the acquire on the spot.
+func dropped(n int) {
+	getTupleSlice(n) // want "discarded; the pooled buffer can never be put back"
+}
+
+// rawGetLeaks exercises the direct sync.Pool.Get form.
+func rawGetLeaks() {
+	b := tupleSlicePool.Get().(*[]*tuple) // want "does not reach its put on every exit path"
+	_ = len(*b)
+}
+
+// getTupleSlice is the post-fix helper shape: the undersized pooled
+// buffer goes back before the fresh allocation replaces it.
+func getTupleSlice(hint int) []*tuple {
+	b := tupleSlicePool.Get().(*[]*tuple)
+	if hint > cap(*b) {
+		tupleSlicePool.Put(b)
+		return make([]*tuple, 0, hint)
+	}
+	return (*b)[:0]
+}

@@ -1,0 +1,179 @@
+// Package poolclean mirrors the sanctioned pooled-buffer idioms from the
+// engine; the poolpair analyzer must stay silent on all of them.
+package poolclean
+
+import "sync"
+
+type comb struct{ score float64 }
+
+type tuple struct{ score float64 }
+
+var combSlicePool = sync.Pool{New: func() any {
+	s := make([]*comb, 0, 32)
+	return &s
+}}
+
+var tupleSlicePool = sync.Pool{New: func() any {
+	s := make([]*tuple, 0, 64)
+	return &s
+}}
+
+// getCombSlice/getTupleSlice are the post-fix helper shapes: the
+// undersized pooled buffer is put back before a fresh allocation
+// replaces it.
+func getCombSlice(hint int) []*comb {
+	b := combSlicePool.Get().(*[]*comb)
+	if hint > cap(*b) {
+		combSlicePool.Put(b)
+		return make([]*comb, 0, hint)
+	}
+	return (*b)[:0]
+}
+
+func getTupleSlice(hint int) []*tuple {
+	b := tupleSlicePool.Get().(*[]*tuple)
+	if hint > cap(*b) {
+		tupleSlicePool.Put(b)
+		return make([]*tuple, 0, hint)
+	}
+	return (*b)[:0]
+}
+
+func putCombSlice(s []*comb) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	combSlicePool.Put(&s)
+}
+
+func putTupleSlice(s []*tuple) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	tupleSlicePool.Put(&s)
+}
+
+func cond() bool { return false }
+
+func fill(buf []*tuple) ([]*tuple, error) { return buf, nil }
+
+// balanced is the straight-line acquire/use/put shape.
+func balanced(n int) int {
+	buf := getTupleSlice(n)
+	buf = append(buf, &tuple{})
+	total := len(buf)
+	putTupleSlice(buf)
+	return total
+}
+
+// deferred releases through defer on every exit.
+func deferred(n int) int {
+	buf := getTupleSlice(n)
+	defer putTupleSlice(buf)
+	if cond() {
+		return 0
+	}
+	return len(buf)
+}
+
+// deferredClosure releases inside a deferred closure.
+func deferredClosure(n int) {
+	buf := getTupleSlice(n)
+	defer func() {
+		putTupleSlice(buf)
+	}()
+	buf = append(buf, &tuple{})
+}
+
+// scanOp holds its prefix buffer in operator state: the field store
+// transfers ownership to the struct, and Close pairs it.
+type scanOp struct {
+	tuples []*tuple
+}
+
+func (s *scanOp) fetch(n int) {
+	if s.tuples == nil {
+		s.tuples = getTupleSlice(n)
+	}
+	s.tuples = append(s.tuples, &tuple{})
+}
+
+func (s *scanOp) Close() {
+	if s.tuples != nil {
+		putTupleSlice(s.tuples)
+		s.tuples = nil
+	}
+}
+
+// pipeOne mirrors the engine's piped invocation: the scratch buffer is
+// handed to fill (ownership transfer), the error path releases, and the
+// lazily acquired output escapes by return.
+func pipeOne(n int) ([]*comb, error) {
+	scratch := getTupleSlice(n)
+	tuples, err := fill(scratch)
+	if err != nil {
+		putTupleSlice(scratch)
+		return nil, err
+	}
+	var out []*comb
+	for range tuples {
+		if cond() {
+			if out == nil {
+				out = getCombSlice(len(tuples))
+			}
+			out = append(out, &comb{})
+		}
+	}
+	putTupleSlice(tuples)
+	return out, nil
+}
+
+// prefetch hands the buffer to another goroutine through a result
+// struct, the way the join branch prefetcher does.
+type pull struct {
+	combos []*comb
+}
+
+func prefetch(ch chan pull, n int) {
+	go func() {
+		var res pull
+		buf := getCombSlice(n)
+		for len(buf) < n {
+			buf = append(buf, &comb{})
+		}
+		res.combos = buf
+		ch <- res
+	}()
+}
+
+// drain consumes a result and recycles its buffer; the put target is a
+// field the tracker does not bind, which must stay silent.
+func drain(ch chan pull) {
+	res := <-ch
+	putCombSlice(res.combos)
+}
+
+// reslice keeps the same backing buffer through self-derivation.
+func reslice(n int) {
+	buf := getCombSlice(n)
+	buf = buf[:0]
+	buf = append(buf, &comb{})
+	putCombSlice(buf)
+}
+
+// releasedBothArms releases on every branch of a switch.
+func releasedBothArms(n int) {
+	buf := getTupleSlice(n)
+	switch {
+	case cond():
+		putTupleSlice(buf)
+	default:
+		putTupleSlice(buf)
+	}
+}

@@ -35,9 +35,15 @@ var Allowlist = []string{
 // reference to a banned function is flagged. The resilience middleware
 // lives here: retry backoff and breaker cooldowns must route through the
 // injected TimeSource, so holding time.Sleep as a value is as much of a
-// leak as calling it.
+// leak as calling it. The engine and the observability layer are strict
+// for the same reason — operator deadlines and span timestamps must come
+// from the injected Clock, or replayed runs diverge from live ones.
+// Allowlisted files (the Clock implementation itself) are exempt before
+// strictness is consulted.
 var Strict = []string{
 	"internal/service/",
+	"internal/engine/",
+	"internal/obs/",
 }
 
 // banned lists the functions in package time that consult the real

@@ -21,8 +21,10 @@ func TestStrictPath(t *testing.T) {
 	for path, want := range map[string]bool{
 		"/root/repo/internal/service/retry.go":   true,
 		"/root/repo/internal/service/breaker.go": true,
-		"/root/repo/internal/engine/engine.go":   false,
+		"/root/repo/internal/engine/engine.go":   true,
+		"/root/repo/internal/obs/trace.go":       true,
 		"/root/repo/internal/chaos/chaos.go":     false,
+		"/root/repo/internal/topk/topk.go":       false,
 	} {
 		if got := strictPath(path); got != want {
 			t.Errorf("strictPath(%q) = %v, want %v", path, got, want)
