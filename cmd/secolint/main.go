@@ -21,6 +21,9 @@
 //	obsleak     — no engine Invoke/Fetch calls on a fresh
 //	              context.Background/TODO, which would sever the run's
 //	              trace lane
+//	ctxdeadline — no serving-layer Execute/Invoke/Fetch calls on a
+//	              context that provably carries no deadline, which would
+//	              break end-to-end deadline propagation
 //	hotalloc    — no map[string]types.Value literals/makes or fmt.Sprintf
 //	              inside operator Next methods, the per-combination hot
 //	              loop the compact runtime keeps allocation-free
@@ -45,6 +48,7 @@ import (
 	"seco/internal/lint"
 	"seco/internal/lint/arenaescape"
 	"seco/internal/lint/closedrain"
+	"seco/internal/lint/ctxdeadline"
 	"seco/internal/lint/detrange"
 	"seco/internal/lint/hotalloc"
 	"seco/internal/lint/interneq"
@@ -59,6 +63,7 @@ var analyzers = []*lint.Analyzer{
 	detrange.Analyzer,
 	closedrain.Analyzer,
 	obsleak.Analyzer,
+	ctxdeadline.Analyzer,
 	hotalloc.Analyzer,
 	arenaescape.Analyzer,
 	poolpair.Analyzer,

@@ -1,6 +1,7 @@
-// Command secoserve runs a long-lived engine over a built-in scenario
-// and exposes its observability surface over HTTP: the cumulative
-// metrics registry, the last run's introspection record, the last run's
+// Command secoserve runs the query-serving layer (internal/serve) over a
+// built-in scenario: a multi-tenant POST /query endpoint behind admission
+// control, plus the engine's observability surface — the cumulative
+// metrics registry, the last background run's introspection record and
 // trace (structured JSON and Chrome trace_event), and the standard
 // net/http/pprof profiling endpoints. A background loop re-executes the
 // scenario's canonical query on an interval, so every endpoint has live
@@ -12,6 +13,10 @@
 //
 // Endpoints:
 //
+//	/query             POST: SecoQL execution with per-request K,
+//	                   deadline (deadline_ms) and tenant, behind
+//	                   admission control — overload answers are certified
+//	                   partial top-k (degrade tier) or 429 + Retry-After
 //	/metrics           registry as expvar-compatible JSON
 //	/metrics.txt       registry as a deterministic text dump
 //	/runs/last         last run's introspection record (JSON)
@@ -23,22 +28,15 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/pprof"
 	"os"
-	"sync"
 	"time"
 
-	"seco/internal/core"
-	"seco/internal/engine"
-	"seco/internal/obs"
-	"seco/internal/query"
-	"seco/internal/service"
-	"seco/internal/types"
+	"seco/internal/admission"
+	"seco/internal/serve"
 )
 
 func main() {
@@ -51,7 +49,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("secoserve", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", "127.0.0.1:6060", "listen address for the debug server")
+		addr        = fs.String("addr", "127.0.0.1:6060", "listen address for the server")
 		scenario    = fs.String("scenario", "movienight", "movienight or conftravel")
 		seed        = fs.Int64("seed", 7, "world seed")
 		k           = fs.Int("k", 10, "requested combinations per run")
@@ -59,239 +57,36 @@ func run(args []string, out io.Writer) error {
 		parallelism = fs.Int("parallelism", 4, "pipe-join parallelism per run")
 		cache       = fs.Bool("cache", true, "enable the call-sharing layer")
 		interval    = fs.Duration("interval", 2*time.Second, "delay between background query runs (0 = run once)")
+		live        = fs.Bool("live", false, "wall clock with live latency pacing (default: virtual clock)")
+		hedge       = fs.Bool("hedge", true, "mount the hedged-call layer on every service lane")
+		capacity    = fs.Int("capacity", 64, "admission: max queries in flight")
+		tenantRate  = fs.Float64("tenant-rate", 50, "admission: per-tenant sustained queries/sec")
+		maxBudget   = fs.Duration("max-budget", 0, "cap on any query's execution budget (0 = deadline-bound)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := newServer(*scenario, *seed, *k, *metric, *parallelism, *cache)
+	srv, err := serve.New(serve.Config{
+		Scenario:    *scenario,
+		Seed:        *seed,
+		K:           *k,
+		Metric:      *metric,
+		Parallelism: *parallelism,
+		CacheCalls:  *cache,
+		Live:        *live,
+		Hedge:       *hedge,
+		MaxBudget:   *maxBudget,
+		Admission:   admission.Config{Capacity: *capacity, TenantRate: *tenantRate},
+	})
 	if err != nil {
 		return err
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go srv.loop(ctx, *interval)
+	go srv.Loop(ctx, *interval)
 
-	fmt.Fprintf(out, "secoserve: scenario %s on http://%s (metrics, runs/last, trace/last, debug/pprof)\n",
+	fmt.Fprintf(out, "secoserve: scenario %s on http://%s (query, metrics, runs/last, trace/last, debug/pprof)\n",
 		*scenario, *addr)
-	return http.ListenAndServe(*addr, srv.handler())
-}
-
-// server holds one long-lived engine plus the last run's introspection
-// state. The metrics registry is engine-wide and cumulative; the run and
-// trace records are replaced on every background execution.
-type server struct {
-	eng     *engine.Engine
-	opts    engine.Options
-	annRun  func(tr *obs.Tracer) (*engine.Run, error)
-	metrics *obs.Registry
-
-	mu        sync.Mutex
-	lastRun   *engine.Run
-	lastTrace *obs.Trace
-	runs      int64
-	failures  int64
-}
-
-// newServer plans the scenario's canonical query once and binds a
-// long-lived engine (shared cache, cumulative metrics) for it.
-func newServer(scenario string, seed int64, k int, metric string, parallelism int, cache bool) (*server, error) {
-	var (
-		sys    *core.System
-		inputs map[string]types.Value
-		text   string
-		err    error
-	)
-	switch scenario {
-	case "movienight":
-		sys, inputs, err = core.MovieNight(seed)
-		text = query.RunningExampleText
-	case "conftravel":
-		sys, inputs, err = core.ConfTravel(seed)
-		text = query.TravelExampleText
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", scenario)
-	}
-	if err != nil {
-		return nil, err
-	}
-	q, err := sys.Parse(text)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sys.Plan(q, core.PlanOptions{K: k, Metric: metric})
-	if err != nil {
-		return nil, err
-	}
-	reg := obs.NewRegistry()
-	eng, err := sys.Engine(res, core.RunOptions{CacheCalls: cache, Metrics: reg})
-	if err != nil {
-		return nil, err
-	}
-	s := &server{
-		eng:     eng,
-		metrics: reg,
-		opts: engine.Options{
-			Inputs:      inputs,
-			Weights:     res.Query.Weights,
-			TargetK:     res.Plan.K,
-			Parallelism: parallelism,
-		},
-	}
-	ann := res.Annotated
-	s.annRun = func(tr *obs.Tracer) (*engine.Run, error) {
-		opts := s.opts
-		opts.Trace = tr
-		return s.eng.Execute(context.Background(), ann, opts)
-	}
-	return s, nil
-}
-
-// runOnce executes the planned query with a fresh tracer and replaces
-// the last-run record.
-func (s *server) runOnce() error {
-	tr := obs.NewTracer()
-	run, err := s.annRun(tr)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.runs++
-	if err != nil {
-		s.failures++
-		return err
-	}
-	s.lastRun = run
-	s.lastTrace = tr.Snapshot()
-	return nil
-}
-
-// loop drives the background executions. A zero interval runs the query
-// once, so the endpoints have data without generating steady load.
-func (s *server) loop(ctx context.Context, interval time.Duration) {
-	if err := s.runOnce(); err != nil {
-		fmt.Fprintln(os.Stderr, "secoserve: run:", err)
-	}
-	if interval <= 0 {
-		return
-	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-tick.C:
-			if err := s.runOnce(); err != nil {
-				fmt.Fprintln(os.Stderr, "secoserve: run:", err)
-			}
-		}
-	}
-}
-
-// handler builds the server's mux. The pprof handlers are registered
-// explicitly (not via the net/http/pprof DefaultServeMux side effect),
-// so tests can mount the whole surface on an httptest server.
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetricsJSON)
-	mux.HandleFunc("/metrics.txt", s.handleMetricsText)
-	mux.HandleFunc("/runs/last", s.handleLastRun)
-	mux.HandleFunc("/trace/last", s.handleLastTrace)
-	mux.HandleFunc("/trace/last.chrome", s.handleLastTraceChrome)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
-
-func (s *server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.metrics.WriteJSON(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func (s *server) handleMetricsText(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, s.metrics.Text())
-}
-
-// lastRunRecord is the /runs/last introspection payload.
-type lastRunRecord struct {
-	Runs         int64                              `json:"runs"`
-	Failures     int64                              `json:"failures"`
-	Combinations int                                `json:"combinations"`
-	TopScore     float64                            `json:"top_score,omitempty"`
-	Halted       bool                               `json:"halted"`
-	ElapsedMS    float64                            `json:"elapsed_ms"`
-	Calls        map[string]int64                   `json:"calls"`
-	Invocations  map[string]int64                   `json:"invocations"`
-	Produced     map[string]int                     `json:"produced"`
-	CallsSaved   float64                            `json:"calls_saved"`
-	Degraded     *engine.Degradation                `json:"degraded,omitempty"`
-	Resilience   map[string]service.ResilienceStats `json:"resilience,omitempty"`
-}
-
-func (s *server) handleLastRun(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	run := s.lastRun
-	runs, failures := s.runs, s.failures
-	s.mu.Unlock()
-	if run == nil {
-		http.Error(w, "no run yet", http.StatusServiceUnavailable)
-		return
-	}
-	rec := lastRunRecord{
-		Runs:         runs,
-		Failures:     failures,
-		Combinations: len(run.Combinations),
-		Halted:       run.Halted,
-		ElapsedMS:    float64(run.Elapsed) / float64(time.Millisecond),
-		Calls:        run.Calls,
-		Invocations:  run.Invocations,
-		Produced:     run.Produced,
-		CallsSaved:   run.CallsSaved,
-		Degraded:     run.Degraded,
-		Resilience:   run.Resilience,
-	}
-	if len(run.Combinations) > 0 {
-		rec.TopScore = run.Combinations[0].Score
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rec); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func (s *server) lastTraceSnapshot() *obs.Trace {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastTrace
-}
-
-func (s *server) handleLastTrace(w http.ResponseWriter, _ *http.Request) {
-	tr := s.lastTraceSnapshot()
-	if tr == nil {
-		http.Error(w, "no trace yet", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := tr.WriteJSON(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func (s *server) handleLastTraceChrome(w http.ResponseWriter, _ *http.Request) {
-	tr := s.lastTraceSnapshot()
-	if tr == nil {
-		http.Error(w, "no trace yet", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := tr.WriteChrome(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	return http.ListenAndServe(*addr, srv.Handler())
 }

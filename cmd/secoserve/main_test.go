@@ -1,148 +1,23 @@
 package main
 
 import (
-	"encoding/json"
 	"io"
-	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 )
 
-// startServer builds the movienight server, executes one run, and mounts
-// the full handler surface on an httptest server.
-func startServer(t *testing.T) (*server, *httptest.Server) {
-	t.Helper()
-	s, err := newServer("movienight", 7, 10, "request-response", 2, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.runOnce(); err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(s.handler())
-	t.Cleanup(ts.Close)
-	return s, ts
-}
-
-func get(t *testing.T, url string) (int, []byte) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, body
-}
-
-func TestEndpoints(t *testing.T) {
-	_, ts := startServer(t)
-
-	t.Run("metrics JSON", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/metrics")
-		if code != http.StatusOK {
-			t.Fatalf("status %d", code)
-		}
-		var m map[string]any
-		if err := json.Unmarshal(body, &m); err != nil {
-			t.Fatalf("invalid JSON: %v", err)
-		}
-		if _, ok := m["seco.engine.runs.pull"]; !ok {
-			t.Errorf("seco.engine.runs.pull missing from %v", m)
-		}
-	})
-
-	t.Run("metrics text", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/metrics.txt")
-		if code != http.StatusOK {
-			t.Fatalf("status %d", code)
-		}
-		if !strings.Contains(string(body), "seco.invoker.invocations.") {
-			t.Errorf("text dump missing invoker counters:\n%s", body)
-		}
-	})
-
-	t.Run("last run", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/runs/last")
-		if code != http.StatusOK {
-			t.Fatalf("status %d", code)
-		}
-		var rec lastRunRecord
-		if err := json.Unmarshal(body, &rec); err != nil {
-			t.Fatalf("invalid JSON: %v", err)
-		}
-		if rec.Runs != 1 || rec.Combinations == 0 || len(rec.Invocations) == 0 {
-			t.Errorf("record incomplete: %+v", rec)
-		}
-	})
-
-	t.Run("last trace", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/trace/last")
-		if code != http.StatusOK {
-			t.Fatalf("status %d", code)
-		}
-		var doc struct {
-			Deterministic bool             `json:"deterministic"`
-			Spans         []map[string]any `json:"spans"`
-		}
-		if err := json.Unmarshal(body, &doc); err != nil {
-			t.Fatalf("invalid JSON: %v", err)
-		}
-		if !doc.Deterministic || len(doc.Spans) == 0 {
-			t.Errorf("trace empty or not deterministic: det=%v spans=%d", doc.Deterministic, len(doc.Spans))
-		}
-	})
-
-	t.Run("last trace chrome", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/trace/last.chrome")
-		if code != http.StatusOK {
-			t.Fatalf("status %d", code)
-		}
-		var doc struct {
-			TraceEvents []map[string]any `json:"traceEvents"`
-		}
-		if err := json.Unmarshal(body, &doc); err != nil {
-			t.Fatalf("invalid JSON: %v", err)
-		}
-		if len(doc.TraceEvents) == 0 {
-			t.Error("no trace events")
-		}
-	})
-
-	t.Run("pprof index", func(t *testing.T) {
-		code, body := get(t, ts.URL+"/debug/pprof/")
-		if code != http.StatusOK {
-			t.Fatalf("status %d", code)
-		}
-		if !strings.Contains(string(body), "goroutine") {
-			t.Error("pprof index missing profile listing")
-		}
-	})
-}
-
-func TestMetricsAccumulateAcrossRuns(t *testing.T) {
-	s, _ := startServer(t)
-	before := s.metrics.Counter("seco.engine.runs.pull").Value()
-	if err := s.runOnce(); err != nil {
-		t.Fatal(err)
-	}
-	after := s.metrics.Counter("seco.engine.runs.pull").Value()
-	if after != before+1 {
-		t.Fatalf("runs.pull %d -> %d, want +1", before, after)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.runs != 2 || s.failures != 0 {
-		t.Fatalf("runs=%d failures=%d", s.runs, s.failures)
-	}
-}
+// The server logic lives in internal/serve with its own tests; here we
+// only cover the flag-to-config surface.
 
 func TestUnknownScenario(t *testing.T) {
-	if _, err := newServer("nope", 1, 5, "request-response", 1, false); err == nil {
-		t.Fatal("expected error for unknown scenario")
+	err := run([]string{"-scenario", "nope", "-addr", "127.0.0.1:0"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v, want unknown scenario", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Fatal("expected flag parse error")
 	}
 }

@@ -1,0 +1,330 @@
+// Package admission implements the serving layer's overload control: a
+// per-tenant token-bucket quota plus a global concurrency gate, combined
+// into explicit load-shedding tiers. Every decision is a pure function of
+// the controller state and the injected clock, so a virtual-clock harness
+// (cmd/loadgen, the serving tests) replays identical traffic into
+// identical decisions, bit for bit.
+//
+// The tiers, in order of degradation:
+//
+//	Admit   — quota and capacity both hold: the query runs with the full
+//	          remaining deadline as its execution budget.
+//	Degrade — the system is saturating (occupancy past the degrade
+//	          threshold, or the request already queued away part of its
+//	          deadline): the query is admitted with a reduced budget, so
+//	          the engine returns a certified partial top-k instead of
+//	          holding a slot for the full run.
+//	Reject  — the tenant's bucket is empty, the gate is full, or too
+//	          little of the deadline is left to produce anything: the
+//	          request is refused with a retry-after hint. Rejection is
+//	          cheap by design — no engine work happens at all.
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"seco/internal/obs"
+)
+
+// Clock is the time source decisions are made on. engine.Clock satisfies
+// it; the serving layer passes its engine's clock so admission, budget
+// expiry and hedging all share one timeline.
+type Clock interface {
+	Now() time.Time
+}
+
+// Tier is the admission decision class.
+type Tier int
+
+const (
+	// TierAdmit runs the query with the full remaining deadline.
+	TierAdmit Tier = iota
+	// TierDegrade runs the query with a reduced budget (certified
+	// partial top-k under engine Degrade mode).
+	TierDegrade
+	// TierReject refuses the query with a retry-after hint.
+	TierReject
+)
+
+// String names the tier for reports and metrics.
+func (t Tier) String() string {
+	switch t {
+	case TierAdmit:
+		return "admit"
+	case TierDegrade:
+		return "degrade"
+	case TierReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Config tunes a Controller. The zero value selects the defaults noted
+// per field.
+type Config struct {
+	// Capacity is the global concurrency gate: the maximum number of
+	// queries in flight at once (default 64).
+	Capacity int
+	// DegradeAt is the occupancy share at which admission drops to the
+	// degrade tier (default 0.75): past it, new queries run with reduced
+	// budgets so the saturated engine sheds work instead of queueing it.
+	DegradeAt float64
+	// DegradeFactor scales the remaining deadline into the reduced budget
+	// of a degraded admit (default 0.5).
+	DegradeFactor float64
+	// TenantRate is each tenant's sustained admission rate in requests
+	// per second (default 50).
+	TenantRate float64
+	// TenantBurst is each tenant's bucket capacity (default 2×rate).
+	TenantBurst float64
+	// QueueShare is the fraction of the deadline a request may spend
+	// queued before admission drops to the degrade tier (default 0.25):
+	// an open-loop backlog eats deadlines linearly, and shedding must
+	// start before they are gone, not after.
+	QueueShare float64
+	// MinBudget is the smallest execution budget worth admitting
+	// (default 5ms): when shedding would cut the budget below it, the
+	// request is rejected instead — an admitted query that cannot
+	// produce anything is worse than an honest rejection.
+	MinBudget time.Duration
+	// DefaultDeadline is assumed for requests that carry none
+	// (default 1s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the per-request deadline (default 10s).
+	MaxDeadline time.Duration
+	// Metrics, when non-nil, receives the seco.admission.* instruments.
+	Metrics *obs.Registry
+}
+
+func (c Config) capacity() int { return defInt(c.Capacity, 64) }
+
+func (c Config) degradeAt() float64 { return defFloat(c.DegradeAt, 0.75) }
+
+func (c Config) degradeFactor() float64 { return defFloat(c.DegradeFactor, 0.5) }
+
+func (c Config) tenantRate() float64 { return defFloat(c.TenantRate, 50) }
+
+func (c Config) tenantBurst() float64 { return defFloat(c.TenantBurst, 2*c.tenantRate()) }
+
+func (c Config) queueShare() float64 { return defFloat(c.QueueShare, 0.25) }
+
+func (c Config) minBudget() time.Duration { return defDur(c.MinBudget, 5*time.Millisecond) }
+
+func (c Config) defaultDeadline() time.Duration { return defDur(c.DefaultDeadline, time.Second) }
+
+func (c Config) maxDeadline() time.Duration { return defDur(c.MaxDeadline, 10*time.Second) }
+
+func defInt(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func defFloat(v, d float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func defDur(v, d time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+// Request describes one query at its admission point.
+type Request struct {
+	// Tenant identifies the quota bucket ("" falls into a shared
+	// anonymous bucket).
+	Tenant string
+	// Deadline is how much time the client gives the whole request
+	// (0 = Config.DefaultDeadline; capped at Config.MaxDeadline).
+	Deadline time.Duration
+	// Queued is how long the request waited before reaching admission —
+	// the ingress lag an open-loop driver measures as now−arrival. It is
+	// already-spent deadline: the budget of an admitted query is
+	// Deadline−Queued.
+	Queued time.Duration
+}
+
+// Decision is the admission outcome.
+type Decision struct {
+	// Tier classifies the outcome.
+	Tier Tier
+	// Budget is the execution budget of an admitted query (Admit and
+	// Degrade tiers).
+	Budget time.Duration
+	// RetryAfter hints when a rejected request is worth retrying.
+	RetryAfter time.Duration
+	// Reason is a low-cardinality label for the decision ("ok",
+	// "occupancy", "queued", "tenant-quota", "capacity", "deadline").
+	Reason string
+}
+
+// Controller makes admission decisions. Safe for concurrent use; under a
+// serial deterministic driver every decision is reproducible.
+type Controller struct {
+	cfg   Config
+	clock Clock
+
+	mu       sync.Mutex
+	inflight int
+	tenants  map[string]*bucket
+
+	mAdmit    *obs.Counter
+	mDegrade  *obs.Counter
+	mReject   map[string]*obs.Counter
+	gInflight *obs.Gauge
+}
+
+// bucket is one tenant's token bucket; refills lazily from the clock.
+type bucket struct {
+	level float64
+	last  time.Time
+}
+
+// NewController builds a controller over the clock.
+func NewController(cfg Config, clock Clock) *Controller {
+	c := &Controller{cfg: cfg, clock: clock, tenants: map[string]*bucket{}}
+	if reg := cfg.Metrics; reg != nil {
+		c.mAdmit = reg.Counter("seco.admission.admitted")
+		c.mDegrade = reg.Counter("seco.admission.degraded")
+		c.mReject = map[string]*obs.Counter{
+			"tenant-quota": reg.Counter("seco.admission.rejected.tenant-quota"),
+			"capacity":     reg.Counter("seco.admission.rejected.capacity"),
+			"deadline":     reg.Counter("seco.admission.rejected.deadline"),
+		}
+		c.gInflight = reg.Gauge("seco.admission.inflight")
+	}
+	return c
+}
+
+// Inflight reports the current occupancy of the concurrency gate.
+func (c *Controller) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// Admit decides one request. For admitted requests (Admit and Degrade
+// tiers) the returned release must be called exactly once when the query
+// finishes — it frees the concurrency slot. For rejections release is a
+// no-op (but still safe to call), so callers can defer it uniformly.
+func (c *Controller) Admit(req Request) (Decision, func()) {
+	deadline := req.Deadline
+	if deadline <= 0 {
+		deadline = c.cfg.defaultDeadline()
+	}
+	if max := c.cfg.maxDeadline(); deadline > max {
+		deadline = max
+	}
+	queued := req.Queued
+	if queued < 0 {
+		queued = 0
+	}
+	now := c.clock.Now()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Deadline already spent in the queue: the client is no longer
+	// waiting for an answer worth computing.
+	remaining := deadline - queued
+	if remaining <= 0 {
+		return c.reject("deadline", deadline/2)
+	}
+	// Tenant quota: one token per admitted request, refilled at the
+	// configured rate on this controller's clock.
+	b := c.bucketFor(req.Tenant, now)
+	if b.level < 1 {
+		wait := time.Duration((1 - b.level) / c.cfg.tenantRate() * float64(time.Second))
+		return c.reject("tenant-quota", wait)
+	}
+	// Global concurrency gate.
+	capacity := c.cfg.capacity()
+	if c.inflight >= capacity {
+		return c.reject("capacity", remaining/2)
+	}
+
+	b.level--
+	c.inflight++
+	c.gInflight.Set(int64(c.inflight))
+	release := c.releaseFunc()
+
+	// Shedding tier: saturating occupancy or queue-eaten deadline means
+	// the query runs, but with a reduced budget so it returns a certified
+	// partial quickly instead of occupying the slot for a full run.
+	occupancy := float64(c.inflight) / float64(capacity)
+	reason := "ok"
+	budget := remaining
+	switch {
+	case occupancy >= c.cfg.degradeAt():
+		reason = "occupancy"
+	case float64(queued) >= c.cfg.queueShare()*float64(deadline):
+		reason = "queued"
+	}
+	if reason != "ok" {
+		budget = time.Duration(float64(remaining) * c.cfg.degradeFactor())
+		if budget < c.cfg.minBudget() {
+			// Not enough deadline left to produce anything: undo the
+			// admission and refuse honestly.
+			b.level++
+			c.inflight--
+			c.gInflight.Set(int64(c.inflight))
+			return c.reject("deadline", deadline/2)
+		}
+		c.mDegrade.Add(1)
+		return Decision{Tier: TierDegrade, Budget: budget, Reason: reason}, release
+	}
+	c.mAdmit.Add(1)
+	return Decision{Tier: TierAdmit, Budget: budget, Reason: reason}, release
+}
+
+// reject builds a rejection decision; called with c.mu held.
+func (c *Controller) reject(reason string, retryAfter time.Duration) (Decision, func()) {
+	if retryAfter < time.Millisecond {
+		retryAfter = time.Millisecond
+	}
+	if m := c.mReject[reason]; m != nil {
+		m.Add(1)
+	}
+	return Decision{Tier: TierReject, RetryAfter: retryAfter, Reason: reason}, func() {}
+}
+
+// releaseFunc returns the once-only slot release; called with c.mu held.
+func (c *Controller) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.inflight--
+			c.gInflight.Set(int64(c.inflight))
+		})
+	}
+}
+
+// bucketFor returns the tenant's bucket refilled to now; called with
+// c.mu held.
+func (c *Controller) bucketFor(tenant string, now time.Time) *bucket {
+	b, ok := c.tenants[tenant]
+	if !ok {
+		b = &bucket{level: c.cfg.tenantBurst(), last: now}
+		c.tenants[tenant] = b
+		return b
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.level += dt.Seconds() * c.cfg.tenantRate()
+		if burst := c.cfg.tenantBurst(); b.level > burst {
+			b.level = burst
+		}
+	}
+	b.last = now
+	return b
+}

@@ -1,0 +1,253 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"seco/internal/obs"
+)
+
+// fakeClock is a hand-advanced Clock for deterministic tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmitFullBudget(t *testing.T) {
+	ctl := NewController(Config{}, &fakeClock{})
+	dec, release := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+	defer release()
+	if dec.Tier != TierAdmit {
+		t.Fatalf("tier %v, want admit (%s)", dec.Tier, dec.Reason)
+	}
+	if dec.Budget != time.Second {
+		t.Fatalf("budget %v, want full deadline", dec.Budget)
+	}
+	if got := ctl.Inflight(); got != 1 {
+		t.Fatalf("inflight %d, want 1", got)
+	}
+	release()
+	release() // release is once-only and idempotent
+	if got := ctl.Inflight(); got != 0 {
+		t.Fatalf("inflight after release %d, want 0", got)
+	}
+}
+
+func TestDeadlineDefaultsAndCap(t *testing.T) {
+	ctl := NewController(Config{DefaultDeadline: 300 * time.Millisecond, MaxDeadline: time.Second}, &fakeClock{})
+	dec, release := ctl.Admit(Request{Tenant: "a"})
+	release()
+	if dec.Budget != 300*time.Millisecond {
+		t.Fatalf("default deadline budget %v, want 300ms", dec.Budget)
+	}
+	dec, release = ctl.Admit(Request{Tenant: "a", Deadline: time.Minute})
+	release()
+	if dec.Budget != time.Second {
+		t.Fatalf("capped deadline budget %v, want 1s", dec.Budget)
+	}
+}
+
+func TestConcurrencyGate(t *testing.T) {
+	ctl := NewController(Config{Capacity: 2, DegradeAt: 0.99, TenantRate: 1000, TenantBurst: 1000}, &fakeClock{})
+	_, r1 := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+	_, r2 := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+	dec, r3 := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+	r3()
+	if dec.Tier != TierReject || dec.Reason != "capacity" {
+		t.Fatalf("full gate decided %v/%s, want reject/capacity", dec.Tier, dec.Reason)
+	}
+	if dec.RetryAfter <= 0 {
+		t.Fatalf("rejection carries no retry-after")
+	}
+	r1()
+	dec, r4 := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+	if dec.Tier == TierReject {
+		t.Fatalf("released slot not reusable: %v/%s", dec.Tier, dec.Reason)
+	}
+	r4()
+	r2()
+}
+
+func TestOccupancyDegradeTier(t *testing.T) {
+	ctl := NewController(Config{Capacity: 4, DegradeAt: 0.5, DegradeFactor: 0.5,
+		TenantRate: 1000, TenantBurst: 1000}, &fakeClock{})
+	var releases []func()
+	var tiers []Tier
+	for i := 0; i < 4; i++ {
+		dec, release := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+		releases = append(releases, release)
+		tiers = append(tiers, dec.Tier)
+		if dec.Tier == TierDegrade && dec.Budget != 500*time.Millisecond {
+			t.Fatalf("degraded budget %v, want 500ms", dec.Budget)
+		}
+	}
+	want := []Tier{TierAdmit, TierDegrade, TierDegrade, TierDegrade}
+	for i := range want {
+		if tiers[i] != want[i] {
+			t.Fatalf("admission %d: tier %v, want %v (all: %v)", i, tiers[i], want[i], tiers)
+		}
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+func TestQueuedDegradeAndReject(t *testing.T) {
+	ctl := NewController(Config{QueueShare: 0.25, DegradeFactor: 0.5, MinBudget: 5 * time.Millisecond}, &fakeClock{})
+	// Queued past the share of the deadline: degrade with half the rest.
+	dec, release := ctl.Admit(Request{Tenant: "a", Deadline: time.Second, Queued: 400 * time.Millisecond})
+	release()
+	if dec.Tier != TierDegrade || dec.Reason != "queued" {
+		t.Fatalf("queued request decided %v/%s, want degrade/queued", dec.Tier, dec.Reason)
+	}
+	if dec.Budget != 300*time.Millisecond {
+		t.Fatalf("queued budget %v, want (1s-400ms)/2", dec.Budget)
+	}
+	// Queued past the whole deadline: reject.
+	dec, release = ctl.Admit(Request{Tenant: "a", Deadline: time.Second, Queued: time.Second})
+	release()
+	if dec.Tier != TierReject || dec.Reason != "deadline" {
+		t.Fatalf("expired request decided %v/%s, want reject/deadline", dec.Tier, dec.Reason)
+	}
+	// Queued so deep the degraded budget falls under MinBudget: reject,
+	// and the undo must leave no slot leaked.
+	dec, release = ctl.Admit(Request{Tenant: "a", Deadline: time.Second, Queued: 995 * time.Millisecond})
+	release()
+	if dec.Tier != TierReject {
+		t.Fatalf("sub-minimum budget decided %v/%s, want reject", dec.Tier, dec.Reason)
+	}
+	if got := ctl.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after rejections, want 0", got)
+	}
+}
+
+func TestTenantTokenBucket(t *testing.T) {
+	clk := &fakeClock{}
+	ctl := NewController(Config{TenantRate: 10, TenantBurst: 2}, clk)
+	// Burst of 2, then empty.
+	for i := 0; i < 2; i++ {
+		dec, release := ctl.Admit(Request{Tenant: "hot", Deadline: time.Second})
+		release()
+		if dec.Tier == TierReject {
+			t.Fatalf("burst admission %d rejected: %s", i, dec.Reason)
+		}
+	}
+	dec, release := ctl.Admit(Request{Tenant: "hot", Deadline: time.Second})
+	release()
+	if dec.Tier != TierReject || dec.Reason != "tenant-quota" {
+		t.Fatalf("empty bucket decided %v/%s, want reject/tenant-quota", dec.Tier, dec.Reason)
+	}
+	if dec.RetryAfter <= 0 || dec.RetryAfter > 150*time.Millisecond {
+		t.Fatalf("retry-after %v, want ~100ms (1 token at 10/s)", dec.RetryAfter)
+	}
+	// Another tenant is unaffected.
+	dec, release = ctl.Admit(Request{Tenant: "cold", Deadline: time.Second})
+	release()
+	if dec.Tier == TierReject {
+		t.Fatalf("independent tenant rejected: %s", dec.Reason)
+	}
+	// Refill at 10/s: after 100ms one token is back.
+	clk.advance(100 * time.Millisecond)
+	dec, release = ctl.Admit(Request{Tenant: "hot", Deadline: time.Second})
+	release()
+	if dec.Tier == TierReject {
+		t.Fatalf("refilled bucket still rejecting: %s", dec.Reason)
+	}
+}
+
+func TestDecisionsDeterministic(t *testing.T) {
+	script := func() []string {
+		clk := &fakeClock{}
+		ctl := NewController(Config{Capacity: 3, DegradeAt: 0.6, TenantRate: 5, TenantBurst: 3}, clk)
+		var out []string
+		var releases []func()
+		for i := 0; i < 30; i++ {
+			clk.advance(50 * time.Millisecond)
+			tenant := fmt.Sprintf("t%d", i%2)
+			dec, release := ctl.Admit(Request{Tenant: tenant, Deadline: time.Second,
+				Queued: time.Duration(i%5) * 100 * time.Millisecond})
+			releases = append(releases, release)
+			out = append(out, fmt.Sprintf("%s/%s/%v/%v", dec.Tier, dec.Reason, dec.Budget, dec.RetryAfter))
+			if i%3 == 2 {
+				for _, r := range releases {
+					r()
+				}
+				releases = releases[:0]
+			}
+		}
+		return out
+	}
+	a, b := script(), script()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical replays:\n a: %s\n b: %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := &fakeClock{}
+	ctl := NewController(Config{Capacity: 1, DegradeAt: 2, TenantRate: 1, TenantBurst: 1, Metrics: reg}, clk)
+	_, r1 := ctl.Admit(Request{Tenant: "a", Deadline: time.Second}) // admit
+	dec, r2 := ctl.Admit(Request{Tenant: "b", Deadline: time.Second})
+	r2()
+	if dec.Reason != "capacity" {
+		t.Fatalf("second admit: %s, want capacity rejection", dec.Reason)
+	}
+	r1()
+	dec, r3 := ctl.Admit(Request{Tenant: "a", Deadline: time.Second})
+	r3()
+	if dec.Reason != "tenant-quota" {
+		t.Fatalf("drained tenant: %s, want tenant-quota rejection", dec.Reason)
+	}
+	if got := reg.Counter("seco.admission.admitted").Value(); got != 1 {
+		t.Errorf("admitted counter %d, want 1", got)
+	}
+	if got := reg.Counter("seco.admission.rejected.capacity").Value(); got != 1 {
+		t.Errorf("capacity rejections %d, want 1", got)
+	}
+	if got := reg.Counter("seco.admission.rejected.tenant-quota").Value(); got != 1 {
+		t.Errorf("tenant-quota rejections %d, want 1", got)
+	}
+	if got := reg.Gauge("seco.admission.inflight").Value(); got != 0 {
+		t.Errorf("inflight gauge %d, want 0", got)
+	}
+}
+
+func TestConcurrentAdmissionsRace(t *testing.T) {
+	clk := &fakeClock{}
+	ctl := NewController(Config{Capacity: 8, TenantRate: 1e6, TenantBurst: 1e6}, clk)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dec, release := ctl.Admit(Request{Tenant: fmt.Sprintf("t%d", w%3), Deadline: time.Second})
+				if dec.Tier != TierReject && dec.Budget <= 0 {
+					t.Errorf("admitted with non-positive budget %v", dec.Budget)
+				}
+				release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ctl.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after all releases, want 0", got)
+	}
+}

@@ -130,13 +130,15 @@ func TestSweepInvariants(t *testing.T) {
 // cells replay bit for bit. Streaming cells are deterministic in the
 // results they consume, but their trailing fault counters race with the
 // stop signal (the prefetch pipeline may or may not squeeze in one more
-// call), and budget stop points shift with the same races — those fields
-// are excluded from the replay comparison.
+// call), so the counters are excluded. Cells the sweep itself marks
+// Volatile (streaming budget expiries — see the field comment on
+// Result.Volatile) further drop the stop-point-dependent fields and
+// compare invariants only: degraded flag, reason, violation count.
 func detKey(r Result) string {
 	if !r.Streaming {
 		return fmt.Sprintf("%+v", r)
 	}
-	if r.Schedule == "budget" {
+	if r.Volatile {
 		return fmt.Sprintf("%s/%s/%d degraded=%v reason=%s violations=%d",
 			r.Scenario, r.Schedule, r.Seed, r.Degraded, r.Reason, len(r.Violations))
 	}
@@ -145,9 +147,58 @@ func detKey(r Result) string {
 		r.Failed, r.CertifiedK, r.Violations)
 }
 
+// TestOverloadSchedules sweeps the saturation-storm family: spike-heavy
+// transient-only cells must replay the fault-free top-k exactly, and the
+// quarter-budget cells must expire mid-run and degrade to a certified
+// partial — the same shed path the serving layer's admission tiers rely
+// on, checked here one request at a time.
+func TestOverloadSchedules(t *testing.T) {
+	scenarios, err := Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Sweep(context.Background(), scenarios, func(aliases []string) []Schedule {
+		return OverloadSchedules(aliases, sweepSeeds(t))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sum.Violations() {
+		t.Error(v)
+	}
+	var spikes int64
+	var budgetDegraded, volatileMarked bool
+	for _, r := range sum.Results {
+		spikes += r.Spikes
+		if r.Schedule == "overload-budget" {
+			if !r.Volatile {
+				t.Errorf("%s/%s(seed=%d): streaming budget cell not marked volatile",
+					r.Scenario, r.Schedule, r.Seed)
+			}
+			volatileMarked = true
+			if r.Degraded && r.Reason == string(engine.DegradeBudget) {
+				budgetDegraded = true
+			}
+		} else if r.Volatile {
+			t.Errorf("%s/%s(seed=%d): budget-free cell marked volatile",
+				r.Scenario, r.Schedule, r.Seed)
+		}
+	}
+	if spikes == 0 {
+		t.Error("overload storm fired no latency spikes — vacuous")
+	}
+	if !volatileMarked {
+		t.Error("no overload-budget cell ran")
+	}
+	if !budgetDegraded {
+		t.Error("no overload-budget cell degraded for budget expiry despite a quarter budget under spikes")
+	}
+}
+
 // TestSweepDeterministic replays the sweep and requires identical
 // deterministic projections cell for cell: same seeds, same faults, same
-// runs.
+// runs. The overload family rides along so its volatility marking is
+// covered by the same replay check.
 func TestSweepDeterministic(t *testing.T) {
 	run := func() *Summary {
 		scenarios, err := Scenarios()
@@ -155,7 +206,8 @@ func TestSweepDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		sum, err := Sweep(context.Background(), scenarios, func(aliases []string) []Schedule {
-			return DefaultSchedules(aliases, []int64{9, 10})
+			return append(DefaultSchedules(aliases, []int64{9, 10}),
+				OverloadSchedules(aliases, []int64{9})...)
 		})
 		if err != nil {
 			t.Fatal(err)

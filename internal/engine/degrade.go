@@ -35,6 +35,12 @@ const (
 	DegradeServiceFailure DegradeReason = "service-failure"
 	// DegradeBudget: the execution budget expired mid-run.
 	DegradeBudget DegradeReason = "budget-exhausted"
+	// DegradeDeadline: the budget was derived from a request deadline and
+	// the deadline expired mid-run (Options.BudgetReason).
+	DegradeDeadline DegradeReason = "deadline"
+	// DegradeShed: the budget was reduced by admission-control load
+	// shedding and expired mid-run (Options.BudgetReason).
+	DegradeShed DegradeReason = "load-shed"
 )
 
 // Degradation reports why and how a run returned a partial result.
@@ -120,7 +126,23 @@ func (ex *executor) classifyDegrade(ctx context.Context, err error) (*Degradatio
 		return nil, false
 	}
 	if errors.Is(err, ErrBudget) {
-		return &Degradation{Reason: DegradeBudget, Cause: err.Error()}, true
+		reason := ex.opts.BudgetReason
+		if reason == "" {
+			reason = DegradeBudget
+		}
+		return &Degradation{Reason: reason, Cause: err.Error()}, true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// A per-call deadline (derived from the remaining budget under a
+		// wall clock) expired while the run itself is still live: degrade
+		// as a deadline, not a service failure — the service was slow, the
+		// budget ran out.
+		d := &Degradation{Reason: DegradeDeadline, Cause: err.Error()}
+		var ae *aliasError
+		if errors.As(err, &ae) {
+			d.Failed = []string{ae.alias}
+		}
+		return d, true
 	}
 	if errors.Is(err, service.ErrPermanent) || errors.Is(err, service.ErrOpen) ||
 		errors.Is(err, service.ErrTransient) {

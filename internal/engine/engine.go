@@ -76,6 +76,13 @@ type Options struct {
 	// driver does not degrade (it has no meaningful partial state to
 	// return); plancheck warns on that combination.
 	Degrade bool
+	// BudgetReason classifies a budget expiry in Run.Degraded (default
+	// DegradeBudget). The serving layer maps its admission decisions here:
+	// a budget derived from the request deadline reports DegradeDeadline,
+	// a budget reduced by load shedding reports DegradeShed — so the
+	// degraded-run metrics distinguish "client asked for this bound" from
+	// "the server was protecting itself".
+	BudgetReason DegradeReason
 	// Trace, when non-nil, records per-operator spans for this execution:
 	// operator lifecycles, every service invoke/fetch, retry and breaker
 	// events, cache hits, injected faults, and degradations. The engine
@@ -173,6 +180,12 @@ type Config struct {
 	// is engine-wide (cumulative across runs); each Run carries a text
 	// snapshot in Run.Metrics. Nil keeps the hot path unmetered.
 	Metrics *obs.Registry
+	// Hedge, when non-nil, mounts the Invoker's hedging layer on every
+	// lane (above Share): hedgeable failures get one immediate second
+	// attempt, and slow successes are counted against a latency-percentile
+	// trigger fed by the per-alias invoker histograms. See
+	// service.HedgePolicy.
+	Hedge *service.HedgePolicy
 }
 
 // New builds an engine over the given services. The delay hook, when
@@ -216,10 +229,20 @@ func NewWithConfig(services map[string]service.Service, cfg Config) *Engine {
 		service.InstallTimeSource(svc, clk)
 	}
 	intern := types.NewInterner()
+	inv := service.NewInvoker(services, service.InvokerOptions{
+		Delay: delay, Share: cfg.Share, Metrics: cfg.Metrics, Interner: intern,
+		Hedge: cfg.Hedge,
+	})
+	// The Invoker's own layers (Hedge above Share) also need the clock:
+	// walk each complete lane so every time-dependent layer — not just the
+	// user chain walked above — measures on this engine's clock.
+	for _, alias := range inv.Aliases() {
+		if lane, ok := inv.Lane(alias); ok {
+			service.InstallTimeSource(lane, clk)
+		}
+	}
 	return &Engine{
-		invoker: service.NewInvoker(services, service.InvokerOptions{
-			Delay: delay, Share: cfg.Share, Metrics: cfg.Metrics, Interner: intern,
-		}),
+		invoker: inv,
 		clock:   clk,
 		metrics: cfg.Metrics,
 		intern:  intern,
@@ -282,6 +305,18 @@ func (e *Engine) Execute(ctx context.Context, a *plan.Annotated, opts Options) (
 	// expire in simulated time.
 	if check := ex.budgetCheck(start); check != nil {
 		ctx = service.WithBudget(ctx, check)
+		// Under a wall clock the budget also yields per-call deadlines:
+		// every Invoke/Fetch gets a context.WithTimeout bounded by what is
+		// left, so a stalled wire call cannot outlive the run's deadline.
+		// Virtual runs skip this — their time only advances through charged
+		// latency, so the deterministic budget probe is the sole authority.
+		if _, wall := e.clock.(WallClock); wall {
+			deadline := start.Add(opts.Budget)
+			clk := e.clock
+			ctx = service.WithRemaining(ctx, func() time.Duration {
+				return deadline.Sub(clk.Now())
+			})
+		}
 	}
 	order, err := a.Plan.TopoSort()
 	if err != nil {

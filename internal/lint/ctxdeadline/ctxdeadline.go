@@ -1,0 +1,265 @@
+// Package ctxdeadline reports engine and service calls in the serving
+// layer whose context provably carries no deadline. The overload story
+// of cmd/secoserve depends on end-to-end deadline propagation: the
+// admission controller grants each request a budget, the handler turns
+// it into a context deadline, and every Execute/Invoke/Fetch below
+// inherits it so a wedged upstream cannot hold a request slot forever.
+// A call site reachable from a handler that passes context.Background(),
+// context.TODO() or a bare (*http.Request).Context() — none of which
+// carry a deadline — silently opts out of that protection.
+//
+// The analysis is intraprocedural and deliberately one-sided: it flags
+// only contexts that provably lack a deadline, tracing local variables
+// through the deadline-preserving derivations (context.WithCancel,
+// context.WithValue and the service layer's With* budget hooks) back to
+// a deadline-less root. A context parameter of unknown provenance is
+// never flagged — the caller may well have attached a deadline — so the
+// check has no false positives at function boundaries.
+package ctxdeadline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"seco/internal/lint"
+)
+
+// Analyzer flags Execute/Invoke/Fetch calls on deadline-less contexts in
+// the serving layer.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "flags serving-layer Execute/Invoke/Fetch calls whose context provably carries no deadline, breaking end-to-end deadline propagation",
+	Scope: []string{
+		"seco/cmd/secoserve",
+		"seco/internal/serve",
+	},
+	Run: run,
+}
+
+// sinks names the context-first entry points that must inherit the
+// request deadline: the engine's Execute and the service layer's Invoke
+// and Fetch.
+var sinks = map[string]bool{"Execute": true, "Invoke": true, "Fetch": true}
+
+// state is the deadline lattice of a context expression.
+type state int
+
+const (
+	unknown  state = iota // provenance not visible in this function
+	deadline              // provably carries a deadline
+	bare                  // provably deadline-less
+)
+
+// join merges two definitions of the same variable: agreement is kept,
+// disagreement (and anything involving unknown) degrades to unknown, so
+// only variables that are deadline-less on every path are flagged.
+func join(a, b state) state {
+	if a == b {
+		return a
+	}
+	return unknown
+}
+
+// tracker resolves context expressions to lattice states within one
+// file, with variable states computed to a fixed point across all
+// assignments (per *types.Var, so shadowing and nested function
+// literals resolve correctly).
+type tracker struct {
+	pass *lint.Pass
+	vars map[*types.Var]state
+	// roots remembers, for reporting, which deadline-less constructor a
+	// bare variable traces back to.
+	roots map[*types.Var]string
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		tr := &tracker{pass: pass,
+			vars:  map[*types.Var]state{},
+			roots: map[*types.Var]string{}}
+		tr.solve(f)
+		tr.report(f)
+	}
+	return nil
+}
+
+// solve iterates the file's context assignments to a fixed point. The
+// lattice has height two, so a handful of passes settles any chain of
+// derivations regardless of source order.
+func (t *tracker) solve(f *ast.File) {
+	for i := 0; i < 4; i++ {
+		changed := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			// Both `ctx := expr` and `ctx, cancel := context.WithX(...)`
+			// bind the context in position 0.
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := t.objOf(id)
+			if v == nil || !isContext(v.Type()) {
+				return true
+			}
+			st, root := t.classify(as.Rhs[0])
+			old, seen := t.vars[v]
+			if seen {
+				st = join(old, st)
+			}
+			if st != old || !seen {
+				t.vars[v] = st
+				t.roots[v] = root
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// report flags every sink call whose context argument is provably bare.
+func (t *tracker) report(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := callee(t.pass, call)
+		if fn == nil || !sinks[fn.Name()] || !firstParamIsContext(fn) {
+			return true
+		}
+		if st, root := t.classify(call.Args[0]); st == bare {
+			t.pass.Reportf(call.Pos(),
+				"%s called with a deadline-less context (%s): derive the context with context.WithTimeout from the admitted budget so the deadline propagates end to end",
+				types.ExprString(call.Fun), root)
+		}
+		return true
+	})
+}
+
+// classify resolves a context expression to its lattice state and, for
+// bare contexts, the name of the deadline-less root it traces to.
+func (t *tracker) classify(e ast.Expr) (state, string) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.classify(e.X)
+	case *ast.Ident:
+		if v := t.objOf(e); v != nil {
+			return t.vars[v], t.roots[v]
+		}
+		return unknown, ""
+	case *ast.CallExpr:
+		return t.classifyCall(e)
+	}
+	return unknown, ""
+}
+
+// classifyCall resolves a call expression producing a context.
+func (t *tracker) classifyCall(call *ast.CallExpr) (state, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return unknown, ""
+	}
+	fn, ok := t.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return unknown, ""
+	}
+	switch fn.Pkg().Path() {
+	case "context":
+		switch fn.Name() {
+		case "Background", "TODO":
+			return bare, "context." + fn.Name()
+		case "WithTimeout", "WithDeadline":
+			return deadline, ""
+		case "WithCancel", "WithValue", "WithoutCancel":
+			// Deadline-preserving derivations (WithoutCancel keeps the
+			// deadline too; only the cancel edge is severed).
+			if len(call.Args) > 0 {
+				return t.classify(call.Args[0])
+			}
+		}
+	case "net/http":
+		// (*http.Request).Context() is deadline-less unless the server
+		// sets timeouts the analysis cannot see; the serving layer must
+		// wrap it with the admitted budget rather than pass it through.
+		if fn.Name() == "Context" && recvIsHTTPRequest(fn) {
+			return bare, "http.Request.Context"
+		}
+	default:
+		// The service layer's context hooks (WithBudget, WithRemaining,
+		// …) decorate a parent without touching its deadline.
+		if strings.HasSuffix(fn.Pkg().Path(), "internal/service") &&
+			strings.HasPrefix(fn.Name(), "With") && len(call.Args) > 0 {
+			return t.classify(call.Args[0])
+		}
+	}
+	return unknown, ""
+}
+
+// objOf resolves an identifier to the variable it defines or uses.
+func (t *tracker) objOf(id *ast.Ident) *types.Var {
+	if v, ok := t.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := t.pass.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// isContext reports whether the type is context.Context.
+func isContext(typ types.Type) bool {
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// callee resolves the statically-known called function or method.
+func callee(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// firstParamIsContext reports whether fn's first parameter is a
+// context.Context.
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContext(sig.Params().At(0).Type())
+}
+
+// recvIsHTTPRequest reports whether fn is a method on *net/http.Request.
+func recvIsHTTPRequest(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	typ := sig.Recv().Type()
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	return ok && named.Obj().Name() == "Request"
+}

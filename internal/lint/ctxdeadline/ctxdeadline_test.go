@@ -1,0 +1,29 @@
+package ctxdeadline
+
+import (
+	"testing"
+
+	"seco/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/deadbox")
+}
+
+func TestClean(t *testing.T) {
+	linttest.RunClean(t, Analyzer, "testdata/src/deadclean")
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"seco/cmd/secoserve":    true,
+		"seco/internal/serve":   true,
+		"seco/internal/engine":  false,
+		"seco/internal/service": false,
+		"seco/cmd/loadgen":      false,
+	} {
+		if got := Analyzer.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -28,7 +28,7 @@ var Allowlist = []string{
 	"internal/engine/clock.go",        // the sanctioned Clock implementation
 	"internal/service/estimate.go",    // measures live service latency
 	"cmd/experiments/measurements.go", // reports real elapsed time to the user
-	"cmd/secoserve/main.go",           // debug server: real ticker drives the background query loop
+	"internal/serve/server.go",        // serving layer: real ticker drives the background query loop
 }
 
 // Strict holds slash-separated path fragments under which even a value

@@ -259,6 +259,22 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Counters returns a snapshot of every counter's value by name, for
+// programmatic rollups (e.g. summing the per-alias seco.hedge.*
+// instruments) without going through a serialized dump.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
 // names returns all instrument names, sorted.
 func (r *Registry) names() []string {
 	var out []string

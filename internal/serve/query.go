@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"seco/internal/admission"
+	"seco/internal/engine"
+	"seco/internal/obs"
+	"seco/internal/types"
+)
+
+// queryRequest is the POST /query body. Every field is optional: an
+// empty body runs the scenario's canonical query with the server
+// defaults under the anonymous tenant.
+type queryRequest struct {
+	// Query is SecoQL text (default: the scenario's canonical query).
+	Query string `json:"query,omitempty"`
+	// K overrides the requested combinations.
+	K int `json:"k,omitempty"`
+	// DeadlineMS is the client's end-to-end deadline in milliseconds.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// Tenant identifies the quota bucket (X-Seco-Tenant also accepted).
+	Tenant string `json:"tenant,omitempty"`
+	// Inputs overrides the scenario's INPUT bindings (literal syntax:
+	// quoted strings, numbers, true/false, dates).
+	Inputs map[string]string `json:"inputs,omitempty"`
+}
+
+// queryCombination is one ranked result row.
+type queryCombination struct {
+	Score float64 `json:"score"`
+	Combo string  `json:"combo"`
+}
+
+// queryDegradation is the wire-safe form of engine.Degradation: the
+// engine reports an exhausted stop bound as -Inf, which JSON cannot
+// encode, so the bound crosses the wire as a pointer that is absent
+// when nothing unseen remains.
+type queryDegradation struct {
+	Reason string   `json:"reason"`
+	Failed []string `json:"failed,omitempty"`
+	Cause  string   `json:"cause,omitempty"`
+	// Bound is the streaming score bound at the stop point; nil when no
+	// unseen combination remains (the partial result is exact).
+	Bound      *float64 `json:"bound,omitempty"`
+	CertifiedK int      `json:"certified_k"`
+}
+
+func wireDegradation(d *engine.Degradation) *queryDegradation {
+	if d == nil {
+		return nil
+	}
+	out := &queryDegradation{
+		Reason:     string(d.Reason),
+		Failed:     d.Failed,
+		Cause:      d.Cause,
+		CertifiedK: d.CertifiedK,
+	}
+	if !math.IsInf(d.Bound, 0) {
+		b := d.Bound
+		out.Bound = &b
+	}
+	return out
+}
+
+// queryResponse is the POST /query success payload.
+type queryResponse struct {
+	// Tenant and Tier echo the admission decision ("admit" or "degrade";
+	// rejections never reach execution).
+	Tenant string `json:"tenant"`
+	Tier   string `json:"tier"`
+	// Reason is the admission reason ("ok", "occupancy", "queued").
+	Reason string `json:"reason"`
+	// BudgetMS is the execution budget the query ran under.
+	BudgetMS float64 `json:"budget_ms"`
+	// ElapsedMS is the run time on the engine clock (simulated under a
+	// virtual clock).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Halted reports top-k early termination.
+	Halted bool `json:"halted"`
+	// Degraded is non-nil when the run returned a certified partial.
+	Degraded *queryDegradation `json:"degraded,omitempty"`
+	// CertifiedK is the provably-correct result prefix: all of
+	// Combinations for a complete run, Degraded.CertifiedK for a partial.
+	CertifiedK   int                `json:"certified_k"`
+	Combinations []queryCombination `json:"combinations"`
+}
+
+// queryRejection is the POST /query 429 payload.
+type queryRejection struct {
+	Error        string  `json:"error"`
+	Reason       string  `json:"reason"`
+	RetryAfterMS float64 `json:"retry_after_ms"`
+}
+
+// budgetGrace pads the HTTP context deadline past the execution budget,
+// so the engine's own budget machinery — which degrades gracefully into
+// a certified partial — always fires before the raw context cancel,
+// which would surface as an opaque execution error.
+const budgetGrace = 100 * time.Millisecond
+
+// handleQuery is POST /query: admission control, then a budgeted
+// degradable execution on the cached engine for the requested
+// (query, K) pair.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-Seco-Tenant")
+	}
+	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	// X-Seco-Queued-Ns carries the ingress lag (admission-time minus
+	// arrival-time on the shared clock); a fronting proxy or the loadgen
+	// driver stamps it so admission sees deadline already spent queueing.
+	var queued time.Duration
+	if h := r.Header.Get("X-Seco-Queued-Ns"); h != "" {
+		ns, err := strconv.ParseInt(h, 10, 64)
+		if err != nil {
+			http.Error(w, "bad X-Seco-Queued-Ns: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		queued = time.Duration(ns)
+	}
+
+	dec, release := s.adm.Admit(admission.Request{Tenant: tenant, Deadline: deadline, Queued: queued})
+	defer release()
+	if dec.Tier == admission.TierReject {
+		s.reg.Counter("seco.serve.rejected").Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(dec.RetryAfter.Seconds()))))
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(queryRejection{
+			Error:        "rejected: " + dec.Reason,
+			Reason:       dec.Reason,
+			RetryAfterMS: float64(dec.RetryAfter) / float64(time.Millisecond),
+		})
+		return
+	}
+
+	text := req.Query
+	if text == "" {
+		text = s.defaultText
+	}
+	k := req.K
+	if k <= 0 {
+		k = s.cfg.K
+	}
+	entry, err := s.entryFor(text, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	inputs := s.inputs
+	if len(req.Inputs) > 0 {
+		inputs = make(map[string]types.Value, len(s.inputs)+len(req.Inputs))
+		for name, v := range s.inputs {
+			inputs[name] = v
+		}
+		for name, lit := range req.Inputs {
+			inputs[name] = types.ParseValue(lit)
+		}
+	}
+
+	budget := dec.Budget
+	if max := s.cfg.MaxBudget; max > 0 && budget > max {
+		budget = max
+	}
+	// The degraded tier runs under a shed budget; a plain admit's budget
+	// is the client's own deadline. The distinction surfaces in
+	// Run.Degraded.Reason when the budget expires mid-run.
+	reason := engine.DegradeDeadline
+	if dec.Tier == admission.TierDegrade {
+		reason = engine.DegradeShed
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget+budgetGrace)
+	defer cancel()
+	run, err := entry.eng.Execute(ctx, entry.res.Annotated, engine.Options{
+		Inputs:       inputs,
+		Weights:      entry.res.Query.Weights,
+		TargetK:      entry.res.Plan.K,
+		Parallelism:  s.cfg.Parallelism,
+		Budget:       budget,
+		Degrade:      true,
+		BudgetReason: reason,
+	})
+	if err != nil {
+		s.reg.Counter("seco.serve.http_500").Add(1)
+		http.Error(w, "execution failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	s.reg.Counter("seco.serve.queries").Add(1)
+	elapsedMS := float64(run.Elapsed) / float64(time.Millisecond)
+	s.reg.Histogram("seco.serve.latency_ms", obs.LatencyBucketsMS).Observe(elapsedMS)
+	resp := queryResponse{
+		Tenant:     tenant,
+		Tier:       dec.Tier.String(),
+		Reason:     dec.Reason,
+		BudgetMS:   float64(budget) / float64(time.Millisecond),
+		ElapsedMS:  elapsedMS,
+		Halted:     run.Halted,
+		Degraded:   wireDegradation(run.Degraded),
+		CertifiedK: len(run.Combinations),
+	}
+	if run.Degraded != nil {
+		s.reg.Counter("seco.serve.degraded_runs").Add(1)
+		resp.CertifiedK = run.Degraded.CertifiedK
+	}
+	resp.Combinations = make([]queryCombination, 0, len(run.Combinations))
+	for _, c := range run.Combinations {
+		resp.Combinations = append(resp.Combinations, queryCombination{
+			Score: c.Score, Combo: fmt.Sprint(c),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,417 @@
+// Package serve is the query-serving layer behind cmd/secoserve: a
+// long-lived multi-tenant HTTP service over one engine clock, combining
+//
+//   - POST /query — SecoQL execution with per-request K, deadline and
+//     tenant, behind admission control (per-tenant token buckets, a
+//     global concurrency gate, and load-shedding tiers that map onto the
+//     engine's Budget/Degrade machinery: a saturated server returns
+//     certified partial top-k answers, never errors);
+//   - the observability surface grown in earlier PRs — /metrics[.txt],
+//     /runs/last, /trace/last[.chrome], /debug/pprof/* — on the same
+//     cumulative registry the admission and hedging layers feed.
+//
+// The package (rather than the command) owns the server so the loadgen
+// harness can drive the exact HTTP handler in-process against a virtual
+// clock: every admission decision, degraded budget and hedge count is
+// then a deterministic function of the request schedule.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"time"
+
+	"seco/internal/admission"
+	"seco/internal/core"
+	"seco/internal/engine"
+	"seco/internal/obs"
+	"seco/internal/optimizer"
+	"seco/internal/query"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// maxPlans bounds the plan/engine cache; distinct (query, K, metric)
+// triples past the bound evict an arbitrary older entry.
+const maxPlans = 64
+
+// Config assembles a Server.
+type Config struct {
+	// Scenario selects the built-in world: movienight or conftravel.
+	Scenario string
+	// Seed is the world seed.
+	Seed int64
+	// K is the default requested combinations per query (requests may
+	// override it).
+	K int
+	// Metric names the planning cost metric.
+	Metric string
+	// Parallelism bounds pipe-join parallelism per run.
+	Parallelism int
+	// CacheCalls enables the engines' cross-query call-sharing layer.
+	CacheCalls bool
+	// Live selects the wall clock with live latency pacing; off (the
+	// default) runs on a virtual clock — fetches complete instantly
+	// while charging their published latency to simulated time, which is
+	// what makes served load deterministic.
+	Live bool
+	// Hedge mounts the hedged-call layer on every service lane.
+	Hedge bool
+	// HedgePolicy tunes hedging when Hedge is set (zero value =
+	// defaults).
+	HedgePolicy service.HedgePolicy
+	// Admission tunes the admission controller. Its Metrics field is
+	// overwritten with the server's registry.
+	Admission admission.Config
+	// MaxBudget caps the execution budget of any admitted query
+	// (0 = bounded by the request deadline alone).
+	MaxBudget time.Duration
+	// Wrap, when non-nil, decorates each bound service per plan alias
+	// before the engine is built — the hook the loadgen harness uses to
+	// inject chaos faults and resilience middleware.
+	Wrap func(alias string, svc service.Service) service.Service
+	// Clock overrides the engine clock (default: VirtualClock, or
+	// WallClock when Live).
+	Clock engine.Clock
+	// Metrics overrides the registry (default: a fresh one).
+	Metrics *obs.Registry
+}
+
+// Server is one long-lived serving instance: the scenario system, the
+// shared engine clock, the admission controller, a plan/engine cache
+// keyed by (query, K, metric), and the last background run's
+// introspection state.
+type Server struct {
+	cfg         Config
+	sys         *core.System
+	inputs      map[string]types.Value
+	defaultText string
+	clock       engine.Clock
+	reg         *obs.Registry
+	adm         *admission.Controller
+
+	planMu sync.Mutex
+	plans  map[string]*planEntry
+
+	mu        sync.Mutex
+	lastRun   *engine.Run
+	lastTrace *obs.Trace
+	runs      int64
+	failures  int64
+}
+
+// planEntry is one cached (query, K, metric) plan with its long-lived
+// engine. The engine — not just the plan — is cached so repeated queries
+// share one Invoker: the sharing layer, the hedging trigger histograms
+// and the cumulative metrics all need call history to be useful.
+type planEntry struct {
+	res *optimizer.Result
+	eng *engine.Engine
+}
+
+// New builds a server over a built-in scenario.
+func New(cfg Config) (*Server, error) {
+	var (
+		sys    *core.System
+		inputs map[string]types.Value
+		text   string
+		err    error
+	)
+	switch cfg.Scenario {
+	case "movienight":
+		sys, inputs, err = core.MovieNight(cfg.Seed)
+		text = query.RunningExampleText
+	case "conftravel":
+		sys, inputs, err = core.ConfTravel(cfg.Seed)
+		text = query.TravelExampleText
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", cfg.Scenario)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Metric == "" {
+		cfg.Metric = "request-response"
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		if cfg.Live {
+			clock = engine.WallClock{}
+		} else {
+			clock = engine.NewVirtualClock()
+		}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	admCfg := cfg.Admission
+	admCfg.Metrics = reg
+	s := &Server{
+		cfg:         cfg,
+		sys:         sys,
+		inputs:      inputs,
+		defaultText: text,
+		clock:       clock,
+		reg:         reg,
+		adm:         admission.NewController(admCfg, clock),
+		plans:       map[string]*planEntry{},
+	}
+	// Warm the canonical entry so construction fails fast on a broken
+	// scenario and the background loop's first run needs no planning.
+	if _, err := s.entryFor(text, cfg.K); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Clock exposes the engine clock shared by every engine, the admission
+// controller and all resilience timing.
+func (s *Server) Clock() engine.Clock { return s.clock }
+
+// Metrics exposes the server's cumulative registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Admission exposes the admission controller.
+func (s *Server) Admission() *admission.Controller { return s.adm }
+
+// entryFor returns the cached plan+engine for (text, k) under the
+// server's metric, planning and binding on miss.
+func (s *Server) entryFor(text string, k int) (*planEntry, error) {
+	key := fmt.Sprintf("%d|%s|%s", k, s.cfg.Metric, text)
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if e, ok := s.plans[key]; ok {
+		s.reg.Counter("seco.serve.plan_cache.hits").Add(1)
+		return e, nil
+	}
+	s.reg.Counter("seco.serve.plan_cache.misses").Add(1)
+	q, err := s.sys.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.sys.Plan(q, core.PlanOptions{K: k, Metric: s.cfg.Metric})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := s.engineFor(res)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.plans) >= maxPlans {
+		for k := range s.plans {
+			delete(s.plans, k)
+			s.reg.Counter("seco.serve.plan_cache.evictions").Add(1)
+			break
+		}
+	}
+	e := &planEntry{res: res, eng: eng}
+	s.plans[key] = e
+	return e, nil
+}
+
+// engineFor binds the plan's aliases to the scenario services — through
+// the Wrap hook when configured — on the server's shared clock, registry
+// and hedging policy.
+func (s *Server) engineFor(res *optimizer.Result) (*engine.Engine, error) {
+	byAlias := map[string]service.Service{}
+	for _, ref := range res.Query.Services {
+		svc, ok := s.sys.Service(ref.Interface.Name)
+		if !ok {
+			return nil, fmt.Errorf("no service bound for interface %q (alias %s)",
+				ref.Interface.Name, ref.Alias)
+		}
+		if s.cfg.Wrap != nil {
+			svc = s.cfg.Wrap(ref.Alias, svc)
+		}
+		byAlias[ref.Alias] = svc
+	}
+	ecfg := engine.Config{Clock: s.clock, Share: s.cfg.CacheCalls, Metrics: s.reg}
+	if s.cfg.Hedge {
+		policy := s.cfg.HedgePolicy
+		ecfg.Hedge = &policy
+	}
+	return engine.NewWithConfig(byAlias, ecfg), nil
+}
+
+// RunOnce executes the canonical query with a fresh tracer and replaces
+// the last-run record; the background loop and tests drive it.
+func (s *Server) RunOnce() error {
+	e, err := s.entryFor(s.defaultText, s.cfg.K)
+	if err != nil {
+		return err
+	}
+	tr := obs.NewTracer()
+	// The refresh run is bounded like any admitted query, so a wedged
+	// service cannot stall the background loop; the cap is wall time and
+	// never fires under the virtual clock's instant runs.
+	limit := s.cfg.MaxBudget
+	if limit <= 0 {
+		limit = time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), limit)
+	defer cancel()
+	run, err := e.eng.Execute(ctx, e.res.Annotated, engine.Options{
+		Inputs:      s.inputs,
+		Weights:     e.res.Query.Weights,
+		TargetK:     e.res.Plan.K,
+		Parallelism: s.cfg.Parallelism,
+		Trace:       tr,
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs++
+	if err != nil {
+		s.failures++
+		return err
+	}
+	s.lastRun = run
+	s.lastTrace = tr.Snapshot()
+	return nil
+}
+
+// Loop drives the background executions. A zero interval runs the query
+// once, so the endpoints have data without generating steady load.
+func (s *Server) Loop(ctx context.Context, interval time.Duration) {
+	if err := s.RunOnce(); err != nil {
+		fmt.Fprintln(os.Stderr, "secoserve: run:", err)
+	}
+	if interval <= 0 {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if err := s.RunOnce(); err != nil {
+				fmt.Fprintln(os.Stderr, "secoserve: run:", err)
+			}
+		}
+	}
+}
+
+// Handler builds the server's mux. The pprof handlers are registered
+// explicitly (not via the net/http/pprof DefaultServeMux side effect),
+// so tests and the loadgen harness can mount the whole surface without a
+// listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetricsJSON)
+	mux.HandleFunc("/metrics.txt", s.handleMetricsText)
+	mux.HandleFunc("/runs/last", s.handleLastRun)
+	mux.HandleFunc("/trace/last", s.handleLastTrace)
+	mux.HandleFunc("/trace/last.chrome", s.handleLastTraceChrome)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMetricsText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, s.reg.Text())
+}
+
+// lastRunRecord is the /runs/last introspection payload.
+type lastRunRecord struct {
+	Runs         int64                              `json:"runs"`
+	Failures     int64                              `json:"failures"`
+	Combinations int                                `json:"combinations"`
+	TopScore     float64                            `json:"top_score,omitempty"`
+	Halted       bool                               `json:"halted"`
+	ElapsedMS    float64                            `json:"elapsed_ms"`
+	Calls        map[string]int64                   `json:"calls"`
+	Invocations  map[string]int64                   `json:"invocations"`
+	Produced     map[string]int                     `json:"produced"`
+	CallsSaved   float64                            `json:"calls_saved"`
+	Degraded     *engine.Degradation                `json:"degraded,omitempty"`
+	Resilience   map[string]service.ResilienceStats `json:"resilience,omitempty"`
+}
+
+func (s *Server) handleLastRun(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	run := s.lastRun
+	runs, failures := s.runs, s.failures
+	s.mu.Unlock()
+	if run == nil {
+		http.Error(w, "no run yet", http.StatusServiceUnavailable)
+		return
+	}
+	rec := lastRunRecord{
+		Runs:         runs,
+		Failures:     failures,
+		Combinations: len(run.Combinations),
+		Halted:       run.Halted,
+		ElapsedMS:    float64(run.Elapsed) / float64(time.Millisecond),
+		Calls:        run.Calls,
+		Invocations:  run.Invocations,
+		Produced:     run.Produced,
+		CallsSaved:   run.CallsSaved,
+		Degraded:     run.Degraded,
+		Resilience:   run.Resilience,
+	}
+	if len(run.Combinations) > 0 {
+		rec.TopScore = run.Combinations[0].Score
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) lastTraceSnapshot() *obs.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
+}
+
+func (s *Server) handleLastTrace(w http.ResponseWriter, _ *http.Request) {
+	tr := s.lastTraceSnapshot()
+	if tr == nil {
+		http.Error(w, "no trace yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleLastTraceChrome(w http.ResponseWriter, _ *http.Request) {
+	tr := s.lastTraceSnapshot()
+	if tr == nil {
+		http.Error(w, "no trace yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChrome(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -56,6 +56,8 @@ func (c *Counter) Invoke(ctx context.Context, in Input) (Invocation, error) {
 	if err := CheckBudget(ctx); err != nil {
 		return nil, err
 	}
+	ctx, cancel := callContext(ctx)
+	defer cancel()
 	end := obs.ScopeFrom(ctx).StartCall("invoke")
 	inv, err := c.inner.Invoke(ctx, in)
 	if err != nil {
@@ -99,6 +101,8 @@ func (ci *countedInvocation) Fetch(ctx context.Context) (Chunk, error) {
 	if err := CheckBudget(ctx); err != nil {
 		return Chunk{}, err
 	}
+	ctx, cancel := callContext(ctx)
+	defer cancel()
 	depth := ci.chunks.Load() + 1
 	end := obs.ScopeFrom(ctx).StartCall("fetch", obs.KI("chunk", depth))
 	chunk, err := ci.inner.Fetch(ctx)
@@ -120,6 +124,23 @@ func (ci *countedInvocation) Fetch(ctx context.Context) (Chunk, error) {
 	end(latency, obs.KI("tuples", int64(len(chunk.Tuples))))
 	ci.counter.inst.fetch(latency, depth, len(chunk.Tuples))
 	return chunk, nil
+}
+
+// callContext derives the per-call context: when the engine installed a
+// remaining-time probe (wall-clock runs with an execution budget), every
+// Invoke and Fetch carries its own deadline bounded by what is left of
+// the budget, so a single stalled wire call can never outlive the run's
+// deadline. Without a probe the context passes through untouched and the
+// returned cancel is a no-op.
+func callContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	rem, ok := RemainingBudget(ctx)
+	if !ok {
+		return ctx, func() {}
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return context.WithTimeout(ctx, rem)
 }
 
 // errClass maps a service error onto a low-cardinality trace attribute.

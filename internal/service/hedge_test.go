@@ -1,0 +1,309 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"seco/internal/mart"
+)
+
+// oddInvokeFails fails every odd-numbered Invoke transiently: each
+// primary attempt fails and its hedge succeeds.
+type oddInvokeFails struct {
+	inner Service
+	calls int
+	mu    sync.Mutex
+}
+
+func (s *oddInvokeFails) Interface() *mart.Interface { return s.inner.Interface() }
+func (s *oddInvokeFails) Stats() Stats               { return s.inner.Stats() }
+func (s *oddInvokeFails) Unwrap() Service            { return s.inner }
+
+func (s *oddInvokeFails) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	s.mu.Lock()
+	s.calls++
+	fail := s.calls%2 == 1
+	s.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("primary outage: %w", ErrTransient)
+	}
+	return s.inner.Invoke(ctx, in)
+}
+
+func TestHedgeRecoversTransientInvoke(t *testing.T) {
+	h := NewHedge(&oddInvokeFails{inner: newMovieTable(t, 0)}, HedgePolicy{})
+	if _, err := h.Invoke(context.Background(), movieInput()); err != nil {
+		t.Fatalf("hedged invoke failed: %v", err)
+	}
+	if h.Hedged() != 1 || h.Wins() != 1 {
+		t.Fatalf("attempts %d wins %d, want 1/1", h.Hedged(), h.Wins())
+	}
+	rs := h.Resilience()
+	if rs.Hedges != 1 || rs.HedgeWins != 1 {
+		t.Fatalf("resilience stats %+v", rs)
+	}
+}
+
+func TestHedgeSkipsUnhedgeableErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"permanent", ErrPermanent},
+		{"open circuit", ErrOpen},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHedge(&errService{inner: newMovieTable(t, 0), err: tc.err}, HedgePolicy{})
+			if _, err := h.Invoke(context.Background(), movieInput()); !errors.Is(err, tc.err) {
+				t.Fatalf("err = %v, want %v", err, tc.err)
+			}
+			if h.Hedged() != 0 {
+				t.Fatalf("unhedgeable error was hedged %d times", h.Hedged())
+			}
+		})
+	}
+}
+
+// errService fails every Invoke with a fixed error.
+type errService struct {
+	inner Service
+	err   error
+}
+
+func (s *errService) Interface() *mart.Interface { return s.inner.Interface() }
+func (s *errService) Stats() Stats               { return s.inner.Stats() }
+
+func (s *errService) Invoke(context.Context, Input) (Invocation, error) {
+	return nil, fmt.Errorf("down: %w", s.err)
+}
+
+// failFirstPerChunk fails the first fetch attempt of each of the first n
+// chunks transiently, honoring the layer convention that a failed fetch
+// does not advance the stream cursor.
+type failFirstPerChunk struct {
+	inner Service
+	n     int
+}
+
+func (s *failFirstPerChunk) Interface() *mart.Interface { return s.inner.Interface() }
+func (s *failFirstPerChunk) Stats() Stats               { return s.inner.Stats() }
+func (s *failFirstPerChunk) Unwrap() Service            { return s.inner }
+
+func (s *failFirstPerChunk) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	inv, err := s.inner.Invoke(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return &failFirstInvocation{inner: inv, remaining: s.n}, nil
+}
+
+type failFirstInvocation struct {
+	inner     Invocation
+	mu        sync.Mutex
+	remaining int  // chunks still owed a failure
+	failed    bool // current chunk's failure already injected
+}
+
+func (fi *failFirstInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	fi.mu.Lock()
+	inject := fi.remaining > 0 && !fi.failed
+	if inject {
+		fi.failed = true
+	}
+	fi.mu.Unlock()
+	if inject {
+		return Chunk{}, fmt.Errorf("first attempt drop: %w", ErrTransient)
+	}
+	c, err := fi.inner.Fetch(ctx)
+	if err == nil {
+		fi.mu.Lock()
+		if fi.failed {
+			fi.remaining--
+			fi.failed = false
+		}
+		fi.mu.Unlock()
+	}
+	return c, err
+}
+
+// TestHedgeShareOneUpstreamFetchPerChunk is the sharing-exemption
+// guarantee: a hedged pair mounted above Share performs at most one
+// successful upstream fetch per chunk — the hedge rides the dedup/memo
+// layer instead of duplicating wire traffic.
+func TestHedgeShareOneUpstreamFetchPerChunk(t *testing.T) {
+	// Count the fault-free chunks first, so the fault schedule and the
+	// assertions don't hard-code the fixture's shape.
+	chunks, _ := drainShared(t, newMovieTable(t, 1), movieInput())
+	if chunks < 2 {
+		t.Fatalf("fixture has %d chunks; need at least 2", chunks)
+	}
+
+	wire := NewCounter(&failFirstPerChunk{inner: newMovieTable(t, 1), n: chunks}, nil)
+	sh := NewShare(wire)
+	h := NewHedge(sh, HedgePolicy{})
+
+	got, tuples := drainShared(t, h, movieInput())
+	if got != chunks || tuples == 0 {
+		t.Fatalf("hedged drain returned %d chunks (%d tuples), want %d", got, tuples, chunks)
+	}
+	if h.Hedged() != chunks || h.Wins() != chunks {
+		t.Fatalf("hedge attempts %d wins %d, want %d each (one per chunk)",
+			h.Hedged(), h.Wins(), chunks)
+	}
+	if st := sh.Counters(); st.WireFetches != int64(chunks) {
+		t.Fatalf("share saw %d wire fetches for %d chunks — hedging duplicated upstream traffic: %+v",
+			st.WireFetches, chunks, st)
+	}
+	if wire.Fetches() != int64(chunks) {
+		t.Fatalf("wire counted %d successful fetches, want %d", wire.Fetches(), chunks)
+	}
+
+	// Replays ride the memo: no new upstream traffic, no new hedges.
+	drainShared(t, h, movieInput())
+	if st := sh.Counters(); st.WireFetches != int64(chunks) || st.MemoHits != int64(chunks) {
+		t.Fatalf("replay hit the wire: %+v", st)
+	}
+	if h.Hedged() != chunks {
+		t.Fatalf("replay issued new hedges: %d", h.Hedged())
+	}
+}
+
+// withLatency overrides the published latency of a fixture service.
+type withLatency struct {
+	Service
+	lat time.Duration
+}
+
+func (s *withLatency) Stats() Stats {
+	st := s.Service.Stats()
+	st.Latency = s.lat
+	return st
+}
+
+func (s *withLatency) Unwrap() Service { return s.Service }
+
+// slowFetch charges extra latency to the shared clock below the hedge on
+// every fetch — a simulated slow backend.
+type slowFetch struct {
+	inner Service
+	clk   *fakeClock
+	delay time.Duration
+}
+
+func (s *slowFetch) Interface() *mart.Interface { return s.inner.Interface() }
+func (s *slowFetch) Stats() Stats               { return s.inner.Stats() }
+func (s *slowFetch) Unwrap() Service            { return s.inner }
+
+func (s *slowFetch) Invoke(ctx context.Context, in Input) (Invocation, error) {
+	inv, err := s.inner.Invoke(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return &slowInvocation{inner: inv, svc: s}, nil
+}
+
+type slowInvocation struct {
+	inner Invocation
+	svc   *slowFetch
+}
+
+func (si *slowInvocation) Fetch(ctx context.Context) (Chunk, error) {
+	si.svc.clk.Sleep(si.svc.delay)
+	return si.inner.Fetch(ctx)
+}
+
+func TestHedgeLateTriggerCountsSlowCalls(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	published := 40 * time.Millisecond
+	tab := &withLatency{Service: newMovieTable(t, 1), lat: published}
+	// The trigger falls back to published latency × multiplier while the
+	// histogram is cold; a fetch that sleeps 2× the published latency on
+	// the clock is measured at 3× (slept + charged) and must count late.
+	h := NewHedge(&slowFetch{inner: tab, clk: clk, delay: 2 * published}, HedgePolicy{Multiplier: 1.5})
+	h.SetTimeSource(clk)
+	if _, n := drainShared(t, h, movieInput()); n == 0 {
+		t.Fatal("no tuples")
+	}
+	if h.Late() == 0 {
+		t.Fatal("no late fetches counted despite a 3x-trigger backend")
+	}
+	if h.Hedged() != 0 {
+		t.Fatalf("late counting issued %d real hedges; under Share a raced hedge is a no-op and none must be sent",
+			h.Hedged())
+	}
+
+	// Fast fetches stay under the trigger.
+	h2 := NewHedge(newMovieTable(t, 1), HedgePolicy{Multiplier: 1.5})
+	h2.SetTimeSource(&fakeClock{now: time.Unix(0, 0)})
+	drainShared(t, h2, movieInput())
+	if h2.Late() != 0 {
+		t.Fatalf("fast backend counted %d late fetches", h2.Late())
+	}
+}
+
+// TestBreakerHalfOpenHammerRace drives one Breaker from many goroutines
+// across a trip/cooldown/recovery cycle. Under -race this exercises the
+// half-open single-probe gate (the probing flag) against concurrent
+// Invokes — the exact contention pattern of concurrent runs sharing one
+// engine, whose lanes funnel into a single breaker instance.
+func TestBreakerHalfOpenHammerRace(t *testing.T) {
+	sw := &switchSvc{inner: newMovieTable(t, 0)}
+	b := NewBreaker(sw)
+	b.Threshold = 3
+	b.Cooldown = 250 * time.Millisecond
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b.SetTimeSource(clk)
+	ctx := context.Background()
+
+	hammer := func(workers, calls int) {
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					if inv, err := b.Invoke(ctx, movieInput()); err == nil {
+						inv.Fetch(ctx)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: a failing backend under concurrent load must trip the
+	// circuit and keep rejecting without touching the service.
+	sw.failing.Store(true)
+	hammer(8, 25)
+	if b.State() != "open" {
+		t.Fatalf("after failing hammer: state %s, want open", b.State())
+	}
+	if b.Tripped() == 0 || b.Rejected() == 0 {
+		t.Fatalf("hammer tripped %d, rejected %d — vacuous", b.Tripped(), b.Rejected())
+	}
+
+	// Phase 2: backend recovers; concurrent goroutines race for the
+	// single half-open probe after each cooldown. Exactly one wins it and
+	// its success must close the circuit for everyone.
+	sw.failing.Store(false)
+	for round := 0; round < 50 && b.State() != "closed"; round++ {
+		clk.advance(b.Cooldown)
+		hammer(8, 5)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("breaker never recovered through half-open: state %s", b.State())
+	}
+
+	// Phase 3: a recovered circuit under concurrent load stays closed and
+	// admits everything.
+	rejectedBefore := b.Rejected()
+	hammer(8, 25)
+	if b.State() != "closed" || b.Rejected() != rejectedBefore {
+		t.Fatalf("closed circuit rejected calls: state %s, rejected %d -> %d",
+			b.State(), rejectedBefore, b.Rejected())
+	}
+}

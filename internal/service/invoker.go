@@ -49,6 +49,13 @@ type InvokerOptions struct {
 	// tuples whose equality checks are handle comparisons. The engine
 	// passes its per-engine interner here; nil leaves chunks as fetched.
 	Interner *types.Interner
+	// Hedge, when non-nil, mounts a hedging layer on every lane, above
+	// Share: hedgeable primary failures get one immediate second attempt,
+	// and slow successes are counted against the latency-percentile
+	// trigger fed by the lane's latency histogram. Mounting above Share
+	// keeps hedges exempt from duplicate upstream load — a hedged pair
+	// coalesces on Share's singleflight/memo.
+	Hedge *HedgePolicy
 }
 
 // NewInvoker builds the choke point over the bound services. The map
@@ -56,6 +63,12 @@ type InvokerOptions struct {
 // already applied); the Invoker adds its own layers above them.
 func NewInvoker(services map[string]Service, opts InvokerOptions) *Invoker {
 	inv := &Invoker{delay: opts.Delay, lanes: map[string]Service{}, shares: nil}
+	if opts.Metrics != nil {
+		inv.inst = map[string]*instruments{}
+		for alias := range services {
+			inv.inst[alias] = newInstruments(opts.Metrics, alias)
+		}
+	}
 	sharesBySvc := map[Service]*Share{}
 	for alias, svc := range services {
 		lane := svc
@@ -70,13 +83,15 @@ func NewInvoker(services map[string]Service, opts InvokerOptions) *Invoker {
 			}
 			lane = sh
 		}
-		inv.lanes[alias] = lane
-	}
-	if opts.Metrics != nil {
-		inv.inst = map[string]*instruments{}
-		for alias := range services {
-			inv.inst[alias] = newInstruments(opts.Metrics, alias)
+		if opts.Hedge != nil {
+			h := NewHedge(lane, *opts.Hedge)
+			if inst := inv.inst[alias]; inst != nil {
+				h.SetLatencySource(inst.latencyMS)
+			}
+			h.bindMetrics(opts.Metrics, alias)
+			lane = h
 		}
+		inv.lanes[alias] = lane
 	}
 	return inv
 }

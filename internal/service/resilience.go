@@ -86,6 +86,11 @@ type ResilienceStats struct {
 	Rejected int64
 	// Spikes counts injected latency spikes.
 	Spikes int64
+	// Hedges counts second attempts issued by the Hedge layer after a
+	// hedgeable primary failure.
+	Hedges int64
+	// HedgeWins counts hedged attempts that recovered the call.
+	HedgeWins int64
 }
 
 // Zero reports whether no resilience event was recorded.
@@ -100,6 +105,8 @@ func (s *ResilienceStats) Add(o ResilienceStats) {
 	s.Tripped += o.Tripped
 	s.Rejected += o.Rejected
 	s.Spikes += o.Spikes
+	s.Hedges += o.Hedges
+	s.HedgeWins += o.HedgeWins
 }
 
 // ResilienceReporter is implemented by middleware that contributes to the
@@ -146,4 +153,27 @@ func CheckBudget(ctx context.Context) error {
 		return check()
 	}
 	return nil
+}
+
+// remainingKey carries the remaining-time probe in a context.
+type remainingKey struct{}
+
+// WithRemaining attaches a remaining-time probe to the context. remaining
+// reports how much of the execution budget is left; the engine installs a
+// closure over its wall-clock deadline so the Counter can derive a
+// per-call timeout for every Invoke and Fetch (deadline propagation all
+// the way into the service layer). Virtual-clock runs do not install it —
+// their budget enforcement is the deterministic CheckBudget probe, and a
+// wall timeout over simulated time would be meaningless.
+func WithRemaining(ctx context.Context, remaining func() time.Duration) context.Context {
+	return context.WithValue(ctx, remainingKey{}, remaining)
+}
+
+// RemainingBudget reports the remaining execution time carried by the
+// context, or ok=false when no probe is installed.
+func RemainingBudget(ctx context.Context) (time.Duration, bool) {
+	if remaining, ok := ctx.Value(remainingKey{}).(func() time.Duration); ok {
+		return remaining(), true
+	}
+	return 0, false
 }
