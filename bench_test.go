@@ -884,3 +884,62 @@ func BenchmarkE15_TracingOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE17_TriangleMultiwayVsBinary runs the cyclic triangle query
+// (EXPERIMENTS.md E17) under the pull driver over the n-ary multi-way
+// plan and the best binary join tree, both re-annotated at the full
+// fetch budget so the corner-bound stopping rule decides the call
+// count. Reported calls are the quantity the acceptance criterion
+// bounds (n-ary at least 30% below binary); -benchmem adds the
+// multi-way operator's allocation profile.
+func BenchmarkE17_TriangleMultiwayVsBinary(b *testing.B) {
+	sys, inputs, err := core.Triangle(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sys.Parse(query.TriangleExampleText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullBudget := func(res *optimizer.Result) *optimizer.Result {
+		fetches := map[string]int{}
+		for _, id := range res.Plan.NodeIDs() {
+			n, _ := res.Plan.Node(id)
+			if n.Kind == plan.KindService && n.Stats.Chunked() {
+				fetches[id] = int((n.Stats.AvgCardinality + float64(n.Stats.ChunkSize) - 1) / float64(n.Stats.ChunkSize))
+			}
+		}
+		a, err := plan.Annotate(res.Plan, fetches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := *res
+		full.Annotated = a
+		return &full
+	}
+	for _, topo := range []struct {
+		name    string
+		disable bool
+	}{{"nary", false}, {"binary-best", true}} {
+		res, err := sys.Plan(q, core.PlanOptions{K: 5, DisableMultiway: topo.disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := fullBudget(res)
+		b.Run(topo.name, func(b *testing.B) {
+			var run *engine.Run
+			for i := 0; i < b.N; i++ {
+				var err error
+				run, err = sys.Run(context.Background(), full, core.RunOptions{Inputs: inputs})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(run.Combinations) < 5 {
+				b.Fatalf("only %d combinations", len(run.Combinations))
+			}
+			b.ReportMetric(float64(run.TotalCalls()), "calls")
+			b.ReportMetric(run.CallsSaved, "saved")
+		})
+	}
+}

@@ -134,11 +134,11 @@ type point struct {
 	Mult      float64 `json:"mult"`
 	OfferedPS float64 `json:"offered_per_sec"`
 	Requests  int     `json:"requests"`
-	Full      int     `json:"full"`      // 200, no degradation
-	Degraded  int     `json:"degraded"`  // 200, certified partial
-	Rejected  int     `json:"rejected"`  // 429
-	Errors    int     `json:"errors"`    // 500 (must be zero)
-	Late      int     `json:"late"`      // 200 past deadline + probe-granularity slack
+	Full      int     `json:"full"`     // 200, no degradation
+	Degraded  int     `json:"degraded"` // 200, certified partial
+	Rejected  int     `json:"rejected"` // 429
+	Errors    int     `json:"errors"`   // 500 (must be zero)
+	Late      int     `json:"late"`     // 200 past deadline + probe-granularity slack
 	P50MS     float64 `json:"p50_ms"`
 	P99MS     float64 `json:"p99_ms"`
 	GoodputPS float64 `json:"goodput_per_sec"`

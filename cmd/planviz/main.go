@@ -96,6 +96,9 @@ func run(args []string, out io.Writer) error {
 		case "conftravel":
 			sys, _, err = core.ConfTravel(11)
 			src = query.TravelExampleText
+		case "triangle":
+			sys, _, err = core.Triangle(7)
+			src = query.TriangleExampleText
 		default:
 			return fmt.Errorf("unknown scenario %q", *scenario)
 		}
@@ -187,6 +190,8 @@ func scenarioRegistry(name string) (*mart.Registry, error) {
 		return mart.MovieScenario()
 	case "conftravel":
 		return mart.TravelScenario()
+	case "triangle":
+		return mart.TriangleScenario()
 	default:
 		return nil, fmt.Errorf("unknown scenario %q", name)
 	}

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"os"
-	"time"
-
 	"path/filepath"
-	"seco/internal/obs"
 	"strings"
 	"testing"
+	"time"
+
+	"seco/internal/core"
+	"seco/internal/obs"
+	"seco/internal/query"
 )
 
 func TestPlanvizFig10(t *testing.T) {
@@ -154,6 +157,97 @@ func TestPlanvizTraceOverlay(t *testing.T) {
 	// Only the traced service node is filled.
 	if strings.Count(s, "fillcolor") != 1 {
 		t.Errorf("expected exactly one overlaid node:\n%s", s)
+	}
+}
+
+// TestPlanvizTriangleMultiway renders the optimized triangle plan: the
+// n-ary join node must appear with its own shape and label, with all
+// three branch arcs pointing into it (fan-in > 2).
+func TestPlanvizTriangleMultiway(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-plan", "optimized", "-scenario", "triangle", "-k", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"digraph plan", "multijoin", "Mdiamond",
+		`"A" -> "join1"`, `"V" -> "join1"`, `"P" -> "join1"`,
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("triangle DOT missing %q:\n%s", frag, s)
+		}
+	}
+
+	// The same plan must verify cleanly, and survive a JSON round-trip
+	// through -plan file against the triangle registry.
+	out.Reset()
+	if err := run([]string{"-plan", "optimized", "-scenario", "triangle", "-k", "5", "-check"}, &out); err != nil {
+		t.Fatalf("triangle plan failed -check: %v\n%s", err, out.String())
+	}
+	var encoded strings.Builder
+	if err := run([]string{"-plan", "optimized", "-scenario", "triangle", "-k", "5", "-format", "json"}, &encoded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(encoded.String(), `"multijoin"`) {
+		t.Fatalf("triangle JSON missing multijoin node:\n%s", encoded.String())
+	}
+	path := filepath.Join(t.TempDir(), "triangle.json")
+	if err := os.WriteFile(path, []byte(encoded.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-plan", "file", "-in", path, "-scenario", "triangle", "-check"}, &out); err != nil {
+		t.Fatalf("reloaded triangle plan failed verification: %v\n%s", err, out.String())
+	}
+}
+
+// TestPlanvizTriangleTraceOverlay executes the triangle's n-ary plan
+// with a tracer attached and overlays the recorded trace on the DOT
+// rendering: every paged branch service must carry a measured row.
+func TestPlanvizTriangleTraceOverlay(t *testing.T) {
+	sys, inputs, err := core.Triangle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.Parse(query.TriangleExampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Plan(q, core.PlanOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	tr.Bind(nil, true)
+	if _, err := sys.Run(context.Background(), res, core.RunOptions{Inputs: inputs, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-plan", "optimized", "-scenario", "triangle", "-k", "5", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "multijoin") {
+		t.Fatalf("overlaid triangle DOT lost the multijoin node:\n%s", s)
+	}
+	// S plus the three paged branches were invoked: four overlaid rows.
+	if got := strings.Count(s, "fillcolor"); got != 4 {
+		t.Errorf("expected 4 overlaid nodes (S, A, V, P), got %d:\n%s", got, s)
+	}
+	for _, frag := range []string{"inv=1 fetch"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("trace overlay missing %q:\n%s", frag, s)
+		}
 	}
 }
 

@@ -47,7 +47,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("secoql", flag.ContinueOnError)
 	var (
-		scenario  = fs.String("scenario", "movienight", "built-in scenario: movienight or conftravel")
+		scenario  = fs.String("scenario", "movienight", "built-in scenario: movienight, conftravel or triangle")
 		queryFile = fs.String("query", "", "query file (default: the scenario's canonical query)")
 		k         = fs.Int("k", 10, "number of requested combinations")
 		metric    = fs.String("metric", "request-response", "cost metric: execution-time, sum, request-response, bottleneck, time-to-screen")
@@ -161,8 +161,11 @@ func buildScenario(name string, seed int64) (*core.System, map[string]types.Valu
 	case "conftravel":
 		sys, inputs, err := core.ConfTravel(seed)
 		return sys, inputs, query.TravelExampleText, err
+	case "triangle":
+		sys, inputs, err := core.Triangle(seed)
+		return sys, inputs, query.TriangleExampleText, err
 	default:
-		return nil, nil, "", fmt.Errorf("unknown scenario %q (want movienight or conftravel)", name)
+		return nil, nil, "", fmt.Errorf("unknown scenario %q (want movienight, conftravel or triangle)", name)
 	}
 }
 

@@ -50,12 +50,13 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("secoserve", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:6060", "listen address for the server")
-		scenario    = fs.String("scenario", "movienight", "movienight or conftravel")
+		scenario    = fs.String("scenario", "movienight", "movienight, conftravel or triangle")
 		seed        = fs.Int64("seed", 7, "world seed")
 		k           = fs.Int("k", 10, "requested combinations per run")
 		metric      = fs.String("metric", "request-response", "cost metric for planning")
 		parallelism = fs.Int("parallelism", 4, "pipe-join parallelism per run")
 		cache       = fs.Bool("cache", true, "enable the call-sharing layer")
+		binaryOnly  = fs.Bool("binary-joins", false, "restrict planning to binary join trees (no n-ary multijoin)")
 		interval    = fs.Duration("interval", 2*time.Second, "delay between background query runs (0 = run once)")
 		live        = fs.Bool("live", false, "wall clock with live latency pacing (default: virtual clock)")
 		hedge       = fs.Bool("hedge", true, "mount the hedged-call layer on every service lane")
@@ -67,16 +68,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	srv, err := serve.New(serve.Config{
-		Scenario:    *scenario,
-		Seed:        *seed,
-		K:           *k,
-		Metric:      *metric,
-		Parallelism: *parallelism,
-		CacheCalls:  *cache,
-		Live:        *live,
-		Hedge:       *hedge,
-		MaxBudget:   *maxBudget,
-		Admission:   admission.Config{Capacity: *capacity, TenantRate: *tenantRate},
+		Scenario:        *scenario,
+		Seed:            *seed,
+		K:               *k,
+		Metric:          *metric,
+		Parallelism:     *parallelism,
+		CacheCalls:      *cache,
+		DisableMultiway: *binaryOnly,
+		Live:            *live,
+		Hedge:           *hedge,
+		MaxBudget:       *maxBudget,
+		Admission:       admission.Config{Capacity: *capacity, TenantRate: *tenantRate},
 	})
 	if err != nil {
 		return err

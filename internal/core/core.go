@@ -91,6 +91,9 @@ type PlanOptions struct {
 	// ExploreInterfaces lets phase 1 consider every interface of each
 	// mart instead of the ones the query names.
 	ExploreInterfaces bool
+	// DisableMultiway restricts phase 2 to binary join trees, never
+	// proposing the n-ary multijoin for eligible parallel groups.
+	DisableMultiway bool
 }
 
 // Plan optimizes an analyzed query into a fully instantiated plan, taking
@@ -115,6 +118,7 @@ func (s *System) Plan(q *query.Query, opts PlanOptions) (*optimizer.Result, erro
 		StatsByInterface: byIface,
 		MaxPlans:         opts.MaxPlans,
 		FixedInterfaces:  !opts.ExploreInterfaces,
+		DisableMultiway:  opts.DisableMultiway,
 	})
 }
 

@@ -32,6 +32,35 @@ func MovieNight(seed int64) (*System, map[string]types.Value, error) {
 	return sys, world.Inputs, nil
 }
 
+// Triangle builds a ready-to-query system for the cyclic Festival/
+// Artist/Venue/Promoter scenario that exercises the n-ary ranked join,
+// returning the system and the canonical INPUT bindings (the festival
+// name).
+func Triangle(seed int64) (*System, map[string]types.Value, error) {
+	reg, err := mart.TriangleScenario()
+	if err != nil {
+		return nil, nil, err
+	}
+	world, err := synth.NewTriangleWorld(reg, synth.TriangleConfig{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys := NewSystemWith(reg)
+	if err := sys.Bind(world.Festivals); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Artists); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Venues); err != nil {
+		return nil, nil, err
+	}
+	if err := sys.Bind(world.Promoters); err != nil {
+		return nil, nil, err
+	}
+	return sys, world.Inputs, nil
+}
+
 // ConfTravel builds a ready-to-query system for the Conference/Weather/
 // Flight/Hotel scenario of Figs. 2–3, returning the system and the
 // canonical INPUT bindings.

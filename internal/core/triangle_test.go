@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"seco/internal/optimizer"
+	"seco/internal/plan"
+	"seco/internal/query"
+	"seco/internal/types"
+)
+
+// planTriangle optimizes the canonical triangle query, with or without
+// the n-ary multijoin topology enabled.
+func planTriangle(t *testing.T, sys *System, k int, disableMultiway bool) *optimizer.Result {
+	t.Helper()
+	q, err := sys.Parse(query.TriangleExampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Plan(q, PlanOptions{K: k, DisableMultiway: disableMultiway})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func hasMultiJoin(p *plan.Plan) bool {
+	for _, id := range p.NodeIDs() {
+		if n, _ := p.Node(id); n.Kind == plan.KindMultiJoin {
+			return true
+		}
+	}
+	return false
+}
+
+// fullBudget re-annotates a planned result with every chunked service at
+// its fetch cap, so the pull driver's corner-bound stopping rule — not
+// the optimizer's fetch assignment — decides how many calls are issued
+// before the top-k is certified.
+func fullBudget(t *testing.T, res *optimizer.Result) *optimizer.Result {
+	t.Helper()
+	fetches := map[string]int{}
+	for _, id := range res.Plan.NodeIDs() {
+		n, _ := res.Plan.Node(id)
+		if n.Kind == plan.KindService && n.Stats.Chunked() {
+			fetches[id] = int((n.Stats.AvgCardinality + float64(n.Stats.ChunkSize) - 1) / float64(n.Stats.ChunkSize))
+		}
+	}
+	a, err := plan.Annotate(res.Plan, fetches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := *res
+	full.Annotated = a
+	return &full
+}
+
+// TestTriangleOptimizerPicksMultiway is the acceptance criterion on the
+// cost model: on the cyclic triangle scenario the optimizer must select
+// the n-ary plan, and must fall back to a binary tree when the multi-way
+// topology is disabled.
+func TestTriangleOptimizerPicksMultiway(t *testing.T) {
+	sys, _, err := Triangle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := planTriangle(t, sys, 5, false)
+	if !hasMultiJoin(res.Plan) {
+		t.Fatalf("optimizer did not select the n-ary plan:\n%s", sys.Explain(res))
+	}
+	bin := planTriangle(t, sys, 5, true)
+	if hasMultiJoin(bin.Plan) {
+		t.Fatalf("DisableMultiway still produced a multijoin node:\n%s", sys.Explain(bin))
+	}
+}
+
+// fingerprint renders one combination reproducibly: score plus every
+// component's Name, in alias order.
+func fingerprint(c *types.Combination) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.9f", c.Score)
+	for _, a := range c.Aliases() {
+		name := c.Components[a].Atomic("Name").String()
+		fmt.Fprintf(&b, "|%s=%s", a, name)
+	}
+	return b.String()
+}
+
+func fingerprints(cs []*types.Combination) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = fingerprint(c)
+	}
+	// Equal-score combinations may surface in either order depending on
+	// arrival interleaving; the result SET is what both topologies must
+	// agree on.
+	sort.Strings(out)
+	return out
+}
+
+// TestTriangleEquivalence proves the n-ary and binary plans return the
+// identical top-k on the triangle scenario under both driver policies.
+func TestTriangleEquivalence(t *testing.T) {
+	for _, seed := range []int64{7, 23, 91} {
+		sys, inputs, err := Triangle(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nary := planTriangle(t, sys, 5, false)
+		if !hasMultiJoin(nary.Plan) {
+			t.Fatalf("seed %d: no multijoin in default plan", seed)
+		}
+		binary := planTriangle(t, sys, 5, true)
+		for _, materialize := range []bool{false, true} {
+			var got [2][]string
+			for i, res := range []*optimizer.Result{nary, binary} {
+				run, err := sys.Run(context.Background(), fullBudget(t, res),
+					RunOptions{Inputs: inputs, Materialize: materialize})
+				if err != nil {
+					t.Fatalf("seed %d materialize=%v variant %d: %v", seed, materialize, i, err)
+				}
+				got[i] = fingerprints(run.Combinations)
+			}
+			if len(got[0]) == 0 {
+				t.Fatalf("seed %d materialize=%v: no results", seed, materialize)
+			}
+			if strings.Join(got[0], "\n") != strings.Join(got[1], "\n") {
+				t.Errorf("seed %d materialize=%v: n-ary and binary top-k differ:\nn-ary:\n%s\nbinary:\n%s",
+					seed, materialize, strings.Join(got[0], "\n"), strings.Join(got[1], "\n"))
+			}
+		}
+	}
+}
+
+// TestTriangleFewerCalls is the acceptance criterion on the runtime: the
+// pull driver must complete the top-5 over the n-ary plan with at least
+// 30% fewer service request-responses than the best binary plan.
+func TestTriangleFewerCalls(t *testing.T) {
+	sys, inputs, err := Triangle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nary := planTriangle(t, sys, 5, false)
+	binary := planTriangle(t, sys, 5, true)
+	total := func(res *optimizer.Result) int64 {
+		run, err := sys.Run(context.Background(), fullBudget(t, res), RunOptions{Inputs: inputs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(run.Combinations) < 5 {
+			t.Fatalf("only %d combinations", len(run.Combinations))
+		}
+		return run.TotalCalls()
+	}
+	nc, bc := total(nary), total(binary)
+	if float64(nc) > 0.7*float64(bc) {
+		t.Errorf("n-ary used %d calls, binary %d: want at least 30%% fewer", nc, bc)
+	}
+}

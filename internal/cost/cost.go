@@ -82,7 +82,7 @@ func (m Sum) Cost(a *plan.Annotated) float64 {
 		switch n.Kind {
 		case plan.KindService:
 			total += ann.Calls * n.Stats.CostPerCall
-		case plan.KindJoin:
+		case plan.KindJoin, plan.KindMultiJoin:
 			total += ann.Candidates * m.PerComparison
 		}
 	}

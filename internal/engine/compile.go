@@ -118,6 +118,9 @@ func (g *graph) makeOp(id string, n *plan.Node) (Operator, error) {
 	case plan.KindJoin:
 		op, err = g.makeJoinOp(id, n)
 		kind = plancheck.OpJoin
+	case plan.KindMultiJoin:
+		op, err = g.makeMultiJoinOp(id, n)
+		kind = plancheck.OpMultiJoin
 	default:
 		err = fmt.Errorf("engine: unsupported node kind %v", n.Kind)
 	}
@@ -177,6 +180,14 @@ func (g *graph) makeServiceOp(id string, n *plan.Node) (Operator, error) {
 	// lane. Scope is nil (and WithScope a no-op) when the run is untraced.
 	sc := g.ex.opts.Trace.Scope(id)
 	if n.PipedFrom() {
+		if pagedFeedsMultiJoin(g.ex.ann.Plan, id) {
+			return &pagedPipeOp{
+				ex: g.ex, n: n, counter: counter, fixed: fixed,
+				preds: preds, slot: slot, budget: budget, w: w,
+				up: up, depth: depth, sc: sc,
+				arena: newCombArena(g.ex.layout.width()),
+			}, nil
+		}
 		return &pipeOp{
 			g: g, ex: g.ex, n: n, counter: counter, fixed: fixed,
 			preds: preds, slot: slot, budget: budget, w: w,

@@ -1,0 +1,648 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"seco/internal/plan"
+	"seco/internal/topk"
+	"seco/internal/types"
+)
+
+// This file implements the multi-way ranked join operator: the third join
+// topology beside pipe and parallel joins. All N branches prefetch
+// concurrently (reusing the binary join's single-outstanding joinBranch
+// machinery); arrivals are consumed round-robin, and each newly arrived
+// chunk is delta-joined against the accumulated rows of every other
+// branch, so by the time Next hands a combination out, every stored row
+// combination has been enumerated exactly once — there is no deferred-
+// tile backlog, and the operator's score bound reduces to the n-ary
+// corner bound of topk.WeightedThreshold over the branch frontiers.
+//
+// Candidate enumeration is a leapfrog-style sorted intersection: every
+// hashable equality edge maintains, per endpoint branch, posting lists
+// from key to ascending row ids. Keys are interned uint32 handles for
+// string values (the engine's interner canonicalizes on the fly, so
+// handle equality is exact string equality process-wide) and the FNV
+// fold of op_join.go for other kinds. A new row binds its branch; the
+// remaining branches are bound most-constrained-first by intersecting
+// the posting lists their bound edges select, and every surviving
+// candidate is verified with the compiled pair predicates — which also
+// evaluate the bounded-proximity edges the legality rules admit. Key
+// columns mixing value classes never share a key, so cross-class pairs
+// are treated as non-matches (plancheck's legality rules keep
+// optimizer-built plans away from that corner).
+
+// multiEdge is one compiled cross-branch predicate of the multi-way
+// join, with both endpoint branches resolved and — when the predicate is
+// a pure atomic equality — a posting list per endpoint.
+type multiEdge struct {
+	jp joinPred
+	// bl and br are the branch indexes holding the predicate's left and
+	// right alias.
+	bl, br int
+	// hashable marks a pure atomic-equality edge that can key posting
+	// lists; proximity edges are verified per candidate instead.
+	hashable bool
+	// postL/postR map an edge key to the ascending row ids carrying it,
+	// per endpoint branch (hashable edges only).
+	postL, postR map[uint64][]int32
+}
+
+// multiJoinOp is the n-ary ranked join operator.
+type multiJoinOp struct {
+	g        *graph
+	ex       *executor
+	n        *plan.Node
+	branches []*joinBranch
+	// rows accumulates every arrived row per branch, flat across chunks
+	// (the chunk buffers stay on the branches for pooled release).
+	rows  [][]*comb
+	edges []multiEdge
+	// incident lists the edge indexes touching each branch.
+	incident [][]int
+	arena    *combArena
+
+	pending    []*comb
+	pendingIdx int
+	rr         int
+	started    bool
+	done       bool
+
+	// Scratch buffers reused across Next calls.
+	assign  []*comb
+	boundB  []bool
+	scratch []*types.Tuple
+	ones    []float64
+	bestBuf []float64
+	curBuf  []float64
+	lists   [][]int32
+	// candBufs holds one candidate buffer per recursion depth: expand at
+	// depth d iterates its candidates while deeper levels intersect into
+	// their own buffers.
+	candBufs [][]int32
+}
+
+func (g *graph) makeMultiJoinOp(id string, n *plan.Node) (Operator, error) {
+	preds := g.ex.ann.Plan.Predecessors(id)
+	if len(preds) < 2 {
+		return nil, fmt.Errorf("engine: multijoin %s has %d predecessors", id, len(preds))
+	}
+	branches := make([]*joinBranch, len(preds))
+	for i, pid := range preds {
+		r, err := g.operator(pid)
+		if err != nil {
+			return nil, err
+		}
+		branches[i] = &joinBranch{
+			reader: r, id: pid, size: g.ex.chunkSizeOf(pid),
+			ch: make(chan branchPull, 1), bestSeen: math.Inf(-1), bound: r.Bound(),
+		}
+	}
+	jps, err := compileJoinPreds(n, g.ex.layout)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve which branch produces each layout slot, so every predicate
+	// maps to the two branches it spans.
+	slotBranch := make([]int, g.ex.layout.width())
+	for i := range slotBranch {
+		slotBranch[i] = -1
+	}
+	for i, pid := range preds {
+		for alias := range g.ex.branchAliases(pid) {
+			slot, err := g.ex.layout.slot(alias)
+			if err != nil {
+				return nil, err
+			}
+			slotBranch[slot] = i
+		}
+	}
+	edges := make([]multiEdge, 0, len(jps))
+	incident := make([][]int, len(preds))
+	for _, jp := range jps {
+		bl, br := slotBranch[jp.leftSlot], slotBranch[jp.rightSlot]
+		if bl < 0 || br < 0 || bl == br {
+			return nil, fmt.Errorf("engine: multijoin %s predicate does not span two branches", id)
+		}
+		e := multiEdge{jp: jp, bl: bl, br: br, hashable: jp.eqLeft != nil}
+		if e.hashable {
+			e.postL = make(map[uint64][]int32, 64)
+			e.postR = make(map[uint64][]int32, 64)
+		}
+		ei := len(edges)
+		edges = append(edges, e)
+		incident[bl] = append(incident[bl], ei)
+		incident[br] = append(incident[br], ei)
+	}
+	nb := len(preds)
+	ones := make([]float64, nb)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return &multiJoinOp{
+		g: g, ex: g.ex, n: n,
+		branches: branches,
+		rows:     make([][]*comb, nb),
+		edges:    edges, incident: incident,
+		arena:    newCombArena(g.ex.layout.width()),
+		assign:   make([]*comb, nb),
+		boundB:   make([]bool, nb),
+		scratch:  make([]*types.Tuple, g.ex.layout.width()),
+		ones:     ones,
+		bestBuf:  make([]float64, nb),
+		curBuf:   make([]float64, nb),
+		candBufs: make([][]int32, nb),
+	}, nil
+}
+
+// branchAliases collects the service aliases a branch subtree produces
+// (the branch root itself plus everything upstream of it).
+func (ex *executor) branchAliases(id string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]bool{}
+	stack := []string{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if n, ok := ex.ann.Plan.Node(cur); ok && n.Kind == plan.KindService {
+			out[n.Alias] = true
+		}
+		stack = append(stack, ex.ann.Plan.Predecessors(cur)...)
+	}
+	return out
+}
+
+func (s *multiJoinOp) Open(ctx context.Context) error {
+	for _, b := range s.branches {
+		if err := b.reader.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *multiJoinOp) Next(ctx context.Context) (*comb, error) {
+	for {
+		if s.pendingIdx < len(s.pending) {
+			c := s.pending[s.pendingIdx]
+			s.pendingIdx++
+			return c, nil
+		}
+		if s.done {
+			return nil, nil
+		}
+		if !s.started {
+			s.started = true
+			for _, b := range s.branches {
+				s.g.startPull(ctx, b)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bi := s.nextBranch()
+		if bi < 0 {
+			s.done = true
+			continue
+		}
+		if err := s.resolve(ctx, bi); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// nextBranch picks the next live branch round-robin, or -1 when every
+// branch has run dry.
+func (s *multiJoinOp) nextBranch() int {
+	n := len(s.branches)
+	for k := 0; k < n; k++ {
+		i := (s.rr + k) % n
+		if !s.branches[i].noMore {
+			s.rr = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// resolve consumes the outstanding prefetch of branch bi, appends the
+// arrived rows to the branch's accumulated state (rows, posting lists,
+// score maxima) and delta-joins them against every other branch.
+func (s *multiJoinOp) resolve(ctx context.Context, bi int) error {
+	b := s.branches[bi]
+	res := <-b.ch
+	b.outstanding = false
+	if res.err != nil {
+		putCombSlice(res.combos)
+		return res.err
+	}
+	b.bound = res.bound
+	if res.short {
+		b.noMore = true
+	}
+	if len(res.combos) == 0 {
+		putCombSlice(res.combos)
+		b.bound = math.Inf(-1)
+		b.noMore = true
+		return nil
+	}
+	b.chunks = append(b.chunks, res.combos)
+	m := maxScore(res.combos)
+	b.chunkMax = append(b.chunkMax, m)
+	if m > b.bestSeen {
+		b.bestSeen = m
+	}
+	if !b.noMore {
+		s.g.startPull(ctx, b)
+	}
+	from := len(s.rows[bi])
+	s.rows[bi] = append(s.rows[bi], res.combos...)
+	s.index(bi, from)
+	return s.joinDelta(bi, from)
+}
+
+// index extends the posting lists of branch bi's hashable edges with the
+// rows from index `from` on; appending in arrival order keeps every
+// posting list sorted ascending — the invariant the intersection walks
+// rely on.
+func (s *multiJoinOp) index(bi, from int) {
+	for _, ei := range s.incident[bi] {
+		e := &s.edges[ei]
+		if !e.hashable {
+			continue
+		}
+		slot, cols, post := e.jp.rightSlot, e.jp.eqRight, e.postR
+		if e.bl == bi {
+			slot, cols, post = e.jp.leftSlot, e.jp.eqLeft, e.postL
+		}
+		for ri := from; ri < len(s.rows[bi]); ri++ {
+			key, null, ok := s.edgeKey(s.rows[bi][ri], slot, cols)
+			if !ok || null {
+				continue // a null or absent key part matches nothing
+			}
+			post[key] = append(post[key], int32(ri))
+		}
+	}
+}
+
+// edgeKey folds one row's key columns for an edge endpoint: interned
+// handles for strings (canonicalized through the engine's interner, so
+// equal strings always collide), the canonical FNV fold otherwise.
+func (s *multiJoinOp) edgeKey(c *comb, slot int, cols []string) (key uint64, null, ok bool) {
+	t := c.comps[slot]
+	if t == nil {
+		return 0, false, false
+	}
+	h := uint64(14695981039346656037)
+	for _, a := range cols {
+		v := t.Atomic(a)
+		if v.IsNull() {
+			return 0, true, true
+		}
+		v = s.ex.engine.intern.Value(v)
+		if v.Interned() {
+			h = hashHandle(h, v.Handle())
+		} else {
+			h = hashValue(h, v)
+		}
+	}
+	return h, false, true
+}
+
+// hashHandle folds an intern handle into the FNV chain, with a class
+// delimiter so handle keys never collide with raw-byte keys of another
+// column.
+func hashHandle(h uint64, id uint32) uint64 {
+	const prime = 1099511628211
+	bits := uint64(id)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (bits & 0xff)) * prime
+		bits >>= 8
+	}
+	return (h ^ 0xfe) * prime
+}
+
+// joinDelta enumerates every combination using at least one of branch
+// bi's rows from index `from` on. The delta rows bind branch bi; the
+// remaining branches bind most-constrained-first through posting-list
+// intersection. Results land in s.pending.
+func (s *multiJoinOp) joinDelta(bi, from int) error {
+	if s.pending == nil {
+		hint := 0
+		for _, b := range s.branches {
+			hint += b.size
+		}
+		s.pending = getCombSlice(hint)
+	}
+	s.pending = s.pending[:0]
+	s.pendingIdx = 0
+	for i := range s.boundB {
+		s.boundB[i] = false
+		s.assign[i] = nil
+	}
+	s.boundB[bi] = true
+	for ri := from; ri < len(s.rows[bi]); ri++ {
+		s.assign[bi] = s.rows[bi][ri]
+		if err := s.expand(1); err != nil {
+			return err
+		}
+	}
+	s.boundB[bi] = false
+	return nil
+}
+
+// expand binds one more branch: the unbound branch with the most
+// hashable edges into the bound set (smallest index on ties) is bound
+// through the sorted intersection of the posting lists its bound edges
+// select; a branch with no hashable bound edge falls back to scanning
+// its rows. Every candidate is verified against all its bound edges
+// (equality exactly, proximity included) before recursing.
+func (s *multiJoinOp) expand(nBound int) error {
+	if nBound == len(s.branches) {
+		if m, ok := s.mergeMulti(); ok {
+			s.pending = append(s.pending, m)
+		}
+		return nil
+	}
+	j := s.chooseNext()
+	s.lists = s.lists[:0]
+	for _, ei := range s.incident[j] {
+		e := &s.edges[ei]
+		other := e.bl
+		if other == j {
+			other = e.br
+		}
+		if !s.boundB[other] || !e.hashable {
+			continue
+		}
+		// Key the bound row on its side, look the delta branch up on the
+		// other.
+		var key uint64
+		var null, ok bool
+		var post map[uint64][]int32
+		if e.bl == j {
+			key, null, ok = s.edgeKey(s.assign[other], e.jp.rightSlot, e.jp.eqRight)
+			post = e.postL
+		} else {
+			key, null, ok = s.edgeKey(s.assign[other], e.jp.leftSlot, e.jp.eqLeft)
+			post = e.postR
+		}
+		if !ok || null {
+			return nil // this bound row's key matches nothing on branch j
+		}
+		list := post[key]
+		if len(list) == 0 {
+			return nil
+		}
+		s.lists = append(s.lists, list)
+	}
+	s.boundB[j] = true
+	defer func() { s.boundB[j] = false; s.assign[j] = nil }()
+	if len(s.lists) == 0 {
+		// No equality edge into the bound set yet: scan the branch.
+		for _, r := range s.rows[j] {
+			s.assign[j] = r
+			ok, err := s.verify(j)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := s.expand(nBound + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cand := intersectSorted(s.lists, s.candBufs[nBound][:0])
+	s.candBufs[nBound] = cand // keep the (possibly grown) buffer for this depth
+	for _, ri := range cand {
+		s.assign[j] = s.rows[j][ri]
+		ok, err := s.verify(j)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := s.expand(nBound + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chooseNext picks the unbound branch with the most hashable edges into
+// the bound set; smallest index breaks ties (and covers the no-edge
+// fallback), keeping the enumeration order deterministic.
+func (s *multiJoinOp) chooseNext() int {
+	bestJ, bestN := -1, -1
+	for j := range s.branches {
+		if s.boundB[j] {
+			continue
+		}
+		n := 0
+		for _, ei := range s.incident[j] {
+			e := &s.edges[ei]
+			other := e.bl
+			if other == j {
+				other = e.br
+			}
+			if s.boundB[other] && e.hashable {
+				n++
+			}
+		}
+		if n > bestN {
+			bestJ, bestN = j, n
+		}
+	}
+	return bestJ
+}
+
+// verify checks every edge between the just-bound branch j and the rest
+// of the bound set with the compiled pair predicates — exact equality
+// (discharging hash collisions) plus the proximity conditions posting
+// lists cannot key.
+func (s *multiJoinOp) verify(j int) (bool, error) {
+	for _, ei := range s.incident[j] {
+		e := &s.edges[ei]
+		other := e.bl
+		if other == j {
+			other = e.br
+		}
+		if !s.boundB[other] {
+			continue
+		}
+		lt := s.assign[e.bl].comps[e.jp.leftSlot]
+		rt := s.assign[e.br].comps[e.jp.rightSlot]
+		if lt == nil || rt == nil {
+			continue // component absent: nothing to check, as in matchAcross
+		}
+		ok, err := e.jp.cp.Match(lt, rt)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// mergeMulti merges the N bound rows into one comb. Branches may share
+// upstream components; shared slots must hold the identical component
+// tuple or the candidate stems from different upstream rows and does not
+// join. The conflict check fills a scratch vector before any arena
+// allocation, so rejected candidates never touch the allocator.
+func (s *multiJoinOp) mergeMulti() (*comb, bool) {
+	sc := s.scratch
+	clear(sc)
+	for _, p := range s.assign {
+		for i, t := range p.comps {
+			if t == nil {
+				continue
+			}
+			if sc[i] != nil && sc[i] != t {
+				return nil, false
+			}
+			sc[i] = t
+		}
+	}
+	m := s.arena.new()
+	copy(m.comps, sc)
+	s.ex.layout.rank(m)
+	return m, true
+}
+
+// intersectSorted leapfrogs the ascending row-id lists: the first list
+// drives, every other list gallops forward to each probe. out is reused
+// as the result buffer.
+func intersectSorted(lists [][]int32, out []int32) []int32 {
+	if len(lists) == 1 {
+		return append(out, lists[0]...)
+	}
+	// Start from the shortest list: the intersection is no larger.
+	drive := 0
+	for i, l := range lists {
+		if len(l) < len(lists[drive]) {
+			drive = i
+		}
+	}
+	pos := make([]int, len(lists))
+probe:
+	for _, v := range lists[drive] {
+		for i, l := range lists {
+			if i == drive {
+				continue
+			}
+			p := pos[i]
+			for p < len(l) && l[p] < v {
+				p++
+			}
+			pos[i] = p
+			if p >= len(l) {
+				break probe
+			}
+			if l[p] != v {
+				continue probe
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Bound is the n-ary corner bound: the best score any combination using
+// at least one unseen row can still achieve, plus the pending remainder.
+// Branch combs carry weighted partial sums already, so the bound
+// composes with unit weights; when every branch frontier is finite it is
+// exactly topk.WeightedThreshold, and the -Inf cases (an exhausted or
+// still-silent branch) fall back to the explicitly guarded loop — the
+// threshold formula would turn a -Inf frontier into NaN.
+func (s *multiJoinOp) Bound() float64 {
+	b := math.Inf(-1)
+	for i := s.pendingIdx; i < len(s.pending); i++ {
+		if sc := s.pending[i].score; sc > b {
+			b = sc
+		}
+	}
+	if s.done {
+		return b
+	}
+	allFinite := true
+	for i, br := range s.branches {
+		best := math.Max(br.bestSeen, br.bound)
+		s.bestBuf[i] = best
+		s.curBuf[i] = br.bound
+		if math.IsInf(best, -1) || math.IsInf(br.bound, -1) {
+			allFinite = false
+		}
+	}
+	if allFinite {
+		if v := topk.WeightedThreshold(s.ones, s.bestBuf, s.curBuf); v > b {
+			b = v
+		}
+		return b
+	}
+	for i := range s.branches {
+		if math.IsInf(s.curBuf[i], -1) {
+			continue // branch exhausted: no unseen row can come from it
+		}
+		v := s.curBuf[i]
+		ok := true
+		for j := range s.branches {
+			if j == i {
+				continue
+			}
+			if math.IsInf(s.bestBuf[j], -1) {
+				// The branch is silent so far: with no row seen and no
+				// frontier, nothing can complete a combination through it.
+				ok = false
+				break
+			}
+			v += s.bestBuf[j]
+		}
+		if ok && v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+// Close drains the outstanding branch pulls (ending the prefetch
+// goroutines' ownership of the input readers), returns every chunk
+// buffer to its pool, drops the posting lists and releases the arena.
+func (s *multiJoinOp) Close() error {
+	s.done = true
+	for _, b := range s.branches {
+		if b == nil {
+			continue
+		}
+		if b.outstanding {
+			res := <-b.ch
+			b.outstanding = false
+			putCombSlice(res.combos)
+		}
+		for _, ch := range b.chunks {
+			putCombSlice(ch)
+		}
+		b.chunks = nil
+	}
+	for i := range s.rows {
+		s.rows[i] = nil
+	}
+	for i := range s.edges {
+		s.edges[i].postL = nil
+		s.edges[i].postR = nil
+	}
+	if s.pending != nil {
+		putCombSlice(s.pending)
+		s.pending = nil
+	}
+	s.arena.release()
+	return nil
+}

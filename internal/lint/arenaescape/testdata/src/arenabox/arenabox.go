@@ -96,6 +96,40 @@ func (o *op) Close() *comb {
 	return m // want "returned from op.Close"
 }
 
+// pagedOp models the demand-paged branch reader of the multi-way join:
+// it holds the current upstream combination across fetches and drops it
+// on reset when the invocation is spent.
+type pagedOp struct {
+	arena *combArena
+	cur   *comb
+}
+
+// resetSpill parks a copy of the spent combination in a recycling
+// channel — but an arena comb dies with its arena, so handing it to
+// whatever goroutine drains the channel is a use-after-release in
+// waiting.
+func (o *pagedOp) resetSpill(spill chan *comb) {
+	m := o.arena.clone(o.cur)
+	o.cur = nil
+	spill <- m // want "sent on a channel"
+}
+
+// resetClean drops the reference and lets the arena own the memory: the
+// paged reader's real reset path, unflagged.
+func (o *pagedOp) resetClean() {
+	o.cur = nil
+}
+
+// Next legitimately returns an arena comb to its consumer — the operator
+// contract — and stores the upstream combination in the reader's own
+// field; neither escapes the arena's scope.
+func (o *pagedOp) Next() *comb {
+	if o.cur == nil {
+		o.cur = o.arena.new()
+	}
+	return o.arena.clone(o.cur)
+}
+
 // leakArena never releases the locally created arena.
 func leakArena(w int) {
 	a := newCombArena(w) // want "not released on every exit path"

@@ -55,3 +55,33 @@ func (q *quiet) Next() (*result, error) {
 	_ = make([]types.Value, 8)
 	return nil, nil
 }
+
+// pagedOp models a demand-paged branch reader of the multi-way join: its
+// Next pulls one upstream combination at a time and pipes a fresh
+// invocation input downstream. Rebuilding that input map per pulled
+// tuple is the regression class this corpus pins.
+type pagedOp struct {
+	fixed map[string]types.Value
+	in    map[string]types.Value
+	j     int
+}
+
+func (p *pagedOp) Next() (*result, error) {
+	in := make(map[string]types.Value, len(p.fixed)) // want "make of map\\[string\\]types.Value in pagedOp.Next"
+	for k, v := range p.fixed {
+		in[k] = v
+	}
+	in[fmt.Sprintf("slot-%d", p.j)] = types.Int(1) // want "fmt.Sprintf in pagedOp.Next"
+	p.j++
+	return &result{vals: in}, nil
+}
+
+// invoke is the per-invocation boundary, not the per-pull loop: the
+// paged reader assembles its pipe input here once per upstream
+// combination, so the same shapes pass unflagged.
+func (p *pagedOp) invoke() {
+	p.in = make(map[string]types.Value, len(p.fixed))
+	for k, v := range p.fixed {
+		p.in[k] = v
+	}
+}

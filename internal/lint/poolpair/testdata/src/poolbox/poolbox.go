@@ -95,6 +95,32 @@ func rawGetLeaks() {
 	_ = len(*b)
 }
 
+// pagedFetch models the demand-paged branch reader's fetch/reset cycle:
+// the tuple buffer acquired on the first fetch must go back when the
+// invocation is spent, even when a mid-loop error abandons the cycle.
+func pagedFetch(n int) {
+	buf := getTupleSlice(n) // want "does not reach its put on every exit path"
+	for i := 0; i < n; i++ {
+		if cond() { // a fetch error surfaces here
+			return
+		}
+	}
+	putTupleSlice(buf)
+}
+
+// pagedFetchClean is the corrected shape: every exit path — the fetch
+// error included — runs the reset that owns the put.
+func pagedFetchClean(n int) {
+	buf := getTupleSlice(n)
+	for i := 0; i < n; i++ {
+		if cond() {
+			putTupleSlice(buf)
+			return
+		}
+	}
+	putTupleSlice(buf)
+}
+
 // getTupleSlice is the post-fix helper shape: the undersized pooled
 // buffer goes back before the fresh allocation replaces it.
 func getTupleSlice(hint int) []*tuple {

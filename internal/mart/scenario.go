@@ -144,6 +144,126 @@ func MovieScenario() (*Registry, error) {
 	return r, nil
 }
 
+// TriangleScenario builds the cyclic registry used to exercise the n-ary
+// ranked join: a Festival seed service (exact, selected by name) pipes
+// its City into the Artist, Venue and Promoter search services, whose
+// three connection patterns — Hosts(Artist,Venue) on Genre,
+// Books(Venue,Promoter) on District, Signs(Promoter,Artist) on Label —
+// close a cycle over three distinct join attributes (no edge is implied
+// transitively by the other two). The three search services share the
+// single dependency on the seed, so they form one parallel group and the
+// optimizer weighs a binary join cascade against the multi-way
+// intersection.
+func TriangleScenario() (*Registry, error) {
+	r := NewRegistry()
+
+	festival := &Mart{Name: "Festival", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+	}}
+	artist := &Mart{Name: "Artist", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+		{Name: "Genre", Kind: types.KindString},
+		{Name: "Label", Kind: types.KindString},
+		{Name: "Draw", Kind: types.KindInt},
+		{Name: "Score", Kind: types.KindFloat},
+	}}
+	venue := &Mart{Name: "Venue", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+		{Name: "Genre", Kind: types.KindString},
+		{Name: "District", Kind: types.KindString},
+		{Name: "Capacity", Kind: types.KindInt},
+		{Name: "Score", Kind: types.KindFloat},
+	}}
+	promoter := &Mart{Name: "Promoter", Attributes: []Attribute{
+		{Name: "Name", Kind: types.KindString},
+		{Name: "City", Kind: types.KindString},
+		{Name: "District", Kind: types.KindString},
+		{Name: "Label", Kind: types.KindString},
+		{Name: "Score", Kind: types.KindFloat},
+	}}
+	for _, m := range []*Mart{festival, artist, venue, promoter} {
+		if err := r.AddMart(m); err != nil {
+			return nil, err
+		}
+	}
+
+	festival1, err := NewInterface("Festival1", festival, map[string]Adornment{
+		"Name": Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	artist1, err := NewInterface("Artist1", artist, map[string]Adornment{
+		"City":  Input,
+		"Score": Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+	venue1, err := NewInterface("Venue1", venue, map[string]Adornment{
+		"City":  Input,
+		"Score": Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+	promoter1, err := NewInterface("Promoter1", promoter, map[string]Adornment{
+		"City":  Input,
+		"Score": Ranked,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, si := range []*Interface{festival1, artist1, venue1, promoter1} {
+		if err := r.AddInterface(si); err != nil {
+			return nil, err
+		}
+	}
+
+	// Seed pipes: every search service is invoked with the festival's
+	// city, so the pipe equality holds trivially (selectivity 1).
+	features := &ConnectionPattern{
+		Name: "Features", From: festival, To: artist,
+		Joins:       []Join{{From: "City", To: "City"}},
+		Selectivity: 1,
+	}
+	inCity := &ConnectionPattern{
+		Name: "InCity", From: festival, To: venue,
+		Joins:       []Join{{From: "City", To: "City"}},
+		Selectivity: 1,
+	}
+	covers := &ConnectionPattern{
+		Name: "Covers", From: festival, To: promoter,
+		Joins:       []Join{{From: "City", To: "City"}},
+		Selectivity: 1,
+	}
+	// Cross edges closing the cycle over three distinct attributes.
+	hosts := &ConnectionPattern{
+		Name: "Hosts", From: artist, To: venue,
+		Joins:       []Join{{From: "Genre", To: "Genre"}},
+		Selectivity: 1.0 / 6,
+	}
+	books := &ConnectionPattern{
+		Name: "Books", From: venue, To: promoter,
+		Joins:       []Join{{From: "District", To: "District"}},
+		Selectivity: 1.0 / 6,
+	}
+	signs := &ConnectionPattern{
+		Name: "Signs", From: promoter, To: artist,
+		Joins:       []Join{{From: "Label", To: "Label"}},
+		Selectivity: 1.0 / 6,
+	}
+	for _, cp := range []*ConnectionPattern{features, inCity, covers, hosts, books, signs} {
+		if err := r.AddPattern(cp); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
 // TravelScenario builds the Conference/Weather/Flight/Hotel registry behind
 // the example plan of Figs. 2–3: Conference is an exact proliferative
 // service (20 tuples on average), Weather is exact and selective in the

@@ -83,6 +83,10 @@ type Options struct {
 	// DisablePruning turns off bound-based pruning (exhaustive
 	// exploration), used to verify optimality in tests.
 	DisablePruning bool
+	// DisableMultiway turns off the n-ary multijoin variant of eligible
+	// parallel steps, restricting phase 2 to binary join trees (used to
+	// compare the two topologies and to pin the binary plan in tests).
+	DisableMultiway bool
 	// FixedInterfaces skips phase 1 and uses the interfaces already
 	// bound by Analyze.
 	FixedInterfaces bool
@@ -224,17 +228,16 @@ func searchTopologies(q *query.Query, assign map[string]*mart.Interface, opt Opt
 			return completePlan(q, current, stats, opt, res)
 		}
 		// Bound: the partial plan with minimal fetches lower-bounds every
-		// completion; prune when it already exceeds the best cost.
+		// completion; prune when it already exceeds the best cost. The
+		// bound is the min over both join topologies of the prefix — a
+		// binary bound alone could wrongly prune a cheaper multi-way
+		// completion.
 		if !opt.DisablePruning && len(current) > 0 && res.Plan != nil {
-			pp, err := BuildPlan(q, current, stats, opt.K, true)
+			bound, err := partialBound(q, current, stats, opt)
 			if err != nil {
 				return err
 			}
-			pa, err := plan.Annotate(pp, nil)
-			if err != nil {
-				return err
-			}
-			if opt.Metric.Cost(pa) >= res.Cost {
+			if bound >= res.Cost {
 				res.Pruned++
 				return nil
 			}
@@ -257,35 +260,79 @@ func searchTopologies(q *query.Query, assign map[string]*mart.Interface, opt Opt
 	return rec()
 }
 
-// completePlan builds, instantiates and costs a full topology, updating
-// the incumbent when cheaper.
+// partialBound lower-bounds the cost of every completion of a topology
+// prefix: the cheaper of its binary and (when distinct and enabled)
+// multi-way materializations with minimal fetches.
+func partialBound(q *query.Query, t Topology, stats map[string]service.Stats, opt Options) (float64, error) {
+	pp, err := BuildPlan(q, t, stats, opt.K, true)
+	if err != nil {
+		return 0, err
+	}
+	pa, err := plan.Annotate(pp, nil)
+	if err != nil {
+		return 0, err
+	}
+	bound := opt.Metric.Cost(pa)
+	if !opt.DisableMultiway {
+		mp, used, err := BuildPlanMultiway(q, t, stats, opt.K, true)
+		if err != nil {
+			return 0, err
+		}
+		if used {
+			ma, err := plan.Annotate(mp, nil)
+			if err != nil {
+				return 0, err
+			}
+			if c := opt.Metric.Cost(ma); c < bound {
+				bound = c
+			}
+		}
+	}
+	return bound, nil
+}
+
+// completePlan builds, instantiates and costs a full topology — both its
+// binary-tree and, when a parallel step is multiway-eligible, its n-ary
+// materialization — updating the incumbent when cheaper.
 func completePlan(q *query.Query, t Topology, stats map[string]service.Stats, opt Options, res *Result) error {
 	p, err := BuildPlan(q, t, stats, opt.K, false)
 	if err != nil {
 		return err
 	}
-	a, err := ChooseFetches(p, opt.Metric, opt.Heuristics.Fetch)
-	if err != nil {
-		return err
+	variants := []*plan.Plan{p}
+	if !opt.DisableMultiway {
+		mp, used, err := BuildPlanMultiway(q, t, stats, opt.K, false)
+		if err != nil {
+			return err
+		}
+		if used {
+			variants = append(variants, mp)
+		}
 	}
-	res.Explored++
-	c := opt.Metric.Cost(a)
-	// Prefer plans that meet K; among those, the cheaper one.
-	better := false
-	switch {
-	case res.Plan == nil:
-		better = true
-	case a.MeetsK() && !res.Annotated.MeetsK():
-		better = true
-	case a.MeetsK() == res.Annotated.MeetsK() && c < res.Cost:
-		better = true
-	}
-	if better {
-		res.Plan = p
-		res.Annotated = a
-		res.Cost = c
-		res.Query = q
-		res.Topology = append(Topology(nil), t...)
+	for _, p := range variants {
+		a, err := ChooseFetches(p, opt.Metric, opt.Heuristics.Fetch)
+		if err != nil {
+			return err
+		}
+		res.Explored++
+		c := opt.Metric.Cost(a)
+		// Prefer plans that meet K; among those, the cheaper one.
+		better := false
+		switch {
+		case res.Plan == nil:
+			better = true
+		case a.MeetsK() && !res.Annotated.MeetsK():
+			better = true
+		case a.MeetsK() == res.Annotated.MeetsK() && c < res.Cost:
+			better = true
+		}
+		if better {
+			res.Plan = p
+			res.Annotated = a
+			res.Cost = c
+			res.Query = q
+			res.Topology = append(Topology(nil), t...)
+		}
 	}
 	return nil
 }

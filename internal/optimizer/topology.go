@@ -215,26 +215,66 @@ func popcount(x int) int {
 // When partial is true the output node is omitted (the plan annotates but
 // does not validate), which is how the branch-and-bound costs prefixes.
 func BuildPlan(q *query.Query, t Topology, stats map[string]service.Stats, k int, partial bool) (*plan.Plan, error) {
+	p, _, err := buildPlan(q, t, stats, k, partial, false)
+	return p, err
+}
+
+// BuildPlanMultiway materializes a topology like BuildPlan, except that
+// every parallel step of three or more services whose cross-predicate
+// graph is multiway-legal and cyclic is merged by a single n-ary
+// multijoin node instead of a left-deep binary tree. The boolean reports
+// whether any step actually took the multi-way form; when false the plan
+// is structurally identical to BuildPlan's and need not be costed again.
+func BuildPlanMultiway(q *query.Query, t Topology, stats map[string]service.Stats, k int, partial bool) (*plan.Plan, bool, error) {
+	return buildPlan(q, t, stats, k, partial, true)
+}
+
+func buildPlan(q *query.Query, t Topology, stats map[string]service.Stats, k int, partial, multiway bool) (*plan.Plan, bool, error) {
 	p := plan.New(k)
 	if err := p.AddNode(&plan.Node{ID: "input", Kind: plan.KindInput}); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	frontier := "input"
 	included := map[string]bool{}
 	joinSeq := 0
+	usedMultiway := false
 	for _, step := range t {
 		if step.Parallel() {
-			// Add every member branch off the frontier, then merge
-			// left-deep.
+			// Add every member branch off the frontier, then merge:
+			// through one n-ary multijoin node when asked for and the
+			// group is eligible, left-deep binary joins otherwise.
 			var branchTop []string // top node of each branch (service or selection)
 			var branchAliases [][]string
 			for _, a := range step.Group {
 				top, err := addServiceChain(p, q, a, frontier, included, stats)
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				branchTop = append(branchTop, top)
 				branchAliases = append(branchAliases, []string{a})
+			}
+			if sel, preds, ok := multiwayStep(q, step.Group); multiway && len(branchTop) >= 3 && ok {
+				joinSeq++
+				id := fmt.Sprintf("join%d", joinSeq)
+				n := &plan.Node{
+					ID: id, Kind: plan.KindMultiJoin,
+					JoinSelectivity: sel,
+					JoinPreds:       preds,
+				}
+				if err := p.AddNode(n); err != nil {
+					return nil, false, err
+				}
+				for _, top := range branchTop {
+					if err := p.Connect(top, id); err != nil {
+						return nil, false, err
+					}
+				}
+				frontier = id
+				usedMultiway = true
+				for _, a := range step.Group {
+					included[a] = true
+				}
+				continue
 			}
 			for len(branchTop) > 1 {
 				joinSeq++
@@ -248,13 +288,13 @@ func BuildPlan(q *query.Query, t Topology, stats map[string]service.Stats, k int
 					JoinPreds:       preds,
 				}
 				if err := p.AddNode(n); err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				if err := p.Connect(branchTop[0], id); err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				if err := p.Connect(branchTop[1], id); err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				merged := append(append([]string(nil), leftAliases...), rightAliases...)
 				branchTop = append([]string{id}, branchTop[2:]...)
@@ -268,7 +308,7 @@ func BuildPlan(q *query.Query, t Topology, stats map[string]service.Stats, k int
 			a := step.Group[0]
 			top, err := addServiceChain(p, q, a, frontier, included, stats)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			frontier = top
 			included[a] = true
@@ -276,16 +316,73 @@ func BuildPlan(q *query.Query, t Topology, stats map[string]service.Stats, k int
 	}
 	if !partial {
 		if err := p.AddNode(&plan.Node{ID: "output", Kind: plan.KindOutput}); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if err := p.Connect(frontier, "output"); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if err := p.Validate(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
-	return p, nil
+	return p, usedMultiway, nil
+}
+
+// multiwayStep inspects a parallel group for n-ary eligibility. The group
+// qualifies when its cross-predicate graph (one vertex per member, one
+// edge per member pair related by at least one predicate) is cyclic —
+// a tree of equalities gains nothing over a binary join cascade, while a
+// cycle gives the n-ary intersection an extra pruning edge the left-deep
+// tree can only apply after materializing an oversized intermediate —
+// every member is touched by some edge, and the predicate set satisfies
+// the multi-way legality rules (atomic equalities or bounded proximity,
+// at least one equality). It returns the combined selectivity and the
+// collected cross predicates.
+func multiwayStep(q *query.Query, group []string) (float64, []query.Predicate, bool) {
+	sel := 1.0
+	var preds []query.Predicate
+	parent := make([]int, len(group))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	cyclic := false
+	touched := make([]bool, len(group))
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			ps, pp := joinSelectivity(q, group[i:i+1], group[j:j+1])
+			if len(pp) == 0 {
+				continue
+			}
+			sel *= ps
+			preds = append(preds, pp...)
+			touched[i], touched[j] = true, true
+			if ri, rj := find(i), find(j); ri == rj {
+				cyclic = true
+			} else {
+				parent[ri] = rj
+			}
+		}
+	}
+	if !cyclic {
+		return 0, nil, false
+	}
+	for _, t := range touched {
+		if !t {
+			return 0, nil, false
+		}
+	}
+	if join.LegalMultiway(preds) != nil {
+		return 0, nil, false
+	}
+	return sel, preds, true
 }
 
 // addServiceChain adds the service node for alias (fed from the given

@@ -40,6 +40,15 @@ type Annotated struct {
 // Section 5.6 (2500 candidates → 1250 "most promising" combinations).
 const TriangularFactor = 0.5
 
+// MultiwayFactor is the analytical fraction of the candidate product a
+// multi-way ranked join explores: the leapfrog-style sorted intersection
+// skips candidate prefixes that cannot complete on every edge, pruning
+// about as aggressively as one triangular completion — but applied once
+// across all branches instead of compounding per binary join, which is
+// exactly why a cyclic pattern annotates cheaper as one n-ary node than
+// as any binary tree.
+const MultiwayFactor = 0.5
+
 // Annotate computes tin/tout/calls for every node given per-service
 // fetching factors (chunks fetched per invocation; defaulting to 1 for
 // chunked services without an entry, per Section 5.5). The plan must be
@@ -111,6 +120,24 @@ func Annotate(p *Plan, fetches map[string]int) (*Annotated, error) {
 			ann.Candidates = l * r * factor
 			ann.TIn = l + r
 			ann.TOut = ann.Candidates * n.JoinSelectivity
+		case KindMultiJoin:
+			// One n-ary node evaluates every cross-branch edge at once: the
+			// sorted intersection skips candidate prefixes that cannot
+			// complete on every edge (the Candidates side pays only the
+			// MultiwayFactor fraction of the product), but it is lossless —
+			// every combination satisfying all edges is emitted, so TOut
+			// keeps the full product, where a binary tree surrenders a
+			// completion factor of its output at each triangular join.
+			product := 1.0
+			sum := 0.0
+			for _, pr := range p.Predecessors(id) {
+				t := a.Ann[pr].TOut
+				product *= t
+				sum += t
+			}
+			ann.Candidates = product * MultiwayFactor
+			ann.TIn = sum
+			ann.TOut = product * n.JoinSelectivity
 		}
 		a.Ann[id] = ann
 	}
@@ -211,6 +238,16 @@ func RequiredOutputs(p *Plan) (map[string]float64, error) {
 				}
 				candidates := req[s] / sn.JoinSelectivity / factor
 				up = math.Sqrt(candidates)
+			case KindMultiJoin:
+				// The intersection is lossless, so the branch product only
+				// needs to cover req/selectivity; split evenly over the N
+				// branches: each must produce the N-th root.
+				candidates := req[s] / sn.JoinSelectivity
+				if nb := len(p.pred[s]); nb > 0 {
+					up = math.Pow(candidates, 1/float64(nb))
+				} else {
+					up = candidates
+				}
 			}
 			if up > need {
 				need = up

@@ -60,6 +60,8 @@ func (n *Node) label() string {
 		return fmt.Sprintf("%s\\n[%s %s]", n.ID, tag, n.Interface.Name)
 	case KindJoin:
 		return fmt.Sprintf("join\\n%s", n.Strategy)
+	case KindMultiJoin:
+		return fmt.Sprintf("multijoin\\n%d cross preds", len(n.JoinPreds))
 	case KindSelection:
 		preds := make([]string, len(n.Selections))
 		for i, s := range n.Selections {
@@ -82,6 +84,8 @@ func (n *Node) shape() string {
 		return "box"
 	case KindJoin:
 		return "diamond"
+	case KindMultiJoin:
+		return "Mdiamond"
 	case KindSelection:
 		return "ellipse"
 	default:
@@ -113,6 +117,8 @@ func (p *Plan) Describe(ann *Annotated) string {
 			}
 		case KindJoin:
 			fmt.Fprintf(&b, " %s sel=%.3g", n.Strategy, n.JoinSelectivity)
+		case KindMultiJoin:
+			fmt.Fprintf(&b, " %d-ary sel=%.3g", len(p.pred[id]), n.JoinSelectivity)
 		case KindSelection:
 			fmt.Fprintf(&b, " sel=%.3g", n.Selectivity)
 		}

@@ -25,7 +25,11 @@ func FuzzUnmarshalPlan(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	regs := []*mart.Registry{movieReg, travelReg}
+	triangleReg, err := mart.TriangleScenario()
+	if err != nil {
+		f.Fatal(err)
+	}
+	regs := []*mart.Registry{movieReg, travelReg, triangleReg}
 
 	mp, _, err := plan.RunningExamplePlan(movieReg)
 	if err != nil {
@@ -45,6 +49,12 @@ func FuzzUnmarshalPlan(f *testing.F) {
 	f.Add([]byte(`{"k":1,"nodes":[{"id":"input","kind":"input"},{"id":"output","kind":"output"}],"arcs":[["input","output"]]}`))
 	f.Add([]byte(`{"k":-3,"nodes":[{"id":"a","kind":"join","strategy":{"invocation":"merge-scan","completion":"triangular"}}],"arcs":[["a","a"]]}`))
 	f.Add([]byte(`{"nodes":[{"id":"x","kind":"service","interface":"Movie1"}]}`))
+	// Multi-way join seeds: a well-formed n-ary node, one whose cross
+	// predicate falls outside the equality/proximity classes, and one with
+	// too few predecessors.
+	f.Add([]byte(`{"k":5,"nodes":[{"id":"input","kind":"input"},{"id":"mj","kind":"multijoin","joinSelectivity":0.2,"joinPreds":[{"leftAlias":"A","leftPath":"Genre","op":"=","termKind":"path","pathAlias":"V","pathPath":"Genre"},{"leftAlias":"A","leftPath":"Draw","op":"<=","termKind":"path","pathAlias":"V","pathPath":"Capacity"}]},{"id":"output","kind":"output"}],"arcs":[["input","mj"],["mj","output"]]}`))
+	f.Add([]byte(`{"k":5,"nodes":[{"id":"mj","kind":"multijoin","joinPreds":[{"leftAlias":"A","leftPath":"Draw","op":"like","termKind":"const","const":"x"}]}],"arcs":[]}`))
+	f.Add([]byte(`{"k":-1,"nodes":[{"id":"mj","kind":"multijoin","joinSelectivity":7}],"arcs":[["mj","mj"]]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, reg := range regs {

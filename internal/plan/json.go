@@ -115,6 +115,9 @@ func (p *Plan) MarshalJSON() ([]byte, error) {
 			}
 			jn.JoinSelectivity = n.JoinSelectivity
 			jn.JoinPreds = encodePreds(n.JoinPreds)
+		case KindMultiJoin:
+			jn.JoinSelectivity = n.JoinSelectivity
+			jn.JoinPreds = encodePreds(n.JoinPreds)
 		case KindSelection:
 			jn.Selections = encodePreds(n.Selections)
 			jn.Selectivity = n.Selectivity
@@ -182,6 +185,14 @@ func UnmarshalPlan(data []byte, reg *mart.Registry) (*Plan, error) {
 				return nil, err
 			}
 			n.Strategy = s
+			n.JoinSelectivity = jn.JoinSelectivity
+			preds, err := decodePreds(jn.JoinPreds)
+			if err != nil {
+				return nil, err
+			}
+			n.JoinPreds = preds
+		case "multijoin":
+			n.Kind = KindMultiJoin
 			n.JoinSelectivity = jn.JoinSelectivity
 			preds, err := decodePreds(jn.JoinPreds)
 			if err != nil {

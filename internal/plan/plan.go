@@ -33,6 +33,12 @@ const (
 	KindJoin
 	// KindSelection evaluates residual predicates on passing tuples.
 	KindSelection
+	// KindMultiJoin is an n-ary ranked join over three or more branches:
+	// all cross-branch predicates are evaluated in one operator, so cyclic
+	// connection patterns never materialize an intermediate larger than the
+	// output. Legality (atomic equality or bounded proximity only) is
+	// enforced by plancheck via join.LegalMultiway.
+	KindMultiJoin
 )
 
 // String names the node kind.
@@ -48,6 +54,8 @@ func (k NodeKind) String() string {
 		return "join"
 	case KindSelection:
 		return "selection"
+	case KindMultiJoin:
+		return "multijoin"
 	default:
 		return fmt.Sprintf("NodeKind(%d)", int(k))
 	}
@@ -249,8 +257,8 @@ func (p *Plan) TopoSort() ([]string, error) {
 
 // Validate checks structural well-formedness: exactly one input and one
 // output node, acyclicity, every node on a path from input to output,
-// join nodes with exactly two predecessors, service and selection nodes
-// with exactly one, and K positive.
+// join nodes with exactly two predecessors (multijoin nodes with at least
+// two), service and selection nodes with exactly one, and K positive.
 func (p *Plan) Validate() error {
 	if p.K <= 0 {
 		return fmt.Errorf("plan: K must be positive, got %d", p.K)
@@ -280,6 +288,13 @@ func (p *Plan) Validate() error {
 			}
 			if n.JoinSelectivity <= 0 || n.JoinSelectivity > 1 {
 				return fmt.Errorf("plan: join node %q selectivity %v out of (0,1]", n.ID, n.JoinSelectivity)
+			}
+		case KindMultiJoin:
+			if len(p.pred[n.ID]) < 2 {
+				return fmt.Errorf("plan: multijoin node %q needs at least two predecessors, has %d", n.ID, len(p.pred[n.ID]))
+			}
+			if n.JoinSelectivity <= 0 || n.JoinSelectivity > 1 {
+				return fmt.Errorf("plan: multijoin node %q selectivity %v out of (0,1]", n.ID, n.JoinSelectivity)
 			}
 		case KindService:
 			if len(p.pred[n.ID]) != 1 {

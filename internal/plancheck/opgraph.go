@@ -28,6 +28,9 @@ const (
 	OpPipe = "pipe"
 	// OpJoin: the parallel (tile-explored) join of a join node.
 	OpJoin = "join"
+	// OpMultiJoin: the n-ary ranked (sorted-intersection) join of a
+	// multijoin node.
+	OpMultiJoin = "multijoin"
 )
 
 // OpDesc describes one compiled operator.
@@ -133,6 +136,8 @@ func wantKind(n *plan.Node) string {
 		return OpScan
 	case plan.KindJoin:
 		return OpJoin
+	case plan.KindMultiJoin:
+		return OpMultiJoin
 	}
 	return ""
 }

@@ -30,6 +30,8 @@ func describePlan(t *testing.T, p *plan.Plan) plancheck.OpGraph {
 			}
 		case plan.KindJoin:
 			kind = plancheck.OpJoin
+		case plan.KindMultiJoin:
+			kind = plancheck.OpMultiJoin
 		case plan.KindOutput:
 			g.Root = p.Predecessors(id)[0]
 			continue
@@ -124,5 +126,31 @@ func TestCheckOpGraphRejectsMiscompilations(t *testing.T) {
 
 	if rep := plancheck.CheckOpGraph(nil, base); rep.OK() || !rep.HasCode(plancheck.CodeCompile) {
 		t.Error("nil plan accepted")
+	}
+}
+
+// TestCheckOpGraphMultiway verifies the compiled-graph check on the
+// n-ary topology: the faithful triangle compilation passes, and a
+// compiler that silently lowered the multi-way node to a binary join
+// operator is rejected.
+func TestCheckOpGraphMultiway(t *testing.T) {
+	p, mj := triangleFixture(t)
+	base := describePlan(t, p)
+	if rep := plancheck.CheckOpGraph(p, base); !rep.OK() {
+		t.Fatalf("faithful triangle graph rejected: %v", rep.Diags)
+	}
+
+	g := plancheck.OpGraph{Root: base.Root, Ops: append([]plancheck.OpDesc(nil), base.Ops...)}
+	for i := range g.Ops {
+		if g.Ops[i].Node == mj {
+			g.Ops[i].Kind = plancheck.OpJoin
+		}
+	}
+	rep := plancheck.CheckOpGraph(p, g)
+	if rep.OK() {
+		t.Fatal("binary-lowered multijoin accepted")
+	}
+	if !rep.HasCode(plancheck.CodeCompile) {
+		t.Fatalf("want %s diagnostics, got: %v", plancheck.CodeCompile, rep.Diags)
 	}
 }

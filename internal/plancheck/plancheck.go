@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"seco/internal/join"
 	"seco/internal/plan"
 	"seco/internal/query"
 )
@@ -71,6 +72,11 @@ const (
 	CodeWeights = "plan-weights"
 	// CodeRoundTrip: the plan does not survive a JSON round-trip.
 	CodeRoundTrip = "plan-roundtrip"
+	// CodeMultiJoin: a multi-way join node violates the n-ary legality
+	// rules — a cross-branch predicate outside the atomic-equality /
+	// bounded-proximity classes, a branch not bound by any cross
+	// predicate, or a predicate referencing an alias no branch produces.
+	CodeMultiJoin = "plan-multijoin"
 )
 
 // Diagnostic is one verified violation.
@@ -217,6 +223,15 @@ func checkStructure(p *plan.Plan, r *Report) {
 			if n.JoinSelectivity <= 0 || n.JoinSelectivity > 1 {
 				r.add(CodeStats, id, Error, "join selectivity %v out of (0,1]", n.JoinSelectivity)
 			}
+		case plan.KindMultiJoin:
+			if len(preds) < 2 {
+				r.add(CodeStructure, id, Error, "multijoin node needs at least two predecessors, has %d", len(preds))
+			}
+			if n.JoinSelectivity <= 0 || n.JoinSelectivity > 1 {
+				r.add(CodeStats, id, Error, "multijoin selectivity %v out of (0,1]", n.JoinSelectivity)
+			}
+			checkStrategyUnused(n, id, r)
+			checkMultiJoin(p, n, id, r)
 		case plan.KindService:
 			if len(preds) != 1 {
 				r.add(CodeStructure, id, Error, "service node needs exactly one predecessor, has %d", len(preds))
@@ -280,6 +295,56 @@ func checkStrategyUnused(n *plan.Node, id string, r *Report) {
 		r.add(CodeStrategy, id, Warning,
 			"%s node carries a parallel-join strategy (%s), which only join nodes use", n.Kind, s)
 	}
+}
+
+// checkMultiJoin verifies the n-ary legality rules on a multi-way join
+// node: every cross-branch predicate must be an atomic equality or
+// bounded proximity (with at least one equality edge, the posting-list
+// key), every predicate must reference aliases some branch produces, and
+// every branch must be bound by at least one legal cross predicate — an
+// unbound branch would degenerate into a cross product the ranked
+// intersection cannot bound.
+func checkMultiJoin(p *plan.Plan, n *plan.Node, id string, r *Report) {
+	if err := join.LegalMultiway(n.JoinPreds); err != nil {
+		r.add(CodeMultiJoin, id, Error, "%v", err)
+	}
+	preds := p.Predecessors(id)
+	if len(preds) < 2 {
+		return // arity already a CodeStructure error
+	}
+	branches := make([]map[string]bool, len(preds))
+	known := map[string]bool{}
+	for i, pr := range preds {
+		branches[i] = branchAliases(p, pr)
+		for a := range branches[i] {
+			known[a] = true
+		}
+	}
+	for _, jp := range n.JoinPreds {
+		if jp.Right.Kind != query.TermPath {
+			continue // already flagged by LegalMultiway
+		}
+		if !known[jp.Left.Alias] {
+			r.add(CodeMultiJoin, id, Error, "predicate %s references alias %q, which no branch produces", jp, jp.Left.Alias)
+		}
+		if !known[jp.Right.Path.Alias] {
+			r.add(CodeMultiJoin, id, Error, "predicate %s references alias %q, which no branch produces", jp, jp.Right.Path.Alias)
+		}
+	}
+	for _, i := range join.CoverMultiway(branches, n.JoinPreds) {
+		r.add(CodeMultiJoin, id, Error,
+			"branch %q is not bound by any cross-branch predicate", preds[i])
+	}
+}
+
+// branchAliases returns the aliases of the service nodes in one branch of
+// a multi-way join: the branch root itself plus everything upstream.
+func branchAliases(p *plan.Plan, id string) map[string]bool {
+	out := ancestorAliases(p, id)
+	if n, ok := p.Node(id); ok && n.Kind == plan.KindService {
+		out[n.Alias] = true
+	}
+	return out
 }
 
 // checkConnectivity verifies that every node lies on an input → output

@@ -11,7 +11,9 @@ import (
 	"seco/internal/plan"
 	"seco/internal/plancheck"
 	"seco/internal/query"
+	"seco/internal/service"
 	"seco/internal/synth"
+	"seco/internal/types"
 )
 
 // movieFixture returns the running-example plan and its registry.
@@ -26,6 +28,50 @@ func movieFixture(t *testing.T) (*plan.Plan, *mart.Registry) {
 		t.Fatal(err)
 	}
 	return p, reg
+}
+
+// triangleFixture returns the optimized cyclic triangle plan and the ID
+// of its multi-way join node.
+func triangleFixture(t *testing.T) (*plan.Plan, string) {
+	t.Helper()
+	reg, err := mart.TriangleScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.TriangleExample(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := synth.NewTriangleWorld(reg, synth.TriangleConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]service.Stats{}
+	for alias, svc := range world.Services() {
+		stats[alias] = svc.Stats()
+	}
+	res, err := optimizer.Optimize(q, reg, optimizer.Options{
+		K: 5, Metric: cost.RequestResponse{}, Stats: stats, FixedInterfaces: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Plan.NodeIDs() {
+		if n, _ := res.Plan.Node(id); n.Kind == plan.KindMultiJoin {
+			return res.Plan, id
+		}
+	}
+	t.Fatal("optimizer did not choose the multi-way plan for the triangle query")
+	return nil, ""
+}
+
+// touchesAlias reports whether a cross-branch predicate references the
+// alias on either side.
+func touchesAlias(p query.Predicate, alias string) bool {
+	if p.Left.Alias == alias {
+		return true
+	}
+	return p.Right.Kind == query.TermPath && p.Right.Path.Alias == alias
 }
 
 func mutate(t *testing.T, p *plan.Plan, id string, f func(n *plan.Node)) *plan.Plan {
@@ -134,6 +180,82 @@ func TestBrokenPlanCorpus(t *testing.T) {
 				}
 			}
 			return plancheck.Check(p)
+		}},
+		{"multijoin-arity", plancheck.CodeStructure, false, func(t *testing.T) *plancheck.Report {
+			// A multi-way join with a single predecessor: n-ary in name
+			// only, rejected before the legality rules even apply.
+			p := plan.New(5)
+			for _, n := range []*plan.Node{
+				{ID: "input", Kind: plan.KindInput},
+				{ID: "MJ", Kind: plan.KindMultiJoin, JoinSelectivity: 0.5},
+				{ID: "output", Kind: plan.KindOutput},
+			} {
+				if err := p.AddNode(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, arc := range [][2]string{{"input", "MJ"}, {"MJ", "output"}} {
+				if err := p.Connect(arc[0], arc[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return plancheck.Check(p)
+		}},
+		{"multijoin-unbound-branch", plancheck.CodeMultiJoin, false, func(t *testing.T) *plancheck.Report {
+			tri, mj := triangleFixture(t)
+			c := mutate(t, tri, mj, func(n *plan.Node) {
+				// Dropping every predicate that touches P leaves its branch
+				// unbound: the intersection would cross-product it.
+				kept := n.JoinPreds[:0:0]
+				for _, jp := range n.JoinPreds {
+					if !touchesAlias(jp, "P") {
+						kept = append(kept, jp)
+					}
+				}
+				n.JoinPreds = kept
+			})
+			return plancheck.Check(c)
+		}},
+		{"multijoin-illegal-cross-predicate", plancheck.CodeMultiJoin, false, func(t *testing.T) *plancheck.Report {
+			tri, mj := triangleFixture(t)
+			c := mutate(t, tri, mj, func(n *plan.Node) {
+				// `like` is neither an equality nor a bounded proximity, so
+				// the node cannot drive a posting-list intersection.
+				preds := append([]query.Predicate(nil), n.JoinPreds...)
+				preds[0].Op = types.OpLike
+				n.JoinPreds = preds
+			})
+			return plancheck.Check(c)
+		}},
+		{"multijoin-no-equality-edge", plancheck.CodeMultiJoin, false, func(t *testing.T) *plancheck.Report {
+			tri, mj := triangleFixture(t)
+			c := mutate(t, tri, mj, func(n *plan.Node) {
+				// All-proximity predicate sets have no posting-list key.
+				preds := append([]query.Predicate(nil), n.JoinPreds...)
+				for i := range preds {
+					if preds[i].Op == types.OpEq {
+						preds[i].Op = types.OpLe
+					}
+				}
+				n.JoinPreds = preds
+			})
+			return plancheck.Check(c)
+		}},
+		{"multijoin-alias-outside-branches", plancheck.CodeMultiJoin, false, func(t *testing.T) *plancheck.Report {
+			tri, mj := triangleFixture(t)
+			c := mutate(t, tri, mj, func(n *plan.Node) {
+				preds := append([]query.Predicate(nil), n.JoinPreds...)
+				preds[0].Left.Alias = "Z" // no branch produces Z
+				n.JoinPreds = preds
+			})
+			return plancheck.Check(c)
+		}},
+		{"strategy-on-multijoin-node", plancheck.CodeStrategy, true, func(t *testing.T) *plancheck.Report {
+			tri, mj := triangleFixture(t)
+			c := mutate(t, tri, mj, func(n *plan.Node) {
+				n.Strategy = join.Strategy{Invocation: join.MergeScan, RatioX: 3, RatioY: 5}
+			})
+			return plancheck.Check(c)
 		}},
 		{"nonpositive-k", plancheck.CodeStructure, false, func(t *testing.T) *plancheck.Report {
 			p := plan.New(0)

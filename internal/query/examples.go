@@ -30,6 +30,32 @@ func RunningExample(reg *mart.Registry) (*Query, error) {
 	return q, nil
 }
 
+// TriangleExampleText is the cyclic query over the triangle scenario: a
+// festival seed pipes its city into three search services whose
+// connection patterns close a cycle, plus a bounded-proximity condition
+// (an artist's expected draw must fit the venue). The cross-predicate
+// graph over the parallel group {A,V,P} is cyclic and multiway-legal, so
+// the optimizer weighs the n-ary ranked join against binary join trees.
+const TriangleExampleText = `Triangle:
+select Festival1 as S, Artist1 as A, Venue1 as V, Promoter1 as P
+where Features(S,A) and InCity(S,V) and Covers(S,P) and
+Hosts(A,V) and Books(V,P) and Signs(P,A) and
+S.Name = INPUT1 and A.Draw <= V.Capacity
+rank 0.4 A, 0.3 V, 0.3 P`
+
+// TriangleExample parses and analyzes the triangle example against the
+// Artist/Venue/Promoter scenario registry.
+func TriangleExample(reg *mart.Registry) (*Query, error) {
+	q, err := Parse(TriangleExampleText)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Analyze(reg); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
 // TravelExampleText is the Conference/Weather/Flight/Hotel query behind
 // the plan of Figs. 2–3: conferences on a topic, with average temperature
 // above 26°C at the conference site, joined with flights to and hotels in

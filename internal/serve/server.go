@@ -43,7 +43,8 @@ const maxPlans = 64
 
 // Config assembles a Server.
 type Config struct {
-	// Scenario selects the built-in world: movienight or conftravel.
+	// Scenario selects the built-in world: movienight, conftravel or
+	// triangle.
 	Scenario string
 	// Seed is the world seed.
 	Seed int64
@@ -54,6 +55,10 @@ type Config struct {
 	Metric string
 	// Parallelism bounds pipe-join parallelism per run.
 	Parallelism int
+	// DisableMultiway restricts planning to binary join trees, never
+	// proposing the n-ary multijoin. Plans are cached per toggle state,
+	// so flipping it cannot serve a stale topology.
+	DisableMultiway bool
 	// CacheCalls enables the engines' cross-query call-sharing layer.
 	CacheCalls bool
 	// Live selects the wall clock with live latency pacing; off (the
@@ -130,6 +135,9 @@ func New(cfg Config) (*Server, error) {
 	case "conftravel":
 		sys, inputs, err = core.ConfTravel(cfg.Seed)
 		text = query.TravelExampleText
+	case "triangle":
+		sys, inputs, err = core.Triangle(cfg.Seed)
+		text = query.TriangleExampleText
 	default:
 		return nil, fmt.Errorf("unknown scenario %q", cfg.Scenario)
 	}
@@ -188,9 +196,10 @@ func (s *Server) Metrics() *obs.Registry { return s.reg }
 func (s *Server) Admission() *admission.Controller { return s.adm }
 
 // entryFor returns the cached plan+engine for (text, k) under the
-// server's metric, planning and binding on miss.
+// server's metric and join-topology toggle, planning and binding on
+// miss.
 func (s *Server) entryFor(text string, k int) (*planEntry, error) {
-	key := fmt.Sprintf("%d|%s|%s", k, s.cfg.Metric, text)
+	key := fmt.Sprintf("%d|%s|%t|%s", k, s.cfg.Metric, s.cfg.DisableMultiway, text)
 	s.planMu.Lock()
 	defer s.planMu.Unlock()
 	if e, ok := s.plans[key]; ok {
@@ -202,7 +211,9 @@ func (s *Server) entryFor(text string, k int) (*planEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.sys.Plan(q, core.PlanOptions{K: k, Metric: s.cfg.Metric})
+	res, err := s.sys.Plan(q, core.PlanOptions{
+		K: k, Metric: s.cfg.Metric, DisableMultiway: s.cfg.DisableMultiway,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"seco/internal/plan"
 )
 
 // startServer builds the movienight server, executes one run, and mounts
@@ -151,5 +153,54 @@ func TestMetricsAccumulateAcrossRuns(t *testing.T) {
 func TestUnknownScenario(t *testing.T) {
 	if _, err := New(Config{Scenario: "nope", Seed: 1, K: 5}); err == nil {
 		t.Fatal("expected error for unknown scenario")
+	}
+}
+
+// TestTriangleScenarioMultiwayToggle serves the cyclic triangle scenario
+// and verifies the plan cache keys on the join-topology toggle: the
+// default plan uses the n-ary multijoin, flipping DisableMultiway misses
+// the cache and re-plans a binary tree, and flipping back returns the
+// original cached entry.
+func TestTriangleScenarioMultiwayToggle(t *testing.T) {
+	s, _ := startServerWith(t, Config{
+		Scenario: "triangle", Seed: 7, K: 5, Parallelism: 2,
+	})
+	hasMultijoin := func(p *plan.Plan) bool {
+		for _, id := range p.NodeIDs() {
+			if n, _ := p.Node(id); n.Kind == plan.KindMultiJoin {
+				return true
+			}
+		}
+		return false
+	}
+
+	nary, err := s.entryFor(s.defaultText, s.cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasMultijoin(nary.res.Plan) {
+		t.Fatal("triangle default plan has no multijoin node")
+	}
+
+	misses := s.reg.Counter("seco.serve.plan_cache.misses").Value()
+	s.cfg.DisableMultiway = true
+	binary, err := s.entryFor(s.defaultText, s.cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.reg.Counter("seco.serve.plan_cache.misses").Value(); got != misses+1 {
+		t.Fatalf("toggled topology hit the cache: misses %d -> %d", misses, got)
+	}
+	if hasMultijoin(binary.res.Plan) {
+		t.Fatal("binary-only plan still contains a multijoin node")
+	}
+
+	s.cfg.DisableMultiway = false
+	again, err := s.entryFor(s.defaultText, s.cfg.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != nary {
+		t.Fatal("toggling back did not return the cached n-ary entry")
 	}
 }

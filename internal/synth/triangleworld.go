@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seco/internal/mart"
+	"seco/internal/service"
+	"seco/internal/types"
+)
+
+// TriangleWorld is the generated universe of the cyclic triangle
+// scenario: a festival seed plus artist, venue and promoter services
+// whose three edge attributes (Genre, District, Label) are drawn
+// independently, so each connection pattern holds with probability
+// 1/Keys independently of the other two. That independence is what
+// separates the join topologies: a binary cascade materializes an
+// intermediate of about N²/Keys pairs before the cycle-closing edge
+// prunes it, while the n-ary intersection applies all three edges at
+// once.
+type TriangleWorld struct {
+	Festivals *service.Table
+	Artists   *service.Table
+	Venues    *service.Table
+	Promoters *service.Table
+	// Inputs binds INPUT1 to the canonical festival name.
+	Inputs map[string]types.Value
+}
+
+// TriangleConfig sizes the triangle world.
+type TriangleConfig struct {
+	// Rows is the per-service universe size (default 120).
+	Rows int
+	// Keys is the number of distinct values per edge attribute (default
+	// 6, giving each pattern the registered 1/6 selectivity).
+	Keys int
+	// ChunkSize is the per-fetch chunk of every service (default 5).
+	ChunkSize int
+	// Seed drives all pseudo-random choices.
+	Seed int64
+}
+
+func (c *TriangleConfig) defaults() {
+	if c.Rows <= 0 {
+		c.Rows = 120
+	}
+	if c.Keys <= 0 {
+		c.Keys = 6
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 5
+	}
+}
+
+// NewTriangleWorld generates the triangle universe against the given
+// registry (which must hold the TriangleScenario marts and interfaces).
+func NewTriangleWorld(reg *mart.Registry, cfg TriangleConfig) (*TriangleWorld, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	const city = "Milano"
+
+	festivalIf, ok := reg.Interface("Festival1")
+	if !ok {
+		return nil, fmt.Errorf("synth: Festival1 interface not registered")
+	}
+	festivals, err := service.NewTable(festivalIf, service.Stats{
+		AvgCardinality: 1,
+		CostPerCall:    1,
+		Scoring:        service.Constant(0.5),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range []string{"Aurora", "Borealis", "Cinder"} {
+		tu := types.NewTuple(0.5)
+		tu.Set("Name", types.String(name)).
+			Set("City", types.String(fmt.Sprintf("%s-%d", city, i)))
+		if i == 0 {
+			tu.Set("City", types.String(city))
+		}
+		festivals.Add(tu)
+	}
+
+	searchStats := service.Stats{
+		AvgCardinality: float64(cfg.Rows),
+		ChunkSize:      cfg.ChunkSize,
+		CostPerCall:    1,
+		Scoring:        service.Linear(cfg.Rows),
+	}
+	build := func(iface string, fill func(tu *types.Tuple, i int)) (*service.Table, error) {
+		si, ok := reg.Interface(iface)
+		if !ok {
+			return nil, fmt.Errorf("synth: %s interface not registered", iface)
+		}
+		tab, err := service.NewTable(si, searchStats)
+		if err != nil {
+			return nil, err
+		}
+		scoring := service.Linear(cfg.Rows)
+		for i := 0; i < cfg.Rows; i++ {
+			score := scoring.Score(i)
+			tu := types.NewTuple(score)
+			tu.Set("City", types.String(city)).
+				Set("Score", types.Float(score))
+			fill(tu, i)
+			tab.Add(tu)
+		}
+		return tab, nil
+	}
+
+	genre := func() types.Value { return types.String(fmt.Sprintf("Genre-%02d", rng.Intn(cfg.Keys))) }
+	district := func() types.Value { return types.String(fmt.Sprintf("District-%02d", rng.Intn(cfg.Keys))) }
+	label := func() types.Value { return types.String(fmt.Sprintf("Label-%02d", rng.Intn(cfg.Keys))) }
+
+	artists, err := build("Artist1", func(tu *types.Tuple, i int) {
+		tu.Set("Name", types.String(fmt.Sprintf("Artist-%03d", i))).
+			Set("Genre", genre()).
+			Set("Label", label()).
+			Set("Draw", types.Int(int64(rng.Intn(100))))
+	})
+	if err != nil {
+		return nil, err
+	}
+	venues, err := build("Venue1", func(tu *types.Tuple, i int) {
+		tu.Set("Name", types.String(fmt.Sprintf("Venue-%03d", i))).
+			Set("Genre", genre()).
+			Set("District", district()).
+			Set("Capacity", types.Int(int64(rng.Intn(100))))
+	})
+	if err != nil {
+		return nil, err
+	}
+	promoters, err := build("Promoter1", func(tu *types.Tuple, i int) {
+		tu.Set("Name", types.String(fmt.Sprintf("Promoter-%03d", i))).
+			Set("District", district()).
+			Set("Label", label())
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &TriangleWorld{
+		Festivals: festivals,
+		Artists:   artists,
+		Venues:    venues,
+		Promoters: promoters,
+		Inputs: map[string]types.Value{
+			"INPUT1": types.String("Aurora"),
+		},
+	}, nil
+}
+
+// Services returns the world's services keyed by the triangle query's
+// aliases.
+func (w *TriangleWorld) Services() map[string]service.Service {
+	return map[string]service.Service{
+		"S": w.Festivals,
+		"A": w.Artists,
+		"V": w.Venues,
+		"P": w.Promoters,
+	}
+}

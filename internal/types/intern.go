@@ -183,3 +183,9 @@ func InternTupleInPlace(t *Tuple) { global.TupleInPlace(t) }
 
 // Interned reports whether the value carries an intern handle.
 func (v Value) Interned() bool { return v.iid != 0 }
+
+// Handle returns the value's intern handle (0 for values never interned).
+// Handles are process-wide coherent — equal handles hold equal strings and
+// interned equal strings share one handle — which is the property the
+// multi-way ranked join's posting lists key on.
+func (v Value) Handle() uint32 { return v.iid }
