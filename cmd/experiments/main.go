@@ -46,6 +46,7 @@ func experimentsList() []experiment {
 		{"E15", "§3.1/4 — streaming executor: early termination vs materialization", runE15},
 		{"E16", "§2.4 — resilience: chaos sweep, retries, degradation to partial top-k", runE16},
 		{"E17", "§3.2/4 — n-ary ranked join: cyclic triangle vs best binary tree", runE17},
+		{"E18", "§3.2/5 — plan fidelity: per-node q-error, lossless TOut, zipf drift", runE18},
 	}
 }
 

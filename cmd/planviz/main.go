@@ -99,6 +99,9 @@ func run(args []string, out io.Writer) error {
 		case "triangle":
 			sys, _, err = core.Triangle(7)
 			src = query.TriangleExampleText
+		case "triangle-zipf":
+			sys, _, err = core.TriangleZipf(7)
+			src = query.TriangleExampleText
 		default:
 			return fmt.Errorf("unknown scenario %q", *scenario)
 		}
@@ -140,27 +143,33 @@ func run(args []string, out io.Writer) error {
 	if *check {
 		return runCheck(out, p, a, reg)
 	}
-	var overlay map[string]string
+	var overlay, fills map[string]string
 	if *trace != "" {
-		if overlay, err = traceOverlay(*trace); err != nil {
+		if overlay, fills, err = traceOverlay(*trace); err != nil {
 			return err
 		}
 	}
-	return render(out, *format, p, a, overlay)
+	return render(out, *format, p, a, overlay, fills)
 }
 
+// driftFill is the fill color of a node whose fidelity event reported
+// drift — visually distinct from the standard overlay tint.
+const driftFill = "#ffb3a7"
+
 // traceOverlay aggregates an execution trace into one measured label
-// line per plan node: invocations, wire fetches, deepest chunk, tuples
-// and the latency charged to the operator's lane.
-func traceOverlay(path string) (map[string]string, error) {
+// line per plan node — invocations, wire fetches, deepest chunk, tuples
+// and the latency charged to the operator's lane — plus, when the run
+// recorded fidelity, the est/act/q row of each node's "fidelity" event
+// and a fill-color override for drifted nodes.
+func traceOverlay(path string) (map[string]string, map[string]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	tr, err := obs.ReadTrace(f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	overlay := map[string]string{}
 	for lane, st := range tr.Summary() {
@@ -179,7 +188,25 @@ func traceOverlay(path string) (map[string]string, error) {
 		}
 		overlay[lane] = line
 	}
-	return overlay, nil
+	fills := map[string]string{}
+	for _, sp := range tr.Spans {
+		if sp.Kind != obs.KindEvent || sp.Name != "fidelity" {
+			continue
+		}
+		row := fmt.Sprintf("est=%s act=%s q=%s",
+			sp.Attrs["est_out"], sp.Attrs["act_out"], sp.Attrs["q"])
+		if prev, ok := overlay[sp.Lane]; ok {
+			overlay[sp.Lane] = prev + " " + row
+		} else {
+			// Join and selection nodes have no service calls; the
+			// fidelity row alone earns them an overlay entry.
+			overlay[sp.Lane] = row
+		}
+		if sp.Attrs["drift"] == "true" {
+			fills[sp.Lane] = driftFill
+		}
+	}
+	return overlay, fills, nil
 }
 
 // scenarioRegistry maps a scenario name to its design-time registry, used
@@ -190,7 +217,7 @@ func scenarioRegistry(name string) (*mart.Registry, error) {
 		return mart.MovieScenario()
 	case "conftravel":
 		return mart.TravelScenario()
-	case "triangle":
+	case "triangle", "triangle-zipf":
 		return mart.TriangleScenario()
 	default:
 		return nil, fmt.Errorf("unknown scenario %q", name)
@@ -221,10 +248,10 @@ func runCheck(out io.Writer, p *plan.Plan, a *plan.Annotated, reg *mart.Registry
 }
 
 // render emits the plan in the requested format.
-func render(out io.Writer, format string, p *plan.Plan, a *plan.Annotated, overlay map[string]string) error {
+func render(out io.Writer, format string, p *plan.Plan, a *plan.Annotated, overlay, fills map[string]string) error {
 	switch format {
 	case "dot":
-		fmt.Fprint(out, p.DOTOverlay(a, overlay))
+		fmt.Fprint(out, p.DOTStyled(a, overlay, fills))
 		return nil
 	case "json":
 		data, err := json.MarshalIndent(p, "", "  ")

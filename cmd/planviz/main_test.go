@@ -11,6 +11,7 @@ import (
 	"seco/internal/core"
 	"seco/internal/obs"
 	"seco/internal/query"
+	"seco/internal/types"
 )
 
 func TestPlanvizFig10(t *testing.T) {
@@ -248,6 +249,134 @@ func TestPlanvizTriangleTraceOverlay(t *testing.T) {
 		if !strings.Contains(s, frag) {
 			t.Errorf("trace overlay missing %q:\n%s", frag, s)
 		}
+	}
+}
+
+// writeTrace snapshots the tracer into a temp file and returns its path.
+func writeTrace(t *testing.T, tr *obs.Tracer) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Snapshot().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+// TestPlanvizFidelityColumn overlays a hand-built trace carrying
+// "fidelity" events: nodes gain an est/act/q row — even call-free nodes
+// like joins — and a drifted node is painted the drift color while a
+// healthy one keeps the standard overlay tint.
+func TestPlanvizFidelityColumn(t *testing.T) {
+	tr := obs.NewTracer()
+	tr.Bind(nil, true)
+	sc := tr.Scope("M")
+	sc.StartCall("invoke")(0)
+	sc.Event("fidelity", obs.KV("est_out", "25"), obs.KV("act_out", "200"),
+		obs.KV("q", "8"), obs.KV("drift", "true"))
+	tr.Scope("T").Event("fidelity", obs.KV("est_out", "4"), obs.KV("act_out", "4"),
+		obs.KV("q", "1"), obs.KV("drift", "false"))
+	path := writeTrace(t, tr)
+
+	var out strings.Builder
+	if err := run([]string{"-plan", "fig10", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"inv=1 fetch=0 est=25 act=200 q=8", // call stats and fidelity share M's row
+		"est=4 act=4 q=1",                  // T has no calls but still gets a fidelity row
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("fidelity overlay missing %q:\n%s", frag, s)
+		}
+	}
+	if got := strings.Count(s, driftFill); got != 1 {
+		t.Errorf("expected exactly 1 drift-colored node, got %d:\n%s", got, s)
+	}
+	if got := strings.Count(s, "#fff3c4"); got != 1 {
+		t.Errorf("expected exactly 1 standard-tint node, got %d:\n%s", got, s)
+	}
+}
+
+// TestPlanvizTriangleFidelityOverlay is the end-to-end version over the
+// fan-in>2 topology: the zipf-skewed triangle executes in drain mode
+// with fidelity scoring, and the rendered plan keeps all three arcs into
+// the multijoin, carries an est/act/q row on the join node itself, and
+// paints the drifted operator red. The uniform triangle run, by
+// contrast, must render fidelity rows with no drift coloring.
+func TestPlanvizTriangleFidelityOverlay(t *testing.T) {
+	render := func(scenario string, materialize bool) string {
+		t.Helper()
+		var (
+			sys    *core.System
+			inputs map[string]types.Value
+			err    error
+		)
+		if scenario == "triangle-zipf" {
+			sys, inputs, err = core.TriangleZipf(7)
+		} else {
+			sys, inputs, err = core.Triangle(7)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := sys.Parse(query.TriangleExampleText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Plan(q, core.PlanOptions{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTracer()
+		tr.Bind(nil, true)
+		_, err = sys.Run(context.Background(), res, core.RunOptions{
+			Inputs: inputs, Trace: tr, Fidelity: true, Materialize: materialize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := writeTrace(t, tr)
+		var out strings.Builder
+		if err := run([]string{"-plan", "optimized", "-scenario", scenario, "-k", "5", "-trace", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+
+	zipf := render("triangle-zipf", true)
+	for _, frag := range []string{
+		"multijoin", "Mdiamond",
+		`"A" -> "join1"`, `"V" -> "join1"`, `"P" -> "join1"`,
+	} {
+		if !strings.Contains(zipf, frag) {
+			t.Errorf("zipf overlay lost fan-in>2 rendering %q:\n%s", frag, zipf)
+		}
+	}
+	var joinRow string
+	for _, line := range strings.Split(zipf, "\n") {
+		if strings.Contains(line, "multijoin") {
+			joinRow = line
+		}
+	}
+	if !strings.Contains(joinRow, "est=") || !strings.Contains(joinRow, "q=") {
+		t.Errorf("multijoin node missing est/act/q row: %s", joinRow)
+	}
+	if !strings.Contains(zipf, driftFill) {
+		t.Errorf("zipf drain run rendered no drift-colored node:\n%s", zipf)
+	}
+
+	uniform := render("triangle", false)
+	if !strings.Contains(uniform, "est=") {
+		t.Errorf("uniform overlay missing fidelity rows:\n%s", uniform)
+	}
+	if strings.Contains(uniform, driftFill) {
+		t.Errorf("uniform triangle should not drift:\n%s", uniform)
 	}
 }
 

@@ -154,6 +154,12 @@ type RunOptions struct {
 	// call counters, latency/chunk-depth histograms, share-layer hits,
 	// driver counters) and fills Run.Metrics with a text snapshot.
 	Metrics *obs.Registry
+	// Fidelity enables the per-node estimate-vs-actual accounting and
+	// fills Run.Fidelity with the q-error report (see engine.Options).
+	Fidelity bool
+	// DriftThreshold overrides the fidelity report's one-sided drift
+	// factor (0 = fidelity.DefaultThreshold).
+	DriftThreshold float64
 }
 
 // Run executes an optimized plan and returns the ranked combinations.
@@ -163,14 +169,16 @@ func (s *System) Run(ctx context.Context, res *optimizer.Result, opts RunOptions
 		return nil, err
 	}
 	return e.Execute(ctx, res.Annotated, engine.Options{
-		Inputs:      opts.Inputs,
-		Weights:     res.Query.Weights,
-		TargetK:     res.Plan.K,
-		Parallelism: opts.Parallelism,
-		Materialize: opts.Materialize,
-		Budget:      opts.Budget,
-		Degrade:     opts.Degrade,
-		Trace:       opts.Trace,
+		Inputs:         opts.Inputs,
+		Weights:        res.Query.Weights,
+		TargetK:        res.Plan.K,
+		Parallelism:    opts.Parallelism,
+		Materialize:    opts.Materialize,
+		Budget:         opts.Budget,
+		Degrade:        opts.Degrade,
+		Trace:          opts.Trace,
+		Fidelity:       opts.Fidelity,
+		DriftThreshold: opts.DriftThreshold,
 	})
 }
 

@@ -37,11 +37,28 @@ func MovieNight(seed int64) (*System, map[string]types.Value, error) {
 // returning the system and the canonical INPUT bindings (the festival
 // name).
 func Triangle(seed int64) (*System, map[string]types.Value, error) {
+	return triangleSystem(synth.TriangleConfig{Seed: seed})
+}
+
+// TriangleZipf builds the triangle system over a zipf-skewed world: the
+// edge-attribute keys concentrate on a few hot values while the
+// registered service statistics stay those of the uniform world. The
+// optimizer therefore plans with edge selectivity 1/Keys although the
+// skewed data matches far more often — the canonical scenario for
+// fidelity drift detection (a controlled stats-vs-data lie, after the
+// skewed workloads of the cardinality-estimation benchmarks).
+func TriangleZipf(seed int64) (*System, map[string]types.Value, error) {
+	return triangleSystem(synth.TriangleConfig{Seed: seed, Skew: 2})
+}
+
+// triangleSystem shares the registry/bind boilerplate between the
+// uniform and skewed triangle constructors.
+func triangleSystem(cfg synth.TriangleConfig) (*System, map[string]types.Value, error) {
 	reg, err := mart.TriangleScenario()
 	if err != nil {
 		return nil, nil, err
 	}
-	world, err := synth.NewTriangleWorld(reg, synth.TriangleConfig{Seed: seed})
+	world, err := synth.NewTriangleWorld(reg, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -23,16 +23,19 @@ func TestPullDriverAllocsBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := Options{Inputs: world.Inputs, Weights: q.Weights, TargetK: 5}
-	run := func() {
-		r, err := e.Execute(context.Background(), a, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(r.Combinations) == 0 {
-			t.Fatal("pull run returned nothing")
+	runWith := func(fid bool) func() {
+		opts := Options{Inputs: world.Inputs, Weights: q.Weights, TargetK: 5, Fidelity: fid}
+		return func() {
+			r, err := e.Execute(context.Background(), a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Combinations) == 0 {
+				t.Fatal("pull run returned nothing")
+			}
 		}
 	}
+	run := runWith(false)
 	// Warm the share memo and the buffer pools: the regression guard is
 	// about the steady-state hot loop, not first-run cache misses.
 	run()
@@ -41,10 +44,26 @@ func TestPullDriverAllocsBounded(t *testing.T) {
 	// Measured ≈870 allocs/run steady-state on the compact runtime; the
 	// map-backed runtime sat near 3800. The ceiling leaves ~1.5x headroom
 	// for toolchain drift while still catching any per-combination map or
-	// per-pull boxing regression.
+	// per-pull boxing regression. Fidelity accounting is off here, and the
+	// nil-recorder fast path must keep it free: the disabled-run ceiling is
+	// the same one that held before the accounting existed.
 	const ceiling = 1300
 	if got > ceiling {
 		t.Errorf("steady-state pull run allocates %.0f objects, ceiling %d", got, ceiling)
 	}
 	t.Logf("steady-state pull run: %.0f allocs", got)
+
+	// With fidelity scored, the extra cost is one recorder slab, the
+	// actuals slice and the report — a fixed per-run sum, nothing
+	// per-tuple. Bound the delta tightly so a counter allocation sneaking
+	// into Next trips the guard.
+	scored := runWith(true)
+	scored()
+	gotScored := testing.AllocsPerRun(10, scored)
+	const fidelityBudget = 150
+	if gotScored > got+fidelityBudget {
+		t.Errorf("fidelity-scored pull run allocates %.0f objects, disabled %.0f + budget %d",
+			gotScored, got, fidelityBudget)
+	}
+	t.Logf("fidelity-scored pull run: %.0f allocs (+%.0f)", gotScored, gotScored-got)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"seco/internal/fidelity"
 	"seco/internal/plan"
 	"seco/internal/plancheck"
 )
@@ -34,6 +35,9 @@ type graph struct {
 	// consumers); shutdown closes them in reverse, output side first.
 	ops   []Operator
 	descs []plancheck.OpDesc
+	// fid hands out the per-node candidate counters of the fidelity
+	// accounting; nil (handing out nil counters) unless Options.Fidelity.
+	fid *fidelity.Recorder
 
 	outID  string
 	rootID string
@@ -54,6 +58,9 @@ func compile(ex *executor, outID string) (*graph, error) {
 		emitted: map[string]*atomic.Int64{},
 		depth:   map[string]*atomic.Int64{},
 		shared:  map[string]*sharedOp{},
+	}
+	if ex.opts.Fidelity {
+		g.fid = fidelity.NewRecorder(len(ex.ann.Plan.NodeIDs()))
 	}
 	root, err := g.operator(g.rootID)
 	if err != nil {
@@ -179,24 +186,26 @@ func (g *graph) makeServiceOp(id string, n *plan.Node) (Operator, error) {
 	// emits — and any middleware events beneath it — land in this node's
 	// lane. Scope is nil (and WithScope a no-op) when the run is untraced.
 	sc := g.ex.opts.Trace.Scope(id)
+	cand := g.fid.Counter(id)
 	if n.PipedFrom() {
 		if pagedFeedsMultiJoin(g.ex.ann.Plan, id) {
 			return &pagedPipeOp{
 				ex: g.ex, n: n, counter: counter, fixed: fixed,
 				preds: preds, slot: slot, budget: budget, w: w,
-				up: up, depth: depth, sc: sc,
+				up: up, depth: depth, sc: sc, cand: cand,
 				arena: newCombArena(g.ex.layout.width()),
 			}, nil
 		}
 		return &pipeOp{
 			g: g, ex: g.ex, n: n, counter: counter, fixed: fixed,
 			preds: preds, slot: slot, budget: budget, w: w,
-			par: g.ex.opts.Parallelism, up: up, depth: depth, sc: sc,
+			par: g.ex.opts.Parallelism, up: up, depth: depth, sc: sc, cand: cand,
 		}, nil
 	}
 	return &serviceOp{
 		ex: g.ex, n: n, counter: counter, fixed: fixed,
 		preds: preds, slot: slot, budget: budget, w: w, up: up, depth: depth, sc: sc,
+		cand:  cand,
 		arena: newCombArena(g.ex.layout.width()),
 	}, nil
 }

@@ -65,8 +65,12 @@ func (ex *executor) runDrain(ctx context.Context, g *graph, start time.Time) (*R
 	cancel()
 	g.wg.Wait()
 
+	// Fidelity is scored before newRun snapshots the metrics registry, so
+	// Run.Metrics includes this run's seco.fidelity.* instruments.
+	fid := ex.assessFidelity(g)
 	ranked := rankTruncate(all, ex.opts.TargetK)
 	run := ex.newRun(ex.materialize(g, ranked), start, false)
+	run.Fidelity = fid
 	for id, n := range g.emitted {
 		run.Produced[id] = int(n.Load())
 	}
@@ -165,9 +169,13 @@ func (ex *executor) runPull(ctx context.Context, g *graph, start time.Time) (*Ru
 	cancel()
 	g.wg.Wait()
 
+	// Fidelity is scored before newRun snapshots the metrics registry, so
+	// Run.Metrics includes this run's seco.fidelity.* instruments.
+	fid := ex.assessFidelity(g)
 	ranked := rankTruncate(all, ex.opts.TargetK)
 	res := ex.materialize(g, ranked)
 	run := ex.newRun(res, start, halted)
+	run.Fidelity = fid
 	for id, n := range g.emitted {
 		run.Produced[id] = int(n.Load())
 	}

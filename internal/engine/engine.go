@@ -24,6 +24,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"seco/internal/fidelity"
 	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/plancheck"
@@ -83,6 +84,22 @@ type Options struct {
 	// degraded-run metrics distinguish "client asked for this bound" from
 	// "the server was protecting itself".
 	BudgetReason DegradeReason
+	// Fidelity enables per-node estimate-vs-actual accounting: every
+	// compiled operator records its actuals (tuples in/out, fetches,
+	// candidate combinations examined) and the drivers assemble a
+	// fidelity.Report on Run.Fidelity, publish seco.fidelity.* metrics,
+	// and — when the run is traced — emit one "fidelity" event per node
+	// lane. Counters come from a per-run slab sized at compile time, so
+	// the enabled path stays cheap; disabled, the operators carry nil
+	// counters and the hot path allocates nothing (the obs.Tracer
+	// pattern).
+	Fidelity bool
+	// DriftThreshold is the one-sided drift factor of the fidelity
+	// report: a node drifts when its actual exceeds its estimate by more
+	// than this factor (0 = fidelity.DefaultThreshold). Overestimates
+	// never drift — the pull driver's early halt legitimately undershoots
+	// the annotation.
+	DriftThreshold float64
 	// Trace, when non-nil, records per-operator spans for this execution:
 	// operator lifecycles, every service invoke/fetch, retry and breaker
 	// events, cache hits, injected faults, and degradations. The engine
@@ -123,6 +140,9 @@ type Run struct {
 	// resilience middleware chain (retries, injected faults, breaker
 	// trips and rejections); aliases with no recorded events are absent.
 	Resilience map[string]service.ResilienceStats
+	// Fidelity is the per-node estimate-vs-actual report of this run,
+	// nil unless Options.Fidelity was set.
+	Fidelity *fidelity.Report
 	// Degraded is non-nil when the run returned a partial result under
 	// Options.Degrade: it names the failure, the per-node fetch depth
 	// reached, and how much of the returned prefix is provably correct.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime/pprof"
 
+	"seco/internal/fidelity"
 	"seco/internal/join"
 	"seco/internal/plan"
 	"seco/internal/types"
@@ -110,6 +111,10 @@ type joinOp struct {
 	left, right *joinBranch
 	preds       []joinPred
 	arena       *combArena
+	// cand tallies the candidate pairs the tiles examined (bucket
+	// candidates under the hash path, the full cross product under the
+	// nested scan); nil when fidelity is off.
+	cand *fidelity.Counter
 
 	// hashable marks that every pair predicate is a pure atomic equality,
 	// so tiles may be filled through the pre-sized hash index; nested
@@ -182,6 +187,7 @@ func (g *graph) makeJoinOp(id string, n *plan.Node) (Operator, error) {
 		hashable: hashable,
 		orient:   make([]int8, len(jps)),
 		seen:     map[join.Tile]bool{},
+		cand:     g.fid.Counter(id),
 	}, nil
 }
 
@@ -307,6 +313,7 @@ func (s *joinOp) fillTile(t join.Tile) error {
 		// Key-class conflict: rerun the tile through the exact scan.
 		s.pending = s.pending[:0]
 	}
+	s.cand.Add(int64(len(cl) * len(cr)))
 	for _, l := range cl {
 		for _, r := range cr {
 			ok, err := matchAcross(l, r, s.preds)
@@ -337,6 +344,10 @@ func (s *joinOp) fillTileHash(t join.Tile, cl, cr []*comb) (bool, error) {
 	if idx == nil {
 		return false, nil
 	}
+	// Candidates examined accumulate locally and count only when the hash
+	// path commits to the tile — a key-class fallback reruns it through
+	// the nested scan, which tallies the full cross product itself.
+	var examined int64
 	var clsArr [16]uint8
 	for _, l := range cl {
 		h, cls, null, bad := s.probeKey(l, clsArr[:0])
@@ -349,10 +360,12 @@ func (s *joinOp) fillTileHash(t join.Tile, cl, cr []*comb) (bool, error) {
 		if !idx.classesCompatible(cls) {
 			return false, nil
 		}
+		examined += int64(len(idx.buckets[h]))
 		for _, ri := range idx.buckets[h] {
 			r := cr[ri]
 			ok, err := matchAcross(l, r, s.preds)
 			if err != nil {
+				s.cand.Add(examined)
 				return true, err
 			}
 			if !ok {
@@ -365,6 +378,7 @@ func (s *joinOp) fillTileHash(t join.Tile, cl, cr []*comb) (bool, error) {
 			s.pending = append(s.pending, merged)
 		}
 	}
+	s.cand.Add(examined)
 	return true, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"seco/internal/fidelity"
 	"seco/internal/plan"
 	"seco/internal/topk"
 	"seco/internal/types"
@@ -63,6 +64,10 @@ type multiJoinOp struct {
 	// incident lists the edge indexes touching each branch.
 	incident [][]int
 	arena    *combArena
+	// cand tallies the candidate prefixes the expansion examined
+	// (intersection survivors plus scan-fallback rows); nil when fidelity
+	// is off.
+	cand *fidelity.Counter
 
 	pending    []*comb
 	pendingIdx int
@@ -143,6 +148,7 @@ func (g *graph) makeMultiJoinOp(id string, n *plan.Node) (Operator, error) {
 	}
 	return &multiJoinOp{
 		g: g, ex: g.ex, n: n,
+		cand:     g.fid.Counter(id),
 		branches: branches,
 		rows:     make([][]*comb, nb),
 		edges:    edges, incident: incident,
@@ -406,6 +412,7 @@ func (s *multiJoinOp) expand(nBound int) error {
 	defer func() { s.boundB[j] = false; s.assign[j] = nil }()
 	if len(s.lists) == 0 {
 		// No equality edge into the bound set yet: scan the branch.
+		s.cand.Add(int64(len(s.rows[j])))
 		for _, r := range s.rows[j] {
 			s.assign[j] = r
 			ok, err := s.verify(j)
@@ -423,6 +430,7 @@ func (s *multiJoinOp) expand(nBound int) error {
 	}
 	cand := intersectSorted(s.lists, s.candBufs[nBound][:0])
 	s.candBufs[nBound] = cand // keep the (possibly grown) buffer for this depth
+	s.cand.Add(int64(len(cand)))
 	for _, ri := range cand {
 		s.assign[j] = s.rows[j][ri]
 		ok, err := s.verify(j)

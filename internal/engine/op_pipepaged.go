@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"seco/internal/fidelity"
 	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/query"
@@ -38,7 +39,8 @@ type pagedPipeOp struct {
 	w       float64
 	up      Operator
 	depth   *atomic.Int64
-	sc      *obs.Scope // the node's trace lane; nil when untraced
+	sc      *obs.Scope        // the node's trace lane; nil when untraced
+	cand    *fidelity.Counter // compose attempts; nil when fidelity is off
 
 	arena *combArena
 
@@ -169,6 +171,7 @@ func (s *pagedPipeOp) Next(ctx context.Context) (*comb, error) {
 		}
 		tu := s.tuples[s.j]
 		s.j++
+		s.cand.Add(1)
 		merged, ok, err := compose(s.arena, s.ex.layout, s.cur, s.slot, tu, s.preds)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"runtime/pprof"
 	"sync/atomic"
 
+	"seco/internal/fidelity"
 	"seco/internal/obs"
 	"seco/internal/plan"
 	"seco/internal/query"
@@ -41,7 +42,8 @@ type serviceOp struct {
 	w       float64
 	up      Operator
 	depth   *atomic.Int64
-	sc      *obs.Scope // the node's trace lane; nil when untraced
+	sc      *obs.Scope        // the node's trace lane; nil when untraced
+	cand    *fidelity.Counter // compose attempts; nil when fidelity is off
 
 	arena     *combArena
 	inv       service.Invocation
@@ -156,6 +158,7 @@ func (s *serviceOp) Next(ctx context.Context) (*comb, error) {
 		}
 		tu := s.tuples[s.j]
 		s.j++
+		s.cand.Add(1)
 		merged, ok, err := compose(s.arena, s.ex.layout, s.cur, s.slot, tu, s.preds)
 		if err != nil {
 			return nil, err
@@ -255,7 +258,8 @@ type pipeOp struct {
 	par     int
 	up      Operator
 	depth   *atomic.Int64
-	sc      *obs.Scope // the node's trace lane; nil when untraced
+	sc      *obs.Scope        // the node's trace lane; nil when untraced
+	cand    *fidelity.Counter // compose attempts; nil when fidelity is off
 
 	upDone  bool
 	window  []*pipeSlot
@@ -425,6 +429,8 @@ func (s *pipeOp) pipeOne(ctx context.Context, slot *pipeSlot) ([]*comb, int, err
 		putTupleSlice(scratch)
 		return nil, fetched, err
 	}
+	// One compose attempt per fetched tuple, batched per invocation.
+	s.cand.Add(int64(len(tuples)))
 	var out []*comb
 	for _, tu := range tuples {
 		merged, ok, err := compose(slot.arena, s.ex.layout, slot.src, s.slot, tu, s.preds)

@@ -1,0 +1,172 @@
+package fidelity
+
+import (
+	"strings"
+	"testing"
+
+	"seco/internal/obs"
+	"seco/internal/plan"
+)
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, act, want float64
+	}{
+		{10, 10, 1},
+		{10, 100, 10},
+		{100, 10, 10},
+		{0, 0, 1},   // both clamped to epsilon
+		{0, 5, 5},   // estimated empty, produced 5
+		{5, 0, 5},   // estimated 5, produced nothing
+		{0.2, 1, 1}, // sub-epsilon estimates clamp up
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.act); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5) // must not panic
+	if c.Value() != 0 {
+		t.Fatal("nil counter value != 0")
+	}
+	var r *Recorder
+	if r.Counter("x") != nil {
+		t.Fatal("nil recorder handed out a counter")
+	}
+	if r.Value("x") != 0 {
+		t.Fatal("nil recorder value != 0")
+	}
+}
+
+func TestRecorderSlab(t *testing.T) {
+	r := NewRecorder(2)
+	a := r.Counter("a")
+	b := r.Counter("b")
+	if a == nil || b == nil || a == b {
+		t.Fatal("expected two distinct counters")
+	}
+	if r.Counter("a") != a {
+		t.Fatal("same node must return the same counter")
+	}
+	// Beyond the pre-sized slab the recorder still works (individual
+	// allocation fallback).
+	c := r.Counter("c")
+	c.Add(3)
+	a.Add(7)
+	if r.Value("a") != 7 || r.Value("c") != 3 || r.Value("b") != 0 {
+		t.Fatalf("values a=%d b=%d c=%d", r.Value("a"), r.Value("b"), r.Value("c"))
+	}
+	if r.Value("missing") != 0 {
+		t.Fatal("missing node value != 0")
+	}
+}
+
+func testAnn() *plan.Annotated {
+	return &plan.Annotated{Ann: map[string]plan.Annotation{
+		"S":    {TOut: 10, Calls: 2},
+		"J":    {TOut: 4, Candidates: 50},
+		"keep": {TOut: 8},
+	}}
+}
+
+func TestAssessQAndDrift(t *testing.T) {
+	acts := []Actuals{
+		{Node: "S", Kind: "scan", TuplesOut: 10, Fetches: 2},
+		{Node: "J", Kind: "join", TuplesOut: 40, Candidates: 50}, // out 10x under-estimated
+		{Node: "keep", Kind: "selection", TuplesOut: 1},          // 8x over-estimated: no drift
+	}
+	rep := Assess(testAnn(), acts, 4)
+	if len(rep.Nodes) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Nodes))
+	}
+	// Sorted by node ID: J, S, keep.
+	j, s, keep := rep.Nodes[0], rep.Nodes[1], rep.Nodes[2]
+	if j.Node != "J" || s.Node != "S" || keep.Node != "keep" {
+		t.Fatalf("rows out of order: %v %v %v", j.Node, s.Node, keep.Node)
+	}
+	if s.QOut != 1 || s.QCalls != 1 || s.Q != 1 || s.Drift {
+		t.Fatalf("S row: %+v", s)
+	}
+	if j.QOut != 10 || j.QCand != 1 || j.Q != 10 || !j.Drift {
+		t.Fatalf("J row: %+v", j)
+	}
+	// One-sided rule: the selection overestimate (q=8) exceeds the
+	// threshold but must NOT drift.
+	if keep.QOut != 8 || keep.Drift {
+		t.Fatalf("keep row: %+v", keep)
+	}
+	if rep.Drifted != 1 || rep.MaxQ != 10 || rep.MaxNode != "J" {
+		t.Fatalf("report: drifted=%d max_q=%v max_node=%q", rep.Drifted, rep.MaxQ, rep.MaxNode)
+	}
+}
+
+func TestAssessDefaultThreshold(t *testing.T) {
+	acts := []Actuals{{Node: "keep", Kind: "selection", TuplesOut: 33}} // ~4.1x under
+	rep := Assess(testAnn(), acts, 0)
+	if rep.Threshold != DefaultThreshold {
+		t.Fatalf("threshold = %v", rep.Threshold)
+	}
+	if rep.Drifted != 1 || !rep.Nodes[0].Drift {
+		t.Fatalf("expected drift at default threshold: %+v", rep.Nodes[0])
+	}
+}
+
+func TestAssessSkipsUnannotated(t *testing.T) {
+	rep := Assess(testAnn(), []Actuals{{Node: "ghost", Kind: "scan"}}, 0)
+	if len(rep.Nodes) != 0 {
+		t.Fatalf("unannotated node produced a row: %+v", rep.Nodes)
+	}
+}
+
+func TestReportTextDeterministic(t *testing.T) {
+	acts := []Actuals{
+		{Node: "S", Kind: "scan", TuplesOut: 10, Fetches: 2},
+		{Node: "J", Kind: "join", TuplesOut: 40, Candidates: 50},
+	}
+	rep := Assess(testAnn(), acts, 4)
+	txt := rep.Text()
+	if txt != Assess(testAnn(), acts, 4).Text() {
+		t.Fatal("Text not deterministic for equal inputs")
+	}
+	for _, want := range []string{"node", "q-out", "DRIFT", "threshold=4 drifted=1 max_q=10 (J)"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("Text missing %q:\n%s", want, txt)
+		}
+	}
+	// Undefined dimensions render as "-": the scan row has no candidate
+	// columns, the join row no calls columns.
+	for _, l := range strings.Split(txt, "\n") {
+		if strings.HasPrefix(l, "S ") && !strings.Contains(l, "-") {
+			t.Fatalf("scan row misses '-' placeholders: %q", l)
+		}
+	}
+	if (&Report{}).Text() == "" || (*Report)(nil).Text() != "" {
+		t.Fatal("Text nil/empty conventions broken")
+	}
+}
+
+func TestPublish(t *testing.T) {
+	acts := []Actuals{
+		{Node: "S", Kind: "scan", TuplesOut: 10, Fetches: 2},
+		{Node: "J", Kind: "join", TuplesOut: 40, Candidates: 50},
+	}
+	rep := Assess(testAnn(), acts, 4)
+	reg := obs.NewRegistry()
+	rep.Publish(reg)
+	if got := reg.Counter("seco.fidelity.drift.detected").Value(); got != 1 {
+		t.Fatalf("drift.detected = %d", got)
+	}
+	if got := reg.Gauge("seco.fidelity.worst_q_milli.join").Value(); got != 10000 {
+		t.Fatalf("worst_q_milli.join = %d", got)
+	}
+	if got := reg.Histogram("seco.fidelity.qerror.scan", QBuckets).Count(); got != 1 {
+		t.Fatalf("qerror.scan count = %d", got)
+	}
+	// Nil-safety on both sides.
+	rep.Publish(nil)
+	(*Report)(nil).Publish(reg)
+}

@@ -121,3 +121,25 @@ func handOff(w int) *joinOp {
 	a := newCombArena(w)
 	return &joinOp{arena: a, rank: &layout{}}
 }
+
+// fidCounter mirrors the engine's nil-safe fidelity counter.
+type fidCounter struct{ v int64 }
+
+func (c *fidCounter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// countedMerge records the candidate-pair actual before building the
+// arena-owned comb, the way the ranked join's tile fill does. The
+// counter is run state, not arena memory: the write must not read as an
+// arena escape.
+func (j *joinOp) countedMerge(l, r *comb, cand *fidCounter) *comb {
+	cand.Add(1)
+	m := j.arena.new()
+	copy(m.comps, l.comps)
+	m.score = l.score + r.score
+	return m
+}

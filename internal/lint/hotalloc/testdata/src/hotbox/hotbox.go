@@ -5,6 +5,7 @@ package hotbox
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"seco/internal/types"
 )
@@ -84,4 +85,30 @@ func (p *pagedOp) invoke() {
 	for k, v := range p.fixed {
 		p.in[k] = v
 	}
+}
+
+// fidCounter mirrors the engine's nil-safe fidelity counter: a nil
+// receiver is the accounting-disabled fast path, so operators call Add
+// unconditionally from their hot loop.
+type fidCounter struct{ v atomic.Int64 }
+
+func (c *fidCounter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// countingOp records candidate actuals from Next the way the compiled
+// operators do. The counter write allocates nothing, so hotalloc must
+// stay silent on the whole method.
+type countingOp struct {
+	cand  *fidCounter
+	fixed map[string]types.Value
+}
+
+func (o *countingOp) Next() (*result, error) {
+	o.cand.Add(1)
+	o.cand.Add(int64(len(o.fixed)))
+	return nil, nil
 }

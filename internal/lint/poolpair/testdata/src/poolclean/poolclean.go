@@ -177,3 +177,35 @@ func releasedBothArms(n int) {
 		putTupleSlice(buf)
 	}
 }
+
+// fidCounter mirrors the engine's nil-safe fidelity counter.
+type fidCounter struct{ v int64 }
+
+func (c *fidCounter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// countedTile mirrors the hash-join tile fill with fidelity accounting:
+// candidate totals accumulate in a local and commit to the counter once
+// per tile, while the pooled scratch cycles and the output escapes by
+// return. The counter calls must not perturb the pool pairing.
+func countedTile(n int, cand *fidCounter) []*comb {
+	scratch := getTupleSlice(n)
+	var examined int64
+	var out []*comb
+	for _, tu := range scratch {
+		examined++
+		if tu != nil {
+			if out == nil {
+				out = getCombSlice(n)
+			}
+			out = append(out, &comb{})
+		}
+	}
+	putTupleSlice(scratch)
+	cand.Add(examined)
+	return out
+}

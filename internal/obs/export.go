@@ -16,13 +16,19 @@ type Trace struct {
 	Spans         []Span `json:"spans"`
 }
 
-// WriteJSON serializes the trace as structured JSON. With sorted spans
-// and map-keyed attrs (encoding/json sorts map keys) the output is
-// byte-identical for equal traces.
+// WriteJSON serializes the trace as structured JSON, including the
+// per-lane activity totals of Summary — the same aggregates the Chrome
+// export carries in its span args — so the two export paths expose the
+// same tuple accounting. With sorted spans and map-keyed attrs
+// (encoding/json sorts map keys) the output is byte-identical for equal
+// traces.
 func (tr *Trace) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(tr)
+	return enc.Encode(struct {
+		*Trace
+		Lanes map[string]LaneStats `json:"lanes,omitempty"`
+	}{tr, tr.Summary()})
 }
 
 // ReadTrace parses a trace previously written by WriteJSON.
@@ -113,12 +119,12 @@ func (tr *Trace) WriteChrome(w io.Writer) error {
 // overlay: call counts, the latency charged to the lane, and the
 // deepest chunk fetched.
 type LaneStats struct {
-	Invokes  int
-	Fetches  int
-	Tuples   int
-	Events   int
-	Busy     time.Duration
-	MaxChunk int
+	Invokes  int           `json:"invokes,omitempty"`
+	Fetches  int           `json:"fetches,omitempty"`
+	Tuples   int           `json:"tuples,omitempty"`
+	Events   int           `json:"events,omitempty"`
+	Busy     time.Duration `json:"busy_ns,omitempty"`
+	MaxChunk int           `json:"max_chunk,omitempty"`
 }
 
 // Summary aggregates the trace per lane. Call spans named "invoke" and

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+var updateLanesGolden = flag.Bool("update-lanes-golden", false, "rewrite the JSON-export lane golden")
+
+// lanesFixture builds a deterministic two-lane trace with the span
+// shapes Summary aggregates: invokes, fetches with chunk/tuples attrs,
+// and an instant event.
+func lanesFixture() *Trace {
+	tr := NewTracer()
+	tr.Bind(nil, true)
+	a, b := tr.Scope("A"), tr.Scope("B")
+	a.StartCall("invoke")(2 * time.Millisecond)
+	a.StartCall("fetch", KI("chunk", 1), KI("tuples", 5))(10 * time.Millisecond)
+	a.StartCall("fetch", KI("chunk", 2), KI("tuples", 3))(12 * time.Millisecond)
+	a.Event("fidelity", KV("q", "1"))
+	b.StartCall("invoke")(time.Millisecond)
+	b.StartCall("fetch", KI("chunk", 1), KI("tuples", 7))(8 * time.Millisecond)
+	return tr.Snapshot()
+}
+
+// TestJSONExportCarriesLaneTotals pins the fix for the JSON/Chrome
+// asymmetry: the per-node tuple totals used to be derivable only from
+// the Chrome export's span args. The JSON export now embeds a "lanes"
+// object, and this test asserts it matches both Summary() and the
+// totals recomputed from the Chrome export — so the two paths cannot
+// drift apart again.
+func TestJSONExportCarriesLaneTotals(t *testing.T) {
+	snap := lanesFixture()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Lanes map[string]LaneStats `json:"lanes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := snap.Summary()
+	if len(decoded.Lanes) != len(want) {
+		t.Fatalf("lanes = %v, want %v", decoded.Lanes, want)
+	}
+	for lane, ws := range want {
+		if decoded.Lanes[lane] != ws {
+			t.Fatalf("lane %s: JSON export %+v, Summary %+v", lane, decoded.Lanes[lane], ws)
+		}
+	}
+
+	// Recompute per-lane tuple totals from the Chrome export: resolve
+	// tid → lane through the thread_name metadata, then sum the
+	// "tuples" args of the fetch events.
+	var chrome bytes.Buffer
+	if err := snap.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TID   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &ct); err != nil {
+		t.Fatal(err)
+	}
+	laneOf := map[int]string{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			laneOf[ev.TID] = ev.Args["name"]
+		}
+	}
+	tuples := map[string]int{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Phase != "X" || ev.Name != "fetch" {
+			continue
+		}
+		n, err := strconv.Atoi(ev.Args["tuples"])
+		if err != nil {
+			t.Fatalf("fetch event without parsable tuples attr: %v", ev.Args)
+		}
+		tuples[laneOf[ev.TID]] += n
+	}
+	for lane, ws := range want {
+		if tuples[lane] != ws.Tuples {
+			t.Fatalf("lane %s: chrome export tuples %d, JSON export %d", lane, tuples[lane], ws.Tuples)
+		}
+	}
+
+	// Golden: the JSON export shape (spans + lanes) is load-bearing for
+	// external consumers; byte-compare against the committed form.
+	golden := filepath.Join("testdata", "trace_lanes_json.golden")
+	if *updateLanesGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-lanes-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), wantBytes) {
+		t.Fatalf("JSON export drifted from golden %s:\n%s", golden, buf.String())
+	}
+}

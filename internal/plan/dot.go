@@ -17,6 +17,14 @@ func (p *Plan) DOT(ann *Annotated) string { return p.DOTOverlay(ann, nil) }
 // counts, fetch depth and busy time aggregated from an execution trace.
 // Overlaid nodes are filled so the traced path stands out.
 func (p *Plan) DOTOverlay(ann *Annotated, overlay map[string]string) string {
+	return p.DOTStyled(ann, overlay, nil)
+}
+
+// DOTStyled renders like DOTOverlay with explicit per-node fill colors:
+// a node present in fills is painted that color instead of the default
+// overlay highlight. planviz uses it to flag fidelity-drifted operators
+// in red while the rest of the traced path keeps the standard tint.
+func (p *Plan) DOTStyled(ann *Annotated, overlay, fills map[string]string) string {
 	var b strings.Builder
 	b.WriteString("digraph plan {\n  rankdir=LR;\n")
 	for _, id := range p.NodeIDs() {
@@ -30,10 +38,17 @@ func (p *Plan) DOTOverlay(ann *Annotated, overlay map[string]string) string {
 				}
 			}
 		}
-		extra := ""
+		fill := ""
 		if o, ok := overlay[id]; ok && o != "" {
 			label += "\\n" + o
-			extra = ` style=filled fillcolor="#fff3c4"`
+			fill = "#fff3c4"
+		}
+		if c, ok := fills[id]; ok && c != "" {
+			fill = c
+		}
+		extra := ""
+		if fill != "" {
+			extra = fmt.Sprintf(" style=filled fillcolor=%q", fill)
 		}
 		fmt.Fprintf(&b, "  %q [label=%q shape=%s%s];\n", id, label, n.shape(), extra)
 	}

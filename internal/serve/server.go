@@ -30,6 +30,7 @@ import (
 	"seco/internal/admission"
 	"seco/internal/core"
 	"seco/internal/engine"
+	"seco/internal/fidelity"
 	"seco/internal/obs"
 	"seco/internal/optimizer"
 	"seco/internal/query"
@@ -274,12 +275,16 @@ func (s *Server) RunOnce() error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), limit)
 	defer cancel()
+	// Fidelity is always scored on the refresh run: it is one cheap
+	// assessment per run and the /fidelity/last surface is how an
+	// operator notices the scenario statistics drifting from the data.
 	run, err := e.eng.Execute(ctx, e.res.Annotated, engine.Options{
 		Inputs:      s.inputs,
 		Weights:     e.res.Query.Weights,
 		TargetK:     e.res.Plan.K,
 		Parallelism: s.cfg.Parallelism,
 		Trace:       tr,
+		Fidelity:    true,
 	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -326,6 +331,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetricsJSON)
 	mux.HandleFunc("/metrics.txt", s.handleMetricsText)
 	mux.HandleFunc("/runs/last", s.handleLastRun)
+	mux.HandleFunc("/fidelity/last", s.handleLastFidelity)
+	mux.HandleFunc("/fidelity/last.txt", s.handleLastFidelityText)
 	mux.HandleFunc("/trace/last", s.handleLastTrace)
 	mux.HandleFunc("/trace/last.chrome", s.handleLastTraceChrome)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -362,6 +369,7 @@ type lastRunRecord struct {
 	CallsSaved   float64                            `json:"calls_saved"`
 	Degraded     *engine.Degradation                `json:"degraded,omitempty"`
 	Resilience   map[string]service.ResilienceStats `json:"resilience,omitempty"`
+	Fidelity     *fidelity.Report                   `json:"fidelity,omitempty"`
 }
 
 func (s *Server) handleLastRun(w http.ResponseWriter, _ *http.Request) {
@@ -385,6 +393,7 @@ func (s *Server) handleLastRun(w http.ResponseWriter, _ *http.Request) {
 		CallsSaved:   run.CallsSaved,
 		Degraded:     run.Degraded,
 		Resilience:   run.Resilience,
+		Fidelity:     run.Fidelity,
 	}
 	if len(run.Combinations) > 0 {
 		rec.TopScore = run.Combinations[0].Score
@@ -395,6 +404,42 @@ func (s *Server) handleLastRun(w http.ResponseWriter, _ *http.Request) {
 	if err := enc.Encode(rec); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func (s *Server) lastFidelity() *fidelity.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastRun == nil {
+		return nil
+	}
+	return s.lastRun.Fidelity
+}
+
+func (s *Server) handleLastFidelity(w http.ResponseWriter, _ *http.Request) {
+	rep := s.lastFidelity()
+	if rep == nil {
+		http.Error(w, "no fidelity report yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleLastFidelityText renders the report as the same fixed-width
+// table Report.Text produces everywhere else, so a curl against a
+// virtual-clock server is byte-deterministic.
+func (s *Server) handleLastFidelityText(w http.ResponseWriter, _ *http.Request) {
+	rep := s.lastFidelity()
+	if rep == nil {
+		http.Error(w, "no fidelity report yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, rep.Text())
 }
 
 func (s *Server) lastTraceSnapshot() *obs.Trace {

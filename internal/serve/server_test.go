@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"seco/internal/fidelity"
 	"seco/internal/plan"
 )
 
@@ -86,6 +87,55 @@ func TestEndpoints(t *testing.T) {
 		}
 		if rec.Runs != 1 || rec.Combinations == 0 || len(rec.Invocations) == 0 {
 			t.Errorf("record incomplete: %+v", rec)
+		}
+	})
+
+	t.Run("last run fidelity", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/runs/last")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var rec lastRunRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if rec.Fidelity == nil || len(rec.Fidelity.Nodes) == 0 {
+			t.Fatalf("last-run record carries no fidelity table: %+v", rec.Fidelity)
+		}
+	})
+
+	t.Run("fidelity JSON", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/fidelity/last")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		var rep fidelity.Report
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if len(rep.Nodes) == 0 || rep.Threshold != fidelity.DefaultThreshold {
+			t.Fatalf("report incomplete: %+v", rep)
+		}
+		for _, nf := range rep.Nodes {
+			if nf.Node == "" || nf.Kind == "" || nf.Q < 1 {
+				t.Fatalf("malformed node fidelity: %+v", nf)
+			}
+		}
+	})
+
+	t.Run("fidelity text deterministic", func(t *testing.T) {
+		code, body := get(t, ts.URL+"/fidelity/last.txt")
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if !strings.Contains(string(body), "threshold=") || !strings.Contains(string(body), "q-out") {
+			t.Fatalf("unexpected text report:\n%s", body)
+		}
+		// The server runs on a virtual clock, so a repeat curl after an
+		// identical refresh run yields the identical table.
+		code2, body2 := get(t, ts.URL+"/fidelity/last.txt")
+		if code2 != http.StatusOK || string(body2) != string(body) {
+			t.Fatalf("text report not stable across reads:\n%s\nvs\n%s", body, body2)
 		}
 	})
 

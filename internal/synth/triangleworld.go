@@ -38,6 +38,14 @@ type TriangleConfig struct {
 	ChunkSize int
 	// Seed drives all pseudo-random choices.
 	Seed int64
+	// Skew, when > 1, draws every edge-attribute key from a zipf
+	// distribution with that exponent instead of uniformly, while the
+	// registered service statistics stay those of the uniform world. A
+	// few hot keys then dominate every edge, the real match probability
+	// rises far above the registered 1/Keys, and the static annotations
+	// underestimate the join flow — the drift scenario the fidelity
+	// report exists to expose.
+	Skew float64
 }
 
 func (c *TriangleConfig) defaults() {
@@ -109,9 +117,14 @@ func NewTriangleWorld(reg *mart.Registry, cfg TriangleConfig) (*TriangleWorld, e
 		return tab, nil
 	}
 
-	genre := func() types.Value { return types.String(fmt.Sprintf("Genre-%02d", rng.Intn(cfg.Keys))) }
-	district := func() types.Value { return types.String(fmt.Sprintf("District-%02d", rng.Intn(cfg.Keys))) }
-	label := func() types.Value { return types.String(fmt.Sprintf("Label-%02d", rng.Intn(cfg.Keys))) }
+	keyIdx := func() int { return rng.Intn(cfg.Keys) }
+	if cfg.Skew > 1 {
+		z := rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+		keyIdx = func() int { return int(z.Uint64()) }
+	}
+	genre := func() types.Value { return types.String(fmt.Sprintf("Genre-%02d", keyIdx())) }
+	district := func() types.Value { return types.String(fmt.Sprintf("District-%02d", keyIdx())) }
+	label := func() types.Value { return types.String(fmt.Sprintf("Label-%02d", keyIdx())) }
 
 	artists, err := build("Artist1", func(tu *types.Tuple, i int) {
 		tu.Set("Name", types.String(fmt.Sprintf("Artist-%03d", i))).
